@@ -1,0 +1,81 @@
+(** Benchmark harness: regenerates every table and figure of the paper, then
+    wall-times each experiment driver with Bechamel (one [Test.make] per
+    table/figure).
+
+    Phase 1 runs every experiment cold and prints the paper-style tables —
+    this is the artifact-evaluation output recorded in EXPERIMENTS.md.
+    Phase 2 re-times each driver on the warm measurement cache (the
+    simulation results are memoized; the timed quantity is table
+    regeneration, which is what a user iterating on the data pays). *)
+
+module E = Nomap_harness.Experiments
+module Registry = Nomap_workloads.Registry
+
+open Bechamel
+open Toolkit
+
+let experiments : (string * (unit -> string)) list =
+  [
+    ("fig1_shootout_languages", E.fig1);
+    ("table1_tier_speedups", E.table1);
+    ("fig3a_checks_sunspider", fun () -> E.fig3 Registry.Sunspider);
+    ("fig3b_checks_kraken", fun () -> E.fig3 Registry.Kraken);
+    ("deopt_frequency", fun () -> E.deopt_freq ~iterations:100 ());
+    ("fig8_instructions_sunspider", fun () -> E.fig8_9 Registry.Sunspider);
+    ("fig9_instructions_kraken", fun () -> E.fig8_9 Registry.Kraken);
+    ("fig10_time_sunspider", fun () -> E.fig10_11 Registry.Sunspider);
+    ("fig11_time_kraken", fun () -> E.fig10_11 Registry.Kraken);
+    ("table4_tx_footprints", E.table4);
+    ("appendix_htm_validation", E.validate_htm);
+    ("ablation_passes", E.ablation);
+    ("headline_reductions", E.headline);
+  ]
+
+(* Swallow stdout while running [f] (the drivers print their tables; during
+   timing loops that would flood the terminal). *)
+let quietly f =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
+let () =
+  print_endline "==================================================================";
+  print_endline " NoMap reproduction: full experiment sweep (paper tables/figures)";
+  print_endline "==================================================================\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let start = Unix.gettimeofday () in
+      ignore (f ());
+      Printf.printf "[%s took %.1fs]\n\n" name (Unix.gettimeofday () -. start))
+    experiments;
+  Printf.printf "full sweep: %.1fs\n\n" (Unix.gettimeofday () -. t0);
+  print_endline "==================================================================";
+  print_endline " Bechamel timings (warm regeneration of each table/figure)";
+  print_endline "==================================================================";
+  let tests =
+    List.map
+      (fun (name, f) ->
+        Test.make ~name (Staged.stage (fun () -> quietly (fun () -> ignore (f ())))))
+      experiments
+  in
+  let grouped = Test.make_grouped ~name:"nomap" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-45s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+    results;
+  print_endline "\ndone."

@@ -1,0 +1,44 @@
+(** CLI for regenerating the paper's tables and figures.
+
+    Usage: experiments.exe [EXPERIMENT] — where EXPERIMENT is one of fig1,
+    table1, fig3, deopt_freq, fig8, fig9, fig10, fig11, table4,
+    validate_htm, headline, all (default: all). *)
+
+module E = Nomap_harness.Experiments
+module Registry = Nomap_workloads.Registry
+
+open Cmdliner
+
+let run_experiment name =
+  match name with
+  | "fig1" -> ignore (E.fig1 ())
+  | "table1" -> ignore (E.table1 ())
+  | "fig3" ->
+    ignore (E.fig3 Registry.Sunspider);
+    ignore (E.fig3 Registry.Kraken)
+  | "deopt_freq" -> ignore (E.deopt_freq ())
+  | "fig8" -> ignore (E.fig8_9 Registry.Sunspider)
+  | "fig9" -> ignore (E.fig8_9 Registry.Kraken)
+  | "fig10" -> ignore (E.fig10_11 Registry.Sunspider)
+  | "fig11" -> ignore (E.fig10_11 Registry.Kraken)
+  | "table4" -> ignore (E.table4 ())
+  | "validate_htm" -> ignore (E.validate_htm ())
+  | "ablation" -> ignore (E.ablation ())
+  | "headline" -> ignore (E.headline ())
+  | "all" -> ignore (E.run_all ())
+  | other ->
+    prerr_endline ("unknown experiment: " ^ other);
+    exit 1
+
+let experiment =
+  let doc =
+    "Experiment to run: fig1, table1, fig3, deopt_freq, fig8, fig9, fig10, fig11, table4, \
+     validate_htm, ablation, headline, or all."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "Regenerate the NoMap paper's tables and figures from the simulator" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiment $ experiment)
+
+let () = exit (Cmd.eval cmd)

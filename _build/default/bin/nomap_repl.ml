@@ -1,0 +1,135 @@
+(** nomap-repl: an interactive MiniJS Read-Eval-Print Loop.
+
+    Each input line (or block — continue lines with a trailing backslash) is
+    appended to the session program and the whole program re-runs on a fresh
+    VM, which keeps the implementation honest with the compiler pipeline (no
+    separate eval path) at the cost of re-execution — fine interactively.
+
+    Commands:
+      :arch NAME     switch architecture (Base, NoMap, ...)
+      :stats         toggle per-input execution statistics
+      :list          show the session program
+      :reset         clear the session
+      :quit          exit *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Value = Nomap_runtime.Value
+
+type session = {
+  mutable items : string list;  (** accepted inputs, oldest first *)
+  mutable arch : Config.arch;
+  mutable stats : bool;
+}
+
+let run_session s ~probe =
+  (* [probe] is the freshly-entered text; if it parses as an expression we
+     wrap it so its value prints. *)
+  let body = String.concat "\n" (List.rev s.items) in
+  let program = body ^ "\n" ^ probe in
+  let prog = Nomap_bytecode.Compile.compile_source ~name:"<repl>" program in
+  let vm =
+    Vm.create ~fuel:500_000_000 ~config:(Config.create s.arch) ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  vm
+
+let try_eval s input =
+  (* Try as expression first: `__ = (input);` prints its value. *)
+  let as_expr = Printf.sprintf "__repl_value = (%s);" (String.trim input) in
+  let attempt probe =
+    match run_session s ~probe with
+    | vm -> Some vm
+    | exception _ -> None
+  in
+  match attempt as_expr with
+  | Some vm ->
+    (match Vm.global vm "__repl_value" with
+    | Some v -> Printf.printf "= %s\n" (Value.to_js_string v)
+    | None -> ());
+    s.items <- as_expr :: s.items;
+    Some vm
+  | None -> (
+    match attempt input with
+    | Some vm ->
+      s.items <- input :: s.items;
+      Some vm
+    | None -> None)
+
+let print_stats (vm : Vm.t) =
+  let c = vm.Vm.counters in
+  Printf.printf "  [%d instrs, %.0f cycles, %d ftl calls, %d tx commits, %d deopts]\n"
+    (Counters.total_instrs c) c.Counters.cycles c.Counters.ftl_calls c.Counters.tx_commits
+    c.Counters.deopts
+
+let read_input () =
+  (* Lines ending in '\' continue onto the next line. *)
+  let buf = Buffer.create 64 in
+  let rec go prompt =
+    print_string prompt;
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | line ->
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\\' then begin
+        Buffer.add_string buf (String.sub line 0 (n - 1));
+        Buffer.add_char buf '\n';
+        go "... "
+      end
+      else begin
+        Buffer.add_string buf line;
+        Some (Buffer.contents buf)
+      end
+  in
+  go "js> "
+
+let () =
+  print_endline "MiniJS REPL on the NoMap VM — :quit to exit, :arch NAME, :stats, :list, :reset";
+  let s = { items = []; arch = Config.NoMap_full; stats = false } in
+  let rec loop () =
+    match read_input () with
+    | None -> print_newline ()
+    | Some "" -> loop ()
+    | Some ":quit" | Some ":q" -> ()
+    | Some ":reset" ->
+      s.items <- [];
+      print_endline "session cleared";
+      loop ()
+    | Some ":list" ->
+      List.iter print_endline (List.rev s.items);
+      loop ()
+    | Some ":stats" ->
+      s.stats <- not s.stats;
+      Printf.printf "stats %s\n" (if s.stats then "on" else "off");
+      loop ()
+    | Some input when String.length input > 6 && String.sub input 0 6 = ":arch " -> (
+      let name = String.trim (String.sub input 6 (String.length input - 6)) in
+      match
+        List.find_opt
+          (fun a -> String.lowercase_ascii (Config.name a) = String.lowercase_ascii name)
+          Config.all
+      with
+      | Some a ->
+        s.arch <- a;
+        Printf.printf "architecture: %s\n" (Config.name a);
+        loop ()
+      | None ->
+        Printf.printf "unknown architecture; one of: %s\n"
+          (String.concat ", " (List.map Config.name Config.all));
+        loop ())
+    | Some input ->
+      (match try_eval s input with
+      | Some vm -> if s.stats then print_stats vm
+      | None -> (
+        (* Re-run to surface the error message. *)
+        try ignore (run_session s ~probe:input)
+        with
+        | Failure msg | Nomap_bytecode.Compile.Error msg -> Printf.printf "error: %s\n" msg
+        | Nomap_interp.Interp.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg
+        | Nomap_interp.Instance.Out_of_fuel -> print_endline "error: execution budget exceeded"
+        | e -> Printf.printf "error: %s\n" (Printexc.to_string e)));
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,1 @@
+examples/language_shootout.ml: List Nomap_harness Nomap_workloads Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Nomap_bytecode Nomap_machine Nomap_nomap Nomap_runtime Nomap_vm Printf

@@ -1,0 +1,1 @@
+examples/tiering_tour.ml: Array List Nomap_bytecode Nomap_interp Nomap_lir Nomap_nomap Nomap_opt Nomap_profile Nomap_runtime Nomap_tiers Printf

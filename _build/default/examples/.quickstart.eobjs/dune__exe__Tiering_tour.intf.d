@@ -1,0 +1,1 @@
+examples/tiering_tour.mli:

@@ -1,0 +1,1 @@
+examples/transaction_lab.ml: Hashtbl List Nomap_bytecode Nomap_machine Nomap_nomap Nomap_runtime Nomap_vm Printf String

@@ -1,0 +1,1 @@
+examples/transaction_lab.mli:

@@ -1,0 +1,1 @@
+lib/bytecode/compile.ml: Array Ast Hashtbl List Nomap_jsir Nomap_runtime Opcode Parser Printf

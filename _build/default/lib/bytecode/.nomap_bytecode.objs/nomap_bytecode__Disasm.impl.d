@@ -1,0 +1,1 @@
+lib/bytecode/disasm.ml: Array Buffer Float List Nomap_jsir Nomap_runtime Opcode Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/liveness.ml: Array Int List Opcode Set

@@ -1,0 +1,1 @@
+lib/bytecode/opcode.ml: Array Nomap_jsir Nomap_runtime

@@ -1,0 +1,568 @@
+(** AST → bytecode compiler.
+
+    Toplevel statements are gathered into a synthesized [__main__] function.
+    Identifier resolution: function-local [var]s and parameters become
+    registers; everything else becomes a program global (created on demand,
+    initialized to [undefined]); a bare reference to a declared function name
+    yields a function constant. [Math] and [String] are reserved namespace
+    identifiers resolved at compile time. *)
+
+open Nomap_jsir
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type program_ctx = {
+  func_ids : (string, int) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable global_names : string list;  (* reversed *)
+}
+
+let global_index pctx name =
+  match Hashtbl.find_opt pctx.globals name with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length pctx.globals in
+    Hashtbl.add pctx.globals name i;
+    pctx.global_names <- name :: pctx.global_names;
+    i
+
+type loop_ctx = {
+  continue_target : [ `Pc of int | `Patch of int list ref ];
+  break_patches : int list ref;
+}
+
+type fctx = {
+  pctx : program_ctx;
+  locals : (string, int) Hashtbl.t;
+  nlocals : int;
+  mutable next_temp : int;
+  mutable max_reg : int;
+  mutable code : Opcode.op list;  (* reversed *)
+  mutable len : int;
+  mutable consts : Opcode.const list;  (* reversed *)
+  mutable nconsts : int;
+  const_index : (Opcode.const, int) Hashtbl.t;
+  mutable loops : loop_ctx list;
+  mutable loop_headers : int list;
+}
+
+let emit f op =
+  f.code <- op :: f.code;
+  f.len <- f.len + 1
+
+let here f = f.len
+
+(* Emit a placeholder jump; returns its pc for later patching. *)
+let emit_patchable f make =
+  let pc = here f in
+  emit f (make (-1));
+  pc
+
+let const_id f c =
+  match Hashtbl.find_opt f.const_index c with
+  | Some i -> i
+  | None ->
+    let i = f.nconsts in
+    Hashtbl.add f.const_index c i;
+    f.consts <- c :: f.consts;
+    f.nconsts <- i + 1;
+    i
+
+let alloc_temp f =
+  let r = f.next_temp in
+  f.next_temp <- r + 1;
+  f.max_reg <- max f.max_reg (r + 1);
+  r
+
+let save_temps f = f.next_temp
+let restore_temps f mark = f.next_temp <- mark
+
+(* Collect all `var` names declared anywhere in a block (function scoping). *)
+let rec collect_vars_block block acc =
+  List.fold_left collect_vars_stmt acc block
+
+and collect_vars_stmt acc (s : Ast.stmt) =
+  match s with
+  | Ast.Var_decl ds -> List.fold_left (fun acc (x, _) -> x :: acc) acc ds
+  | Ast.If (_, a, b) -> collect_vars_block b (collect_vars_block a acc)
+  | Ast.While (_, b) | Ast.Do_while (b, _) -> collect_vars_block b acc
+  | Ast.For (init, _, _, b) ->
+    let acc = match init with Some s -> collect_vars_stmt acc s | None -> acc in
+    collect_vars_block b acc
+  | Ast.Block b -> collect_vars_block b acc
+  | Ast.Expr _ | Ast.Return _ | Ast.Break | Ast.Continue -> acc
+
+let reserved = [ "Math"; "String" ]
+
+let rec compile_expr f (e : Ast.expr) : Opcode.reg =
+  match e with
+  | Ast.Number n ->
+    let r = alloc_temp f in
+    emit f (Opcode.Load_const (r, const_id f (Opcode.Cnum n)));
+    r
+  | Ast.Str s ->
+    let r = alloc_temp f in
+    emit f (Opcode.Load_const (r, const_id f (Opcode.Cstr s)));
+    r
+  | Ast.Bool b ->
+    let r = alloc_temp f in
+    emit f (Opcode.Load_const (r, const_id f (Opcode.Cbool b)));
+    r
+  | Ast.Null ->
+    let r = alloc_temp f in
+    emit f (Opcode.Load_const (r, const_id f Opcode.Cnull));
+    r
+  | Ast.Undefined ->
+    let r = alloc_temp f in
+    emit f (Opcode.Load_const (r, const_id f Opcode.Cundef));
+    r
+  | Ast.This ->
+    let r = alloc_temp f in
+    emit f (Opcode.Move (r, 0));
+    r
+  | Ast.Var x -> (
+    match Hashtbl.find_opt f.locals x with
+    | Some reg ->
+      let r = alloc_temp f in
+      emit f (Opcode.Move (r, reg));
+      r
+    | None when List.mem x reserved -> error "cannot use %s as a value" x
+    | None -> (
+      match Hashtbl.find_opt f.pctx.func_ids x with
+      | Some fid ->
+        let r = alloc_temp f in
+        emit f (Opcode.Load_const (r, const_id f (Opcode.Cfun fid)));
+        r
+      | None ->
+        let r = alloc_temp f in
+        emit f (Opcode.Load_global (r, global_index f.pctx x));
+        r))
+  | Ast.Array_lit es ->
+    let dst = alloc_temp f in
+    let len = alloc_temp f in
+    emit f (Opcode.Load_const (len, const_id f (Opcode.Cnum (float_of_int (List.length es)))));
+    emit f (Opcode.New_array (dst, len));
+    List.iteri
+      (fun i e ->
+        let mark = save_temps f in
+        let idx = alloc_temp f in
+        emit f (Opcode.Load_const (idx, const_id f (Opcode.Cnum (float_of_int i))));
+        let v = compile_expr f e in
+        emit f (Opcode.Set_elem (dst, idx, v));
+        restore_temps f mark)
+      es;
+    dst
+  | Ast.Object_lit fields ->
+    let dst = alloc_temp f in
+    emit f (Opcode.New_object dst);
+    List.iter
+      (fun (name, e) ->
+        let mark = save_temps f in
+        let v = compile_expr f e in
+        emit f (Opcode.Set_prop (dst, name, v));
+        restore_temps f mark)
+      fields;
+    dst
+  | Ast.Index (a, i) ->
+    let ra = compile_expr f a in
+    let ri = compile_expr f i in
+    let dst = alloc_temp f in
+    emit f (Opcode.Get_elem (dst, ra, ri));
+    dst
+  | Ast.Prop (Ast.Var base, prop)
+    when List.mem base reserved
+         && Nomap_runtime.Intrinsics.static_constant base prop <> None -> (
+    match Nomap_runtime.Intrinsics.static_constant base prop with
+    | Some (Nomap_runtime.Value.Num n) ->
+      let r = alloc_temp f in
+      emit f (Opcode.Load_const (r, const_id f (Opcode.Cnum n)));
+      r
+    | _ -> assert false)
+  | Ast.Prop (o, "length") ->
+    let ro = compile_expr f o in
+    let dst = alloc_temp f in
+    emit f (Opcode.Get_length (dst, ro));
+    dst
+  | Ast.Prop (o, p) ->
+    let ro = compile_expr f o in
+    let dst = alloc_temp f in
+    emit f (Opcode.Get_prop (dst, ro, p));
+    dst
+  | Ast.Call (name, args) -> (
+    match Hashtbl.find_opt f.pctx.func_ids name with
+    | Some fid ->
+      let rargs = List.map (compile_expr f) args in
+      let dst = alloc_temp f in
+      emit f (Opcode.Call (dst, fid, rargs));
+      dst
+    | None -> (
+      match Nomap_runtime.Intrinsics.global_lookup name with
+      | Some intr ->
+        let rargs = List.map (compile_expr f) args in
+        let dst = alloc_temp f in
+        emit f (Opcode.Call_intrinsic (dst, intr, rargs));
+        dst
+      | None -> error "call to undefined function %s" name))
+  | Ast.Method_call (Ast.Var base, meth, args) when List.mem base reserved -> (
+    match Nomap_runtime.Intrinsics.static_lookup base meth with
+    | Some intr ->
+      let rargs = List.map (compile_expr f) args in
+      let dst = alloc_temp f in
+      emit f (Opcode.Call_intrinsic (dst, intr, rargs));
+      dst
+    | None -> error "unknown builtin %s.%s" base meth)
+  | Ast.Method_call (recv, meth, args) ->
+    let rrecv = compile_expr f recv in
+    let rargs = List.map (compile_expr f) args in
+    let dst = alloc_temp f in
+    emit f (Opcode.Call_method (dst, rrecv, meth, rargs));
+    dst
+  | Ast.New (name, args) -> (
+    match Hashtbl.find_opt f.pctx.func_ids name with
+    | Some fid ->
+      let rargs = List.map (compile_expr f) args in
+      let dst = alloc_temp f in
+      emit f (Opcode.New_call (dst, fid, rargs));
+      dst
+    | None -> error "new of undefined function %s" name)
+  | Ast.New_array n ->
+    let rn = compile_expr f n in
+    let dst = alloc_temp f in
+    emit f (Opcode.New_array (dst, rn));
+    dst
+  | Ast.Unop (op, e) ->
+    let r = compile_expr f e in
+    let dst = alloc_temp f in
+    emit f (Opcode.Unop (op, dst, r));
+    dst
+  | Ast.Binop (op, a, b) ->
+    let ra = compile_expr f a in
+    let rb = compile_expr f b in
+    let dst = alloc_temp f in
+    emit f (Opcode.Binop (op, dst, ra, rb));
+    dst
+  | Ast.And (a, b) ->
+    let dst = alloc_temp f in
+    let ra = compile_expr f a in
+    emit f (Opcode.Move (dst, ra));
+    let patch = emit_patchable f (fun t -> Opcode.Jump_if_false (dst, t)) in
+    let mark = save_temps f in
+    let rb = compile_expr f b in
+    emit f (Opcode.Move (dst, rb));
+    restore_temps f mark;
+    patch_jump f patch (here f);
+    dst
+  | Ast.Or (a, b) ->
+    let dst = alloc_temp f in
+    let ra = compile_expr f a in
+    emit f (Opcode.Move (dst, ra));
+    let patch = emit_patchable f (fun t -> Opcode.Jump_if_true (dst, t)) in
+    let mark = save_temps f in
+    let rb = compile_expr f b in
+    emit f (Opcode.Move (dst, rb));
+    restore_temps f mark;
+    patch_jump f patch (here f);
+    dst
+  | Ast.Cond (c, a, b) ->
+    let dst = alloc_temp f in
+    let rc = compile_expr f c in
+    let patch_else = emit_patchable f (fun t -> Opcode.Jump_if_false (rc, t)) in
+    let mark = save_temps f in
+    let ra = compile_expr f a in
+    emit f (Opcode.Move (dst, ra));
+    restore_temps f mark;
+    let patch_end = emit_patchable f (fun t -> Opcode.Jump t) in
+    patch_jump f patch_else (here f);
+    let rb = compile_expr f b in
+    emit f (Opcode.Move (dst, rb));
+    restore_temps f mark;
+    patch_jump f patch_end (here f);
+    dst
+  | Ast.Assign (lv, e) -> compile_assign f lv (fun () -> compile_expr f e)
+  | Ast.Op_assign (op, lv, e) ->
+    compile_modify f lv (fun cur ->
+        let re = compile_expr f e in
+        let dst = alloc_temp f in
+        emit f (Opcode.Binop (op, dst, cur, re));
+        dst)
+  | Ast.Incr (lv, delta, `Pre) ->
+    compile_modify f lv (fun cur ->
+        let one = alloc_temp f in
+        emit f (Opcode.Load_const (one, const_id f (Opcode.Cnum (float_of_int delta))));
+        let dst = alloc_temp f in
+        emit f (Opcode.Binop (Ast.Add, dst, cur, one));
+        dst)
+  | Ast.Incr (lv, delta, `Post) ->
+    (* Result is the OLD value: save it, then update. *)
+    let old = alloc_temp f in
+    let (_ : Opcode.reg) =
+      compile_modify f lv (fun cur ->
+          emit f (Opcode.Move (old, cur));
+          let one = alloc_temp f in
+          emit f (Opcode.Load_const (one, const_id f (Opcode.Cnum (float_of_int delta))));
+          let dst = alloc_temp f in
+          emit f (Opcode.Binop (Ast.Add, dst, cur, one));
+          dst)
+    in
+    old
+
+(* Assign [mk_value ()] into the lvalue; result register holds the value. *)
+and compile_assign f (lv : Ast.lvalue) mk_value : Opcode.reg =
+  match lv with
+  | Ast.Lvar x -> (
+    let v = mk_value () in
+    match Hashtbl.find_opt f.locals x with
+    | Some reg ->
+      emit f (Opcode.Move (reg, v));
+      v
+    | None ->
+      if List.mem x reserved then error "cannot assign to %s" x;
+      emit f (Opcode.Store_global (global_index f.pctx x, v));
+      v)
+  | Ast.Lindex (a, i) ->
+    let ra = compile_expr f a in
+    let ri = compile_expr f i in
+    let v = mk_value () in
+    emit f (Opcode.Set_elem (ra, ri, v));
+    v
+  | Ast.Lprop (o, p) ->
+    let ro = compile_expr f o in
+    let v = mk_value () in
+    emit f (Opcode.Set_prop (ro, p, v));
+    v
+
+(* Read-modify-write: evaluate the lvalue base once, read current value,
+   compute the new value with [modify], write it back. *)
+and compile_modify f (lv : Ast.lvalue) modify : Opcode.reg =
+  match lv with
+  | Ast.Lvar x -> (
+    match Hashtbl.find_opt f.locals x with
+    | Some reg ->
+      let nv = modify reg in
+      emit f (Opcode.Move (reg, nv));
+      nv
+    | None ->
+      if List.mem x reserved then error "cannot assign to %s" x;
+      let g = global_index f.pctx x in
+      let cur = alloc_temp f in
+      emit f (Opcode.Load_global (cur, g));
+      let nv = modify cur in
+      emit f (Opcode.Store_global (g, nv));
+      nv)
+  | Ast.Lindex (a, i) ->
+    let ra = compile_expr f a in
+    let ri = compile_expr f i in
+    let cur = alloc_temp f in
+    emit f (Opcode.Get_elem (cur, ra, ri));
+    let nv = modify cur in
+    emit f (Opcode.Set_elem (ra, ri, nv));
+    nv
+  | Ast.Lprop (o, "length") ->
+    let ro = compile_expr f o in
+    let cur = alloc_temp f in
+    emit f (Opcode.Get_length (cur, ro));
+    let nv = modify cur in
+    emit f (Opcode.Set_prop (ro, "length", nv));
+    nv
+  | Ast.Lprop (o, p) ->
+    let ro = compile_expr f o in
+    let cur = alloc_temp f in
+    emit f (Opcode.Get_prop (cur, ro, p));
+    let nv = modify cur in
+    emit f (Opcode.Set_prop (ro, p, nv));
+    nv
+
+and patch_jump f pc target =
+  let idx = f.len - 1 - pc in
+  let rec patch i = function
+    | [] -> assert false
+    | op :: rest when i = idx ->
+      let patched =
+        match op with
+        | Opcode.Jump -1 -> Opcode.Jump target
+        | Opcode.Jump_if_false (c, -1) -> Opcode.Jump_if_false (c, target)
+        | Opcode.Jump_if_true (c, -1) -> Opcode.Jump_if_true (c, target)
+        | _ -> assert false
+      in
+      patched :: rest
+    | op :: rest -> op :: patch (i + 1) rest
+  in
+  f.code <- patch 0 f.code
+
+let rec compile_stmt f (s : Ast.stmt) =
+  let mark = save_temps f in
+  (match s with
+  | Ast.Expr e -> ignore (compile_expr f e)
+  | Ast.Var_decl ds ->
+    List.iter
+      (fun (x, init) ->
+        match init with
+        | None -> ()
+        | Some e -> (
+          let v = compile_expr f e in
+          (* Top-level `var`s are globals (JS semantics); function `var`s
+             were collected into locals. *)
+          match Hashtbl.find_opt f.locals x with
+          | Some reg -> emit f (Opcode.Move (reg, v))
+          | None -> emit f (Opcode.Store_global (global_index f.pctx x, v))))
+      ds
+  | Ast.If (c, then_, else_) ->
+    let rc = compile_expr f c in
+    let patch_else = emit_patchable f (fun t -> Opcode.Jump_if_false (rc, t)) in
+    restore_temps f mark;
+    compile_block f then_;
+    if else_ = [] then patch_jump f patch_else (here f)
+    else begin
+      let patch_end = emit_patchable f (fun t -> Opcode.Jump t) in
+      patch_jump f patch_else (here f);
+      compile_block f else_;
+      patch_jump f patch_end (here f)
+    end
+  | Ast.While (c, body) ->
+    let head = here f in
+    f.loop_headers <- head :: f.loop_headers;
+    let rc = compile_expr f c in
+    let patch_exit = emit_patchable f (fun t -> Opcode.Jump_if_false (rc, t)) in
+    restore_temps f mark;
+    let break_patches = ref [] in
+    f.loops <- { continue_target = `Pc head; break_patches } :: f.loops;
+    compile_block f body;
+    f.loops <- List.tl f.loops;
+    emit f (Opcode.Jump head);
+    patch_jump f patch_exit (here f);
+    List.iter (fun pc -> patch_jump f pc (here f)) !break_patches
+  | Ast.Do_while (body, c) ->
+    let head = here f in
+    f.loop_headers <- head :: f.loop_headers;
+    let break_patches = ref [] in
+    let continue_patches = ref [] in
+    f.loops <- { continue_target = `Patch continue_patches; break_patches } :: f.loops;
+    compile_block f body;
+    f.loops <- List.tl f.loops;
+    List.iter (fun pc -> patch_jump f pc (here f)) !continue_patches;
+    let rc = compile_expr f c in
+    emit f (Opcode.Jump_if_true (rc, head));
+    restore_temps f mark;
+    List.iter (fun pc -> patch_jump f pc (here f)) !break_patches
+  | Ast.For (init, cond, step, body) ->
+    (match init with Some s -> compile_stmt f s | None -> ());
+    let head = here f in
+    f.loop_headers <- head :: f.loop_headers;
+    let patch_exit =
+      match cond with
+      | Some c ->
+        let rc = compile_expr f c in
+        let p = emit_patchable f (fun t -> Opcode.Jump_if_false (rc, t)) in
+        restore_temps f mark;
+        Some p
+      | None -> None
+    in
+    let break_patches = ref [] in
+    let continue_patches = ref [] in
+    f.loops <- { continue_target = `Patch continue_patches; break_patches } :: f.loops;
+    compile_block f body;
+    f.loops <- List.tl f.loops;
+    List.iter (fun pc -> patch_jump f pc (here f)) !continue_patches;
+    (match step with
+    | Some e ->
+      ignore (compile_expr f e);
+      restore_temps f mark
+    | None -> ());
+    emit f (Opcode.Jump head);
+    (match patch_exit with Some p -> patch_jump f p (here f) | None -> ());
+    List.iter (fun pc -> patch_jump f pc (here f)) !break_patches
+  | Ast.Return None -> emit f (Opcode.Return None)
+  | Ast.Return (Some e) ->
+    let r = compile_expr f e in
+    emit f (Opcode.Return (Some r))
+  | Ast.Break -> (
+    match f.loops with
+    | [] -> error "break outside loop"
+    | { break_patches; _ } :: _ ->
+      let pc = emit_patchable f (fun t -> Opcode.Jump t) in
+      break_patches := pc :: !break_patches)
+  | Ast.Continue -> (
+    match f.loops with
+    | [] -> error "continue outside loop"
+    | { continue_target; _ } :: _ -> (
+      match continue_target with
+      | `Pc pc -> emit f (Opcode.Jump pc)
+      | `Patch patches ->
+        let pc = emit_patchable f (fun t -> Opcode.Jump t) in
+        patches := pc :: !patches))
+  | Ast.Block b -> compile_block f b);
+  restore_temps f mark
+
+and compile_block f block = List.iter (compile_stmt f) block
+
+let compile_function ?(toplevel = false) pctx ~fid ~name ~params ~body : Opcode.func =
+  let locals = Hashtbl.create 16 in
+  (* Register 0 = this; params from 1. *)
+  List.iteri (fun i x -> Hashtbl.replace locals x (i + 1)) params;
+  (* Function `var`s become registers; top-level `var`s stay globals. *)
+  if not toplevel then begin
+    let vars = List.rev (collect_vars_block body []) in
+    List.iter
+      (fun x ->
+        if not (Hashtbl.mem locals x) then
+          Hashtbl.replace locals x (Hashtbl.length locals + 1))
+      vars
+  end;
+  let nlocals = Hashtbl.length locals + 1 in
+  let f =
+    {
+      pctx;
+      locals;
+      nlocals;
+      next_temp = nlocals;
+      max_reg = nlocals;
+      code = [];
+      len = 0;
+      consts = [];
+      nconsts = 0;
+      const_index = Hashtbl.create 16;
+      loops = [];
+      loop_headers = [];
+    }
+  in
+  compile_block f body;
+  emit f (Opcode.Return None);
+  {
+    Opcode.fid;
+    name;
+    nparams = List.length params;
+    nlocals;
+    nregs = f.max_reg;
+    code = Array.of_list (List.rev f.code);
+    consts = Array.of_list (List.rev f.consts);
+    loop_headers = List.rev f.loop_headers;
+  }
+
+let compile_program (prog : Ast.program) : Opcode.program =
+  let funcs = Ast.functions prog in
+  let pctx =
+    { func_ids = Hashtbl.create 16; globals = Hashtbl.create 16; global_names = [] }
+  in
+  List.iteri (fun i (fn : Ast.func) -> Hashtbl.replace pctx.func_ids fn.Ast.fname i) funcs;
+  let main_fid = List.length funcs in
+  let compiled =
+    List.mapi
+      (fun i (fn : Ast.func) ->
+        compile_function pctx ~fid:i ~name:fn.Ast.fname ~params:fn.Ast.params
+          ~body:fn.Ast.body)
+      funcs
+  in
+  let main =
+    compile_function ~toplevel:true pctx ~fid:main_fid ~name:"__main__" ~params:[]
+      ~body:(Ast.toplevel prog)
+  in
+  {
+    Opcode.funcs = Array.of_list (compiled @ [ main ]);
+    globals = Array.of_list (List.rev pctx.global_names);
+    main_fid;
+  }
+
+let compile_source ?name src =
+  compile_program (Parser.parse_program_exn ?name src)

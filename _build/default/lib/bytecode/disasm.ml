@@ -1,0 +1,58 @@
+(** Bytecode disassembler (for tests, docs and debugging). *)
+
+let const_to_string = function
+  | Opcode.Cnum f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  | Opcode.Cstr s -> Printf.sprintf "%S" s
+  | Opcode.Cbool b -> string_of_bool b
+  | Opcode.Cnull -> "null"
+  | Opcode.Cundef -> "undefined"
+  | Opcode.Cfun fid -> Printf.sprintf "<fun %d>" fid
+
+let regs rs = String.concat ", " (List.map (Printf.sprintf "r%d") rs)
+
+let op_to_string (f : Opcode.func) = function
+  | Opcode.Load_const (d, i) ->
+    Printf.sprintf "r%d <- const %s" d (const_to_string f.consts.(i))
+  | Opcode.Move (d, s) -> Printf.sprintf "r%d <- r%d" d s
+  | Opcode.Load_global (d, g) -> Printf.sprintf "r%d <- global[%d]" d g
+  | Opcode.Store_global (g, s) -> Printf.sprintf "global[%d] <- r%d" g s
+  | Opcode.Binop (op, d, a, b) ->
+    Printf.sprintf "r%d <- r%d %s r%d" d a (Nomap_jsir.Ast.binop_to_string op) b
+  | Opcode.Unop (op, d, a) ->
+    Printf.sprintf "r%d <- %s r%d" d (Nomap_jsir.Ast.unop_to_string op) a
+  | Opcode.Get_prop (d, o, p) -> Printf.sprintf "r%d <- r%d.%s" d o p
+  | Opcode.Set_prop (o, p, v) -> Printf.sprintf "r%d.%s <- r%d" o p v
+  | Opcode.Get_elem (d, a, i) -> Printf.sprintf "r%d <- r%d[r%d]" d a i
+  | Opcode.Set_elem (a, i, v) -> Printf.sprintf "r%d[r%d] <- r%d" a i v
+  | Opcode.Get_length (d, x) -> Printf.sprintf "r%d <- r%d.length" d x
+  | Opcode.New_object d -> Printf.sprintf "r%d <- {}" d
+  | Opcode.New_array (d, n) -> Printf.sprintf "r%d <- new Array(r%d)" d n
+  | Opcode.Call (d, fid, args) -> Printf.sprintf "r%d <- call f%d(%s)" d fid (regs args)
+  | Opcode.Call_method (d, r, m, args) ->
+    Printf.sprintf "r%d <- r%d.%s(%s)" d r m (regs args)
+  | Opcode.Call_intrinsic (d, intr, args) ->
+    Printf.sprintf "r%d <- %s(%s)" d (Nomap_runtime.Intrinsics.name intr) (regs args)
+  | Opcode.New_call (d, fid, args) ->
+    Printf.sprintf "r%d <- new f%d(%s)" d fid (regs args)
+  | Opcode.Jump t -> Printf.sprintf "jump %d" t
+  | Opcode.Jump_if_false (c, t) -> Printf.sprintf "if !r%d jump %d" c t
+  | Opcode.Jump_if_true (c, t) -> Printf.sprintf "if r%d jump %d" c t
+  | Opcode.Return None -> "return"
+  | Opcode.Return (Some r) -> Printf.sprintf "return r%d" r
+
+let func_to_string (f : Opcode.func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "function %s (fid=%d params=%d locals=%d regs=%d)\n" f.name f.fid
+       f.nparams f.nlocals f.nregs);
+  Array.iteri
+    (fun pc op ->
+      let marker = if List.mem pc f.loop_headers then "L" else " " in
+      Buffer.add_string buf (Printf.sprintf "  %s%4d: %s\n" marker pc (op_to_string f op)))
+    f.code;
+  Buffer.contents buf
+
+let program_to_string (p : Opcode.program) =
+  String.concat "\n" (Array.to_list (Array.map func_to_string p.funcs))

@@ -1,0 +1,38 @@
+(** Backward liveness analysis over bytecode.
+
+    The optimizing tiers need, for every potential deoptimization point, the
+    set of bytecode registers the Baseline tier will read when execution
+    resumes there — that set is exactly what a Stack Map Entry must describe
+    (paper §II-B).  We compute classic live-in sets per bytecode index with
+    an iterate-to-fixpoint dataflow. *)
+
+module Iset = Set.Make (Int)
+
+type t = Iset.t array  (** live-in registers at each pc *)
+
+let compute (f : Opcode.func) : t =
+  let n = Array.length f.code in
+  let live_in = Array.make n Iset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pc = n - 1 downto 0 do
+      let op = f.code.(pc) in
+      let out =
+        List.fold_left
+          (fun acc succ -> if succ < n then Iset.union acc live_in.(succ) else acc)
+          Iset.empty
+          (Opcode.successors op pc)
+      in
+      let after_def = match Opcode.def op with Some d -> Iset.remove d out | None -> out in
+      let in_ = List.fold_left (fun acc u -> Iset.add u acc) after_def (Opcode.uses op) in
+      if not (Iset.equal in_ live_in.(pc)) then begin
+        live_in.(pc) <- in_;
+        changed := true
+      end
+    done
+  done;
+  live_in
+
+(** Live registers at [pc], as a sorted list. *)
+let live_at (t : t) pc = Iset.elements t.(pc)

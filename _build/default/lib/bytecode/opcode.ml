@@ -1,0 +1,115 @@
+(** Register-based bytecode, the common representation all tiers start from.
+
+    Register file layout per function frame:
+    - register 0 holds [this] ([undefined] except in constructor calls);
+    - registers [1 .. nparams] hold the parameters;
+    - registers up to [nlocals-1] hold the declared [var]s;
+    - registers [nlocals .. nregs-1] are expression temporaries.
+
+    Constants are descriptors (not runtime values) so that a compiled
+    program can be instantiated against any heap. *)
+
+type reg = int
+
+type const =
+  | Cnum of float
+  | Cstr of string
+  | Cbool of bool
+  | Cnull
+  | Cundef
+  | Cfun of int  (** reference to a declared function *)
+
+type op =
+  | Load_const of reg * int  (** dst <- consts[i] *)
+  | Move of reg * reg  (** dst <- src *)
+  | Load_global of reg * int
+  | Store_global of int * reg
+  | Binop of Nomap_jsir.Ast.binop * reg * reg * reg  (** op dst a b *)
+  | Unop of Nomap_jsir.Ast.unop * reg * reg
+  | Get_prop of reg * reg * string  (** dst <- obj.name ; profiled site *)
+  | Set_prop of reg * string * reg  (** obj.name <- v ; profiled site *)
+  | Get_elem of reg * reg * reg  (** dst <- arr[idx] ; profiled site *)
+  | Set_elem of reg * reg * reg  (** arr[idx] <- v ; profiled site *)
+  | Get_length of reg * reg  (** dst <- x.length *)
+  | New_object of reg
+  | New_array of reg * reg  (** dst <- new Array(len) *)
+  | Call of reg * int * reg list  (** dst <- funcs[fid](args) *)
+  | Call_method of reg * reg * string * reg list  (** dynamic method dispatch *)
+  | Call_intrinsic of reg * Nomap_runtime.Intrinsics.t * reg list
+  | New_call of reg * int * reg list  (** dst <- new funcs[fid](args) *)
+  | Jump of int
+  | Jump_if_false of reg * int
+  | Jump_if_true of reg * int
+  | Return of reg option
+
+type func = {
+  fid : int;
+  name : string;
+  nparams : int;
+  nlocals : int;
+  nregs : int;
+  code : op array;
+  consts : const array;
+  (* Bytecode indices that are loop-back-edge targets, used by the tiers to
+     find loops and by profiling to count iterations. *)
+  loop_headers : int list;
+}
+
+type program = {
+  funcs : func array;
+  globals : string array;
+  main_fid : int;
+}
+
+let func_by_name prog name =
+  let found = ref None in
+  Array.iter (fun f -> if f.name = name then found := Some f) prog.funcs;
+  !found
+
+(** Registers read by an op. *)
+let uses = function
+  | Load_const _ | Load_global _ | New_object _ | Jump _ -> []
+  | Move (_, s) -> [ s ]
+  | Store_global (_, s) -> [ s ]
+  | Binop (_, _, a, b) -> [ a; b ]
+  | Unop (_, _, a) -> [ a ]
+  | Get_prop (_, o, _) -> [ o ]
+  | Set_prop (o, _, v) -> [ o; v ]
+  | Get_elem (_, a, i) -> [ a; i ]
+  | Set_elem (a, i, v) -> [ a; i; v ]
+  | Get_length (_, x) -> [ x ]
+  | New_array (_, n) -> [ n ]
+  | Call (_, _, args) -> args
+  | Call_method (_, recv, _, args) -> recv :: args
+  | Call_intrinsic (_, _, args) -> args
+  | New_call (_, _, args) -> args
+  | Jump_if_false (c, _) | Jump_if_true (c, _) -> [ c ]
+  | Return None -> []
+  | Return (Some r) -> [ r ]
+
+(** Register written by an op, if any. *)
+let def = function
+  | Load_const (d, _)
+  | Move (d, _)
+  | Load_global (d, _)
+  | Binop (_, d, _, _)
+  | Unop (_, d, _)
+  | Get_prop (d, _, _)
+  | Get_elem (d, _, _)
+  | Get_length (d, _)
+  | New_object d
+  | New_array (d, _)
+  | Call (d, _, _)
+  | Call_method (d, _, _, _)
+  | Call_intrinsic (d, _, _)
+  | New_call (d, _, _) -> Some d
+  | Store_global _ | Set_prop _ | Set_elem _ | Jump _ | Jump_if_false _ | Jump_if_true _
+  | Return _ -> None
+
+(** Successor pcs of the op at [pc]. *)
+let successors op pc =
+  match op with
+  | Jump t -> [ t ]
+  | Jump_if_false (_, t) | Jump_if_true (_, t) -> [ pc + 1; t ]
+  | Return _ -> []
+  | _ -> [ pc + 1 ]

@@ -1,0 +1,1 @@
+lib/cache/footprint.mli: Hashtbl

@@ -1,0 +1,58 @@
+(** Classic set-associative LRU cache simulator.
+
+    Used by the HTM validation experiment and available for memory-timing
+    studies; the transactional capacity logic itself uses {!Footprint},
+    which tracks distinct lines without needing replacement decisions. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  (* For each set, lines in LRU order (most recent first). *)
+  data : int list array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~ways ~line_bytes =
+  let sets = size_bytes / line_bytes / ways in
+  { sets; ways; line_bytes; data = Array.make sets []; hits = 0; misses = 0 }
+
+let l1d () = create ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64
+let l2 () = create ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:64
+
+let reset t =
+  Array.fill t.data 0 (Array.length t.data) [];
+  t.hits <- 0;
+  t.misses <- 0
+
+(** Access the line containing [addr]; returns [true] on hit.  The line is
+    installed/promoted to MRU either way. *)
+let access t addr =
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let entries = t.data.(set) in
+  let hit = List.mem line entries in
+  let without = List.filter (fun l -> l <> line) entries in
+  let trimmed =
+    if List.length without >= t.ways then
+      List.filteri (fun i _ -> i < t.ways - 1) without
+    else without
+  in
+  t.data.(set) <- line :: trimmed;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  hit
+
+(** Access a [bytes]-sized object; true iff all its lines hit. *)
+let access_range t ~addr ~bytes =
+  let first = addr / t.line_bytes in
+  let last = (addr + max 1 bytes - 1) / t.line_bytes in
+  let all_hit = ref true in
+  for line = first to last do
+    if not (access t (line * t.line_bytes)) then all_hit := false
+  done;
+  !all_hit
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total

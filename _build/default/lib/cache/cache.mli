@@ -1,0 +1,30 @@
+(** Set-associative LRU cache simulator (used by validation experiments;
+    the transactional capacity logic uses {!Footprint}). *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  data : int list array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : size_bytes:int -> ways:int -> line_bytes:int -> t
+
+(** Skylake L1D: 32KB, 8-way, 64B lines. *)
+val l1d : unit -> t
+
+(** Skylake L2: 256KB, 8-way, 64B lines. *)
+val l2 : unit -> t
+
+val reset : t -> unit
+
+(** Access the line containing [addr]; [true] on hit.  Installs/promotes to
+    MRU either way. *)
+val access : t -> int -> bool
+
+(** Access a [bytes]-sized object; [true] iff all its lines hit. *)
+val access_range : t -> addr:int -> bytes:int -> bool
+
+val miss_rate : t -> float

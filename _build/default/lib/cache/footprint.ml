@@ -1,0 +1,64 @@
+(** Transactional footprint tracking against a set-associative cache
+    geometry.
+
+    Hardware transactional memory keeps a transaction's speculative lines in
+    the cache; the transaction aborts when a set would need more ways than
+    the cache has.  This structure records the distinct cache lines touched,
+    bucketed by set index, and answers the two questions the paper's Table
+    IV and the RTM capacity model need: total footprint (KB) and the maximum
+    associativity any set requires. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  per_set : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (** set -> tags *)
+  mutable lines : int;
+  mutable overflowed : bool;
+}
+
+let create ~sets ~ways ~line_bytes =
+  { sets; ways; line_bytes; per_set = Hashtbl.create 64; lines = 0; overflowed = false }
+
+(** Geometry helpers for the paper's machine (64B lines).  [scale] divides
+    the set count: the workloads are scaled down from the originals, so the
+    experiments scale the modeled HTM capacity equally to keep the paper's
+    footprint/capacity ratios (see DESIGN.md). *)
+let l1d ?(scale = 1) () = create ~sets:(max 1 (32 * 1024 / 64 / 8 / scale)) ~ways:8 ~line_bytes:64
+let l2 ?(scale = 1) () = create ~sets:(max 1 (256 * 1024 / 64 / 8 / scale)) ~ways:8 ~line_bytes:64
+
+let clear t =
+  Hashtbl.reset t.per_set;
+  t.lines <- 0;
+  t.overflowed <- false
+
+(** Record an access of [bytes] bytes at [addr]; returns [true] if the
+    footprint still fits (every touched set needs <= ways lines). *)
+let touch t ~addr ~bytes =
+  let first = addr / t.line_bytes in
+  let last = (addr + max 1 bytes - 1) / t.line_bytes in
+  for line = first to last do
+    let set = line mod t.sets in
+    let tags =
+      match Hashtbl.find_opt t.per_set set with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace t.per_set set tbl;
+        tbl
+    in
+    if not (Hashtbl.mem tags line) then begin
+      Hashtbl.replace tags line ();
+      t.lines <- t.lines + 1;
+      if Hashtbl.length tags > t.ways then t.overflowed <- true
+    end
+  done;
+  not t.overflowed
+
+let bytes t = t.lines * t.line_bytes
+let kb t = float_of_int (bytes t) /. 1024.0
+
+(** Maximum number of ways any set needs for this footprint. *)
+let max_ways t = Hashtbl.fold (fun _ tags acc -> max acc (Hashtbl.length tags)) t.per_set 0
+
+let fits t = not t.overflowed

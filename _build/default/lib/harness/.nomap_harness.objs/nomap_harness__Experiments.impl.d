@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Float Hashtbl List Nomap_lir Nomap_machine Nomap_nomap Nomap_opt Nomap_runtime Nomap_util Nomap_vm Nomap_workloads Printf Runner String

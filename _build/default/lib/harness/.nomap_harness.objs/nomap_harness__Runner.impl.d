@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Hashtbl Nomap_bytecode Nomap_interp Nomap_jsir Nomap_machine Nomap_nomap Nomap_runtime Nomap_vm Nomap_workloads

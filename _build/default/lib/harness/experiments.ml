@@ -1,0 +1,549 @@
+(** Experiment drivers: one per table/figure in the paper.  Each returns the
+    rendered table text (and prints it), so EXPERIMENTS.md and the bench
+    harness share output. *)
+
+module Registry = Nomap_workloads.Registry
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Timing = Nomap_machine.Timing
+module Vm = Nomap_vm.Vm
+module Table = Nomap_util.Table
+module Stats = Nomap_util.Stats
+module L = Nomap_lir.Lir
+module Value = Nomap_runtime.Value
+
+let f2 = Table.fmt_f ~digits:2
+let f1 = Table.fmt_f ~digits:1
+
+let suite_avg_s suite = List.filter (fun b -> b.Registry.in_avg_s) (Registry.of_suite suite)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: Shootout execution time across language implementations,
+   normalized to C. *)
+
+let fig1 () =
+  let langs =
+    [ Runner.Lang_c; Runner.Lang_js; Runner.Lang_python; Runner.Lang_php; Runner.Lang_ruby ]
+  in
+  let t =
+    Table.create ~title:"Figure 1: Shootout execution time normalized to C (lower is better)"
+      ~header:("benchmark" :: List.map Runner.language_name langs)
+      ()
+  in
+  let ratios = List.map (fun _ -> ref []) langs in
+  List.iter
+    (fun b ->
+      let c_cycles = (Runner.run_language ~lang:Runner.Lang_c b).Runner.cycles in
+      let row =
+        List.map2
+          (fun lang acc ->
+            let m = Runner.run_language ~lang b in
+            let r = m.Runner.cycles /. c_cycles in
+            acc := r :: !acc;
+            f2 r)
+          langs ratios
+      in
+      Table.add_row t (b.Registry.name :: row))
+    (Registry.of_suite Registry.Shootout);
+  Table.add_row t
+    ("geomean" :: List.map (fun acc -> f2 (Stats.geomean !acc)) ratios);
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Table I: speedup of each tier over the interpreter. *)
+
+let table1 () =
+  let t =
+    Table.create ~title:"Table I: Speedup of JavaScriptCore tiers over interpreter"
+      ~header:
+        [ "Highest tier"; "SunSpider AvgS"; "SunSpider AvgT"; "Kraken AvgS"; "Kraken AvgT" ]
+      ()
+  in
+  let speedups cap suite members =
+    List.map
+      (fun b ->
+        let interp = Runner.run_cap ~cap:Vm.Cap_interp b in
+        let m = Runner.run_cap ~cap b in
+        interp.Runner.cycles /. m.Runner.cycles)
+      (List.filter members (Registry.of_suite suite))
+  in
+  List.iter
+    (fun cap ->
+      let ss_s = speedups cap Registry.Sunspider (fun b -> b.Registry.in_avg_s) in
+      let ss_t = speedups cap Registry.Sunspider (fun _ -> true) in
+      let k_s = speedups cap Registry.Kraken (fun b -> b.Registry.in_avg_s) in
+      let k_t = speedups cap Registry.Kraken (fun _ -> true) in
+      Table.add_row t
+        [
+          Vm.cap_name cap;
+          Table.fmt_x (Stats.geomean ss_s);
+          Table.fmt_x (Stats.geomean ss_t);
+          Table.fmt_x (Stats.geomean k_s);
+          Table.fmt_x (Stats.geomean k_t);
+        ])
+    [ Vm.Cap_baseline; Vm.Cap_dfg; Vm.Cap_ftl ];
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: SMP-guarding checks per 100 dynamic instructions. *)
+
+let check_cols = [ L.Bounds; L.Overflow; L.Type; L.Property ]
+
+let fig3 suite =
+  let figno = match suite with Registry.Sunspider -> "3(a)" | _ -> "3(b)" in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Figure %s: SMP-guarding checks per 100 instructions (%s, FTL/Base)"
+           figno (Registry.suite_name suite))
+      ~header:[ "benchmark"; "Bounds"; "Overflow"; "Type"; "Property"; "Other"; "Total" ]
+      ()
+  in
+  let per_bench b =
+    let m = Runner.run_arch ~arch:Config.Base b in
+    let c = m.Runner.counters in
+    let col k = Counters.checks_per_100 c k in
+    let other = col L.Hole +. col L.Path in
+    let cols = List.map col check_cols @ [ other ] in
+    (cols, List.fold_left ( +. ) 0.0 cols)
+  in
+  let add_bench b =
+    let cols, total = per_bench b in
+    Table.add_row t ((b.Registry.id :: List.map f1 cols) @ [ f1 total ])
+  in
+  List.iter add_bench (suite_avg_s suite);
+  let avg_row label benches =
+    let data = List.map per_bench benches in
+    let n = float_of_int (List.length data) in
+    let sums =
+      List.fold_left
+        (fun acc (cols, _) -> List.map2 ( +. ) acc cols)
+        [ 0.0; 0.0; 0.0; 0.0; 0.0 ] data
+    in
+    let avgs = List.map (fun x -> x /. n) sums in
+    Table.add_row t ((label :: List.map f1 avgs) @ [ f1 (List.fold_left ( +. ) 0.0 avgs) ])
+  in
+  avg_row "AvgS" (suite_avg_s suite);
+  avg_row "AvgT" (Registry.of_suite suite);
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* §III-A2: deoptimization frequency in steady state. *)
+
+let deopt_freq_cache : (int, string) Hashtbl.t = Hashtbl.create 2
+
+let deopt_freq_uncached ~iterations () =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Deopt frequency (paper III-A2): %d iterations/benchmark, Base, full tier"
+           iterations)
+      ~header:[ "suite"; "FTL calls"; "deopts"; "deopts after iter 50" ]
+      ()
+  in
+  let run_suite suite =
+    let ftl = ref 0 and deopts = ref 0 and late = ref 0 in
+    List.iter
+      (fun b ->
+        let prog = Registry.compile b in
+        let vm =
+          Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base)
+            ~tier_cap:Vm.Cap_ftl prog
+        in
+        ignore (Vm.run_main vm);
+        let deopts_at_50 = ref 0 in
+        for i = 1 to iterations do
+          ignore (Vm.call_function vm "benchmark" []);
+          if i = 50 then deopts_at_50 := vm.Vm.counters.Counters.deopts
+        done;
+        ftl := !ftl + vm.Vm.counters.Counters.ftl_calls;
+        deopts := !deopts + vm.Vm.counters.Counters.deopts;
+        late := !late + (vm.Vm.counters.Counters.deopts - !deopts_at_50))
+      (Registry.of_suite suite);
+    Table.add_row t
+      [ Registry.suite_name suite; string_of_int !ftl; string_of_int !deopts;
+        string_of_int !late ]
+  in
+  run_suite Registry.Sunspider;
+  run_suite Registry.Kraken;
+  let s = Table.render t in
+  Hashtbl.replace deopt_freq_cache iterations s;
+  print_string s;
+  s
+
+let deopt_freq ?(iterations = 300) () =
+  match Hashtbl.find_opt deopt_freq_cache iterations with
+  | Some s ->
+    print_string s;
+    s
+  | None -> deopt_freq_uncached ~iterations ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8/9: dynamic instruction count, normalized to Base, broken into
+   NoFTL / NoTM / TMUnopt / TMOpt. *)
+
+let archs = Config.all
+
+let fig8_9 suite =
+  let figno = match suite with Registry.Sunspider -> "8" | _ -> "9" in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure %s: normalized instruction count (%s); segments NoFTL/NoTM/TMUnopt/TMOpt"
+           figno (Registry.suite_name suite))
+      ~header:[ "benchmark"; "arch"; "norm"; "NoFTL"; "NoTM"; "TMUnopt"; "TMOpt" ]
+      ()
+  in
+  let norm_of b arch =
+    let base = Runner.run_arch ~arch:Config.Base b in
+    let m = Runner.run_arch ~arch b in
+    let bt = float_of_int (Counters.total_instrs base.Runner.counters) in
+    let mt = float_of_int (Counters.total_instrs m.Runner.counters) in
+    let norm = mt /. bt in
+    let seg cat = Counters.category_fraction m.Runner.counters cat *. norm in
+    (norm, List.map seg Counters.categories)
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun arch ->
+          let norm, segs = norm_of b arch in
+          Table.add_row t
+            ((b.Registry.id :: Config.name arch :: f2 norm :: List.map f2 segs)))
+        archs)
+    (suite_avg_s suite);
+  let avg_rows label benches =
+    List.iter
+      (fun arch ->
+        let norms = List.map (fun b -> fst (norm_of b arch)) benches in
+        let avg = Stats.mean norms in
+        let seg_avgs =
+          List.map
+            (fun cat ->
+              Stats.mean
+                (List.map
+                   (fun b ->
+                     let norm, _ = norm_of b arch in
+                     let m = Runner.run_arch ~arch b in
+                     Counters.category_fraction m.Runner.counters cat *. norm)
+                   benches))
+            Counters.categories
+        in
+        Table.add_row t
+          ((label :: Config.name arch :: f2 avg :: List.map f2 seg_avgs)))
+      archs
+  in
+  avg_rows "AvgS" (suite_avg_s suite);
+  avg_rows "AvgT" (Registry.of_suite suite);
+  let s = Table.render t in
+  print_string s;
+  s
+
+(** Headline numbers: percent instruction reduction vs Base per arch. *)
+let instr_reduction suite ~members =
+  let benches = List.filter members (Registry.of_suite suite) in
+  List.map
+    (fun arch ->
+      let reductions =
+        List.map
+          (fun b ->
+            let base = Runner.run_arch ~arch:Config.Base b in
+            let m = Runner.run_arch ~arch b in
+            Stats.percent_reduction
+              ~base:(float_of_int (Counters.total_instrs base.Runner.counters))
+              (float_of_int (Counters.total_instrs m.Runner.counters)))
+          benches
+      in
+      (arch, Stats.mean reductions))
+    archs
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10/11: execution time normalized to Base, TMTime/NonTMTime. *)
+
+let fig10_11 suite =
+  let figno = match suite with Registry.Sunspider -> "10" | _ -> "11" in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Figure %s: normalized execution time (%s); TMTime vs NonTMTime"
+           figno (Registry.suite_name suite))
+      ~header:[ "benchmark"; "arch"; "norm"; "TMTime"; "NonTMTime" ]
+      ()
+  in
+  let norm_of b arch =
+    let base = Runner.run_arch ~arch:Config.Base b in
+    let m = Runner.run_arch ~arch b in
+    let norm = m.Runner.cycles /. base.Runner.cycles in
+    let tm_frac =
+      if m.Runner.cycles > 0.0 then m.Runner.counters.Counters.tx_cycles /. m.Runner.cycles
+      else 0.0
+    in
+    (norm, norm *. tm_frac, norm *. (1.0 -. tm_frac))
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun arch ->
+          let norm, tm, nontm = norm_of b arch in
+          Table.add_row t [ b.Registry.id; Config.name arch; f2 norm; f2 tm; f2 nontm ])
+        archs)
+    (suite_avg_s suite);
+  let avg_rows label benches =
+    List.iter
+      (fun arch ->
+        let data = List.map (fun b -> norm_of b arch) benches in
+        let avg3 f = Stats.mean (List.map f data) in
+        Table.add_row t
+          [
+            label; Config.name arch;
+            f2 (avg3 (fun (n, _, _) -> n));
+            f2 (avg3 (fun (_, tm, _) -> tm));
+            f2 (avg3 (fun (_, _, nt) -> nt));
+          ])
+      archs
+  in
+  avg_rows "AvgS" (suite_avg_s suite);
+  avg_rows "AvgT" (Registry.of_suite suite);
+  let s = Table.render t in
+  print_string s;
+  s
+
+let time_reduction suite ~members =
+  let benches = List.filter members (Registry.of_suite suite) in
+  List.map
+    (fun arch ->
+      let reductions =
+        List.map
+          (fun b ->
+            let base = Runner.run_arch ~arch:Config.Base b in
+            let m = Runner.run_arch ~arch b in
+            Stats.percent_reduction ~base:base.Runner.cycles m.Runner.cycles)
+          benches
+      in
+      (arch, Stats.mean reductions))
+    archs
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: transaction characterization. *)
+
+let table4 () =
+  let t =
+    Table.create
+      ~title:"Table IV: transaction write footprint under NoMap (lightweight HTM)"
+      ~header:
+        [ "suite"; "avg write KB"; "max write KB"; "avg set ways"; "max set ways";
+          "tx commits"; "tx aborts" ]
+      ()
+  in
+  let row suite =
+    let benches = suite_avg_s suite in
+    let ms = List.map (fun b -> Runner.run_arch ~arch:Config.NoMap_full b) benches in
+    let per_tx_avgs =
+      List.filter_map
+        (fun m ->
+          let c = m.Runner.counters in
+          if c.Counters.tx_samples > 0 then
+            Some (c.Counters.tx_write_kb_sum /. float_of_int c.Counters.tx_samples)
+          else None)
+        ms
+    in
+    let max_kb =
+      List.fold_left (fun acc m -> Float.max acc m.Runner.counters.Counters.tx_write_kb_max) 0.0 ms
+    in
+    let assoc_avgs =
+      List.filter_map
+        (fun m ->
+          let c = m.Runner.counters in
+          if c.Counters.tx_samples > 0 then
+            Some (c.Counters.tx_assoc_sum /. float_of_int c.Counters.tx_samples)
+          else None)
+        ms
+    in
+    let max_assoc =
+      List.fold_left (fun acc m -> max acc m.Runner.counters.Counters.tx_assoc_max) 0 ms
+    in
+    let commits = List.fold_left (fun acc m -> acc + m.Runner.counters.Counters.tx_commits) 0 ms in
+    let aborts = List.fold_left (fun acc m -> acc + m.Runner.counters.Counters.tx_aborts) 0 ms in
+    Table.add_row t
+      [
+        Registry.suite_name suite ^ " AvgS";
+        f2 (Stats.mean per_tx_avgs);
+        f2 max_kb;
+        f1 (Stats.mean assoc_avgs);
+        string_of_int max_assoc;
+        string_of_int commits;
+        string_of_int aborts;
+      ]
+  in
+  row Registry.Sunspider;
+  row Registry.Kraken;
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Appendix: lightweight-HTM overhead validation.  Run a small
+   transaction-dense kernel and report the modeled per-transaction cost,
+   checking it against the constants the paper assumes. *)
+
+let validate_htm () =
+  let b =
+    {
+      Registry.id = "VAL";
+      name = "htm-validation";
+      suite = Registry.Sunspider;
+      source =
+        {js|
+function bench_inner(a) {
+  var s = 0;
+  for (var i = 0; i < a.length; i++) { s += a[i]; }
+  return s;
+}
+function benchmark() {
+  var a = [1, 2, 3, 4, 5, 6, 7, 8];
+  var t = 0;
+  for (var k = 0; k < 20; k++) { t += bench_inner(a); }
+  return t;
+}
+|js};
+      in_avg_s = false;
+    }
+  in
+  (* Bypass the registry cache key space by registering under a unique id. *)
+  let rot = Runner.run_arch ~arch:Config.NoMap_full b in
+  let rtm = Runner.run_arch ~arch:Config.NoMap_RTM b in
+  let t =
+    Table.create ~title:"Appendix: modeled HTM overheads (per committed transaction)"
+      ~header:[ "platform"; "tx commits"; "modeled begin+end cycles"; "aborts" ]
+      ()
+  in
+  Table.add_row t
+    [
+      "lightweight (ROT)";
+      string_of_int rot.Runner.counters.Counters.tx_commits;
+      f1 (Timing.xbegin_cycles +. Timing.xend_rot_cycles);
+      string_of_int rot.Runner.counters.Counters.tx_aborts;
+    ];
+  Table.add_row t
+    [
+      "heavyweight (RTM)";
+      string_of_int rtm.Runner.counters.Counters.tx_commits;
+      f1 (Timing.xbegin_cycles +. Timing.xend_rtm_cycles);
+      string_of_int rtm.Runner.counters.Counters.tx_aborts;
+    ];
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: which optimizer pass contributes how much of NoMap's win.
+   Each variant disables one pass in the FTL pipeline (in both Base and
+   NoMap runs, so the delta isolates what the transaction conversion lets
+   that pass do). *)
+
+let ablation () =
+  let open Nomap_opt.Pipeline in
+  let variants =
+    [
+      ("full", all_on);
+      ("-licm", { all_on with licm = false });
+      ("-promote", { all_on with promote = false });
+      ("-gvn", { all_on with gvn = false });
+      ("-elide", { all_on with elide = false });
+      ("-typeprop", { all_on with typeprop = false });
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Ablation: NoMap instruction reduction vs Base (AvgS) with one optimizer pass disabled"
+      ~header:[ "pipeline"; "SunSpider AvgS"; "Kraken AvgS" ]
+      ()
+  in
+  let reduction suite (label, knobs) =
+    let benches = suite_avg_s suite in
+    Stats.mean
+      (List.map
+         (fun b ->
+           let base = Runner.run_ablation ~arch:Config.Base ~knobs ~label b in
+           let m = Runner.run_ablation ~arch:Config.NoMap_full ~knobs ~label b in
+           Stats.percent_reduction
+             ~base:(float_of_int (Counters.total_instrs base.Runner.counters))
+             (float_of_int (Counters.total_instrs m.Runner.counters)))
+         benches)
+  in
+  List.iter
+    (fun v ->
+      Table.add_row t
+        [
+          fst v;
+          Table.fmt_pct ~digits:1 (reduction Registry.Sunspider v);
+          Table.fmt_pct ~digits:1 (reduction Registry.Kraken v);
+        ])
+    variants;
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let headline () =
+  let t =
+    Table.create
+      ~title:"Headline results: average reduction vs Base (paper: SunSpider 14.2%/16.7% instr/time AvgS; Kraken 11.5%/8.9%)"
+      ~header:[ "metric"; "arch"; "SunSpider AvgS"; "SunSpider AvgT"; "Kraken AvgS"; "Kraken AvgT" ]
+      ()
+  in
+  let pct = Table.fmt_pct ~digits:1 in
+  let add metric reductions_of =
+    List.iter
+      (fun arch ->
+        if arch <> Config.Base then begin
+          let get suite members =
+            List.assoc arch (reductions_of suite ~members)
+          in
+          Table.add_row t
+            [
+              metric;
+              Config.name arch;
+              pct (get Registry.Sunspider (fun b -> b.Registry.in_avg_s));
+              pct (get Registry.Sunspider (fun _ -> true));
+              pct (get Registry.Kraken (fun b -> b.Registry.in_avg_s));
+              pct (get Registry.Kraken (fun _ -> true));
+            ]
+        end)
+      archs
+  in
+  add "instructions" instr_reduction;
+  add "time" time_reduction;
+  let s = Table.render t in
+  print_string s;
+  s
+
+let run_all () =
+  let outputs =
+    [
+      fig1 ();
+      table1 ();
+      fig3 Registry.Sunspider;
+      fig3 Registry.Kraken;
+      deopt_freq ();
+      fig8_9 Registry.Sunspider;
+      fig8_9 Registry.Kraken;
+      fig10_11 Registry.Sunspider;
+      fig10_11 Registry.Kraken;
+      table4 ();
+      validate_htm ();
+      ablation ();
+      headline ();
+    ]
+  in
+  String.concat "\n" outputs

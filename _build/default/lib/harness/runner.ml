@@ -1,0 +1,261 @@
+(** Benchmark runner: warm a benchmark to steady state under a given
+    configuration, measure, and verify the checksum against the reference
+    interpreter.  Results are memoized so the experiment drivers can share
+    runs (Figure 3 and Figures 8-11 all need the Base runs, for example). *)
+
+module Registry = Nomap_workloads.Registry
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Timing = Nomap_machine.Timing
+module Value = Nomap_runtime.Value
+module Interp = Nomap_interp.Interp
+module Instance = Nomap_interp.Instance
+
+let default_warmup = 35
+let default_measure = 10
+
+type measurement = {
+  bench : Registry.benchmark;
+  label : string;
+  counters : Counters.t;  (** steady-state metrics over the measured calls *)
+  cycles : float;  (** steady-state simulated cycles *)
+  checksum : string;
+  deopts_total : int;  (** including warmup (for the §III-A2 statistic) *)
+  ftl_calls_total : int;
+  tx_demotions : int;
+}
+
+exception Checksum_mismatch of string * string * string
+
+let cache : (string, measurement) Hashtbl.t = Hashtbl.create 128
+
+let memo key compute =
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+    let m = compute () in
+    Hashtbl.add cache key m;
+    m
+
+let check bench label got =
+  let expected = Registry.reference_result bench in
+  if got <> expected then
+    raise (Checksum_mismatch (bench.Registry.id ^ "/" ^ label, expected, got))
+
+(** Run [bench] under architecture [arch] at full tier; returns steady-state
+    metrics. *)
+let run_arch ?(warmup = default_warmup) ?(measure = default_measure) ~arch bench =
+  let label = Config.name arch in
+  memo
+    (bench.Registry.id ^ "#" ^ label)
+    (fun () ->
+      let prog = Registry.compile bench in
+      let vm =
+        Vm.create ~fuel:4_000_000_000 ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
+      in
+      ignore (Vm.run_main vm);
+      for _ = 1 to warmup do
+        ignore (Vm.call_function vm "benchmark" [])
+      done;
+      let before = Vm.snapshot vm in
+      let result = ref Value.Undef in
+      for _ = 1 to measure do
+        result := Vm.call_function vm "benchmark" []
+      done;
+      let counters = Counters.diff ~now:vm.Vm.counters ~before in
+      let checksum = Value.to_js_string !result in
+      check bench label checksum;
+      {
+        bench;
+        label;
+        counters;
+        cycles = counters.Counters.cycles;
+        checksum;
+        deopts_total = vm.Vm.counters.Counters.deopts;
+        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
+        tx_demotions = vm.Vm.tx_demotions;
+      })
+
+(** Run [bench] under [arch] with selected optimizer passes disabled
+    (ablation studies). *)
+let run_ablation ?(warmup = default_warmup) ?(measure = default_measure) ~arch ~knobs ~label
+    bench =
+  memo
+    (bench.Registry.id ^ "#ablate:" ^ Config.name arch ^ ":" ^ label)
+    (fun () ->
+      let prog = Registry.compile bench in
+      let vm =
+        Vm.create ~fuel:4_000_000_000 ~opt_knobs:knobs ~config:(Config.create arch)
+          ~tier_cap:Vm.Cap_ftl prog
+      in
+      ignore (Vm.run_main vm);
+      for _ = 1 to warmup do
+        ignore (Vm.call_function vm "benchmark" [])
+      done;
+      let before = Vm.snapshot vm in
+      let result = ref Value.Undef in
+      for _ = 1 to measure do
+        result := Vm.call_function vm "benchmark" []
+      done;
+      let counters = Counters.diff ~now:vm.Vm.counters ~before in
+      let checksum = Value.to_js_string !result in
+      check bench (Config.name arch ^ "/" ^ label) checksum;
+      {
+        bench;
+        label;
+        counters;
+        cycles = counters.Counters.cycles;
+        checksum;
+        deopts_total = vm.Vm.counters.Counters.deopts;
+        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
+        tx_demotions = vm.Vm.tx_demotions;
+      })
+
+(** Run [bench] with a tier cap (Table I), Base architecture. *)
+let run_cap ?(warmup = default_warmup) ?(measure = default_measure) ~cap bench =
+  let label = "cap:" ^ Vm.cap_name cap in
+  memo
+    (bench.Registry.id ^ "#" ^ label)
+    (fun () ->
+      let prog = Registry.compile bench in
+      let vm =
+        Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:cap prog
+      in
+      ignore (Vm.run_main vm);
+      for _ = 1 to warmup do
+        ignore (Vm.call_function vm "benchmark" [])
+      done;
+      let before = Vm.snapshot vm in
+      let result = ref Value.Undef in
+      for _ = 1 to measure do
+        result := Vm.call_function vm "benchmark" []
+      done;
+      let counters = Counters.diff ~now:vm.Vm.counters ~before in
+      let checksum = Value.to_js_string !result in
+      check bench label checksum;
+      {
+        bench;
+        label;
+        counters;
+        cycles = counters.Counters.cycles;
+        checksum;
+        deopts_total = vm.Vm.counters.Counters.deopts;
+        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
+        tx_demotions = vm.Vm.tx_demotions;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 language stand-ins *)
+
+type language = Lang_c | Lang_js | Lang_python | Lang_php | Lang_ruby
+
+let language_name = function
+  | Lang_c -> "C"
+  | Lang_js -> "JavaScript"
+  | Lang_python -> "Python"
+  | Lang_php -> "PHP"
+  | Lang_ruby -> "Ruby"
+
+(* Bytecode-engine based languages (C = native cost model, Python =
+   bytecode interpreter with boxed values and no inline caches). *)
+let run_bytecode_lang ~mode ~cpi ~label bench ~warmup ~measure =
+  memo
+    (bench.Registry.id ^ "#lang:" ^ label)
+    (fun () ->
+      let prog = Registry.compile bench in
+      let inst = Instance.create ~fuel:4_000_000_000 prog in
+      let count = ref 0 in
+      let rec env =
+        {
+          Interp.instance = inst;
+          mode;
+          profile = None;
+          charge = (fun n -> count := !count + n);
+          call = (fun ~fid ~this ~args -> Interp.call_function env ~fid ~this ~args);
+        }
+      in
+      ignore
+        (Interp.call_function env ~fid:prog.Nomap_bytecode.Opcode.main_fid ~this:Value.Undef
+           ~args:[]);
+      let bench_fid =
+        match Nomap_bytecode.Opcode.func_by_name prog "benchmark" with
+        | Some f -> f.Nomap_bytecode.Opcode.fid
+        | None -> invalid_arg "no benchmark()"
+      in
+      for _ = 1 to warmup do
+        ignore (Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[])
+      done;
+      let before = !count in
+      let result = ref Value.Undef in
+      for _ = 1 to measure do
+        result := Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[]
+      done;
+      let instrs = !count - before in
+      let counters = Counters.create () in
+      Counters.add_instrs counters Counters.No_ftl instrs;
+      let checksum = Value.to_js_string !result in
+      check bench label checksum;
+      {
+        bench;
+        label;
+        counters;
+        cycles = float_of_int instrs *. cpi;
+        checksum;
+        deopts_total = 0;
+        ftl_calls_total = 0;
+        tx_demotions = 0;
+      })
+
+let run_ast_lang ~flavour ~label bench ~warmup ~measure =
+  memo
+    (bench.Registry.id ^ "#lang:" ^ label)
+    (fun () ->
+      let ast = Nomap_jsir.Parser.parse_program_exn ~name:bench.Registry.name bench.Registry.source in
+      let count = ref 0 in
+      let env =
+        Nomap_interp.Ast_interp.create ~fuel:4_000_000_000 ~flavour
+          ~charge:(fun n -> count := !count + n)
+          ast
+      in
+      Nomap_interp.Ast_interp.run_program env ast;
+      for _ = 1 to warmup do
+        ignore (Nomap_interp.Ast_interp.call env "benchmark" [])
+      done;
+      let before = !count in
+      let result = ref Value.Undef in
+      for _ = 1 to measure do
+        result := Nomap_interp.Ast_interp.call env "benchmark" []
+      done;
+      let instrs = !count - before in
+      let counters = Counters.create () in
+      Counters.add_instrs counters Counters.No_ftl instrs;
+      let checksum = Value.to_js_string !result in
+      check bench label checksum;
+      {
+        bench;
+        label;
+        counters;
+        cycles = float_of_int instrs *. Timing.cpi_runtime;
+        checksum;
+        deopts_total = 0;
+        ftl_calls_total = 0;
+        tx_demotions = 0;
+      })
+
+let run_language ?(warmup = 5) ?(measure = 3) ~lang bench =
+  match lang with
+  | Lang_c ->
+    run_bytecode_lang ~mode:Interp.Native_tier ~cpi:Timing.cpi_ftl ~label:"C" bench ~warmup
+      ~measure
+  | Lang_js ->
+    (* Our JIT at full tier, unmodified JavaScriptCore analogue. *)
+    run_arch ~arch:Config.Base bench
+  | Lang_python ->
+    run_bytecode_lang ~mode:Interp.Interp_tier ~cpi:Timing.cpi_runtime ~label:"Python" bench
+      ~warmup ~measure
+  | Lang_php ->
+    run_ast_lang ~flavour:Nomap_interp.Ast_interp.Php_like ~label:"PHP" bench ~warmup ~measure
+  | Lang_ruby ->
+    run_ast_lang ~flavour:Nomap_interp.Ast_interp.Ruby_like ~label:"Ruby" bench ~warmup
+      ~measure

@@ -1,0 +1,1 @@
+lib/htm/htm.ml: List Nomap_cache Nomap_lir Nomap_runtime

@@ -1,0 +1,1 @@
+lib/htm/htm.mli: Nomap_cache Nomap_lir Nomap_runtime

@@ -1,0 +1,127 @@
+(** Hardware transactional memory model.
+
+    Two hardware modes from the paper plus a ghost mode for accounting:
+
+    - [Rot] — IBM POWER8 Rollback-Only Transaction mode (paper §V-A): only
+      the write footprint is buffered (in L2: 256KB, 8-way); commit
+      flash-clears SW bits (5 cycles); XBegin costs a fence.  There is no
+      read-set tracking because single-threaded JavaScript needs no conflict
+      detection.
+    - [Rtm] — Intel Restricted Transactional Memory (paper §VI-B): writes
+      must fit L1D (32KB, 8-way), reads must fit L2, commit stalls ~13
+      cycles, transactional reads are ~20% slower, and there is no SOF.
+    - [Ghost] — no transactional semantics at all; used by the Base
+      configuration so instruction accounting can still classify code by
+      transaction region (paper Figures 8-11 break Base down the same way).
+
+    Rollback is an undo log captured via the heap's store hook: the paper's
+    hardware buffers speculative lines in the cache; we restore mutated
+    locations instead, which is observationally identical for a
+    single-threaded run. *)
+
+module Heap = Nomap_runtime.Heap
+module Value = Nomap_runtime.Value
+module Footprint = Nomap_cache.Footprint
+
+type mode = Rot | Rtm | Ghost
+
+type abort_reason =
+  | Check_failed of Nomap_lir.Lir.check_kind
+  | Deopt_in_tx  (** irrevocable event: a lower-tier deopt fired inside a tx *)
+  | Capacity_write
+  | Capacity_read
+  | Sof_overflow
+  | Irrevocable  (** I/O attempted inside a transaction (paper V-A) *)
+  | Watchdog  (** runaway transaction cut off by the simulator *)
+
+let abort_reason_name = function
+  | Check_failed k -> "check:" ^ Nomap_lir.Lir.check_kind_name k
+  | Deopt_in_tx -> "deopt-in-tx"
+  | Capacity_write -> "capacity-write"
+  | Capacity_read -> "capacity-read"
+  | Sof_overflow -> "sof-overflow"
+  | Irrevocable -> "irrevocable-io"
+  | Watchdog -> "watchdog"
+
+exception Abort of abort_reason
+
+type tx = {
+  mode : mode;
+  heap : Heap.t;
+  saved_load : int -> int -> unit;
+  saved_store : int -> int -> (unit -> unit) -> unit;
+  saved_io : unit -> unit;
+  mutable undo : (unit -> unit) list;  (** newest first *)
+  write_fp : Footprint.t;
+  read_fp : Footprint.t option;  (** RTM only *)
+  mutable sof : bool;  (** sticky overflow flag (ROT + SOF hardware) *)
+  mutable nesting : int;  (** flattened nesting depth *)
+  snapshot : (int * Value.t) list;  (** baseline register state at XBegin *)
+  resume_pc : int;  (** where Baseline restarts the region *)
+  owner_frame : int;  (** machine frame that executed Tx_begin *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable instr_count : int;
+}
+
+(** Begin a transaction: snapshot is the architectural-register state the
+    hardware checkpoints at XBegin. *)
+let begin_tx ?(capacity_scale = 1) heap ~mode ~snapshot ~resume_pc ~owner_frame =
+  let tx =
+    {
+      mode;
+      heap;
+      saved_load = heap.Heap.hooks.load;
+      saved_store = heap.Heap.hooks.store;
+      saved_io = heap.Heap.hooks.io;
+      undo = [];
+      write_fp =
+        (match mode with
+        | Rtm -> Footprint.l1d ~scale:capacity_scale ()
+        | _ -> Footprint.l2 ~scale:capacity_scale ());
+      read_fp =
+        (match mode with Rtm -> Some (Footprint.l2 ~scale:capacity_scale ()) | _ -> None);
+      sof = false;
+      nesting = 1;
+      snapshot;
+      resume_pc;
+      owner_frame;
+      reads = 0;
+      writes = 0;
+      instr_count = 0;
+    }
+  in
+  (match mode with
+  | Ghost -> ()
+  | Rot | Rtm ->
+    heap.Heap.hooks.store <-
+      (fun addr bytes undo ->
+        tx.undo <- undo :: tx.undo;
+        tx.writes <- tx.writes + 1;
+        if not (Footprint.touch tx.write_fp ~addr ~bytes) then raise (Abort Capacity_write));
+    heap.Heap.hooks.load <-
+      (fun addr bytes ->
+        tx.reads <- tx.reads + 1;
+        match tx.read_fp with
+        | Some fp -> if not (Footprint.touch fp ~addr ~bytes) then raise (Abort Capacity_read)
+        | None -> ());
+    heap.Heap.hooks.io <- (fun () -> raise (Abort Irrevocable)));
+  tx
+
+let restore_hooks tx =
+  tx.heap.Heap.hooks.load <- tx.saved_load;
+  tx.heap.Heap.hooks.store <- tx.saved_store;
+  tx.heap.Heap.hooks.io <- tx.saved_io
+
+(** Commit: speculative writes become permanent.  (The 5-cycle SW-bit
+    flash-clear / 13-cycle RTM drain is charged by the timing model, not
+    here.)  Returns the final write footprint for Table IV. *)
+let commit tx =
+  restore_hooks tx;
+  tx.undo <- []
+
+(** Abort: undo every speculative write, newest first, and drop the tx. *)
+let rollback tx =
+  restore_hooks tx;
+  List.iter (fun undo -> undo ()) tx.undo;
+  tx.undo <- []

@@ -1,0 +1,69 @@
+(** Hardware transactional memory model (paper §V-A, §VI-A/B).
+
+    - [Rot]: IBM POWER8 Rollback-Only Transaction mode — only the write
+      footprint is buffered (L2 geometry); no read-set tracking
+      (single-threaded JavaScript needs no conflict detection).
+    - [Rtm]: Intel Restricted Transactional Memory — writes must fit L1D,
+      reads must fit L2, and there is no Sticky Overflow Flag.
+    - [Ghost]: no transactional semantics; used by the Base configuration
+      purely for instruction-category accounting.
+
+    Rollback is an undo log captured through the heap's store hook: the
+    real hardware buffers speculative lines in the cache; restoring mutated
+    locations is observationally identical for a single-threaded run. *)
+
+module Footprint = Nomap_cache.Footprint
+
+type mode = Rot | Rtm | Ghost
+
+type abort_reason =
+  | Check_failed of Nomap_lir.Lir.check_kind
+  | Deopt_in_tx  (** irrevocable: a lower-tier deopt fired inside a tx *)
+  | Capacity_write
+  | Capacity_read
+  | Sof_overflow
+  | Irrevocable  (** I/O attempted inside a transaction (paper V-A) *)
+  | Watchdog  (** runaway transaction cut off by the simulator *)
+
+val abort_reason_name : abort_reason -> string
+
+(** Raised by the capacity hooks and by the machine's check failures inside
+    transactions; unwinds to the frame that began the transaction. *)
+exception Abort of abort_reason
+
+type tx = {
+  mode : mode;
+  heap : Nomap_runtime.Heap.t;
+  saved_load : int -> int -> unit;
+  saved_store : int -> int -> (unit -> unit) -> unit;
+  saved_io : unit -> unit;
+  mutable undo : (unit -> unit) list;  (** newest first *)
+  write_fp : Footprint.t;
+  read_fp : Footprint.t option;  (** RTM only *)
+  mutable sof : bool;  (** sticky overflow flag *)
+  mutable nesting : int;  (** flattened nesting depth *)
+  snapshot : (int * Nomap_runtime.Value.t) list;
+      (** baseline register state checkpointed at XBegin *)
+  resume_pc : int;  (** where Baseline restarts the region after an abort *)
+  owner_frame : int;  (** machine frame that executed Tx_begin *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable instr_count : int;
+}
+
+(** Begin a transaction: installs journaling/footprint hooks on the heap.
+    [capacity_scale] shrinks the modeled cache geometry (DESIGN.md §6). *)
+val begin_tx :
+  ?capacity_scale:int ->
+  Nomap_runtime.Heap.t ->
+  mode:mode ->
+  snapshot:(int * Nomap_runtime.Value.t) list ->
+  resume_pc:int ->
+  owner_frame:int ->
+  tx
+
+(** Make the speculative writes permanent and restore the heap hooks. *)
+val commit : tx -> unit
+
+(** Undo every speculative write (newest first) and restore the hooks. *)
+val rollback : tx -> unit

@@ -1,0 +1,1 @@
+lib/interp/ast_interp.ml: Hashtbl Heap Instance Intrinsics List Nomap_jsir Nomap_runtime Ops Option Printf String Value

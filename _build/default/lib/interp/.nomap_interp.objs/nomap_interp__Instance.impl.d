@@ -1,0 +1,1 @@
+lib/interp/instance.ml: Array Heap Nomap_bytecode Nomap_runtime Value

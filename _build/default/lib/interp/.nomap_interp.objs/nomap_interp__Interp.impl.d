@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Heap Instance Intrinsics List Nomap_bytecode Nomap_jsir Nomap_profile Nomap_runtime Ops Printf Shape String Value

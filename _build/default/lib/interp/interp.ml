@@ -1,0 +1,387 @@
+(** The bytecode semantic engine, serving as both the Interpreter tier and
+    the Baseline tier.
+
+    Both tiers execute identical semantics; they differ in:
+    - cost: the Interpreter charges a dispatch overhead plus generic runtime
+      work per op; Baseline has no dispatch and uses inline caches, so its
+      dynamic cost depends on whether the fast path hit;
+    - profiling: Baseline records type/shape feedback and loop trip counts
+      for the optimizing tiers (JavaScriptCore does the same).
+
+    The engine is resumable at an arbitrary pc with a prefilled register
+    frame — that is exactly what an OSR exit from optimized code needs. *)
+
+open Nomap_runtime
+module Opcode = Nomap_bytecode.Opcode
+module Feedback = Nomap_profile.Feedback
+
+exception Runtime_error of string
+
+type mode = Interp_tier | Baseline_tier | Native_tier
+(** [Native_tier] charges what an ahead-of-time C compilation of the same
+    program would: no dispatch, no boxing, no checks.  It provides Figure
+    1's "C" reference bound. *)
+
+(** Services the enclosing VM provides to the engine. *)
+type env = {
+  instance : Instance.t;
+  mode : mode;
+  profile : Feedback.t option;  (** present in Baseline mode *)
+  charge : int -> unit;  (** account simulated machine instructions *)
+  call : fid:int -> this:Value.t -> args:Value.t list -> Value.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cost model (simulated x86-64 instruction counts per bytecode op).
+   Interpreter ops pay [dispatch] plus generic-path work; Baseline pays
+   IC-aware dynamic costs.  These constants position Table I; everything
+   downstream is measured, not assumed. *)
+
+let dispatch = 7
+
+let interp_cost (op : Opcode.op) =
+  dispatch
+  +
+  match op with
+  | Load_const _ | Move _ | Load_global _ | Store_global _ -> 2
+  | Binop _ -> 20
+  | Unop _ -> 12
+  | Get_prop _ -> 26
+  | Set_prop _ -> 28
+  | Get_elem _ -> 22
+  | Set_elem _ -> 26
+  | Get_length _ -> 12
+  | New_object _ | New_array _ -> 36
+  | Call _ | New_call _ -> 34
+  | Call_method _ -> 38
+  | Call_intrinsic _ -> 9
+  | Jump _ | Jump_if_false _ | Jump_if_true _ -> 3
+  | Return _ -> 5
+
+(* Baseline costs: cheap when the inline cache / int fast path hits. *)
+let baseline_fast = function
+  | Opcode.Load_const _ | Opcode.Move _ | Opcode.Load_global _ | Opcode.Store_global _ -> 3
+  | Opcode.Binop _ -> 9  (* type-check both operands + int op + overflow check *)
+  | Opcode.Unop _ -> 7
+  | Opcode.Get_prop _ -> 9  (* shape compare + slot load + value profiling *)
+  | Opcode.Set_prop _ -> 10
+  | Opcode.Get_elem _ -> 12  (* type + bounds + hole checks + load *)
+  | Opcode.Set_elem _ -> 13
+  | Opcode.Get_length _ -> 7
+  | Opcode.New_object _ | Opcode.New_array _ -> 32
+  | Opcode.Call _ | Opcode.New_call _ -> 24
+  | Opcode.Call_method _ -> 28
+  | Opcode.Call_intrinsic _ -> 7
+  | Opcode.Jump _ | Opcode.Jump_if_false _ | Opcode.Jump_if_true _ -> 3
+  | Opcode.Return _ -> 5
+
+let baseline_slow op = interp_cost op + 6  (* IC miss: dispatch to runtime *)
+
+(* What a C compiler would emit for the same operation. *)
+let native_cost (op : Opcode.op) =
+  match op with
+  | Load_const _ | Move _ | Load_global _ | Store_global _ -> 1
+  | Binop _ | Unop _ -> 1
+  | Get_prop _ | Set_prop _ -> 1  (* struct field *)
+  | Get_elem _ | Set_elem _ -> 2
+  | Get_length _ -> 1
+  | New_object _ | New_array _ -> 10
+  | Call _ | New_call _ -> 3
+  | Call_method _ -> 4
+  | Call_intrinsic _ -> 2
+  | Jump _ | Jump_if_false _ | Jump_if_true _ -> 1
+  | Return _ -> 2
+
+(* ------------------------------------------------------------------ *)
+
+let truthy = Value.truthy
+
+let is_int = function Value.Int _ -> true | _ -> false
+
+let both_int a b = is_int a && is_int b
+
+(* A Binop fast path exists when both operands are ints (arith/cmp) — the
+   Baseline IC handles that inline. *)
+let binop_fast (op : Nomap_jsir.Ast.binop) a b =
+  match op with
+  | Add | Sub | Mul | Lt | Le | Gt | Ge | Eq | Ne -> both_int a b
+  | Band | Bor | Bxor | Shl | Shr | Ushr -> both_int a b
+  | Div | Mod -> false
+
+let shape_id (o : Value.obj) = o.Value.shape.Shape.id
+
+(** Execute function [fid] from [entry_pc] with the given register frame.
+    [regs] must have length [>= f.nregs]; on a fresh call the caller seeds
+    this/params.  Returns the function result. *)
+let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
+  let inst = env.instance in
+  let heap = inst.Instance.heap in
+  let f = Instance.func inst fid in
+  let consts = inst.Instance.consts.(fid) in
+  let fp =
+    match env.profile with
+    | Some p -> Some (Feedback.func_profile p fid)
+    | None -> None
+  in
+  let site pc =
+    match env.profile with Some p -> Some (Feedback.site p fid pc) | None -> None
+  in
+  let is_header pc = List.mem pc f.Opcode.loop_headers in
+  let note_edge ~from ~target =
+    match fp with
+    | Some fp when is_header target ->
+      if from >= target then Feedback.record_loop_iteration fp target
+      else Feedback.record_loop_entry fp target
+    | _ -> ()
+  in
+  let charge_op op fast =
+    match env.mode with
+    | Interp_tier -> env.charge (interp_cost op)
+    | Baseline_tier -> env.charge (if fast then baseline_fast op else baseline_slow op)
+    | Native_tier -> env.charge (native_cost op)
+  in
+  let result = ref Value.Undef in
+  let pc = ref entry_pc in
+  let running = ref true in
+  note_edge ~from:(-1) ~target:entry_pc;
+  while !running do
+    let cur = !pc in
+    Instance.burn inst 1;
+    let op = f.Opcode.code.(cur) in
+    let next = ref (cur + 1) in
+    (match op with
+    | Load_const (d, i) ->
+      charge_op op true;
+      regs.(d) <- consts.(i)
+    | Move (d, s) ->
+      charge_op op true;
+      regs.(d) <- regs.(s)
+    | Load_global (d, g) ->
+      charge_op op true;
+      regs.(d) <- inst.Instance.globals.(g)
+    | Store_global (g, s) ->
+      charge_op op true;
+      inst.Instance.globals.(g) <- regs.(s)
+    | Binop (bop, d, a, b) ->
+      let va = regs.(a) and vb = regs.(b) in
+      let fast = binop_fast bop va vb in
+      charge_op op fast;
+      let r = Ops.apply_binop heap bop va vb in
+      (match site cur with
+      | Some s ->
+        Feedback.record_class s va;
+        Feedback.record_class s vb;
+        Feedback.record_result s r;
+        (* Int operands producing a double means int32 overflow here. *)
+        if both_int va vb && (match r with Value.Num _ -> true | _ -> false) then
+          Feedback.record_overflow s
+      | None -> ());
+      regs.(d) <- r
+    | Unop (uop, d, a) ->
+      let va = regs.(a) in
+      charge_op op (is_int va);
+      (match site cur with Some s -> Feedback.record_class s va | None -> ());
+      regs.(d) <- Ops.apply_unop uop va
+    | Get_prop (d, o, name) -> (
+      match regs.(o) with
+      | Value.Obj obj ->
+        let sh = obj.Value.shape in
+        (match Shape.lookup sh name with
+        | Some slot ->
+          charge_op op true;
+          (match site cur with
+          | Some s -> Feedback.record_shape s sh.Shape.id (Feedback.Load_slot slot)
+          | None -> ());
+          regs.(d) <- Heap.load_slot heap obj slot
+        | None ->
+          charge_op op false;
+          regs.(d) <- Value.Undef)
+      | v ->
+        (* Property reads on non-objects: only .length-bearing types give
+           anything; everything else is undefined. *)
+        charge_op op false;
+        (match site cur with Some s -> Feedback.record_class s v | None -> ());
+        regs.(d) <- Value.Undef)
+    | Set_prop (o, name, v) -> (
+      match regs.(o) with
+      | Value.Obj obj ->
+        let sh = obj.Value.shape in
+        let existed = Shape.lookup sh name in
+        charge_op op (existed <> None);
+        Heap.set_prop heap obj name regs.(v);
+        (match site cur with
+        | Some s -> (
+          match existed with
+          | Some slot -> Feedback.record_shape s sh.Shape.id (Feedback.Store_slot slot)
+          | None ->
+            let new_sh = obj.Value.shape in
+            let slot =
+              match Shape.lookup new_sh name with Some sl -> sl | None -> assert false
+            in
+            Feedback.record_shape s sh.Shape.id
+              (Feedback.Transition (new_sh.Shape.id, slot)))
+        | None -> ())
+      | v' ->
+        raise (Runtime_error ("cannot set property on " ^ Value.type_name v')))
+    | Get_elem (d, a, i) -> (
+      let va = regs.(a) and vi = regs.(i) in
+      match (va, vi) with
+      | Value.Arr arr, Value.Int idx ->
+        let oob = idx < 0 || idx >= arr.Value.alen in
+        let v = Heap.get_elem heap arr idx in
+        let hole = (not oob) && Heap.load_elem heap arr idx = Value.Hole in
+        charge_op op (not (oob || hole));
+        (match site cur with
+        | Some s ->
+          Feedback.record_class s va;
+          Feedback.record_class s vi;
+          if oob then Feedback.record_oob s;
+          if hole then Feedback.record_hole s;
+          Feedback.record_result s v
+        | None -> ());
+        regs.(d) <- v
+      | Value.Arr arr, _ ->
+        charge_op op false;
+        (match site cur with
+        | Some s ->
+          Feedback.record_class s va;
+          Feedback.record_class s vi
+        | None -> ());
+        let idx = Value.to_int32 vi in
+        regs.(d) <-
+          (if float_of_int idx = Value.to_number vi then Heap.get_elem heap arr idx
+           else Value.Undef)
+      | Value.Str str, Value.Int idx ->
+        charge_op op false;
+        (match site cur with Some s -> Feedback.record_class s va | None -> ());
+        let data = str.Value.sdata in
+        regs.(d) <-
+          (if idx >= 0 && idx < String.length data then
+             Heap.str heap (String.make 1 data.[idx])
+           else Value.Undef)
+      | v, _ -> raise (Runtime_error ("cannot index " ^ Value.type_name v)))
+    | Set_elem (a, i, v) -> (
+      let va = regs.(a) and vi = regs.(i) in
+      match (va, vi) with
+      | Value.Arr arr, Value.Int idx ->
+        let elongates = idx >= arr.Value.alen in
+        charge_op op (not elongates);
+        (match site cur with
+        | Some s ->
+          Feedback.record_class s va;
+          Feedback.record_class s vi;
+          if elongates then Feedback.record_elongation s
+        | None -> ());
+        Heap.set_elem heap arr idx regs.(v)
+      | Value.Arr arr, _ ->
+        charge_op op false;
+        let idx = Value.to_int32 vi in
+        if float_of_int idx = Value.to_number vi then Heap.set_elem heap arr idx regs.(v)
+      | v', _ -> raise (Runtime_error ("cannot index-assign " ^ Value.type_name v')))
+    | Get_length (d, x) -> (
+      let vx = regs.(x) in
+      (match site cur with Some s -> Feedback.record_class s vx | None -> ());
+      match Ops.js_length vx with
+      | Some v ->
+        charge_op op true;
+        regs.(d) <- v
+      | None -> (
+        match vx with
+        | Value.Obj obj ->
+          charge_op op false;
+          regs.(d) <- Heap.get_prop heap obj "length"
+        | v -> raise (Runtime_error ("no length on " ^ Value.type_name v))))
+    | New_object d ->
+      charge_op op true;
+      regs.(d) <- Value.Obj (Heap.alloc_object heap)
+    | New_array (d, n) ->
+      charge_op op true;
+      let len = Value.to_int32 regs.(n) in
+      if len < 0 then raise (Runtime_error "negative array length");
+      regs.(d) <- Value.Arr (Heap.alloc_array heap len)
+    | Call (d, callee, args) ->
+      charge_op op true;
+      let argv = List.map (fun r -> regs.(r)) args in
+      regs.(d) <- env.call ~fid:callee ~this:Value.Undef ~args:argv
+    | New_call (d, callee, args) ->
+      charge_op op true;
+      let obj = Value.Obj (Heap.alloc_object heap) in
+      let argv = List.map (fun r -> regs.(r)) args in
+      let r = env.call ~fid:callee ~this:obj ~args:argv in
+      regs.(d) <- (match r with Value.Undef -> obj | v -> v)
+    | Call_method (d, recv, name, args) -> (
+      let vrecv = regs.(recv) in
+      let argv = List.map (fun r -> regs.(r)) args in
+      match Intrinsics.method_lookup vrecv name with
+      | Some intr ->
+        charge_op op true;
+        env.charge (Intrinsics.cost intr + Intrinsics.dynamic_cost intr vrecv argv);
+        (match site cur with Some s -> Feedback.record_class s vrecv | None -> ());
+        regs.(d) <-
+          (try Intrinsics.eval heap intr vrecv argv
+           with Intrinsics.Type_error m -> raise (Runtime_error m))
+      | None -> (
+        match vrecv with
+        | Value.Obj obj -> (
+          match Shape.lookup obj.Value.shape name with
+          | Some slot -> (
+            match Heap.load_slot heap obj slot with
+            | Value.Fun fid' ->
+              charge_op op true;
+              (match site cur with
+              | Some s ->
+                Feedback.record_shape s (shape_id obj) (Feedback.Load_slot slot);
+                Feedback.record_callee s fid'
+              | None -> ());
+              regs.(d) <- env.call ~fid:fid' ~this:vrecv ~args:argv
+            | v ->
+              raise (Runtime_error (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))
+          | None -> raise (Runtime_error ("no method " ^ name)))
+        | v ->
+          raise
+            (Runtime_error
+               (Printf.sprintf "no method %s on %s" name (Value.type_name v)))))
+    | Call_intrinsic (d, intr, args) ->
+      charge_op op true;
+      let argv = List.map (fun r -> regs.(r)) args in
+      env.charge (Intrinsics.cost intr + Intrinsics.dynamic_cost intr Value.Undef argv);
+      regs.(d) <-
+        (try Intrinsics.eval heap intr Value.Undef argv
+         with Intrinsics.Type_error m -> raise (Runtime_error m))
+    | Jump t ->
+      charge_op op true;
+      next := t
+    | Jump_if_false (c, t) ->
+      charge_op op true;
+      if not (truthy regs.(c)) then next := t
+    | Jump_if_true (c, t) ->
+      charge_op op true;
+      if truthy regs.(c) then next := t
+    | Return r ->
+      charge_op op true;
+      result := (match r with Some r -> regs.(r) | None -> Value.Undef);
+      running := false);
+    if !running then begin
+      note_edge ~from:cur ~target:!next;
+      pc := !next
+    end
+  done;
+  !result
+
+(** Fresh frame for calling [fid]: this in r0, params from r1, rest undefined. *)
+let make_frame inst ~fid ~this ~args =
+  let f = Instance.func inst fid in
+  let regs = Array.make (max 1 f.Opcode.nregs) Value.Undef in
+  regs.(0) <- this;
+  List.iteri (fun i v -> if i < f.Opcode.nparams then regs.(i + 1) <- v) args;
+  regs
+
+(** Call [fid] from the top in this engine. *)
+let call_function env ~fid ~this ~args =
+  (match env.profile with
+  | Some p ->
+    let fp = Feedback.func_profile p fid in
+    fp.Feedback.call_count <- fp.Feedback.call_count + 1
+  | None -> ());
+  let regs = make_frame env.instance ~fid ~this ~args in
+  run_from env ~fid ~entry_pc:0 ~regs

@@ -1,0 +1,1 @@
+lib/jsir/ast.ml: Format List

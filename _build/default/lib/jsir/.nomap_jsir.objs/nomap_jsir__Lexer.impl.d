@@ -1,0 +1,1 @@
+lib/jsir/lexer.ml: Ast Buffer List Printf String

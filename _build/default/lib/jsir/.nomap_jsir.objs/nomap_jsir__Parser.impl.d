@@ -1,0 +1,1 @@
+lib/jsir/parser.ml: Ast Lexer List Printf

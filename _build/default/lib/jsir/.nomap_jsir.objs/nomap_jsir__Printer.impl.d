@@ -1,0 +1,1 @@
+lib/jsir/printer.ml: Ast Float Format String

@@ -1,0 +1,217 @@
+(** Hand-rolled lexer for MiniJS. *)
+
+type token =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  | KEYWORD of string
+  | PUNCT of string
+  | EOF
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [ "var"; "function"; "if"; "else"; "while"; "do"; "for"; "return"; "break";
+    "continue"; "true"; "false"; "null"; "undefined"; "new"; "this" ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let current_pos t : Ast.pos = { line = t.line; col = t.pos - t.bol + 1 }
+
+let error t msg = raise (Error (msg, current_pos t))
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek_char2 t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    t.bol <- t.pos + 1
+  | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_trivia t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_trivia t
+  | Some '/' when peek_char2 t = Some '/' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_trivia t
+  | Some '/' when peek_char2 t = Some '*' ->
+    advance t;
+    advance t;
+    let rec loop () =
+      match (peek_char t, peek_char2 t) with
+      | Some '*', Some '/' ->
+        advance t;
+        advance t
+      | Some _, _ ->
+        advance t;
+        loop ()
+      | None, _ -> error t "unterminated block comment"
+    in
+    loop ();
+    skip_trivia t
+  | _ -> ()
+
+let lex_number t =
+  let start = t.pos in
+  if
+    peek_char t = Some '0'
+    && (peek_char2 t = Some 'x' || peek_char2 t = Some 'X')
+  then begin
+    advance t;
+    advance t;
+    let hstart = t.pos in
+    while (match peek_char t with Some c -> is_hex_digit c | None -> false) do
+      advance t
+    done;
+    if t.pos = hstart then error t "bad hex literal";
+    let digits = String.sub t.src hstart (t.pos - hstart) in
+    NUMBER (float_of_string ("0x" ^ digits))
+  end
+  else begin
+    while (match peek_char t with Some c -> is_digit c | None -> false) do
+      advance t
+    done;
+    (* Fraction: only when the dot is followed by a digit (so `1.foo` lexes
+       as NUMBER DOT IDENT, which MiniJS does not need but keeps errors sane). *)
+    (match (peek_char t, peek_char2 t) with
+    | Some '.', Some c when is_digit c ->
+      advance t;
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done
+    | _ -> ());
+    (match peek_char t with
+    | Some ('e' | 'E') ->
+      advance t;
+      (match peek_char t with Some ('+' | '-') -> advance t | _ -> ());
+      let estart = t.pos in
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done;
+      if t.pos = estart then error t "bad exponent"
+    | _ -> ());
+    NUMBER (float_of_string (String.sub t.src start (t.pos - start)))
+  end
+
+let lex_string t quote =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char t with
+    | None -> error t "unterminated string literal"
+    | Some c when c = quote -> advance t
+    | Some '\\' -> (
+      advance t;
+      match peek_char t with
+      | None -> error t "unterminated escape"
+      | Some c ->
+        advance t;
+        let decoded =
+          match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | '\\' -> '\\'
+          | '\'' -> '\''
+          | '"' -> '"'
+          | c -> c
+        in
+        Buffer.add_char buf decoded;
+        loop ())
+    | Some c ->
+      advance t;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.pos - start) in
+  if List.mem s keywords then KEYWORD s else IDENT s
+
+(* Longest-match punctuation. Order within a length class does not matter. *)
+let puncts3 = [ "==="; "!=="; ">>>"; "<<="; ">>=" ]
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "++"; "--"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^=" ]
+let puncts1 =
+  [ "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "~"; "&"; "|"; "^"; "?"; ":";
+    ";"; ","; "."; "("; ")"; "["; "]"; "{"; "}" ]
+
+let try_punct t =
+  let try_at n candidates =
+    if t.pos + n <= String.length t.src then begin
+      let s = String.sub t.src t.pos n in
+      if List.mem s candidates then Some s else None
+    end
+    else None
+  in
+  (* >>>= would be 4 chars; MiniJS does not support it. *)
+  match try_at 3 puncts3 with
+  | Some s -> Some s
+  | None -> (
+    match try_at 2 puncts2 with
+    | Some s -> Some s
+    | None -> try_at 1 puncts1)
+
+let next t : token * Ast.pos =
+  skip_trivia t;
+  let pos = current_pos t in
+  match peek_char t with
+  | None -> (EOF, pos)
+  | Some c when is_digit c -> (lex_number t, pos)
+  | Some (('"' | '\'') as q) -> (lex_string t q, pos)
+  | Some c when is_ident_start c -> (lex_ident t, pos)
+  | Some c -> (
+    match try_punct t with
+    | Some s ->
+      for _ = 1 to String.length s do
+        advance t
+      done;
+      (PUNCT s, pos)
+    | None -> error t (Printf.sprintf "unexpected character %C" c))
+
+(** Lex an entire source string to a token list (with positions). *)
+let tokenize src =
+  let t = create src in
+  let rec loop acc =
+    match next t with
+    | (EOF, _) as tok -> List.rev (tok :: acc)
+    | tok -> loop (tok :: acc)
+  in
+  loop []
+
+let token_to_string = function
+  | NUMBER f -> Printf.sprintf "NUMBER(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | KEYWORD s -> Printf.sprintf "KEYWORD(%s)" s
+  | PUNCT s -> Printf.sprintf "PUNCT(%s)" s
+  | EOF -> "EOF"

@@ -1,0 +1,579 @@
+(** Recursive-descent parser for MiniJS.
+
+    Notes on the accepted grammar:
+    - [===]/[!==] are parsed as [==]/[!=]; MiniJS values have no coercing
+      equality so the two coincide.
+    - Functions are top-level only; a nested [function] is a parse error.
+    - [f(args)] requires [f] to be a global function name; [o.m(args)] is a
+      method (or builtin) call; computed callees are rejected. *)
+
+exception Error of string * Ast.pos
+
+type t = { mutable toks : (Lexer.token * Ast.pos) list }
+
+let create src =
+  match Lexer.tokenize src with
+  | toks -> { toks }
+  | exception Lexer.Error (msg, pos) -> raise (Error ("lex error: " ^ msg, pos))
+
+let peek p = match p.toks with [] -> (Lexer.EOF, { Ast.line = 0; col = 0 }) | tok :: _ -> tok
+
+let peek2 p =
+  match p.toks with
+  | _ :: tok :: _ -> tok
+  | _ -> (Lexer.EOF, { Ast.line = 0; col = 0 })
+
+let pos_of p = snd (peek p)
+
+let error p msg = raise (Error (msg, pos_of p))
+
+let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let eat_punct p s =
+  match peek p with
+  | Lexer.PUNCT q, _ when q = s -> advance p
+  | tok, _ ->
+    error p (Printf.sprintf "expected %S, found %s" s (Lexer.token_to_string tok))
+
+let eat_keyword p s =
+  match peek p with
+  | Lexer.KEYWORD q, _ when q = s -> advance p
+  | tok, _ ->
+    error p (Printf.sprintf "expected keyword %S, found %s" s (Lexer.token_to_string tok))
+
+let at_punct p s = match peek p with Lexer.PUNCT q, _ -> q = s | _ -> false
+let at_keyword p s = match peek p with Lexer.KEYWORD q, _ -> q = s | _ -> false
+
+let eat_ident p =
+  match peek p with
+  | Lexer.IDENT s, _ ->
+    advance p;
+    s
+  | tok, _ -> error p (Printf.sprintf "expected identifier, found %s" (Lexer.token_to_string tok))
+
+(* Property names in literals and member access may be identifiers or keywords
+   (e.g. [o.length] where the name collides with nothing reserved here). *)
+let eat_prop_name p =
+  match peek p with
+  | Lexer.IDENT s, _ | Lexer.KEYWORD s, _ ->
+    advance p;
+    s
+  | Lexer.STRING s, _ ->
+    advance p;
+    s
+  | tok, _ -> error p (Printf.sprintf "expected property name, found %s" (Lexer.token_to_string tok))
+
+let lvalue_of_expr p (e : Ast.expr) : Ast.lvalue =
+  match e with
+  | Ast.Var x -> Ast.Lvar x
+  | Ast.Index (a, i) -> Ast.Lindex (a, i)
+  | Ast.Prop (o, f) -> Ast.Lprop (o, f)
+  | _ -> error p "invalid assignment target"
+
+let binop_of_compound = function
+  | "+=" -> Ast.Add
+  | "-=" -> Ast.Sub
+  | "*=" -> Ast.Mul
+  | "/=" -> Ast.Div
+  | "%=" -> Ast.Mod
+  | "&=" -> Ast.Band
+  | "|=" -> Ast.Bor
+  | "^=" -> Ast.Bxor
+  | "<<=" -> Ast.Shl
+  | ">>=" -> Ast.Shr
+  | s -> invalid_arg ("binop_of_compound: " ^ s)
+
+let rec parse_expr p : Ast.expr = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  match peek p with
+  | Lexer.PUNCT "=", _ ->
+    advance p;
+    let rhs = parse_assign p in
+    Ast.Assign (lvalue_of_expr p lhs, rhs)
+  | Lexer.PUNCT (("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") as op), _ ->
+    advance p;
+    let rhs = parse_assign p in
+    Ast.Op_assign (binop_of_compound op, lvalue_of_expr p lhs, rhs)
+  | _ -> lhs
+
+and parse_cond p =
+  let c = parse_or p in
+  if at_punct p "?" then begin
+    advance p;
+    let a = parse_assign p in
+    eat_punct p ":";
+    let b = parse_assign p in
+    Ast.Cond (c, a, b)
+  end
+  else c
+
+and parse_or p =
+  let rec loop acc =
+    if at_punct p "||" then begin
+      advance p;
+      loop (Ast.Or (acc, parse_and p))
+    end
+    else acc
+  in
+  loop (parse_and p)
+
+and parse_and p =
+  let rec loop acc =
+    if at_punct p "&&" then begin
+      advance p;
+      loop (Ast.And (acc, parse_bitor p))
+    end
+    else acc
+  in
+  loop (parse_bitor p)
+
+and parse_bitor p =
+  let rec loop acc =
+    if at_punct p "|" then begin
+      advance p;
+      loop (Ast.Binop (Ast.Bor, acc, parse_bitxor p))
+    end
+    else acc
+  in
+  loop (parse_bitxor p)
+
+and parse_bitxor p =
+  let rec loop acc =
+    if at_punct p "^" then begin
+      advance p;
+      loop (Ast.Binop (Ast.Bxor, acc, parse_bitand p))
+    end
+    else acc
+  in
+  loop (parse_bitand p)
+
+and parse_bitand p =
+  let rec loop acc =
+    if at_punct p "&" then begin
+      advance p;
+      loop (Ast.Binop (Ast.Band, acc, parse_equality p))
+    end
+    else acc
+  in
+  loop (parse_equality p)
+
+and parse_equality p =
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT ("==" | "==="), _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Eq, acc, parse_relational p))
+    | Lexer.PUNCT ("!=" | "!=="), _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Ne, acc, parse_relational p))
+    | _ -> acc
+  in
+  loop (parse_relational p)
+
+and parse_relational p =
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT "<", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Lt, acc, parse_shift p))
+    | Lexer.PUNCT "<=", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Le, acc, parse_shift p))
+    | Lexer.PUNCT ">", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Gt, acc, parse_shift p))
+    | Lexer.PUNCT ">=", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Ge, acc, parse_shift p))
+    | _ -> acc
+  in
+  loop (parse_shift p)
+
+and parse_shift p =
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT "<<", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Shl, acc, parse_additive p))
+    | Lexer.PUNCT ">>", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Shr, acc, parse_additive p))
+    | Lexer.PUNCT ">>>", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Ushr, acc, parse_additive p))
+    | _ -> acc
+  in
+  loop (parse_additive p)
+
+and parse_additive p =
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT "+", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Add, acc, parse_multiplicative p))
+    | Lexer.PUNCT "-", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Sub, acc, parse_multiplicative p))
+    | _ -> acc
+  in
+  loop (parse_multiplicative p)
+
+and parse_multiplicative p =
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT "*", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Mul, acc, parse_unary p))
+    | Lexer.PUNCT "/", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Div, acc, parse_unary p))
+    | Lexer.PUNCT "%", _ ->
+      advance p;
+      loop (Ast.Binop (Ast.Mod, acc, parse_unary p))
+    | _ -> acc
+  in
+  loop (parse_unary p)
+
+and parse_unary p =
+  match peek p with
+  | Lexer.PUNCT "-", _ ->
+    advance p;
+    Ast.Unop (Ast.Neg, parse_unary p)
+  | Lexer.PUNCT "+", _ ->
+    advance p;
+    Ast.Unop (Ast.Plus, parse_unary p)
+  | Lexer.PUNCT "!", _ ->
+    advance p;
+    Ast.Unop (Ast.Not, parse_unary p)
+  | Lexer.PUNCT "~", _ ->
+    advance p;
+    Ast.Unop (Ast.Bitnot, parse_unary p)
+  | Lexer.PUNCT "++", _ ->
+    advance p;
+    let e = parse_unary p in
+    Ast.Incr (lvalue_of_expr p e, 1, `Pre)
+  | Lexer.PUNCT "--", _ ->
+    advance p;
+    let e = parse_unary p in
+    Ast.Incr (lvalue_of_expr p e, -1, `Pre)
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = parse_call_member p in
+  match peek p with
+  | Lexer.PUNCT "++", _ ->
+    advance p;
+    Ast.Incr (lvalue_of_expr p e, 1, `Post)
+  | Lexer.PUNCT "--", _ ->
+    advance p;
+    Ast.Incr (lvalue_of_expr p e, -1, `Post)
+  | _ -> e
+
+and parse_call_member p =
+  let base =
+    match peek p with
+    | Lexer.IDENT name, _ when (match peek2 p with Lexer.PUNCT "(", _ -> true | _ -> false) ->
+      advance p;
+      advance p;
+      let args = parse_args p in
+      Ast.Call (name, args)
+    | _ -> parse_primary p
+  in
+  let rec loop acc =
+    match peek p with
+    | Lexer.PUNCT ".", _ ->
+      advance p;
+      let name = eat_prop_name p in
+      if at_punct p "(" then begin
+        advance p;
+        let args = parse_args p in
+        loop (Ast.Method_call (acc, name, args))
+      end
+      else loop (Ast.Prop (acc, name))
+    | Lexer.PUNCT "[", _ ->
+      advance p;
+      let i = parse_expr p in
+      eat_punct p "]";
+      loop (Ast.Index (acc, i))
+    | _ -> acc
+  in
+  loop base
+
+and parse_args p =
+  (* Opening paren already consumed. *)
+  if at_punct p ")" then begin
+    advance p;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_assign p in
+      if at_punct p "," then begin
+        advance p;
+        loop (e :: acc)
+      end
+      else begin
+        eat_punct p ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary p =
+  match peek p with
+  | Lexer.NUMBER f, _ ->
+    advance p;
+    Ast.Number f
+  | Lexer.STRING s, _ ->
+    advance p;
+    Ast.Str s
+  | Lexer.KEYWORD "true", _ ->
+    advance p;
+    Ast.Bool true
+  | Lexer.KEYWORD "false", _ ->
+    advance p;
+    Ast.Bool false
+  | Lexer.KEYWORD "null", _ ->
+    advance p;
+    Ast.Null
+  | Lexer.KEYWORD "undefined", _ ->
+    advance p;
+    Ast.Undefined
+  | Lexer.KEYWORD "this", _ ->
+    advance p;
+    Ast.This
+  | Lexer.KEYWORD "new", _ ->
+    advance p;
+    let name = eat_ident p in
+    eat_punct p "(";
+    let args = parse_args p in
+    if name = "Array" then begin
+      match args with
+      | [ n ] -> Ast.New_array n
+      | [] -> Ast.Array_lit []
+      | _ -> error p "new Array expects zero or one argument"
+    end
+    else Ast.New (name, args)
+  | Lexer.IDENT name, _ ->
+    advance p;
+    Ast.Var name
+  | Lexer.PUNCT "(", _ ->
+    advance p;
+    let e = parse_expr p in
+    eat_punct p ")";
+    e
+  | Lexer.PUNCT "[", _ ->
+    advance p;
+    let rec loop acc =
+      if at_punct p "]" then begin
+        advance p;
+        List.rev acc
+      end
+      else begin
+        let e = parse_assign p in
+        if at_punct p "," then begin
+          advance p;
+          loop (e :: acc)
+        end
+        else begin
+          eat_punct p "]";
+          List.rev (e :: acc)
+        end
+      end
+    in
+    Ast.Array_lit (loop [])
+  | Lexer.PUNCT "{", _ ->
+    advance p;
+    let rec loop acc =
+      if at_punct p "}" then begin
+        advance p;
+        List.rev acc
+      end
+      else begin
+        let name = eat_prop_name p in
+        eat_punct p ":";
+        let e = parse_assign p in
+        if at_punct p "," then begin
+          advance p;
+          loop ((name, e) :: acc)
+        end
+        else begin
+          eat_punct p "}";
+          List.rev ((name, e) :: acc)
+        end
+      end
+    in
+    Ast.Object_lit (loop [])
+  | tok, _ -> error p (Printf.sprintf "unexpected token %s" (Lexer.token_to_string tok))
+
+let rec parse_stmt p : Ast.stmt =
+  match peek p with
+  | Lexer.KEYWORD "var", _ ->
+    advance p;
+    let rec decls acc =
+      let name = eat_ident p in
+      let init =
+        if at_punct p "=" then begin
+          advance p;
+          Some (parse_assign p)
+        end
+        else None
+      in
+      if at_punct p "," then begin
+        advance p;
+        decls ((name, init) :: acc)
+      end
+      else List.rev ((name, init) :: acc)
+    in
+    let ds = decls [] in
+    semi p;
+    Ast.Var_decl ds
+  | Lexer.KEYWORD "if", _ ->
+    advance p;
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    let then_ = parse_block_or_stmt p in
+    let else_ =
+      if at_keyword p "else" then begin
+        advance p;
+        parse_block_or_stmt p
+      end
+      else []
+    in
+    Ast.If (c, then_, else_)
+  | Lexer.KEYWORD "while", _ ->
+    advance p;
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    Ast.While (c, parse_block_or_stmt p)
+  | Lexer.KEYWORD "do", _ ->
+    advance p;
+    let body = parse_block_or_stmt p in
+    eat_keyword p "while";
+    eat_punct p "(";
+    let c = parse_expr p in
+    eat_punct p ")";
+    semi p;
+    Ast.Do_while (body, c)
+  | Lexer.KEYWORD "for", _ ->
+    advance p;
+    eat_punct p "(";
+    let init =
+      if at_punct p ";" then None
+      else if at_keyword p "var" then Some (parse_for_var p)
+      else Some (Ast.Expr (parse_expr p))
+    in
+    eat_punct p ";";
+    let cond = if at_punct p ";" then None else Some (parse_expr p) in
+    eat_punct p ";";
+    let step = if at_punct p ")" then None else Some (parse_expr p) in
+    eat_punct p ")";
+    Ast.For (init, cond, step, parse_block_or_stmt p)
+  | Lexer.KEYWORD "return", _ ->
+    advance p;
+    let e =
+      if at_punct p ";" || at_punct p "}" then None else Some (parse_expr p)
+    in
+    semi p;
+    Ast.Return e
+  | Lexer.KEYWORD "break", _ ->
+    advance p;
+    semi p;
+    Ast.Break
+  | Lexer.KEYWORD "continue", _ ->
+    advance p;
+    semi p;
+    Ast.Continue
+  | Lexer.KEYWORD "function", _ -> error p "nested functions are not supported in MiniJS"
+  | Lexer.PUNCT "{", _ -> Ast.Block (parse_block p)
+  | _ ->
+    let e = parse_expr p in
+    semi p;
+    Ast.Expr e
+
+(* A `var` clause inside for(...) — no trailing semicolon. *)
+and parse_for_var p =
+  eat_keyword p "var";
+  let rec decls acc =
+    let name = eat_ident p in
+    let init =
+      if at_punct p "=" then begin
+        advance p;
+        Some (parse_assign p)
+      end
+      else None
+    in
+    if at_punct p "," then begin
+      advance p;
+      decls ((name, init) :: acc)
+    end
+    else List.rev ((name, init) :: acc)
+  in
+  Ast.Var_decl (decls [])
+
+and semi p = if at_punct p ";" then advance p else ()
+
+and parse_block p : Ast.block =
+  eat_punct p "{";
+  let rec loop acc =
+    if at_punct p "}" then begin
+      advance p;
+      List.rev acc
+    end
+    else loop (parse_stmt p :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt p : Ast.block =
+  if at_punct p "{" then parse_block p else [ parse_stmt p ]
+
+let parse_func p : Ast.func =
+  let fpos = pos_of p in
+  eat_keyword p "function";
+  let fname = eat_ident p in
+  eat_punct p "(";
+  let params =
+    if at_punct p ")" then begin
+      advance p;
+      []
+    end
+    else begin
+      let rec loop acc =
+        let x = eat_ident p in
+        if at_punct p "," then begin
+          advance p;
+          loop (x :: acc)
+        end
+        else begin
+          eat_punct p ")";
+          List.rev (x :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  let body = parse_block p in
+  { Ast.fname; params; body; fpos }
+
+let parse_program src : Ast.program =
+  let p = create src in
+  let rec loop acc =
+    match peek p with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.KEYWORD "function", _ -> loop (Ast.Func (parse_func p) :: acc)
+    | _ -> loop (Ast.Stmt (parse_stmt p) :: acc)
+  in
+  loop []
+
+(** Parse, raising [Failure] with a human-readable message on error. *)
+let parse_program_exn ?(name = "<prog>") src =
+  try parse_program src with
+  | Error (msg, pos) ->
+    failwith (Printf.sprintf "%s:%d:%d: %s" name pos.Ast.line pos.Ast.col msg)
+  | Lexer.Error (msg, pos) ->
+    failwith (Printf.sprintf "%s:%d:%d: lex error: %s" name pos.Ast.line pos.Ast.col msg)

@@ -1,0 +1,108 @@
+(** Pretty-printer for MiniJS ASTs, mainly used by tests (parse/print
+    round-trips) and by the examples to show what was parsed. *)
+
+open Ast
+
+let rec pp_expr fmt = function
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf fmt "%.0f" f
+    else Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Null -> Format.fprintf fmt "null"
+  | Undefined -> Format.fprintf fmt "undefined"
+  | Var x -> Format.fprintf fmt "%s" x
+  | This -> Format.fprintf fmt "this"
+  | Array_lit es ->
+    Format.fprintf fmt "[%a]" (Format.pp_print_list ~pp_sep:comma pp_expr) es
+  | Object_lit fields ->
+    let pp_field fmt (name, e) = Format.fprintf fmt "%s: %a" name pp_expr e in
+    Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:comma pp_field) fields
+  | Index (a, i) -> Format.fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Prop (o, f) -> Format.fprintf fmt "%a.%s" pp_expr o f
+  | Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" f (Format.pp_print_list ~pp_sep:comma pp_expr) args
+  | Method_call (o, m, args) ->
+    Format.fprintf fmt "%a.%s(%a)" pp_expr o m
+      (Format.pp_print_list ~pp_sep:comma pp_expr)
+      args
+  | New (f, args) ->
+    Format.fprintf fmt "new %s(%a)" f (Format.pp_print_list ~pp_sep:comma pp_expr) args
+  | New_array n -> Format.fprintf fmt "new Array(%a)" pp_expr n
+  | Unop (op, e) -> Format.fprintf fmt "(%s%a)" (unop_to_string op) pp_expr e
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp_expr a pp_expr b
+  | Cond (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Assign (lv, e) -> Format.fprintf fmt "%a = %a" pp_lvalue lv pp_expr e
+  | Op_assign (op, lv, e) ->
+    Format.fprintf fmt "%a %s= %a" pp_lvalue lv (binop_to_string op) pp_expr e
+  | Incr (lv, 1, `Pre) -> Format.fprintf fmt "++%a" pp_lvalue lv
+  | Incr (lv, -1, `Pre) -> Format.fprintf fmt "--%a" pp_lvalue lv
+  | Incr (lv, 1, `Post) -> Format.fprintf fmt "%a++" pp_lvalue lv
+  | Incr (lv, _, `Post) -> Format.fprintf fmt "%a--" pp_lvalue lv
+  | Incr (lv, _, `Pre) -> Format.fprintf fmt "--%a" pp_lvalue lv
+
+and pp_lvalue fmt = function
+  | Lvar x -> Format.fprintf fmt "%s" x
+  | Lindex (a, i) -> Format.fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Lprop (o, f) -> Format.fprintf fmt "%a.%s" pp_expr o f
+
+and comma fmt () = Format.fprintf fmt ", "
+
+let rec pp_stmt fmt = function
+  | Expr e -> Format.fprintf fmt "@[%a;@]" pp_expr e
+  | Var_decl ds ->
+    let pp_d fmt (x, init) =
+      match init with
+      | None -> Format.fprintf fmt "%s" x
+      | Some e -> Format.fprintf fmt "%s = %a" x pp_expr e
+    in
+    Format.fprintf fmt "@[var %a;@]" (Format.pp_print_list ~pp_sep:comma pp_d) ds
+  | If (c, then_, []) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block then_
+  | If (c, then_, else_) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+      pp_block then_ pp_block else_
+  | While (c, body) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block body
+  | Do_while (body, c) ->
+    Format.fprintf fmt "@[<v 2>do {@,%a@]@,} while (%a);" pp_block body pp_expr c
+  | For (init, cond, step, body) ->
+    let pp_opt_stmt fmt = function
+      | None -> ()
+      | Some (Expr e) -> pp_expr fmt e
+      | Some (Var_decl _ as s) ->
+        (* Reuse the statement printer, trimming the trailing semicolon. *)
+        let s' = Format.asprintf "%a" pp_stmt s in
+        Format.fprintf fmt "%s" (String.sub s' 0 (String.length s' - 1))
+      | Some s -> pp_stmt fmt s
+    in
+    let pp_opt_expr fmt = function None -> () | Some e -> pp_expr fmt e in
+    Format.fprintf fmt "@[<v 2>for (%a; %a; %a) {@,%a@]@,}" pp_opt_stmt init
+      pp_opt_expr cond pp_opt_expr step pp_block body
+  | Return None -> Format.fprintf fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "@[return %a;@]" pp_expr e
+  | Break -> Format.fprintf fmt "break;"
+  | Continue -> Format.fprintf fmt "continue;"
+  | Block b -> Format.fprintf fmt "@[<v 2>{@,%a@]@,}" pp_block b
+
+and pp_block fmt stmts =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,") pp_stmt fmt stmts
+
+let pp_func fmt { fname; params; body; _ } =
+  Format.fprintf fmt "@[<v 2>function %s(%s) {@,%a@]@,}" fname
+    (String.concat ", " params) pp_block body
+
+let pp_program fmt prog =
+  let pp_item fmt = function
+    | Func f -> pp_func fmt f
+    | Stmt s -> pp_stmt fmt s
+  in
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,@,") pp_item)
+    prog
+
+let program_to_string prog = Format.asprintf "%a" pp_program prog
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,1 @@
+lib/lir/cfg.ml: Array Hashtbl Lir List Nomap_util

@@ -1,0 +1,1 @@
+lib/lir/lir.ml: List Nomap_jsir Nomap_runtime Nomap_util

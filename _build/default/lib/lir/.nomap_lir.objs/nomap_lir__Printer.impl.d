@@ -1,0 +1,1 @@
+lib/lir/printer.ml: Buffer Lir List Nomap_jsir Nomap_runtime Printf String

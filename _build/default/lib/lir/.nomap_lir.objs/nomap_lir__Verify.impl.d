@@ -1,0 +1,1 @@
+lib/lir/verify.ml: Array Cfg Hashtbl Lir List Nomap_util Printer Printf String

@@ -1,0 +1,238 @@
+(** CFG analyses over LIR: predecessors, reverse postorder, dominators
+    (Cooper–Harvey–Kennedy), and the natural-loop forest used by LICM,
+    bounds-check combining and NoMap transaction placement. *)
+
+let nblocks f = Nomap_util.Vec.length f.Lir.blocks
+
+(** Recompute every block's [preds] from terminators. *)
+let compute_preds f =
+  Lir.iter_blocks f (fun b -> b.Lir.preds <- []);
+  Lir.iter_blocks f (fun b ->
+      List.iter
+        (fun s ->
+          let sb = Lir.block f s in
+          if not (List.mem b.Lir.bid sb.Lir.preds) then
+            sb.Lir.preds <- b.Lir.bid :: sb.Lir.preds)
+        (Lir.successors b.Lir.term))
+
+(** Reverse postorder of reachable blocks, entry first. *)
+let rpo f =
+  let n = nblocks f in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Lir.successors (Lir.block f b).Lir.term);
+      order := b :: !order
+    end
+  in
+  dfs f.Lir.entry;
+  !order
+
+let reachable f =
+  let n = nblocks f in
+  let r = Array.make n false in
+  List.iter (fun b -> r.(b) <- true) (rpo f);
+  r
+
+type doms = {
+  idom : int array;  (** immediate dominator; entry maps to itself; -1 unreachable *)
+  order : int list;  (** reverse postorder *)
+  rpo_index : int array;
+}
+
+let compute_doms f =
+  compute_preds f;
+  let n = nblocks f in
+  let order = rpo f in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) order;
+  let idom = Array.make n (-1) in
+  idom.(f.Lir.entry) <- f.Lir.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> f.Lir.entry then begin
+          let preds =
+            List.filter (fun p -> idom.(p) <> -1) (Lir.block f b).Lir.preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      order
+  done;
+  { idom; order; rpo_index }
+
+(** Does block [a] dominate block [b]? *)
+let dominates doms a b =
+  let rec go b = if b = a then true else if doms.idom.(b) = b || doms.idom.(b) = -1 then false else go doms.idom.(b) in
+  go b
+
+(* ------------------------------------------------------------------ *)
+(* Natural loops *)
+
+type loop = {
+  header : int;
+  body : int list;  (** blocks in the loop, header included *)
+  latches : int list;  (** sources of back edges *)
+  exits : (int * int) list;  (** (block in loop, successor outside) *)
+  depth : int;  (** nesting depth, 1 = outermost *)
+  parent : int option;  (** index into the loop list *)
+}
+
+let in_loop loop b = List.mem b loop.body
+
+(** All natural loops, with nesting computed.  Loops sharing a header are
+    merged (standard practice). *)
+let natural_loops f doms =
+  let reach = reachable f in
+  (* Find back edges: b -> h where h dominates b. *)
+  let back_edges = ref [] in
+  Lir.iter_blocks f (fun b ->
+      if reach.(b.Lir.bid) then
+        List.iter
+          (fun s -> if dominates doms s b.Lir.bid then back_edges := (b.Lir.bid, s) :: !back_edges)
+          (Lir.successors b.Lir.term));
+  (* Group by header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (b, h) ->
+      let cur = try Hashtbl.find by_header h with Not_found -> [] in
+      Hashtbl.replace by_header h (b :: cur))
+    !back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        (* Body = header + all blocks reaching a latch without going through
+           the header. *)
+        let body = Hashtbl.create 8 in
+        Hashtbl.replace body header ();
+        let rec add b =
+          if not (Hashtbl.mem body b) then begin
+            Hashtbl.replace body b ();
+            List.iter add (Lir.block f b).Lir.preds
+          end
+        in
+        List.iter add latches;
+        let body_list = Hashtbl.fold (fun b () acc -> b :: acc) body [] in
+        let exits =
+          List.concat_map
+            (fun b ->
+              List.filter_map
+                (fun s -> if Hashtbl.mem body s then None else Some (b, s))
+                (Lir.successors (Lir.block f b).Lir.term))
+            body_list
+        in
+        { header; body = List.sort compare body_list; latches; exits; depth = 0; parent = None }
+        :: acc)
+      by_header []
+  in
+  (* Sort by body size so parents (larger) come after children when scanning;
+     compute nesting: parent = smallest strictly-enclosing loop. *)
+  let arr = Array.of_list (List.sort (fun a b -> compare (List.length a.body) (List.length b.body)) loops) in
+  let n = Array.length arr in
+  let result = Array.copy arr in
+  for i = 0 to n - 1 do
+    let parent = ref None in
+    for j = i + 1 to n - 1 do
+      if !parent = None && arr.(j).header <> arr.(i).header && in_loop arr.(j) arr.(i).header
+      then parent := Some j
+    done;
+    result.(i) <- { arr.(i) with parent = !parent }
+  done;
+  (* Depth by following parents. *)
+  let rec depth_of i =
+    match result.(i).parent with None -> 1 | Some j -> 1 + depth_of j
+  in
+  Array.to_list (Array.mapi (fun i l -> { l with depth = depth_of i }) result)
+
+(** Outermost loops (depth 1). *)
+let outermost loops = List.filter (fun l -> l.depth = 1) loops
+
+(** The preheader of [loop]: the unique out-of-loop predecessor of the
+    header, if there is exactly one and it has a single successor. *)
+let preheader f loop =
+  let outside =
+    List.filter (fun p -> not (in_loop loop p)) (Lir.block f loop.header).Lir.preds
+  in
+  match outside with
+  | [ p ] when Lir.successors (Lir.block f p).Lir.term = [ loop.header ] -> Some p
+  | _ -> None
+
+(** Split the edge [from] -> [to_]: insert a fresh block on it and retarget
+    the phi inputs of [to_].  Returns the new block's id. *)
+let split_edge f ~from ~to_ =
+  let nb = Lir.new_block f in
+  nb.Lir.term <- Lir.Jump to_;
+  let fb = Lir.block f from in
+  let redirect t = if t = to_ then nb.Lir.bid else t in
+  (* A conditional branch may reach [to_] on both edges; we split the edge as
+     a unit (both arms retargeted would merge them — reject that case). *)
+  (match fb.Lir.term with
+  | Lir.Jump t when t = to_ -> fb.Lir.term <- Lir.Jump (redirect t)
+  | Lir.Br (c, t, e) when t = to_ || e = to_ ->
+    if t = to_ && e = to_ then invalid_arg "split_edge: duplicate edge";
+    fb.Lir.term <- Lir.Br (c, redirect t, redirect e)
+  | Lir.Jump _ | Lir.Br _ | Lir.Ret _ | Lir.Unreachable ->
+    (* A silent no-op here once hid a pass operating on stale edges. *)
+    invalid_arg "split_edge: no such edge");
+  List.iter
+    (fun v ->
+      let i = Lir.instr f v in
+      match i.Lir.kind with
+      | Lir.Phi ins ->
+        i.Lir.kind <-
+          Lir.Phi (List.map (fun (p, x) -> if p = from then (nb.Lir.bid, x) else (p, x)) ins)
+      | _ -> ())
+    (Lir.block f to_).Lir.instrs;
+  compute_preds f;
+  nb.Lir.bid
+
+(** Create (or find) a preheader block for [loop]: a dedicated block that
+    all out-of-loop predecessors jump through.  Returns its id. *)
+let ensure_preheader f loop =
+  match preheader f loop with
+  | Some p -> p
+  | None ->
+    let ph = Lir.new_block f in
+    ph.Lir.term <- Lir.Jump loop.header;
+    let header_block = Lir.block f loop.header in
+    let outside = List.filter (fun p -> not (in_loop loop p)) header_block.Lir.preds in
+    (* Redirect out-of-loop predecessors to the preheader. *)
+    List.iter
+      (fun p ->
+        let pb = Lir.block f p in
+        let redirect t = if t = loop.header then ph.Lir.bid else t in
+        pb.Lir.term <-
+          (match pb.Lir.term with
+          | Lir.Jump t -> Lir.Jump (redirect t)
+          | Lir.Br (c, t, e) -> Lir.Br (c, redirect t, redirect e)
+          | t -> t))
+      outside;
+    (* Retarget phi inputs from outside preds to the preheader. *)
+    List.iter
+      (fun v ->
+        let i = Lir.instr f v in
+        match i.Lir.kind with
+        | Lir.Phi ins ->
+          i.Lir.kind <-
+            Lir.Phi
+              (List.map (fun (p, x) -> if List.mem p outside then (ph.Lir.bid, x) else (p, x)) ins)
+        | _ -> ())
+      header_block.Lir.instrs;
+    compute_preds f;
+    ph.Lir.bid

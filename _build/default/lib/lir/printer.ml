@@ -1,0 +1,120 @@
+(** Textual dump of LIR functions, for tests and debugging. *)
+
+let cmp_to_string = function
+  | Lir.Ceq -> "=="
+  | Lir.Cne -> "!="
+  | Lir.Clt -> "<"
+  | Lir.Cle -> "<="
+  | Lir.Cgt -> ">"
+  | Lir.Cge -> ">="
+
+let exit_to_string (e : Lir.exit) =
+  Printf.sprintf "%s(smp%d@%d)"
+    (match e.ekind with Lir.Deopt -> "deopt" | Lir.Abort -> "abort")
+    e.smp.Lir.smp_id e.smp.Lir.resume_pc
+
+let rt_to_string = function
+  | Lir.Rt_binop op -> "binop" ^ Nomap_jsir.Ast.binop_to_string op
+  | Lir.Rt_unop op -> "unop" ^ Nomap_jsir.Ast.unop_to_string op
+  | Lir.Rt_get_prop p -> "get_prop:" ^ p
+  | Lir.Rt_set_prop p -> "set_prop:" ^ p
+  | Lir.Rt_get_elem -> "get_elem"
+  | Lir.Rt_set_elem -> "set_elem"
+  | Lir.Rt_get_length -> "get_length"
+  | Lir.Rt_method m -> "method:" ^ m
+  | Lir.Rt_intrinsic i -> Nomap_runtime.Intrinsics.name i
+
+let vs l = String.concat ", " (List.map (Printf.sprintf "v%d") l)
+
+let kind_to_string = function
+  | Lir.Nop -> "nop"
+  | Lir.Param r -> Printf.sprintf "param r%d" r
+  | Lir.Const c -> Printf.sprintf "const %s" (Nomap_runtime.Value.to_js_string c)
+  | Lir.Phi ins ->
+    "phi "
+    ^ String.concat ", " (List.map (fun (b, v) -> Printf.sprintf "[b%d: v%d]" b v) ins)
+  | Lir.Iadd (a, b) -> Printf.sprintf "iadd v%d, v%d" a b
+  | Lir.Isub (a, b) -> Printf.sprintf "isub v%d, v%d" a b
+  | Lir.Imul (a, b) -> Printf.sprintf "imul v%d, v%d" a b
+  | Lir.Ineg a -> Printf.sprintf "ineg v%d" a
+  | Lir.Iadd_wrap (a, b) -> Printf.sprintf "iadd.wrap v%d, v%d" a b
+  | Lir.Isub_wrap (a, b) -> Printf.sprintf "isub.wrap v%d, v%d" a b
+  | Lir.Fadd (a, b) -> Printf.sprintf "fadd v%d, v%d" a b
+  | Lir.Fsub (a, b) -> Printf.sprintf "fsub v%d, v%d" a b
+  | Lir.Fmul (a, b) -> Printf.sprintf "fmul v%d, v%d" a b
+  | Lir.Fdiv (a, b) -> Printf.sprintf "fdiv v%d, v%d" a b
+  | Lir.Fmod (a, b) -> Printf.sprintf "fmod v%d, v%d" a b
+  | Lir.Fneg a -> Printf.sprintf "fneg v%d" a
+  | Lir.Band (a, b) -> Printf.sprintf "and v%d, v%d" a b
+  | Lir.Bor (a, b) -> Printf.sprintf "or v%d, v%d" a b
+  | Lir.Bxor (a, b) -> Printf.sprintf "xor v%d, v%d" a b
+  | Lir.Bnot a -> Printf.sprintf "not32 v%d" a
+  | Lir.Shl (a, b) -> Printf.sprintf "shl v%d, v%d" a b
+  | Lir.Shr (a, b) -> Printf.sprintf "shr v%d, v%d" a b
+  | Lir.Ushr (a, b) -> Printf.sprintf "ushr v%d, v%d" a b
+  | Lir.Cmp (c, a, b) -> Printf.sprintf "cmp%s v%d, v%d" (cmp_to_string c) a b
+  | Lir.Not a -> Printf.sprintf "not v%d" a
+  | Lir.Load_slot (o, s) -> Printf.sprintf "load_slot v%d[%d]" o s
+  | Lir.Store_slot (o, s, x) -> Printf.sprintf "store_slot v%d[%d] <- v%d" o s x
+  | Lir.Store_transition (o, name, s, x) ->
+    Printf.sprintf "store_transition v%d +%s [%d] <- v%d" o name s x
+  | Lir.Load_elem (a, i) -> Printf.sprintf "load_elem v%d[v%d]" a i
+  | Lir.Store_elem (a, i, x) -> Printf.sprintf "store_elem v%d[v%d] <- v%d" a i x
+  | Lir.Load_length a -> Printf.sprintf "load_length v%d" a
+  | Lir.Str_length a -> Printf.sprintf "str_length v%d" a
+  | Lir.Load_char_code (s, i) -> Printf.sprintf "load_char v%d[v%d]" s i
+  | Lir.Load_global g -> Printf.sprintf "load_global %d" g
+  | Lir.Store_global (g, x) -> Printf.sprintf "store_global %d <- v%d" g x
+  | Lir.Check_int (a, e) -> Printf.sprintf "check_int v%d %s" a (exit_to_string e)
+  | Lir.Check_number (a, e) -> Printf.sprintf "check_number v%d %s" a (exit_to_string e)
+  | Lir.Check_string (a, e) -> Printf.sprintf "check_string v%d %s" a (exit_to_string e)
+  | Lir.Check_array (a, e) -> Printf.sprintf "check_array v%d %s" a (exit_to_string e)
+  | Lir.Check_shape (a, s, e) -> Printf.sprintf "check_shape v%d #%d %s" a s (exit_to_string e)
+  | Lir.Check_fun_eq (a, fid, e) ->
+    Printf.sprintf "check_fun v%d = f%d %s" a fid (exit_to_string e)
+  | Lir.Check_bounds (a, i, e) ->
+    Printf.sprintf "check_bounds v%d[v%d] %s" a i (exit_to_string e)
+  | Lir.Check_str_bounds (a, i, e) ->
+    Printf.sprintf "check_str_bounds v%d[v%d] %s" a i (exit_to_string e)
+  | Lir.Check_not_hole (a, i, e) ->
+    Printf.sprintf "check_not_hole v%d[v%d] %s" a i (exit_to_string e)
+  | Lir.Check_overflow (a, e) -> Printf.sprintf "check_overflow v%d %s" a (exit_to_string e)
+  | Lir.Check_cond (a, d, e) -> Printf.sprintf "check_cond v%d=%b %s" a d (exit_to_string e)
+  | Lir.Call_func (fid, args) -> Printf.sprintf "call f%d(%s)" fid (vs args)
+  | Lir.Ctor_call (fid, args) -> Printf.sprintf "ctor f%d(%s)" fid (vs args)
+  | Lir.Call_method (fid, this, args) ->
+    Printf.sprintf "call_method f%d this=v%d (%s)" fid this (vs args)
+  | Lir.Call_runtime (rt, recv, args) ->
+    Printf.sprintf "runtime %s recv=v%d (%s)" (rt_to_string rt) recv (vs args)
+  | Lir.Intrinsic (i, args) ->
+    Printf.sprintf "intrinsic %s(%s)" (Nomap_runtime.Intrinsics.name i) (vs args)
+  | Lir.Alloc_object -> "alloc_object"
+  | Lir.Alloc_array n -> Printf.sprintf "alloc_array v%d" n
+  | Lir.Tx_begin smp -> Printf.sprintf "tx_begin (smp%d@%d)" smp.Lir.smp_id smp.Lir.resume_pc
+  | Lir.Tx_end -> "tx_end"
+
+let term_to_string = function
+  | Lir.Jump b -> Printf.sprintf "jump b%d" b
+  | Lir.Br (c, t, e) -> Printf.sprintf "br v%d ? b%d : b%d" c t e
+  | Lir.Ret None -> "ret"
+  | Lir.Ret (Some v) -> Printf.sprintf "ret v%d" v
+  | Lir.Unreachable -> "unreachable"
+
+let func_to_string (f : Lir.func) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "lir function (bytecode fid=%d, tx_aware=%b, entry=b%d)\n" f.Lir.fid
+       f.Lir.tx_aware f.Lir.entry);
+  Lir.iter_blocks f (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "b%d:  ; preds: %s\n" b.Lir.bid
+           (String.concat "," (List.map (Printf.sprintf "b%d") b.Lir.preds)));
+      List.iter
+        (fun v ->
+          let i = Lir.instr f v in
+          if i.Lir.kind <> Lir.Nop then
+            Buffer.add_string buf
+              (Printf.sprintf "  v%d = %s\n" i.Lir.id (kind_to_string i.Lir.kind)))
+        b.Lir.instrs;
+      Buffer.add_string buf (Printf.sprintf "  %s\n" (term_to_string b.Lir.term)));
+  Buffer.contents buf

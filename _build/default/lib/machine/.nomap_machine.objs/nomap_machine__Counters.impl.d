@@ -1,0 +1,1 @@
+lib/machine/counters.ml: Array Float Hashtbl Nomap_htm Nomap_lir

@@ -1,0 +1,1 @@
+lib/machine/counters.mli: Hashtbl Nomap_htm Nomap_lir

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Counters Float List Nomap_cache Nomap_htm Nomap_interp Nomap_lir Nomap_runtime Nomap_tiers Nomap_util Printf String Timing

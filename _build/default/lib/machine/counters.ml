@@ -1,0 +1,125 @@
+(** Execution metrics: dynamic instruction counts by paper category
+    (NoFTL / NoTM / TMUnopt / TMOpt), executed checks by kind, simulated
+    cycles split into transactional and non-transactional time, and
+    transaction statistics — everything Figures 3 and 8-11 and Tables I and
+    IV are built from. *)
+
+type category = No_ftl | No_tm | Tm_unopt | Tm_opt
+
+let category_index = function No_ftl -> 0 | No_tm -> 1 | Tm_unopt -> 2 | Tm_opt -> 3
+let category_name = function
+  | No_ftl -> "NoFTL"
+  | No_tm -> "NoTM"
+  | Tm_unopt -> "TMUnopt"
+  | Tm_opt -> "TMOpt"
+
+let categories = [ No_ftl; No_tm; Tm_unopt; Tm_opt ]
+
+let check_index = function
+  | Nomap_lir.Lir.Bounds -> 0
+  | Nomap_lir.Lir.Overflow -> 1
+  | Nomap_lir.Lir.Type -> 2
+  | Nomap_lir.Lir.Property -> 3
+  | Nomap_lir.Lir.Hole -> 4
+  | Nomap_lir.Lir.Path -> 5
+
+let check_kinds =
+  [ Nomap_lir.Lir.Bounds; Nomap_lir.Lir.Overflow; Nomap_lir.Lir.Type; Nomap_lir.Lir.Property;
+    Nomap_lir.Lir.Hole; Nomap_lir.Lir.Path ]
+
+type t = {
+  instrs : int array;  (** per category *)
+  checks : int array;  (** executed FTL checks per kind *)
+  mutable cycles : float;
+  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  mutable deopts : int;
+  mutable ftl_calls : int;  (** invocations of FTL-compiled functions *)
+  mutable dfg_calls : int;
+  mutable tx_commits : int;
+  mutable tx_aborts : int;
+  abort_reasons : (string, int) Hashtbl.t;
+  (* Committed-transaction write-set characterization (Table IV). *)
+  mutable tx_write_kb_sum : float;
+  mutable tx_write_kb_max : float;
+  mutable tx_assoc_sum : float;
+  mutable tx_assoc_max : int;
+  mutable tx_samples : int;
+}
+
+let create () =
+  {
+    instrs = Array.make 4 0;
+    checks = Array.make 6 0;
+    cycles = 0.0;
+    tx_cycles = 0.0;
+    deopts = 0;
+    ftl_calls = 0;
+    dfg_calls = 0;
+    tx_commits = 0;
+    tx_aborts = 0;
+    abort_reasons = Hashtbl.create 8;
+    tx_write_kb_sum = 0.0;
+    tx_write_kb_max = 0.0;
+    tx_assoc_sum = 0.0;
+    tx_assoc_max = 0;
+    tx_samples = 0;
+  }
+
+let total_instrs t = Array.fold_left ( + ) 0 t.instrs
+let total_checks t = Array.fold_left ( + ) 0 t.checks
+
+let add_instrs t cat n = t.instrs.(category_index cat) <- t.instrs.(category_index cat) + n
+
+let add_check t kind = t.checks.(check_index kind) <- t.checks.(check_index kind) + 1
+
+let add_cycles t ~in_tx c =
+  t.cycles <- t.cycles +. c;
+  if in_tx then t.tx_cycles <- t.tx_cycles +. c
+
+let record_abort t reason =
+  t.tx_aborts <- t.tx_aborts + 1;
+  let name = Nomap_htm.Htm.abort_reason_name reason in
+  Hashtbl.replace t.abort_reasons name
+    (1 + try Hashtbl.find t.abort_reasons name with Not_found -> 0)
+
+let record_commit t ~write_kb ~assoc =
+  t.tx_commits <- t.tx_commits + 1;
+  t.tx_samples <- t.tx_samples + 1;
+  t.tx_write_kb_sum <- t.tx_write_kb_sum +. write_kb;
+  t.tx_write_kb_max <- Float.max t.tx_write_kb_max write_kb;
+  t.tx_assoc_sum <- t.tx_assoc_sum +. float_of_int assoc;
+  t.tx_assoc_max <- max t.tx_assoc_max assoc
+
+(** Instruction-category fractions of the total. *)
+let category_fraction t cat =
+  let total = total_instrs t in
+  if total = 0 then 0.0
+  else float_of_int t.instrs.(category_index cat) /. float_of_int total
+
+let checks_per_100 t kind =
+  let total = total_instrs t in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int t.checks.(check_index kind) /. float_of_int total
+
+let copy t = { t with instrs = Array.copy t.instrs; checks = Array.copy t.checks;
+               abort_reasons = Hashtbl.copy t.abort_reasons }
+
+(** Metrics accumulated between [snapshot] and now (for steady-state
+    measurement after warmup). *)
+let diff ~now ~before =
+  let t = create () in
+  Array.iteri (fun i x -> t.instrs.(i) <- x - before.instrs.(i)) now.instrs;
+  Array.iteri (fun i x -> t.checks.(i) <- x - before.checks.(i)) now.checks;
+  t.cycles <- now.cycles -. before.cycles;
+  t.tx_cycles <- now.tx_cycles -. before.tx_cycles;
+  t.deopts <- now.deopts - before.deopts;
+  t.ftl_calls <- now.ftl_calls - before.ftl_calls;
+  t.dfg_calls <- now.dfg_calls - before.dfg_calls;
+  t.tx_commits <- now.tx_commits - before.tx_commits;
+  t.tx_aborts <- now.tx_aborts - before.tx_aborts;
+  t.tx_write_kb_sum <- now.tx_write_kb_sum -. before.tx_write_kb_sum;
+  t.tx_write_kb_max <- now.tx_write_kb_max;
+  t.tx_assoc_sum <- now.tx_assoc_sum -. before.tx_assoc_sum;
+  t.tx_assoc_max <- now.tx_assoc_max;
+  t.tx_samples <- now.tx_samples - before.tx_samples;
+  t

@@ -1,0 +1,59 @@
+(** Execution metrics: dynamic instruction counts by paper category (NoFTL /
+    NoTM / TMUnopt / TMOpt), executed checks by kind, simulated cycles split
+    into transactional and non-transactional time, and transaction
+    statistics — everything Figures 3 and 8-11 and Tables I and IV are
+    built from. *)
+
+type category =
+  | No_ftl  (** interpreter, baseline, C-runtime code *)
+  | No_tm  (** FTL code outside any transaction region *)
+  | Tm_unopt  (** code executing inside a transaction it was not compiled for *)
+  | Tm_opt  (** transaction-aware FTL code inside its own transaction *)
+
+val category_index : category -> int
+val category_name : category -> string
+val categories : category list
+
+val check_index : Nomap_lir.Lir.check_kind -> int
+val check_kinds : Nomap_lir.Lir.check_kind list
+
+type t = {
+  instrs : int array;  (** per category *)
+  checks : int array;  (** executed FTL checks per kind *)
+  mutable cycles : float;
+  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  mutable deopts : int;
+  mutable ftl_calls : int;
+  mutable dfg_calls : int;
+  mutable tx_commits : int;
+  mutable tx_aborts : int;
+  abort_reasons : (string, int) Hashtbl.t;
+  mutable tx_write_kb_sum : float;
+  mutable tx_write_kb_max : float;
+  mutable tx_assoc_sum : float;
+  mutable tx_assoc_max : int;
+  mutable tx_samples : int;
+}
+
+val create : unit -> t
+val total_instrs : t -> int
+val total_checks : t -> int
+val add_instrs : t -> category -> int -> unit
+val add_check : t -> Nomap_lir.Lir.check_kind -> unit
+val add_cycles : t -> in_tx:bool -> float -> unit
+val record_abort : t -> Nomap_htm.Htm.abort_reason -> unit
+
+(** Record a committed transaction's write-set characterization (Table IV). *)
+val record_commit : t -> write_kb:float -> assoc:int -> unit
+
+(** Fraction of total instructions in a category. *)
+val category_fraction : t -> category -> float
+
+(** Executed checks of a kind per 100 instructions (Figure 3). *)
+val checks_per_100 : t -> Nomap_lir.Lir.check_kind -> float
+
+val copy : t -> t
+
+(** Metrics accumulated between a [copy] snapshot and now (steady-state
+    measurement after warmup). *)
+val diff : now:t -> before:t -> t

@@ -1,0 +1,576 @@
+(** The abstract machine that executes LIR — our stand-in for the x86-64
+    core running DFG/FTL-generated code.
+
+    It interprets LIR against the simulated heap while:
+    - counting dynamic instructions, classified NoFTL / NoTM / TMUnopt /
+      TMOpt exactly as the paper's Figures 8/9 do (TMOpt = transaction-aware
+      code inside its own transaction; TMUnopt = a callee executing inside
+      someone else's transaction);
+    - counting executed checks by kind (Figure 3);
+    - charging the cycle model (Figures 10/11);
+    - executing transactional semantics: Tx_begin checkpoints the live
+      registers (like XBegin), speculative writes are journaled via the heap
+      hooks, and an abort rolls the heap back and resumes the Baseline tier
+      at the region entry — the control flow of paper Figure 5(b);
+    - performing OSR exits: a failing Deopt check materializes its stack map
+      into a Baseline frame and the rest of the function runs there. *)
+
+module Value = Nomap_runtime.Value
+module Heap = Nomap_runtime.Heap
+module Ops = Nomap_runtime.Ops
+module Shape = Nomap_runtime.Shape
+module Intrinsics = Nomap_runtime.Intrinsics
+module Instance = Nomap_interp.Instance
+module L = Nomap_lir.Lir
+module Htm = Nomap_htm.Htm
+module Footprint = Nomap_cache.Footprint
+module Specialize = Nomap_tiers.Specialize
+
+type tier = Dfg | Ftl
+
+exception Deopt_exit of int * (int * Value.t) list  (** resume pc, register values *)
+
+type env = {
+  instance : Instance.t;
+  counters : Counters.t;
+  htm_mode : Htm.mode;  (** hardware a Tx_begin targets *)
+  sof_enabled : bool;  (** Sticky Overflow Flag hardware present *)
+  capacity_scale : int;  (** HTM capacity scaling (matches workload scaling) *)
+  tx_watchdog : int;  (** max LIR instrs per transaction before forced abort *)
+  call : fid:int -> this:Value.t -> args:Value.t list -> Value.t;
+  deopt_resume : fid:int -> resume_pc:int -> values:(int * Value.t) list -> Value.t;
+  mutable tx : Htm.tx option;
+  mutable ghost_depth : int;  (** Base config: zero-cost region markers *)
+  mutable ghost_owner : int;
+  mutable next_frame : int;
+  mutable on_abort : fid:int -> Htm.abort_reason -> unit;
+      (** VM adaptation hook: capacity aborts shrink/remove transactions *)
+}
+
+let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
+    ?(tx_watchdog = 30_000_000) ~call ~deopt_resume () =
+  {
+    instance;
+    counters;
+    htm_mode;
+    sof_enabled;
+    capacity_scale;
+    tx_watchdog;
+    call;
+    deopt_resume;
+    tx = None;
+    ghost_depth = 0;
+    ghost_owner = -1;
+    next_frame = 0;
+    on_abort = (fun ~fid:_ _ -> ());
+  }
+
+let in_region env = env.tx <> None || env.ghost_depth > 0
+
+let category env frame =
+  match env.tx with
+  | Some tx ->
+    if frame = tx.Htm.owner_frame then Counters.Tm_opt else Counters.Tm_unopt
+  | None ->
+    if env.ghost_depth > 0 then
+      if frame = env.ghost_owner then Counters.Tm_opt else Counters.Tm_unopt
+    else Counters.No_tm
+
+let charge_ftl env ~frame ~tier n =
+  if n > 0 then begin
+    Counters.add_instrs env.counters (category env frame) n;
+    let cpi = match tier with Dfg -> Timing.cpi_dfg | Ftl -> Timing.cpi_ftl in
+    Counters.add_cycles env.counters ~in_tx:(in_region env) (float_of_int n *. cpi)
+  end
+
+let charge_runtime env n =
+  if n > 0 then begin
+    Counters.add_instrs env.counters Counters.No_ftl n;
+    Counters.add_cycles env.counters ~in_tx:(in_region env)
+      (float_of_int n *. Timing.cpi_runtime)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cost tables (simulated machine instructions per LIR instruction). *)
+
+let base_cost = function
+  | L.Nop | L.Phi _ | L.Param _ | L.Const _ -> 0
+  | L.Iadd _ | L.Isub _ | L.Imul _ | L.Ineg _ | L.Iadd_wrap _ | L.Isub_wrap _ -> 1
+  | L.Fadd _ | L.Fsub _ | L.Fmul _ | L.Fneg _ -> 1
+  | L.Fdiv _ -> 4
+  | L.Fmod _ -> 8
+  | L.Band _ | L.Bor _ | L.Bxor _ | L.Bnot _ | L.Shl _ | L.Shr _ | L.Ushr _ -> 1
+  | L.Cmp _ | L.Not _ -> 1
+  | L.Load_slot _ | L.Load_elem _ | L.Load_char_code _ -> 3
+  | L.Store_slot _ | L.Store_elem _ -> 3
+  | L.Store_transition _ -> 5  (* slot store + shape-word update *)
+  | L.Load_length _ | L.Str_length _ -> 2
+  | L.Load_global _ | L.Store_global _ -> 2
+  | L.Check_shape _ | L.Check_bounds _ | L.Check_str_bounds _ | L.Check_not_hole _ -> 3
+  | L.Check_int _ | L.Check_number _ | L.Check_string _ | L.Check_array _
+  | L.Check_fun_eq _ | L.Check_overflow _ | L.Check_cond _ -> 2
+  | L.Call_func _ | L.Call_method _ -> 6
+  | L.Ctor_call _ -> 22
+  | L.Alloc_object | L.Alloc_array _ -> 15
+  | L.Intrinsic _ -> 0 (* charged separately *)
+  | L.Call_runtime _ -> 2 (* the call itself; body charged as runtime *)
+  | L.Tx_begin _ | L.Tx_end -> 1
+
+(** (FTL instructions, NoFTL runtime instructions) for a math intrinsic:
+    cheap ones are inlined by the backend; transcendentals call libm. *)
+let intrinsic_cost = function
+  | Intrinsics.Math_sqrt -> (3, 0)
+  | Intrinsics.Math_abs | Intrinsics.Math_floor | Intrinsics.Math_ceil
+  | Intrinsics.Math_round | Intrinsics.Math_min | Intrinsics.Math_max -> (2, 0)
+  | Intrinsics.Global_is_nan -> (2, 0)
+  | Intrinsics.Math_random -> (1, 12)
+  | _ -> (1, 40)
+
+let runtime_cost rt (recv : Value.t) (args : Value.t list) =
+  match rt with
+  | L.Rt_binop _ -> 30
+  | L.Rt_unop _ -> 16
+  | L.Rt_get_prop _ -> 35
+  | L.Rt_set_prop _ -> 40
+  | L.Rt_get_elem -> 30
+  | L.Rt_set_elem -> 34
+  | L.Rt_get_length -> 16
+  | L.Rt_method _ -> 44
+  | L.Rt_intrinsic i -> 6 + Intrinsics.cost i + Intrinsics.dynamic_cost i recv args
+
+(* ------------------------------------------------------------------ *)
+
+let wrap_int32 = Ops.wrap_int32
+
+let as_int = function Value.Int i -> i | v -> Value.to_int32 v
+let as_num = Value.to_number
+
+(* Robust coercions: after NoMap removes checks inside a doomed transaction,
+   garbage values may flow; hardware would compute garbage and abort later,
+   so we coerce benignly instead of crashing the simulator. *)
+let as_arr = function Value.Arr a -> Some a | _ -> None
+let as_obj = function Value.Obj o -> Some o | _ -> None
+
+let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
+  let lir = c.Specialize.lir in
+  let inst = env.instance in
+  let heap = inst.Instance.heap in
+  (match tier with
+  | Ftl -> env.counters.Counters.ftl_calls <- env.counters.Counters.ftl_calls + 1
+  | Dfg -> env.counters.Counters.dfg_calls <- env.counters.Counters.dfg_calls + 1);
+  let frame = env.next_frame in
+  env.next_frame <- env.next_frame + 1;
+  let n = Nomap_util.Vec.length lir.L.instrs in
+  let values = Array.make n Value.Undef in
+  let overflowed = Array.make n false in
+  let charge n = charge_ftl env ~frame ~tier n in
+  let materialize live = List.map (fun (r, v) -> (r, values.(v))) live in
+  (* A failing check: Deopt outside any real transaction OSR-exits; inside a
+     transaction any failure is an abort (Deopt there is irrevocable). *)
+  let check_fail (e : L.exit) kind =
+    match env.tx with
+    | Some _ -> raise (Htm.Abort (Htm.Check_failed kind))
+    | None -> (
+      match e.L.ekind with
+      | L.Deopt -> raise (Deopt_exit (e.L.smp.L.resume_pc, materialize e.L.smp.L.live))
+      | L.Abort ->
+        (* Abort exit with no live transaction: only possible if a pass
+           mis-converted; treat as a plain deopt to stay safe. *)
+        raise (Deopt_exit (e.L.smp.L.resume_pc, materialize e.L.smp.L.live)))
+  in
+  let pass_check kind v =
+    Counters.add_check env.counters kind;
+    v
+  in
+  let int_result id raw =
+    if Value.fits_int32 raw then Value.Int raw
+    else begin
+      overflowed.(id) <- true;
+      (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
+      Value.Int (wrap_int32 raw)
+    end
+  in
+  let tx_tick () =
+    match env.tx with
+    | Some tx ->
+      tx.Htm.instr_count <- tx.Htm.instr_count + 1;
+      if tx.Htm.instr_count > env.tx_watchdog then raise (Htm.Abort Htm.Watchdog)
+    | None -> ()
+  in
+  let exec_runtime rt recv args =
+    charge_runtime env (runtime_cost rt recv args);
+    match rt with
+    | L.Rt_binop op -> Ops.apply_binop heap op (List.nth args 0) (List.nth args 1)
+    | L.Rt_unop op -> Ops.apply_unop op (List.nth args 0)
+    | L.Rt_get_prop name -> (
+      match as_obj recv with
+      | Some o -> Heap.get_prop heap o name
+      | None -> Value.Undef)
+    | L.Rt_set_prop name -> (
+      match as_obj recv with
+      | Some o ->
+        Heap.set_prop heap o name (List.nth args 0);
+        Value.Undef
+      | None -> raise (Nomap_interp.Interp.Runtime_error "set property on non-object"))
+    | L.Rt_get_elem -> (
+      let vi = List.nth args 0 in
+      match (recv, vi) with
+      | Value.Arr arr, Value.Int idx -> Heap.get_elem heap arr idx
+      | Value.Arr arr, _ ->
+        let idx = Value.to_int32 vi in
+        if float_of_int idx = Value.to_number vi then Heap.get_elem heap arr idx
+        else Value.Undef
+      | Value.Str s, Value.Int idx ->
+        let data = s.Value.sdata in
+        if idx >= 0 && idx < String.length data then Heap.str heap (String.make 1 data.[idx])
+        else Value.Undef
+      | v, _ ->
+        raise (Nomap_interp.Interp.Runtime_error ("cannot index " ^ Value.type_name v)))
+    | L.Rt_set_elem -> (
+      let vi = List.nth args 0 and vx = List.nth args 1 in
+      match recv with
+      | Value.Arr arr ->
+        let idx = as_int vi in
+        if float_of_int idx = Value.to_number vi then Heap.set_elem heap arr idx vx;
+        Value.Undef
+      | v -> raise (Nomap_interp.Interp.Runtime_error ("cannot index-assign " ^ Value.type_name v)))
+    | L.Rt_get_length -> (
+      match Ops.js_length recv with
+      | Some v -> v
+      | None -> (
+        match as_obj recv with
+        | Some o -> Heap.get_prop heap o "length"
+        | None ->
+          raise (Nomap_interp.Interp.Runtime_error ("no length on " ^ Value.type_name recv))))
+    | L.Rt_method name -> (
+      match Intrinsics.method_lookup recv name with
+      | Some intr -> (
+        try Intrinsics.eval heap intr recv args
+        with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+      | None -> (
+        match as_obj recv with
+        | Some o -> (
+          match Shape.lookup o.Value.shape name with
+          | Some slot -> (
+            match Heap.load_slot heap o slot with
+            | Value.Fun fid -> env.call ~fid ~this:recv ~args
+            | v ->
+              raise
+                (Nomap_interp.Interp.Runtime_error
+                   (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))
+          | None -> raise (Nomap_interp.Interp.Runtime_error ("no method " ^ name)))
+        | None ->
+          raise
+            (Nomap_interp.Interp.Runtime_error
+               (Printf.sprintf "no method %s on %s" name (Value.type_name recv)))))
+    | L.Rt_intrinsic intr -> (
+      try Intrinsics.eval heap intr recv args
+      with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+  in
+  let run () =
+    let prev_block = ref (-1) in
+    let cur_block = ref lir.L.entry in
+    let result = ref None in
+    while !result = None do
+      let b = L.block lir !cur_block in
+      (* Phis: read all inputs against the incoming edge, then assign in
+         parallel, then run the block body. *)
+      let rec exec_phis = function
+        | v :: rest -> (
+          let i = L.instr lir v in
+          match i.L.kind with
+          | L.Phi ins ->
+            let copies = ref [] in
+            let rec gather = function
+              | w :: more -> (
+                let j = L.instr lir w in
+                match j.L.kind with
+                | L.Phi ins' ->
+                  (match List.assoc_opt !prev_block ins' with
+                  | Some src -> copies := (w, values.(src)) :: !copies
+                  | None -> ());
+                  gather more
+                | L.Nop -> gather more
+                | _ -> w :: more)
+              | [] -> []
+            in
+            ignore ins;
+            let body = gather (v :: rest) in
+            List.iter (fun (w, value) -> values.(w) <- value) !copies;
+            exec_instrs body
+          | L.Nop -> exec_phis rest
+          | _ -> exec_instrs (v :: rest))
+        | [] -> ()
+      and exec_instrs instrs =
+        List.iter
+          (fun v ->
+            let i = L.instr lir v in
+            let k = i.L.kind in
+            (match k with
+            | L.Phi _ | L.Nop -> ()
+            | (L.Tx_begin _ | L.Tx_end) when env.htm_mode = Htm.Ghost ->
+              (* Base config: region markers only, no machine cost. *)
+              Instance.burn inst 1
+            | _ ->
+              Instance.burn inst 1;
+              tx_tick ();
+              charge (base_cost k));
+            match k with
+            | L.Nop | L.Phi _ -> ()
+            | L.Param r ->
+              values.(v) <-
+                (if r = 0 then this
+                 else match List.nth_opt args (r - 1) with Some x -> x | None -> Value.Undef)
+            | L.Const c -> values.(v) <- c
+            | L.Iadd (a, b) -> values.(v) <- int_result v (as_int values.(a) + as_int values.(b))
+            | L.Isub (a, b) -> values.(v) <- int_result v (as_int values.(a) - as_int values.(b))
+            | L.Iadd_wrap (a, b) ->
+              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) + as_int values.(b)))
+            | L.Isub_wrap (a, b) ->
+              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) - as_int values.(b)))
+            | L.Imul (a, b) -> values.(v) <- int_result v (as_int values.(a) * as_int values.(b))
+            | L.Ineg a ->
+              let x = as_int values.(a) in
+              (* -0 and -int32_min are not int32-representable results. *)
+              if x = 0 || x = Value.int32_min then begin
+                overflowed.(v) <- true;
+                (match env.tx with
+                | Some tx when env.sof_enabled -> tx.Htm.sof <- true
+                | _ -> ());
+                values.(v) <- Value.Int (wrap_int32 (-x))
+              end
+              else values.(v) <- Value.Int (-x)
+            | L.Fadd (a, b) -> values.(v) <- Value.number (as_num values.(a) +. as_num values.(b))
+            | L.Fsub (a, b) -> values.(v) <- Value.number (as_num values.(a) -. as_num values.(b))
+            | L.Fmul (a, b) -> values.(v) <- Value.number (as_num values.(a) *. as_num values.(b))
+            | L.Fdiv (a, b) -> values.(v) <- Value.number (as_num values.(a) /. as_num values.(b))
+            | L.Fmod (a, b) ->
+              values.(v) <- Value.number (Float.rem (as_num values.(a)) (as_num values.(b)))
+            | L.Fneg a -> values.(v) <- Value.number (-.as_num values.(a))
+            | L.Band (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) land as_int values.(b)))
+            | L.Bor (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lor as_int values.(b)))
+            | L.Bxor (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lxor as_int values.(b)))
+            | L.Bnot a -> values.(v) <- Value.Int (wrap_int32 (lnot (as_int values.(a))))
+            | L.Shl (a, b) ->
+              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lsl (as_int values.(b) land 31)))
+            | L.Shr (a, b) -> values.(v) <- Value.Int (as_int values.(a) asr (as_int values.(b) land 31))
+            | L.Ushr (a, b) -> values.(v) <- Ops.js_ushr values.(a) values.(b)
+            | L.Cmp (c, a, b) ->
+              let x = as_num values.(a) and y = as_num values.(b) in
+              let r =
+                match c with
+                | L.Ceq -> x = y
+                | L.Cne -> x <> y (* JS: NaN != anything is true *)
+                | L.Clt -> x < y
+                | L.Cle -> x <= y
+                | L.Cgt -> x > y
+                | L.Cge -> x >= y
+              in
+              values.(v) <- Value.Bool r
+            | L.Not a -> values.(v) <- Value.Bool (not (Value.truthy values.(a)))
+            | L.Load_slot (o, slot) -> (
+              match as_obj values.(o) with
+              | Some obj when slot < Array.length obj.Value.slots ->
+                values.(v) <- Heap.load_slot heap obj slot
+              | _ -> values.(v) <- Value.Undef)
+            | L.Store_slot (o, slot, x) -> (
+              match as_obj values.(o) with
+              | Some obj when slot < Array.length obj.Value.slots ->
+                Heap.store_slot heap obj slot values.(x)
+              | _ -> ())
+            | L.Store_transition (o, name, slot, x) -> (
+              match as_obj values.(o) with
+              | Some obj ->
+                (* The guarding shape check ran just before; resolve the
+                   (memoized) transition and install shape + value. *)
+                let new_shape =
+                  Shape.transition heap.Heap.shapes obj.Value.shape name
+                in
+                if new_shape.Shape.prop_count - 1 = slot then
+                  Heap.transition_store heap obj new_shape slot values.(x)
+                else
+                  (* Shape drifted (possible only in a doomed transaction). *)
+                  Heap.set_prop heap obj name values.(x)
+              | None -> ())
+            | L.Load_elem (a, i') -> (
+              match as_arr values.(a) with
+              | Some arr -> values.(v) <- Heap.load_elem heap arr (as_int values.(i'))
+              | None -> values.(v) <- Value.Undef)
+            | L.Store_elem (a, i', x) -> (
+              match as_arr values.(a) with
+              | Some arr -> Heap.store_elem heap arr (as_int values.(i')) values.(x)
+              | None -> ())
+            | L.Load_length a -> (
+              match as_arr values.(a) with
+              | Some arr ->
+                heap.Heap.hooks.load arr.Value.aaddr 8;
+                values.(v) <- Value.Int arr.Value.alen
+              | None -> values.(v) <- Value.Int 0)
+            | L.Str_length a -> (
+              match values.(a) with
+              | Value.Str s -> values.(v) <- Value.Int (String.length s.Value.sdata)
+              | _ -> values.(v) <- Value.Int 0)
+            | L.Load_char_code (s, i') -> (
+              match values.(s) with
+              | Value.Str str ->
+                values.(v) <- Value.Int (Ops.string_char_code heap str (as_int values.(i')))
+              | _ -> values.(v) <- Value.Int 0)
+            | L.Load_global g -> values.(v) <- inst.Instance.globals.(g)
+            | L.Store_global (g, x) -> inst.Instance.globals.(g) <- values.(x)
+            | L.Check_int (a, e) -> (
+              match values.(a) with
+              | Value.Int _ -> values.(v) <- pass_check L.Type values.(a)
+              | _ -> check_fail e L.Type)
+            | L.Check_number (a, e) -> (
+              match values.(a) with
+              | Value.Int _ | Value.Num _ -> values.(v) <- pass_check L.Type values.(a)
+              | _ -> check_fail e L.Type)
+            | L.Check_string (a, e) -> (
+              match values.(a) with
+              | Value.Str _ -> values.(v) <- pass_check L.Type values.(a)
+              | _ -> check_fail e L.Type)
+            | L.Check_array (a, e) -> (
+              match values.(a) with
+              | Value.Arr _ -> values.(v) <- pass_check L.Type values.(a)
+              | _ -> check_fail e L.Type)
+            | L.Check_shape (a, shape_id, e) -> (
+              match values.(a) with
+              | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
+                heap.Heap.hooks.load o.Value.oaddr 8;
+                values.(v) <- pass_check L.Property values.(a)
+              | _ -> check_fail e L.Property)
+            | L.Check_fun_eq (a, fid, e) -> (
+              match values.(a) with
+              | Value.Fun f when f = fid -> values.(v) <- pass_check L.Path values.(a)
+              | _ -> check_fail e L.Path)
+            | L.Check_bounds (a, i', e) -> (
+              let idx = as_int values.(i') in
+              match as_arr values.(a) with
+              | Some arr when idx >= 0 && idx < arr.Value.alen ->
+                heap.Heap.hooks.load arr.Value.aaddr 8;
+                values.(v) <- pass_check L.Bounds (Value.Int idx)
+              | _ -> check_fail e L.Bounds)
+            | L.Check_str_bounds (s, i', e) -> (
+              let idx = as_int values.(i') in
+              match values.(s) with
+              | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
+                values.(v) <- pass_check L.Bounds (Value.Int idx)
+              | _ -> check_fail e L.Bounds)
+            | L.Check_not_hole (a, i', e) -> (
+              let idx = as_int values.(i') in
+              match as_arr values.(a) with
+              | Some arr
+                when idx >= 0
+                     && idx < Array.length arr.Value.elems
+                     && Heap.load_elem heap arr idx <> Value.Hole ->
+                values.(v) <- pass_check L.Hole (Value.Int idx)
+              | _ -> check_fail e L.Hole)
+            | L.Check_overflow (a, e) ->
+              if overflowed.(a) then check_fail e L.Overflow
+              else values.(v) <- pass_check L.Overflow values.(a)
+            | L.Check_cond (a, expected, e) ->
+              if Value.truthy values.(a) = expected then
+                values.(v) <- pass_check L.Path values.(a)
+              else check_fail e L.Path
+            | L.Call_func (fid, cargs) ->
+              values.(v) <- env.call ~fid ~this:Value.Undef ~args:(List.map (fun a -> values.(a)) cargs)
+            | L.Call_method (fid, thisv, cargs) ->
+              values.(v) <-
+                env.call ~fid ~this:values.(thisv) ~args:(List.map (fun a -> values.(a)) cargs)
+            | L.Ctor_call (fid, cargs) ->
+              let obj = Value.Obj (Heap.alloc_object heap) in
+              let r = env.call ~fid ~this:obj ~args:(List.map (fun a -> values.(a)) cargs) in
+              values.(v) <- (match r with Value.Undef -> obj | x -> x)
+            | L.Call_runtime (rt, recv, cargs) ->
+              values.(v) <- exec_runtime rt values.(recv) (List.map (fun a -> values.(a)) cargs)
+            | L.Intrinsic (intr, cargs) ->
+              let ftl_c, rt_c = intrinsic_cost intr in
+              charge ftl_c;
+              charge_runtime env rt_c;
+              values.(v) <-
+                (try Intrinsics.eval heap intr Value.Undef (List.map (fun a -> values.(a)) cargs)
+                 with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+            | L.Alloc_object -> values.(v) <- Value.Obj (Heap.alloc_object heap)
+            | L.Alloc_array len ->
+              let n = as_int values.(len) in
+              if n < 0 || n > 1 lsl 24 then begin
+                if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
+                else raise (Nomap_interp.Interp.Runtime_error "bad array length")
+              end;
+              values.(v) <- Value.Arr (Heap.alloc_array heap n)
+            | L.Tx_begin smp -> (
+              match env.htm_mode with
+              | Htm.Ghost ->
+                if env.ghost_depth = 0 then env.ghost_owner <- frame;
+                env.ghost_depth <- env.ghost_depth + 1
+              | (Htm.Rot | Htm.Rtm) as mode -> (
+                match env.tx with
+                | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
+                | None ->
+                  let snapshot = materialize smp.L.live in
+                  env.tx <-
+                    Some
+                      (Htm.begin_tx ~capacity_scale:env.capacity_scale heap ~mode ~snapshot
+                         ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
+                  (* Transaction lengths scale with the workloads; scale the
+                     fixed begin/end costs equally so the overhead-to-work
+                     ratio stays in the paper's regime (DESIGN.md §6). *)
+                  Counters.add_cycles env.counters ~in_tx:true
+                    (Timing.xbegin_cycles /. float_of_int env.capacity_scale)))
+            | L.Tx_end -> (
+              match env.htm_mode with
+              | Htm.Ghost ->
+                env.ghost_depth <- max 0 (env.ghost_depth - 1);
+                if env.ghost_depth = 0 then env.ghost_owner <- -1
+              | Htm.Rot | Htm.Rtm -> (
+                match env.tx with
+                | None -> ()  (* abort already tore the transaction down *)
+                | Some tx ->
+                  tx.Htm.nesting <- tx.Htm.nesting - 1;
+                  if tx.Htm.nesting = 0 then begin
+                    if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
+                    Counters.add_cycles env.counters ~in_tx:true
+                      ((match tx.Htm.mode with
+                       | Htm.Rtm -> Timing.xend_rtm_cycles
+                       | _ -> Timing.xend_rot_cycles)
+                      /. float_of_int env.capacity_scale);
+                    Counters.record_commit env.counters
+                      ~write_kb:(Footprint.kb tx.Htm.write_fp)
+                      ~assoc:(Footprint.max_ways tx.Htm.write_fp);
+                    Htm.commit tx;
+                    env.tx <- None
+                  end)))
+          instrs
+      in
+      exec_phis b.L.instrs;
+      charge 1;
+      (* terminator *)
+      match b.L.term with
+      | L.Jump t ->
+        prev_block := !cur_block;
+        cur_block := t
+      | L.Br (cv, bt, bf) ->
+        prev_block := !cur_block;
+        cur_block := (if Value.truthy values.(cv) then bt else bf)
+      | L.Ret r -> result := Some (match r with Some rv -> values.(rv) | None -> Value.Undef)
+      | L.Unreachable -> raise (Nomap_interp.Interp.Runtime_error "reached unreachable block")
+    done;
+    match !result with Some r -> r | None -> assert false
+  in
+  let handle_abort reason tx =
+    Htm.rollback tx;
+    env.tx <- None;
+    Counters.record_abort env.counters reason;
+    Counters.add_cycles env.counters ~in_tx:false Timing.abort_cycles;
+    env.on_abort ~fid:lir.L.fid reason;
+    env.deopt_resume ~fid:lir.L.fid ~resume_pc:tx.Htm.resume_pc ~values:tx.Htm.snapshot
+  in
+  try run () with
+  | Deopt_exit (resume_pc, vals) ->
+    env.counters.Counters.deopts <- env.counters.Counters.deopts + 1;
+    Counters.add_cycles env.counters ~in_tx:(in_region env) Timing.deopt_cycles;
+    env.deopt_resume ~fid:lir.L.fid ~resume_pc ~values:vals
+  | Htm.Abort reason -> (
+    match env.tx with
+    | Some tx when tx.Htm.owner_frame = frame -> handle_abort reason tx
+    | _ -> raise (Htm.Abort reason))

@@ -1,0 +1,31 @@
+(** Cycle model (paper §VI-A).
+
+    Execution time in Figures 10/11 is simulated cycles, computed as
+    instructions × a per-code-class CPI plus the explicit transactional
+    overheads the paper charges:
+
+    - XBegin is modeled as an mfence (the dominant cost the paper
+      identifies): [xbegin_cycles].
+    - Lightweight (ROT) XEnd flash-clears SW bits: +5 cycles (paper cites a
+      few cycles via a tag-array circuit [41]).
+    - RTM XEnd stalls for write-buffer drain: ≥13 cycles (Ritson & Barnes).
+    - RTM transactional reads are ~20% slower: [rtm_read_penalty] extra
+      cycles per in-transaction load.
+    - A deoptimization (OSR exit + Baseline warm-in) and an abort (rollback
+      + redirect) get fixed costs; both are rare in steady state.
+
+    CPIs position FTL ≈ 41-64% faster than DFG per instruction (backend
+    quality: LLVM instruction selection), with runtime/interpreter code
+    missing caches more often. *)
+
+let cpi_ftl = 0.55
+let cpi_dfg = 0.80
+let cpi_runtime = 1.00  (* NoFTL: interpreter, baseline, C runtime *)
+
+let xbegin_cycles = 30.0
+let xend_rot_cycles = 5.0
+let xend_rtm_cycles = 13.0
+let rtm_read_penalty = 0.6  (* extra cycles per transactional read (~20% of a ~3-cycle load) *)
+
+let deopt_cycles = 400.0
+let abort_cycles = 200.0

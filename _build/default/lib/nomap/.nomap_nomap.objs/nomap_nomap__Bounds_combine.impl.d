@@ -1,0 +1,1 @@
+lib/nomap/bounds_combine.ml: Hashtbl List Nomap_lir Nomap_opt Nomap_runtime Nomap_tiers Txplace

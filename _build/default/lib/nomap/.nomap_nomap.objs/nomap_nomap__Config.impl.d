@@ -1,0 +1,1 @@
+lib/nomap/config.ml: Nomap_htm

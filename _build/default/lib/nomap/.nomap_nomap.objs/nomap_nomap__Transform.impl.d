@@ -1,0 +1,1 @@
+lib/nomap/transform.ml: Bounds_combine Config List Nomap_lir Nomap_opt Nomap_profile Nomap_tiers Txplace

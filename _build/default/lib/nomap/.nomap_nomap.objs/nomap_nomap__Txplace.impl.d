@@ -1,0 +1,1 @@
+lib/nomap/txplace.ml: Config Float Fun Hashtbl List Nomap_lir Nomap_opt Nomap_profile Nomap_runtime Nomap_tiers

@@ -1,0 +1,188 @@
+(** Bounds-check combining (paper §IV-C1, Figure 6).
+
+    Within a whole-loop transaction, a bounds check on a monotonic affine
+    induction variable is removed from the loop and replaced by boundary
+    checks: the first accessed index is checked in the preheader and the
+    last accessed index at each loop exit (paper sinks increasing /
+    hoists decreasing; checking both endpoints covers the contiguous
+    [0, length) validity region for any constant step).
+
+    This is sound only because the checks are abort-exits inside a
+    transaction: a late failure rolls everything back and Baseline re-runs
+    the region with full per-access checking — the paper's point that
+    "when the failure is detected does not matter, only that the
+    transaction is eventually rolled back".
+
+    Requirements: the array is loop-invariant, the loop has no clobbering
+    call (elongating stores are runtime calls, so the length is stable),
+    and the index strips to an induction phi [i = phi(init, i + step)]
+    with a constant nonzero step. *)
+
+module L = Nomap_lir.Lir
+module Cfg = Nomap_lir.Cfg
+
+(* Strip value-refining checks to the underlying value. *)
+let rec strip f v =
+  match L.kind_of f v with
+  | L.Check_int (a, _) | L.Check_number (a, _) | L.Check_overflow (a, _)
+  | L.Check_cond (a, _, _) | L.Check_array (a, _) | L.Check_string (a, _)
+  | L.Check_shape (a, _, _) -> strip f a
+  | L.Check_bounds (_, i, _) | L.Check_not_hole (_, i, _) -> strip f i
+  | _ -> v
+
+(* Is [p] an induction phi of [loop]?  Returns (init value, step). *)
+let induction f loop p =
+  match L.kind_of f p with
+  | L.Phi ins when (L.instr f p).L.block = loop.Cfg.header -> (
+    let preds = (L.block f loop.Cfg.header).L.preds in
+    let outside = List.filter (fun b -> not (List.mem b loop.Cfg.body)) preds in
+    let inside = List.filter (fun b -> List.mem b loop.Cfg.body) preds in
+    match (outside, inside) with
+    | [ pre ], [ latch ] -> (
+      match (List.assoc_opt pre ins, List.assoc_opt latch ins) with
+      | Some init, Some next -> (
+        match L.kind_of f (strip f next) with
+        | L.Iadd (a, b) -> (
+          let sa = strip f a and sb = strip f b in
+          let const v =
+            match L.kind_of f v with
+            | L.Const (Nomap_runtime.Value.Int s) -> Some s
+            | _ -> None
+          in
+          if sa = p then
+            match const sb with Some s when s <> 0 -> Some (init, s) | _ -> None
+          else if sb = p then
+            match const sa with Some s when s <> 0 -> Some (init, s) | _ -> None
+          else None)
+        | L.Isub (a, b) -> (
+          let sa = strip f a in
+          match L.kind_of f (strip f b) with
+          | L.Const (Nomap_runtime.Value.Int s) when sa = p && s <> 0 -> Some (init, -s)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let abort_exit f ~resume_pc : L.exit =
+  { L.ekind = L.Abort; smp = L.fresh_smp f ~resume_pc ~live:[] }
+
+(** Combine bounds checks in every loop wholly contained in a whole-loop
+    transaction region.  Returns the number of per-iteration checks
+    removed. *)
+let run (c : Nomap_tiers.Specialize.compiled) (regions : Txplace.region list) =
+  let f = c.Nomap_tiers.Specialize.lir in
+  let combined = ref 0 in
+  let whole_regions = List.filter (fun r -> r.Txplace.level = Txplace.Whole) regions in
+  if whole_regions = [] then 0
+  else begin
+    let doms = Cfg.compute_doms f in
+    let loops = Cfg.natural_loops f doms in
+    let in_region loop =
+      List.exists
+        (fun r ->
+          List.for_all (fun b -> List.mem b r.Txplace.loop.Cfg.body) loop.Cfg.body)
+        whole_regions
+    in
+    let candidates =
+      List.filter
+        (fun loop ->
+          in_region loop
+          &&
+          let _, clobber, _ = Nomap_opt.Passes.loop_clobbers f loop in
+          not clobber)
+        loops
+    in
+    List.iter
+      (fun loop ->
+        let resume_pc = Txplace.header_pc c loop.Cfg.header in
+        (* Gather removable checks grouped by (array, induction phi). *)
+        let groups : (L.v * L.v, int * L.v list ref) Hashtbl.t = Hashtbl.create 4 in
+        List.iter
+          (fun bid ->
+            List.iter
+              (fun v ->
+                match L.kind_of f v with
+                | L.Check_bounds (arr, idx, { L.ekind = L.Abort; _ }) -> (
+                  (* The array operand is usually an in-loop refining check
+                     of an invariant base; the boundary checks use the
+                     stripped base, which must be defined outside. *)
+                  let base = strip f arr in
+                  let arr_invariant =
+                    let b = (L.instr f base).L.block in
+                    not (b >= 0 && List.mem b loop.Cfg.body)
+                  in
+                  let p = strip f idx in
+                  match (arr_invariant, induction f loop p) with
+                  | true, Some (_, step) -> (
+                    match Hashtbl.find_opt groups (base, p) with
+                    | Some (_, lst) -> lst := v :: !lst
+                    | None -> Hashtbl.add groups (base, p) (step, ref [ v ]))
+                  | _ -> ())
+                | _ -> ())
+              (L.block f bid).L.instrs)
+          loop.Cfg.body;
+        if Hashtbl.length groups > 0 then begin
+          match Cfg.preheader f loop with
+          | None -> ()
+          | Some ph ->
+            (* Split each exit edge once; all groups share the blocks. *)
+            let exit_blocks =
+              List.map
+                (fun (src, dst) -> (src, Cfg.split_edge f ~from:src ~to_:dst))
+                loop.Cfg.exits
+            in
+            Hashtbl.iter
+              (fun (arr, p) (step, checks) ->
+                (* Remove the per-iteration checks. *)
+                List.iter
+                  (fun v ->
+                    let idx =
+                      match L.kind_of f v with
+                      | L.Check_bounds (_, i, _) -> i
+                      | _ -> assert false
+                    in
+                    Nomap_opt.Passes.delete_and_replace f v ~replacement:idx;
+                    incr combined)
+                  !checks;
+                (* Boundary check on the first index, in the preheader
+                   (paper: hoisted for decreasing; we always check init —
+                   it is the first accessed index for any step). *)
+                let init =
+                  match induction f loop p with
+                  | Some (init, _) -> init
+                  | None -> assert false
+                in
+                let pre_check =
+                  L.new_instr f (L.Check_bounds (arr, init, abort_exit f ~resume_pc))
+                in
+                Nomap_opt.Passes.append_to_block f pre_check.L.id ph;
+                (* Boundary check on the last accessed index at each exit:
+                   exiting from the header means the body did not run this
+                   iteration, so the last access used [p - step]; a body
+                   (break) exit accessed [p] itself. *)
+                List.iter
+                  (fun (src, eb) ->
+                    let last =
+                      if src = loop.Cfg.header then begin
+                        let cstep =
+                          L.new_instr f (L.Const (Nomap_runtime.Value.Int step))
+                        in
+                        Nomap_opt.Passes.append_to_block f cstep.L.id eb;
+                        let sub = L.new_instr f (L.Isub (p, cstep.L.id)) in
+                        Nomap_opt.Passes.append_to_block f sub.L.id eb;
+                        sub.L.id
+                      end
+                      else p
+                    in
+                    let ck =
+                      L.new_instr f (L.Check_bounds (arr, last, abort_exit f ~resume_pc))
+                    in
+                    Nomap_opt.Passes.append_to_block f ck.L.id eb)
+                  exit_blocks;
+                Cfg.compute_preds f)
+              groups
+        end)
+      candidates;
+    !combined
+  end

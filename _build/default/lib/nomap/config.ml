@@ -1,0 +1,68 @@
+(** The six evaluated architectures (paper Table II). *)
+
+type arch =
+  | Base  (** unmodified JavaScriptCore; no transactions *)
+  | NoMap_S  (** transactions inserted, SMPs become aborts, optimizations run across them *)
+  | NoMap_B  (** NoMap_S + hoisting/sinking bounds checks *)
+  | NoMap_full  (** NoMap_B + SOF overflow-check removal — the proposed design *)
+  | NoMap_BC  (** unrealistic best case: all checks within transactions removed *)
+  | NoMap_RTM  (** NoMap_B running on Intel RTM (no SOF on x86) *)
+
+let all = [ Base; NoMap_S; NoMap_B; NoMap_full; NoMap_BC; NoMap_RTM ]
+
+let name = function
+  | Base -> "Base"
+  | NoMap_S -> "NoMap_S"
+  | NoMap_B -> "NoMap_B"
+  | NoMap_full -> "NoMap"
+  | NoMap_BC -> "NoMap_BC"
+  | NoMap_RTM -> "NoMap_RTM"
+
+type t = { arch : arch }
+
+let create arch = { arch }
+
+let htm_mode t : Nomap_htm.Htm.mode =
+  match t.arch with
+  | Base -> Nomap_htm.Htm.Ghost
+  | NoMap_RTM -> Nomap_htm.Htm.Rtm
+  | NoMap_S | NoMap_B | NoMap_full | NoMap_BC -> Nomap_htm.Htm.Rot
+
+(** Convert in-transaction SMPs to aborts (everything but Base). *)
+let convert_smps t = t.arch <> Base
+
+let combine_bounds t =
+  match t.arch with
+  | NoMap_B | NoMap_full | NoMap_BC | NoMap_RTM -> true
+  | Base | NoMap_S -> false
+
+(** Remove in-transaction overflow checks, relying on the Sticky Overflow
+    Flag.  x86 RTM has no SOF (paper §VI-B), so NoMap_RTM keeps them. *)
+let remove_overflow t =
+  match t.arch with NoMap_full | NoMap_BC -> true | _ -> false
+
+let remove_all_checks t = t.arch = NoMap_BC
+
+(** The machine models SOF hardware whenever overflow checks were removed:
+    integer overflow inside a transaction sets the sticky flag and the
+    outermost Tx_end aborts on it (paper §V-B). *)
+let sof_enabled = remove_overflow
+
+(** The workloads are scaled down ~16-30x from the paper's; the modeled HTM
+    capacities are scaled by the same factor so the footprint/capacity
+    ratios (and hence which transactions fit which HTM) stay in the paper's
+    regime.  Documented in DESIGN.md §6. *)
+let capacity_scale = 8
+
+(** Write-footprint budget (bytes) for whole-loop transaction placement:
+    conservative halves of the capacity the mode can buffer. *)
+let write_budget t =
+  (match htm_mode t with
+  | Nomap_htm.Htm.Rtm -> 16 * 1024  (* L1D is 32KB *)
+  | _ -> 128 * 1024 (* ROT buffers in the 256KB L2 *))
+  / capacity_scale
+
+let read_budget t =
+  match htm_mode t with
+  | Nomap_htm.Htm.Rtm -> Some (128 * 1024 / capacity_scale)  (* L2 is 256KB *)
+  | _ -> None

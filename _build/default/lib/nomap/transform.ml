@@ -1,0 +1,64 @@
+(** The NoMap transformation pipeline applied to freshly-built FTL LIR,
+    before the conventional optimization passes run (paper §IV-B: "We
+    perform this transformation before LLVM runs its optimization passes").
+
+    Base gets ghost markers only (for instruction-category accounting);
+    the NoMap variants additionally convert SMPs to aborts and, per
+    configuration, combine bounds checks, drop overflow checks (SOF), or
+    drop every in-transaction check (the NoMap_BC limit study). *)
+
+module L = Nomap_lir.Lir
+
+type stats = {
+  mutable regions_whole : int;
+  mutable regions_per_iter : int;
+  mutable bounds_combined : int;
+  mutable overflow_removed : int;
+  mutable checks_removed_bc : int;
+}
+
+let empty_stats () =
+  {
+    regions_whole = 0;
+    regions_per_iter = 0;
+    bounds_combined = 0;
+    overflow_removed = 0;
+    checks_removed_bc = 0;
+  }
+
+(* Delete every abort-exit check matching [select], rewiring uses to the
+   checked value. *)
+let remove_abort_checks f select =
+  let victims = ref [] in
+  L.iter_instrs f (fun _ i ->
+      match L.exit_of i.L.kind with
+      | Some { L.ekind = L.Abort; _ } when select i.L.kind -> (
+        match L.checked_value i.L.kind with
+        | Some operand -> victims := (i.L.id, operand) :: !victims
+        | None -> ())
+      | _ -> ());
+  Nomap_opt.Passes.delete_and_replace_all f !victims;
+  List.length !victims
+
+let apply (config : Config.t) ~placement ~(profile : Nomap_profile.Feedback.func_profile)
+    ?(stats = empty_stats ()) (c : Nomap_tiers.Specialize.compiled) =
+  let f = c.Nomap_tiers.Specialize.lir in
+  let regions = Txplace.run config ~placement ~profile c in
+  List.iter
+    (fun r ->
+      match r.Txplace.level with
+      | Txplace.Whole -> stats.regions_whole <- stats.regions_whole + 1
+      | Txplace.Chunked _ -> stats.regions_per_iter <- stats.regions_per_iter + 1)
+    regions;
+  if Config.convert_smps config then begin
+    if Config.combine_bounds config then
+      stats.bounds_combined <- stats.bounds_combined + Bounds_combine.run c regions;
+    if Config.remove_overflow config then
+      stats.overflow_removed <-
+        stats.overflow_removed
+        + remove_abort_checks f (function L.Check_overflow _ -> true | _ -> false);
+    if Config.remove_all_checks config then
+      stats.checks_removed_bc <-
+        stats.checks_removed_bc + remove_abort_checks f (fun _ -> true)
+  end;
+  regions

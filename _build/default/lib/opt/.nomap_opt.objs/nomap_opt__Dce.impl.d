@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array List Nomap_lir Nomap_util

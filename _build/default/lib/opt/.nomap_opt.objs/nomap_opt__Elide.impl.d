@@ -1,0 +1,1 @@
+lib/opt/elide.ml: Array List Nomap_lir Nomap_util Passes

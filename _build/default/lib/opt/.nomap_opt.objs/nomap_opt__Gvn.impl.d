@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Array Fun Hashtbl List Nomap_lir Nomap_runtime Nomap_util Passes Printf

@@ -1,0 +1,1 @@
+lib/opt/licm.ml: List Nomap_lir Passes

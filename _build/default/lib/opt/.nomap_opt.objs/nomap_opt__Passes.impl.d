@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Array Hashtbl List Nomap_lir Nomap_util

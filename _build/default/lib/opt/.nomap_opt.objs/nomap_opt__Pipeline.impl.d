@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Dce Elide Gvn Licm Promote Typeprop

@@ -1,0 +1,1 @@
+lib/opt/promote.ml: List Nomap_lir Passes

@@ -1,0 +1,1 @@
+lib/opt/typeprop.ml: Array List Nomap_lir Nomap_runtime Nomap_util Passes

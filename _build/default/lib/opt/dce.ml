@@ -1,0 +1,51 @@
+(** Dead code elimination.
+
+    An instruction is live if it has a side effect (stores, calls, checks,
+    transaction markers), is used by a live instruction, appears in a Deopt
+    stack map (an SMP keeps its live map alive — the register-pressure cost
+    the paper describes; Abort exits keep nothing), or feeds a terminator.
+    Everything else is deleted. *)
+
+module L = Nomap_lir.Lir
+
+let run f =
+  let n = Nomap_util.Vec.length f.L.instrs in
+  let live = Array.make n false in
+  let worklist = ref [] in
+  let mark v =
+    if not live.(v) then begin
+      live.(v) <- true;
+      worklist := v :: !worklist
+    end
+  in
+  (* Roots: side-effecting instructions and terminator operands. *)
+  L.iter_instrs f (fun _ i ->
+      if i.L.kind <> L.Nop && not (L.removable_if_unused i.L.kind) then mark i.L.id);
+  L.iter_blocks f (fun b ->
+      match b.L.term with
+      | L.Br (c, _, _) -> mark c
+      | L.Ret (Some r) -> mark r
+      | _ -> ());
+  (* Propagate through uses and SMP live maps. *)
+  while !worklist <> [] do
+    match !worklist with
+    | [] -> ()
+    | v :: rest ->
+      worklist := rest;
+      let k = L.kind_of f v in
+      List.iter mark (L.uses k);
+      List.iter mark (L.smp_uses k)
+  done;
+  (* Sweep. *)
+  let removed = ref 0 in
+  L.iter_blocks f (fun b ->
+      let keep, drop = List.partition (fun v -> live.(v)) b.L.instrs in
+      List.iter
+        (fun v ->
+          let i = L.instr f v in
+          if i.L.kind <> L.Nop then incr removed;
+          i.L.kind <- L.Nop;
+          i.L.block <- -1)
+        drop;
+      b.L.instrs <- keep);
+  !removed

@@ -1,0 +1,81 @@
+(** Overflow-check elision for truncated arithmetic — JavaScriptCore's
+    handling of the ubiquitous [(a + b) | 0] crypto/bitops idiom.
+
+    If the result of a speculated int32 add/sub feeds *only* bitwise
+    operations (which ToInt32-truncate their operands anyway), then a
+    wrapped int32 result is indistinguishable from the correct double
+    result: the overflow check can be dropped and the operation compiled as
+    a flag-free wrapping instruction.  (Not legal for multiply: a wrapped
+    product differs from the double product's ToInt32 once the exact product
+    exceeds 2^53.)
+
+    The wrapping form also matters for the Sticky Overflow Flag hardware: a
+    flag-setting add here would raise SOF spuriously and abort every
+    transaction, so the compiler must emit the non-flagging variant (on
+    POWER: [add] instead of [addo]). *)
+
+module L = Nomap_lir.Lir
+
+(* Truncating consumers: bitwise ops ToInt32 their operands, and wrapping
+   int ops (produced by earlier elision rounds) are modular too — running
+   to a fixpoint propagates truncation backwards through (a+b-c)|0 chains,
+   like JSC's backwards UseKind propagation. *)
+let is_truncating = function
+  | L.Band _ | L.Bor _ | L.Bxor _ | L.Bnot _ | L.Shl _ | L.Shr _ | L.Ushr _
+  | L.Iadd_wrap _ | L.Isub_wrap _ -> true
+  | _ -> false
+
+(** One elision round; returns the number of overflow checks removed. *)
+let run_once f =
+  (* users.(v) = kinds of the instructions using v; smp_used.(v) = appears in
+     a deopt live map (the Baseline tier could observe the value: keep). *)
+  let n = Nomap_util.Vec.length f.L.instrs in
+  let users = Array.make n [] in
+  let smp_used = Array.make n false in
+  let term_used = Array.make n false in
+  L.iter_instrs f (fun _ i ->
+      List.iter (fun u -> users.(u) <- i.L.kind :: users.(u)) (L.uses i.L.kind);
+      List.iter (fun u -> smp_used.(u) <- true) (L.smp_uses i.L.kind));
+  L.iter_blocks f (fun b ->
+      match b.L.term with
+      | L.Br (c, _, _) -> term_used.(c) <- true
+      | L.Ret (Some r) -> term_used.(r) <- true
+      | _ -> ());
+  let victims = ref [] in
+  L.iter_instrs f (fun _ i ->
+      match i.L.kind with
+      | L.Check_overflow (raw, _) -> (
+        let raw_i = L.instr f raw in
+        let wrap_kind =
+          match raw_i.L.kind with
+          | L.Iadd (a, b) -> Some (L.Iadd_wrap (a, b))
+          | L.Isub (a, b) -> Some (L.Isub_wrap (a, b))
+          | _ -> None
+        in
+        match wrap_kind with
+        | Some wk
+          when (not smp_used.(i.L.id))
+               && (not term_used.(i.L.id))
+               && users.(i.L.id) <> []
+               && List.for_all is_truncating users.(i.L.id)
+               (* The raw op must have no other observer. *)
+               && List.length users.(raw) = 1 ->
+          victims := (i.L.id, raw, wk) :: !victims
+        | _ -> ())
+      | _ -> ());
+  List.iter (fun (_, raw, wk) -> (L.instr f raw).L.kind <- wk) !victims;
+  Passes.delete_and_replace_all f
+    (List.map (fun (check, raw, _) -> (check, raw)) !victims);
+  List.length !victims
+
+
+(** Run to a fixpoint (each round can expose further truncation chains). *)
+let run f =
+  let total = ref 0 in
+  let rec go () =
+    let n = run_once f in
+    total := !total + n;
+    if n > 0 then go ()
+  in
+  go ();
+  !total

@@ -1,0 +1,164 @@
+(** Global value numbering.
+
+    - Pure computations (arithmetic, comparisons, constants) and pure
+      value-predicate checks (int/number/string/array/fun-eq/overflow) are
+      numbered over the dominator tree: a dominated duplicate is deleted and
+      its uses rewired to the dominating instance.  Deduplicating a check
+      this way is *check elimination*, which JavaScriptCore performs too —
+      it requires no code motion, so SMPs do not block it.
+    - Memory reads (loads, and the checks that read object/array metadata:
+      shape, bounds, holes) are numbered only within a basic block, and the
+      table is invalidated by aliasing stores, by clobbering calls and — the
+      paper's key restriction — by deopt-exit checks (Stack Map Points act
+      as full memory barriers).  Inside NoMap transactions checks are
+      abort-exit and do not invalidate, which is how the redundant-load
+      elimination the paper reports for S18 becomes possible. *)
+
+module L = Nomap_lir.Lir
+module Cfg = Nomap_lir.Cfg
+
+let find leader v =
+  let rec go v = if leader.(v) = v then v else go leader.(v) in
+  go v
+
+(* Key for globally-numberable (pure) expressions. *)
+let pure_key leader kind =
+  let l v = string_of_int (find leader v) in
+  let comm tag a b =
+    let a = find leader a and b = find leader b in
+    let lo = min a b and hi = max a b in
+    Some (Printf.sprintf "%s:%d,%d" tag lo hi)
+  in
+  match kind with
+  | L.Const c -> (
+    match c with
+    | Nomap_runtime.Value.Int i -> Some (Printf.sprintf "ci:%d" i)
+    | Nomap_runtime.Value.Num fl -> Some (Printf.sprintf "cf:%h" fl)
+    | Nomap_runtime.Value.Bool b -> Some (Printf.sprintf "cb:%b" b)
+    | Nomap_runtime.Value.Str s -> Some (Printf.sprintf "cs:%s" s.Nomap_runtime.Value.sdata)
+    | Nomap_runtime.Value.Undef -> Some "cu"
+    | Nomap_runtime.Value.Null -> Some "cn"
+    | Nomap_runtime.Value.Fun fid -> Some (Printf.sprintf "cfun:%d" fid)
+    | _ -> None)
+  | L.Iadd (a, b) -> comm "iadd" a b
+  | L.Isub (a, b) -> Some ("isub:" ^ l a ^ "," ^ l b)
+  | L.Iadd_wrap (a, b) -> comm "iaddw" a b
+  | L.Isub_wrap (a, b) -> Some ("isubw:" ^ l a ^ "," ^ l b)
+  | L.Imul (a, b) -> comm "imul" a b
+  | L.Ineg a -> Some ("ineg:" ^ l a)
+  | L.Fadd (a, b) -> comm "fadd" a b
+  | L.Fsub (a, b) -> Some ("fsub:" ^ l a ^ "," ^ l b)
+  | L.Fmul (a, b) -> comm "fmul" a b
+  | L.Fdiv (a, b) -> Some ("fdiv:" ^ l a ^ "," ^ l b)
+  | L.Fmod (a, b) -> Some ("fmod:" ^ l a ^ "," ^ l b)
+  | L.Fneg a -> Some ("fneg:" ^ l a)
+  | L.Band (a, b) -> comm "band" a b
+  | L.Bor (a, b) -> comm "bor" a b
+  | L.Bxor (a, b) -> comm "bxor" a b
+  | L.Bnot a -> Some ("bnot:" ^ l a)
+  | L.Shl (a, b) -> Some ("shl:" ^ l a ^ "," ^ l b)
+  | L.Shr (a, b) -> Some ("shr:" ^ l a ^ "," ^ l b)
+  | L.Ushr (a, b) -> Some ("ushr:" ^ l a ^ "," ^ l b)
+  | L.Cmp (c, a, b) ->
+    let tag =
+      match c with
+      | L.Ceq -> "ceq"
+      | L.Cne -> "cne"
+      | L.Clt -> "clt"
+      | L.Cle -> "cle"
+      | L.Cgt -> "cgt"
+      | L.Cge -> "cge"
+    in
+    Some (tag ^ ":" ^ l a ^ "," ^ l b)
+  | L.Not a -> Some ("not:" ^ l a)
+  (* Pure value-predicate checks (no memory read). *)
+  | L.Check_int (a, _) -> Some ("cki:" ^ l a)
+  | L.Check_number (a, _) -> Some ("ckn:" ^ l a)
+  | L.Check_string (a, _) -> Some ("cks:" ^ l a)
+  | L.Check_array (a, _) -> Some ("cka:" ^ l a)
+  | L.Check_fun_eq (a, fid, _) -> Some (Printf.sprintf "ckf:%s=%d" (l a) fid)
+  | L.Check_overflow (a, _) -> Some ("cko:" ^ l a)
+  | _ -> None
+
+(* Key + alias class for block-locally-numberable memory reads. *)
+let load_key leader kind =
+  let l v = string_of_int (find leader v) in
+  match kind with
+  | L.Load_slot (o, s) -> Some (Printf.sprintf "ls:%s.%d" (l o) s, L.A_slot s)
+  | L.Load_elem (a, i) -> Some (Printf.sprintf "le:%s[%s]" (l a) (l i), L.A_elem)
+  | L.Load_length a -> Some ("ll:" ^ l a, L.A_array_header)
+  | L.Str_length a -> Some ("sl:" ^ l a, L.A_string)
+  | L.Load_char_code (s, i) -> Some (Printf.sprintf "lc:%s[%s]" (l s) (l i), L.A_string)
+  | L.Load_global g -> Some (Printf.sprintf "lg:%d" g, L.A_global g)
+  | L.Check_shape (o, sid, _) -> Some (Printf.sprintf "cksh:%s#%d" (l o) sid, L.A_shape)
+  | L.Check_bounds (a, i, _) -> Some (Printf.sprintf "ckb:%s[%s]" (l a) (l i), L.A_array_header)
+  | L.Check_str_bounds (a, i, _) -> Some (Printf.sprintf "cksb:%s[%s]" (l a) (l i), L.A_string)
+  | L.Check_not_hole (a, i, _) -> Some (Printf.sprintf "ckh:%s[%s]" (l a) (l i), L.A_elem)
+  | _ -> None
+
+(** Run GVN; returns the number of instructions removed. *)
+let run f =
+  let doms = Cfg.compute_doms f in
+  let n = Nomap_util.Vec.length f.L.instrs in
+  let leader = Array.init n Fun.id in
+  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let victims = ref [] in
+  let children = Array.make (Cfg.nblocks f) [] in
+  Array.iteri
+    (fun b idom -> if idom >= 0 && idom <> b then children.(idom) <- b :: children.(idom))
+    doms.Cfg.idom;
+  let rec visit blk =
+    let pushed = ref [] in
+    let loads : (string, int * L.alias_class) Hashtbl.t = Hashtbl.create 16 in
+    let invalidate_loads cls_opt =
+      match cls_opt with
+      | None -> Hashtbl.reset loads
+      | Some cls ->
+        let keep =
+          Hashtbl.fold
+            (fun key (w, lcls) acc ->
+              if L.may_alias cls lcls then acc else (key, (w, lcls)) :: acc)
+            loads []
+        in
+        Hashtbl.reset loads;
+        List.iter (fun (key, e) -> Hashtbl.replace loads key e) keep
+    in
+    List.iter
+      (fun v ->
+        let i = L.instr f v in
+        let kind = i.L.kind in
+        (match pure_key leader kind with
+        | Some key -> (
+          match Hashtbl.find_opt table key with
+          | Some w ->
+            leader.(v) <- w;
+            victims := v :: !victims
+          | None ->
+            Hashtbl.add table key v;
+            pushed := key :: !pushed)
+        | None -> (
+          match load_key leader kind with
+          | Some (key, cls) -> (
+            match Hashtbl.find_opt loads key with
+            | Some (w, _) ->
+              leader.(v) <- w;
+              victims := v :: !victims
+            | None -> Hashtbl.replace loads key (v, cls))
+          | None -> ()));
+        (* Apply this instruction's clobbering effect to the local table. *)
+        if L.is_smp_barrier kind then invalidate_loads None
+        else
+          match L.memory_effect kind with
+          | L.Eff_store cls -> invalidate_loads (Some cls)
+          | L.Eff_clobber -> invalidate_loads None
+          | L.Eff_none | L.Eff_load _ | L.Eff_alloc -> ())
+      (L.block f blk).L.instrs;
+    List.iter visit children.(blk);
+    List.iter (Hashtbl.remove table) !pushed
+  in
+  visit f.L.entry;
+  let removed = List.length !victims in
+  (* The leader chains may point through other victims; resolve fully and
+     apply the whole substitution in one pass over the function. *)
+  Passes.delete_and_replace_all f (List.map (fun v -> (v, find leader v)) !victims);
+  removed

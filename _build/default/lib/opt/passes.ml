@@ -1,0 +1,123 @@
+(** Shared pass utilities: deletion, insertion, use counting. *)
+
+module L = Nomap_lir.Lir
+
+(** Delete instruction [v], rewiring every use to [replacement]. *)
+let delete_and_replace f v ~replacement =
+  let i = L.instr f v in
+  if i.L.block >= 0 then begin
+    let b = L.block f i.L.block in
+    b.L.instrs <- List.filter (fun x -> x <> v) b.L.instrs
+  end;
+  i.L.kind <- L.Nop;
+  i.L.block <- -1;
+  L.replace_uses f ~old_v:v ~new_v:replacement
+
+(** Delete all [victims], rewiring uses through the mapping in one pass. *)
+let delete_and_replace_all f (victims : (L.v * L.v) list) =
+  if victims <> [] then begin
+    let map = Hashtbl.create (List.length victims) in
+    List.iter (fun (v, r) -> Hashtbl.replace map v r) victims;
+    (* Resolve chains (a victim replaced by another victim). *)
+    let rec resolve v =
+      match Hashtbl.find_opt map v with Some w when w <> v -> resolve w | _ -> v
+    in
+    List.iter
+      (fun (v, _) ->
+        let i = L.instr f v in
+        if i.L.block >= 0 then begin
+          let b = L.block f i.L.block in
+          b.L.instrs <- List.filter (fun x -> x <> v) b.L.instrs
+        end;
+        i.L.kind <- L.Nop;
+        i.L.block <- -1)
+      victims;
+    L.apply_substitution f resolve
+  end
+
+(** Delete instruction [v] outright (no uses may remain). *)
+let delete f v =
+  let i = L.instr f v in
+  if i.L.block >= 0 then begin
+    let b = L.block f i.L.block in
+    b.L.instrs <- List.filter (fun x -> x <> v) b.L.instrs
+  end;
+  i.L.kind <- L.Nop;
+  i.L.block <- -1
+
+(** Append instruction [v] at the end of block [blk] (before terminator). *)
+let append_to_block f v blk =
+  let i = L.instr f v in
+  i.L.block <- blk;
+  let b = L.block f blk in
+  b.L.instrs <- b.L.instrs @ [ v ]
+
+(** Insert instruction [v] at the head of block [blk], after any phis. *)
+let prepend_to_block f v blk =
+  let i = L.instr f v in
+  i.L.block <- blk;
+  let b = L.block f blk in
+  let rec insert = function
+    | x :: rest when (match (L.instr f x).L.kind with L.Phi _ -> true | _ -> false) ->
+      x :: insert rest
+    | rest -> v :: rest
+  in
+  b.L.instrs <- insert b.L.instrs
+
+(** Insert [v] immediately before [anchor] in its block. *)
+let insert_before f v ~anchor =
+  let ai = L.instr f anchor in
+  let i = L.instr f v in
+  i.L.block <- ai.L.block;
+  let b = L.block f ai.L.block in
+  let rec ins = function
+    | [] -> [ v ]
+    | x :: rest when x = anchor -> v :: x :: rest
+    | x :: rest -> x :: ins rest
+  in
+  b.L.instrs <- ins b.L.instrs
+
+(** Number of uses of each value (including SMP live maps and terminators). *)
+let use_counts f =
+  let n = Nomap_util.Vec.length f.L.instrs in
+  let counts = Array.make n 0 in
+  let bump v = counts.(v) <- counts.(v) + 1 in
+  L.iter_instrs f (fun _ i ->
+      List.iter bump (L.uses i.L.kind);
+      List.iter bump (L.smp_uses i.L.kind));
+  L.iter_blocks f (fun b ->
+      match b.L.term with
+      | L.Br (c, _, _) -> bump c
+      | L.Ret (Some r) -> bump r
+      | _ -> ());
+  counts
+
+(** Does the loop contain a deopt-exit check (a Stack Map Point)?  This is
+    the paper's optimization blocker: when true, memory motion in/out of the
+    loop is illegal because the Baseline tier may resume mid-loop and must
+    observe memory exactly as its own execution would have left it. *)
+let loop_has_smp f (loop : Nomap_lir.Cfg.loop) =
+  List.exists
+    (fun bid ->
+      List.exists
+        (fun v -> L.is_smp_barrier (L.kind_of f v))
+        (L.block f bid).L.instrs)
+    loop.Nomap_lir.Cfg.body
+
+(** Memory behaviour of the loop: (any store/clobber, clobber-only). *)
+let loop_clobbers f (loop : Nomap_lir.Cfg.loop) =
+  let stores = ref [] in
+  let clobber = ref false in
+  let alloc = ref false in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun v ->
+          match L.memory_effect (L.kind_of f v) with
+          | L.Eff_store cls -> stores := cls :: !stores
+          | L.Eff_clobber -> clobber := true
+          | L.Eff_alloc -> alloc := true
+          | L.Eff_none | L.Eff_load _ -> ())
+        (L.block f bid).L.instrs)
+    loop.Nomap_lir.Cfg.body;
+  (!stores, !clobber, !alloc)

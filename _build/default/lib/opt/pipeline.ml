@@ -1,0 +1,57 @@
+(** Pass pipelines per tier.
+
+    DFG runs a light pipeline (type propagation, value numbering, DCE); FTL
+    runs the full set including code motion and promotion — our analogue of
+    LLVM -O2 versus the DFG's own optimizer (paper §II-A). *)
+
+type stats = {
+  mutable checks_removed : int;
+  mutable overflow_elided : int;
+  mutable gvn_removed : int;
+  mutable licm_hoisted : int;
+  mutable promoted : int;
+  mutable dce_removed : int;
+}
+
+let empty_stats () =
+  {
+    checks_removed = 0;
+    overflow_elided = 0;
+    gvn_removed = 0;
+    licm_hoisted = 0;
+    promoted = 0;
+    dce_removed = 0;
+  }
+
+(** Pass toggles, for ablation studies: every knob defaults to on. *)
+type knobs = {
+  typeprop : bool;
+  elide : bool;
+  gvn : bool;
+  licm : bool;
+  promote : bool;
+  dce : bool;
+}
+
+let all_on = { typeprop = true; elide = true; gvn = true; licm = true; promote = true; dce = true }
+
+(* Type propagation runs first: the redundant type checks it removes hold
+   stack maps whose live sets would otherwise pin intermediates and block
+   overflow-check elision. *)
+let dfg ?(stats = empty_stats ()) ?(knobs = all_on) f =
+  if knobs.typeprop then stats.checks_removed <- stats.checks_removed + Typeprop.run f;
+  if knobs.elide then stats.overflow_elided <- stats.overflow_elided + Elide.run f;
+  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
+  if knobs.dce then stats.dce_removed <- stats.dce_removed + Dce.run f;
+  stats
+
+let ftl ?(stats = empty_stats ()) ?(knobs = all_on) f =
+  if knobs.typeprop then stats.checks_removed <- stats.checks_removed + Typeprop.run f;
+  if knobs.elide then stats.overflow_elided <- stats.overflow_elided + Elide.run f;
+  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
+  if knobs.licm then stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
+  if knobs.promote then stats.promoted <- stats.promoted + Promote.run f;
+  (* Motion exposes new redundancies; clean up. *)
+  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
+  if knobs.dce then stats.dce_removed <- stats.dce_removed + Dce.run f;
+  stats

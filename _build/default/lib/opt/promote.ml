@@ -1,0 +1,147 @@
+(** Scalar promotion (store sinking) — the paper's motivating example
+    (Figure 4): a loop accumulating into [obj.sum] keeps the accumulator in
+    a register and stores once at the exits, instead of storing every
+    iteration.
+
+    Legality: the promoted location must not be observable mid-loop.  A
+    Stack Map Point inside the loop makes it observable (the Baseline tier
+    could resume and read the stale slot), so the pass requires a loop with
+    no deopt-exit checks — in practice, a NoMap transaction region, where a
+    rollback discards the speculative state anyway.  Calls and clobbering
+    runtime helpers also block it.
+
+    Pattern handled (the common accumulator shape):
+    - exactly one [Store_slot (o, slot, x)] in the loop, with [o] invariant,
+      in a block that dominates every latch;
+    - no other store that may alias the slot, no clobber, no SMP;
+    - loads of [(o, slot)] in the store's block before the store are
+      rewritten to the running value.
+
+    Transform: preheader loads the initial value; a phi at the header
+    carries the running value; the in-loop store is deleted; each exit edge
+    gets a store of the value current on that path.  All candidates of a
+    loop are analyzed before any mutation, and the loop's exit edges are
+    split exactly once and shared — splitting per candidate would operate on
+    stale edges. *)
+
+module L = Nomap_lir.Lir
+module Cfg = Nomap_lir.Cfg
+
+type candidate = {
+  store : L.v;
+  store_block : int;
+  base : L.v;
+  slot : int;
+  value : L.v;
+  reads : L.v list;  (** in-loop loads to rewrite to the running value *)
+}
+
+let analyze f doms loop =
+  if Passes.loop_has_smp f loop then []
+  else begin
+    let stores, clobber, _ = Passes.loop_clobbers f loop in
+    if clobber then []
+    else begin
+      let slot_stores = ref [] in
+      List.iter
+        (fun bid ->
+          List.iter
+            (fun v ->
+              match L.kind_of f v with
+              | L.Store_slot (o, slot, x) -> slot_stores := (v, bid, o, slot, x) :: !slot_stores
+              | _ -> ())
+            (L.block f bid).L.instrs)
+        loop.Cfg.body;
+      let in_loop_def v =
+        let b = (L.instr f v).L.block in
+        b >= 0 && List.mem b loop.Cfg.body
+      in
+      List.filter_map
+        (fun (sv, sbid, o, slot, x) ->
+          let unique =
+            List.length (List.filter (fun c -> L.may_alias c (L.A_slot slot)) stores) = 1
+          in
+          let o_invariant = not (in_loop_def o) in
+          let dominates_latches =
+            List.for_all (fun l -> Cfg.dominates doms sbid l) loop.Cfg.latches
+          in
+          (* All in-loop reads of the slot must precede the store in its own
+             block (those are rewritten to the running value). *)
+          let reads_ok = ref true in
+          let reads = ref [] in
+          List.iter
+            (fun bid ->
+              let before_store = ref true in
+              List.iter
+                (fun v ->
+                  if v = sv then before_store := false
+                  else
+                    match L.kind_of f v with
+                    | L.Load_slot (o', slot') when slot' = slot ->
+                      if o' = o && bid = sbid && !before_store then reads := v :: !reads
+                      else reads_ok := false
+                    | L.Check_not_hole _ -> ()
+                    | k -> (
+                      match L.memory_effect k with
+                      | L.Eff_load (L.A_slot s) when s = slot || s = -1 -> reads_ok := false
+                      | _ -> ()))
+                (L.block f bid).L.instrs)
+            loop.Cfg.body;
+          if unique && o_invariant && dominates_latches && !reads_ok then
+            Some { store = sv; store_block = sbid; base = o; slot; value = x; reads = !reads }
+          else None)
+        !slot_stores
+    end
+  end
+
+let run f =
+  let doms = Cfg.compute_doms f in
+  let loops = Cfg.natural_loops f doms in
+  let loops = List.sort (fun a b -> compare b.Cfg.depth a.Cfg.depth) loops in
+  let promoted = ref 0 in
+  List.iter
+    (fun loop ->
+      match analyze f doms loop with
+      | [] -> ()
+      | candidates -> (
+        match Cfg.preheader f loop with
+        | None -> ()
+        | Some ph ->
+          (* Split every exit edge once; all candidates share the blocks. *)
+          let exit_blocks =
+            List.map
+              (fun (src, dst) -> (src, Cfg.split_edge f ~from:src ~to_:dst))
+              loop.Cfg.exits
+          in
+          List.iter
+            (fun cand ->
+              let init = L.new_instr f (L.Load_slot (cand.base, cand.slot)) in
+              Passes.append_to_block f init.L.id ph;
+              (* Running phi at the header: from the preheader the initial
+                 load; from each latch the stored value. *)
+              let phi_ins =
+                List.map
+                  (fun p -> if p = ph then (p, init.L.id) else (p, cand.value))
+                  (L.block f loop.Cfg.header).L.preds
+              in
+              let phi = L.new_instr f (L.Phi phi_ins) in
+              Passes.prepend_to_block f phi.L.id loop.Cfg.header;
+              List.iter
+                (fun rv -> Passes.delete_and_replace f rv ~replacement:phi.L.id)
+                cand.reads;
+              Passes.delete f cand.store;
+              (* Store the running value at every exit: [value] on paths the
+                 store dominates, the phi otherwise. *)
+              List.iter
+                (fun (src, eb) ->
+                  let v =
+                    if Cfg.dominates doms cand.store_block src then cand.value else phi.L.id
+                  in
+                  let st = L.new_instr f (L.Store_slot (cand.base, cand.slot, v)) in
+                  Passes.prepend_to_block f st.L.id eb)
+                exit_blocks;
+              incr promoted)
+            candidates;
+          Cfg.compute_preds f))
+    loops;
+  !promoted

@@ -1,0 +1,1 @@
+lib/profile/feedback.ml: Array Hashtbl List Nomap_bytecode Nomap_runtime

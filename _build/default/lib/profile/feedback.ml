@@ -1,0 +1,154 @@
+(** Type feedback collected by the Baseline tier.
+
+    JavaScriptCore's Baseline JIT embeds value-profiling and inline caches;
+    the DFG/FTL tiers read that feedback to decide what to speculate on and
+    which checks to emit.  We model the same flow: the Baseline executor
+    calls [record_*] at profiled sites (one site per bytecode index), and
+    the optimizing tiers query the accumulated [site] data. *)
+
+type value_class =
+  | Cls_int
+  | Cls_num  (** non-int32 double *)
+  | Cls_str
+  | Cls_bool
+  | Cls_obj
+  | Cls_arr
+  | Cls_fun
+  | Cls_other
+
+let class_of_value (v : Nomap_runtime.Value.t) =
+  match v with
+  | Int _ -> Cls_int
+  | Num _ -> Cls_num
+  | Str _ -> Cls_str
+  | Bool _ -> Cls_bool
+  | Obj _ -> Cls_obj
+  | Arr _ -> Cls_arr
+  | Fun _ -> Cls_fun
+  | Undef | Null | Hole -> Cls_other
+
+type prop_action =
+  | Load_slot of int
+  | Store_slot of int
+  | Transition of int * int  (** resulting shape id, slot written *)
+
+(** Feedback for one bytecode site.  Lists are capped; overflow marks the
+    site megamorphic / polymorphic beyond what the tiers specialize for. *)
+type site = {
+  mutable classes : value_class list;  (** operand/receiver classes seen *)
+  mutable result_classes : value_class list;
+  mutable shapes : (int * prop_action) list;  (** shape id -> cached action *)
+  mutable megamorphic : bool;
+  mutable overflowed : bool;  (** int32 arithmetic overflowed here *)
+  mutable saw_hole : bool;
+  mutable saw_oob : bool;
+  mutable saw_elongation : bool;  (** element store grew the array *)
+  mutable callees : int list;  (** function ids called from this site *)
+  mutable count : int;
+}
+
+let max_poly = 4
+
+let fresh_site () =
+  {
+    classes = [];
+    result_classes = [];
+    shapes = [];
+    megamorphic = false;
+    overflowed = false;
+    saw_hole = false;
+    saw_oob = false;
+    saw_elongation = false;
+    callees = [];
+    count = 0;
+  }
+
+type func_profile = {
+  sites : site array;
+  mutable call_count : int;
+  mutable ftl_call_count : int;  (** calls executed in optimized code *)
+  (* loop header pc -> (times entered, total iterations) *)
+  loop_stats : (int, int ref * int ref) Hashtbl.t;
+}
+
+let create_func_profile (f : Nomap_bytecode.Opcode.func) =
+  {
+    sites = Array.init (Array.length f.code) (fun _ -> fresh_site ());
+    call_count = 0;
+    ftl_call_count = 0;
+    loop_stats = Hashtbl.create 4;
+  }
+
+type t = { profiles : func_profile array }
+
+let create (prog : Nomap_bytecode.Opcode.program) =
+  { profiles = Array.map create_func_profile prog.funcs }
+
+let func_profile t fid = t.profiles.(fid)
+let site t fid pc = t.profiles.(fid).sites.(pc)
+
+let add_capped lst x ~cap =
+  if List.mem x lst then lst
+  else if List.length lst >= cap then lst
+  else x :: lst
+
+let record_class site v =
+  site.count <- site.count + 1;
+  let c = class_of_value v in
+  if not (List.mem c site.classes) then
+    site.classes <- add_capped site.classes c ~cap:max_poly
+
+let record_result site v =
+  let c = class_of_value v in
+  if not (List.mem c site.result_classes) then
+    site.result_classes <- add_capped site.result_classes c ~cap:max_poly
+
+let record_shape site shape_id action =
+  site.count <- site.count + 1;
+  if not (List.mem_assoc shape_id site.shapes) then begin
+    if List.length site.shapes >= max_poly then site.megamorphic <- true
+    else site.shapes <- (shape_id, action) :: site.shapes
+  end
+
+let record_callee site fid =
+  if not (List.mem fid site.callees) then
+    site.callees <- add_capped site.callees fid ~cap:max_poly
+
+let record_overflow site = site.overflowed <- true
+let record_hole site = site.saw_hole <- true
+let record_oob site = site.saw_oob <- true
+let record_elongation site = site.saw_elongation <- true
+
+let record_loop_iteration fp header =
+  match Hashtbl.find_opt fp.loop_stats header with
+  | Some (_, iters) -> incr iters
+  | None -> Hashtbl.add fp.loop_stats header (ref 0, ref 1)
+
+let record_loop_entry fp header =
+  match Hashtbl.find_opt fp.loop_stats header with
+  | Some (entries, _) -> incr entries
+  | None -> Hashtbl.add fp.loop_stats header (ref 1, ref 0)
+
+(** Average iterations per entry for the loop headed at [header]; the NoMap
+    transaction-placement pass uses this for footprint estimation. *)
+let avg_trip_count fp header =
+  match Hashtbl.find_opt fp.loop_stats header with
+  | Some (entries, iters) when !entries > 0 -> float_of_int !iters /. float_of_int !entries
+  | Some (_, iters) -> float_of_int !iters
+  | None -> 0.0
+
+(** Did this site only ever see int32 values (and never overflow)? *)
+let int_only site = site.classes = [ Cls_int ] && not site.overflowed
+
+let number_only site =
+  site.classes <> [] && List.for_all (fun c -> c = Cls_int || c = Cls_num) site.classes
+
+(** The unique shape observed at a monomorphic property site. *)
+let monomorphic_shape site =
+  match site.shapes with
+  | [ (shape_id, action) ] when not site.megamorphic -> Some (shape_id, action)
+  | _ -> None
+
+(** The unique callee observed at a monomorphic call site. *)
+let monomorphic_callee site =
+  match site.callees with [ fid ] -> Some fid | _ -> None

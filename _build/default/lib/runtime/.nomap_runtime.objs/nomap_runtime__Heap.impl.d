@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Nomap_util Shape String Value

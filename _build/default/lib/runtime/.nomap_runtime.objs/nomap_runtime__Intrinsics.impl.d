@@ -1,0 +1,1 @@
+lib/runtime/intrinsics.ml: Char Float Heap List Printf String Value

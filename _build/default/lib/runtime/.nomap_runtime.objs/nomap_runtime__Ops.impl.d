@@ -1,0 +1,1 @@
+lib/runtime/ops.ml: Char Float Heap Nomap_jsir String Value

@@ -1,0 +1,1 @@
+lib/runtime/shape.ml: Format Hashtbl List String

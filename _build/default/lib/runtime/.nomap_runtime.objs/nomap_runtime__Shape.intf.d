@@ -1,0 +1,1 @@
+lib/runtime/shape.mli: Format Hashtbl

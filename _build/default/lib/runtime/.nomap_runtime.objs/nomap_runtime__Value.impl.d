@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Float Format List Printf Shape String

@@ -1,0 +1,56 @@
+(** Hidden classes ("shapes"/"structures" in JavaScriptCore terminology).
+
+    Every object points at a shape describing its property layout.  Adding a
+    property transitions the object to a child shape; objects built by the
+    same code path in the same order share shapes, which is what makes the
+    FTL tier's property checks (compare one shape pointer) meaningful.
+
+    A [universe] owns the shape tree so that independent program runs do not
+    share state and ids stay deterministic. *)
+
+type t = {
+  id : int;
+  prop_count : int;
+  (* Most-recently-added property first; slot indices are stable. *)
+  props : (string * int) list;
+  transitions : (string, t) Hashtbl.t;
+}
+
+type universe = { mutable next_id : int; root : t }
+
+let create_universe () =
+  let root = { id = 0; prop_count = 0; props = []; transitions = Hashtbl.create 8 } in
+  { next_id = 1; root }
+
+let root u = u.root
+
+(** Slot index of property [name], if present. *)
+let lookup shape name =
+  List.assoc_opt name shape.props
+
+let has_property shape name = lookup shape name <> None
+
+(** The shape reached by adding [name]; creates (and caches) the transition.
+    The new property gets the next slot index. *)
+let transition u shape name =
+  match Hashtbl.find_opt shape.transitions name with
+  | Some child -> child
+  | None ->
+    let child =
+      {
+        id = u.next_id;
+        prop_count = shape.prop_count + 1;
+        props = (name, shape.prop_count) :: shape.props;
+        transitions = Hashtbl.create 4;
+      }
+    in
+    u.next_id <- u.next_id + 1;
+    Hashtbl.add shape.transitions name child;
+    child
+
+(** Property names in slot order, for printing. *)
+let property_names shape =
+  List.rev_map fst shape.props
+
+let pp fmt shape =
+  Format.fprintf fmt "shape#%d{%s}" shape.id (String.concat "," (property_names shape))

@@ -1,0 +1,36 @@
+(** Hidden classes ("shapes"/"structures" in JavaScriptCore terminology).
+
+    Every object points at a shape describing its property layout; adding a
+    property transitions to a child shape.  Objects built by the same code
+    path share shapes, which is what makes the FTL tier's property checks
+    (compare one shape pointer) meaningful. *)
+
+type t = {
+  id : int;
+  prop_count : int;
+  props : (string * int) list;  (** most-recently-added first; slot indices stable *)
+  transitions : (string, t) Hashtbl.t;
+}
+
+(** A universe owns a shape tree: independent program runs do not share
+    state and ids stay deterministic. *)
+type universe
+
+val create_universe : unit -> universe
+
+(** The empty root shape. *)
+val root : universe -> t
+
+(** Slot index of a property, if present. *)
+val lookup : t -> string -> int option
+
+val has_property : t -> string -> bool
+
+(** The shape reached by adding a property; creates (and caches) the
+    transition.  The new property gets the next slot index. *)
+val transition : universe -> t -> string -> t
+
+(** Property names in slot order. *)
+val property_names : t -> string list
+
+val pp : Format.formatter -> t -> unit

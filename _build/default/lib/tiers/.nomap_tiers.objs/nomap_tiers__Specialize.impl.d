@@ -1,0 +1,1 @@
+lib/tiers/specialize.ml: Array Hashtbl List Nomap_bytecode Nomap_jsir Nomap_lir Nomap_profile Nomap_runtime Nomap_util Option

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the simulator flows through a seeded [t] so every
+    experiment is exactly reproducible. *)
+
+type t
+
+(** Fresh generator with the given seed. *)
+val create : seed:int -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Expose/restore the internal state (the simulator journals it so a
+    transactional rollback replays the same randomness). *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit
+
+(** Fisher-Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit

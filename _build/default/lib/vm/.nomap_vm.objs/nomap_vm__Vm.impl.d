@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array List Nomap_bytecode Nomap_htm Nomap_interp Nomap_lir Nomap_machine Nomap_nomap Nomap_opt Nomap_profile Nomap_runtime Nomap_tiers Option

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Hashtbl Kraken List Nomap_bytecode Nomap_interp Nomap_runtime Printf Shootout Sunspider

@@ -1,0 +1,385 @@
+(** Kraken kernels (K01–K14): heavier, array-centric workloads (audio DSP,
+    image filters, crypto, JSON) scaled down for the simulator. *)
+
+(* K01 ai-astar: grid path search with open-list scanning. *)
+let k01_ai_astar =
+  {js|
+var astar_w = 16;
+var astar_h = 16;
+function nodeCost(x, y, gx, gy) {
+  var dx = x - gx; var dy = y - gy;
+  return Math.sqrt(dx * dx + dy * dy);
+}
+function benchmark() {
+  var w = astar_w; var h = astar_h;
+  var gScore = new Array(w * h);
+  var closed = new Array(w * h);
+  for (var i = 0; i < w * h; i++) { gScore[i] = 1e9; closed[i] = false; }
+  gScore[0] = 0;
+  var expanded = 0;
+  for (var step = 0; step < w * h; step++) {
+    var best = -1; var bestF = 1e9;
+    for (var n = 0; n < w * h; n++) {
+      if (!closed[n] && gScore[n] < 1e9) {
+        var f = gScore[n] + nodeCost(n % w, Math.floor(n / w), w - 1, h - 1);
+        if (f < bestF) { bestF = f; best = n; }
+      }
+    }
+    if (best < 0) { break; }
+    closed[best] = true;
+    expanded++;
+    if (best == w * h - 1) { break; }
+    var bx = best % w; var by = Math.floor(best / w);
+    if (bx + 1 < w && gScore[best] + 1 < gScore[best + 1]) { gScore[best + 1] = gScore[best] + 1; }
+    if (bx > 0 && gScore[best] + 1 < gScore[best - 1]) { gScore[best - 1] = gScore[best] + 1; }
+    if (by + 1 < h && gScore[best] + 1 < gScore[best + w]) { gScore[best + w] = gScore[best] + 1; }
+    if (by > 0 && gScore[best] + 1 < gScore[best - w]) { gScore[best - w] = gScore[best] + 1; }
+  }
+  return expanded;
+}
+|js}
+
+(* K02 audio-beat-detection: mostly runtime-call heavy envelope work
+   (one of the 95%-non-FTL Kraken members). *)
+let k02_audio_beat_detection =
+  {js|
+function benchmark() {
+  var hist = [];
+  for (var i = 0; i < 80; i++) {
+    hist.push(Math.abs(Math.sin(i * 0.3)) * 100);
+  }
+  var peaks = 0;
+  for (var j = 1; j + 1 < hist.length; j++) {
+    if (hist[j] > hist[j - 1] && hist[j] > hist[j + 1]) { peaks++; }
+  }
+  var label = 'peaks=' + peaks;
+  return label.length * 100 + peaks;
+}
+|js}
+
+(* K03 audio-dft: direct O(n^2) transform (non-FTL dominated variant). *)
+let k03_audio_dft =
+  {js|
+function benchmark() {
+  var n = 24;
+  var re = new Array(n); var im = new Array(n);
+  var sig = new Array(n);
+  for (var i = 0; i < n; i++) { sig[i] = Math.sin(i * 0.7) + Math.sin(i * 1.3); }
+  for (var k = 0; k < n; k++) {
+    var sr = 0.0; var si = 0.0;
+    for (var t = 0; t < n; t++) {
+      var ang = 6.283185307179586 * k * t / n;
+      sr += sig[t] * Math.cos(ang);
+      si -= sig[t] * Math.sin(ang);
+    }
+    re[k] = sr; im[k] = si;
+  }
+  var power = 0.0;
+  for (var m = 0; m < n; m++) { power += re[m] * re[m] + im[m] * im[m]; }
+  return Math.floor(power * 1000);
+}
+|js}
+
+(* K04 audio-fft: recursive radix-2 FFT (call-heavy: non-FTL dominated). *)
+let k04_audio_fft =
+  {js|
+function fftPass(re, im, n, start, stride) {
+  if (n == 1) { return; }
+  var half = n >> 1;
+  fftPass(re, im, half, start, stride * 2);
+  fftPass(re, im, half, start + stride, stride * 2);
+  for (var k = 0; k < half; k++) {
+    var ang = -6.283185307179586 * k / n;
+    var wr = Math.cos(ang); var wi = Math.sin(ang);
+    var i0 = start + k * stride * 2;
+    var i1 = i0 + stride;
+    var tr = wr * re[i1] - wi * im[i1];
+    var ti = wr * im[i1] + wi * re[i1];
+    re[i1] = re[i0] - tr; im[i1] = im[i0] - ti;
+    re[i0] = re[i0] + tr; im[i0] = im[i0] + ti;
+  }
+}
+function benchmark() {
+  var n = 32;
+  var re = new Array(n); var im = new Array(n);
+  for (var i = 0; i < n; i++) { re[i] = Math.cos(i * 0.31); im[i] = 0.0; }
+  fftPass(re, im, n, 0, 1);
+  var p = 0.0;
+  for (var j = 0; j < n; j++) { p += re[j] * re[j] + im[j] * im[j]; }
+  return Math.floor(p * 1000);
+}
+|js}
+
+(* K05 audio-oscillator: waveform synthesis into sample buffers. *)
+let k05_audio_oscillator =
+  {js|
+var osc_buffer = new Array(512);
+function generate(freq, phase) {
+  var sum = 0.0;
+  for (var i = 0; i < 512; i++) {
+    var v = Math.sin(phase + i * freq) * 0.7 + Math.sin(phase + i * freq * 2.0) * 0.3;
+    osc_buffer[i] = v;
+    sum += v * v;
+  }
+  return sum;
+}
+function benchmark() {
+  var acc = 0.0;
+  for (var f = 1; f <= 4; f++) {
+    acc += generate(0.01 * f, f * 0.5);
+  }
+  return Math.floor(acc * 1000);
+}
+|js}
+
+(* K06 imaging-darkroom: per-pixel brightness/contrast over an int image. *)
+let k06_imaging_darkroom =
+  {js|
+var dark_pixels = new Array(1024);
+var dark_init = 0;
+function darkroomInit() {
+  for (var i = 0; i < 1024; i++) { dark_pixels[i] = (i * 7919) & 0xFF; }
+  dark_init = 1;
+}
+function benchmark() {
+  if (!dark_init) { darkroomInit(); }
+  var brightness = 12.0;
+  var contrast = 1.25;
+  var checksum = 0;
+  for (var pass = 0; pass < 4; pass++) {
+    for (var i = 0; i < 1024; i++) {
+      var p = dark_pixels[i] + brightness;
+      if (p > 255.0) { p = 255.0; }
+      p = (p - 128.0) * contrast + 128.0;
+      if (p > 255.0) { p = 255.0; }
+      if (p < 0.0) { p = 0.0; }
+      checksum = (checksum + Math.floor(p)) & 0xFFFFFF;
+    }
+  }
+  return checksum;
+}
+|js}
+
+(* K07 imaging-desaturate: RGB→gray conversion loop. *)
+let k07_imaging_desaturate =
+  {js|
+var desat_rgb = new Array(768);
+var desat_init = 0;
+function desatInit() {
+  for (var i = 0; i < 768; i++) { desat_rgb[i] = (i * 2654435761) & 0xFF; }
+  desat_init = 1;
+}
+function benchmark() {
+  if (!desat_init) { desatInit(); }
+  var sum = 0;
+  for (var pass = 0; pass < 4; pass++) {
+    for (var p = 0; p < 256; p++) {
+      var r = desat_rgb[p * 3];
+      var g = desat_rgb[p * 3 + 1];
+      var b = desat_rgb[p * 3 + 2];
+      var gray = (r * 77 + g * 151 + b * 28) >> 8;
+      sum = (sum + gray) & 0xFFFFFF;
+    }
+  }
+  return sum;
+}
+|js}
+
+(* K08 imaging-gaussian-blur: 2D convolution with a 3x3 kernel. *)
+let k08_imaging_gaussian_blur =
+  {js|
+var blur_w = 24;
+var blur_h = 24;
+var blur_src = new Array(576);
+var blur_dst = new Array(576);
+var blur_init = 0;
+function blurInit() {
+  for (var i = 0; i < blur_w * blur_h; i++) { blur_src[i] = (i * 31) & 0xFF; }
+  blur_init = 1;
+}
+function benchmark() {
+  if (!blur_init) { blurInit(); }
+  var w = blur_w; var h = blur_h;
+  for (var y = 1; y < h - 1; y++) {
+    for (var x = 1; x < w - 1; x++) {
+      var acc = blur_src[(y - 1) * w + x - 1] + 2 * blur_src[(y - 1) * w + x] + blur_src[(y - 1) * w + x + 1]
+              + 2 * blur_src[y * w + x - 1] + 4 * blur_src[y * w + x] + 2 * blur_src[y * w + x + 1]
+              + blur_src[(y + 1) * w + x - 1] + 2 * blur_src[(y + 1) * w + x] + blur_src[(y + 1) * w + x + 1];
+      blur_dst[y * w + x] = acc >> 4;
+    }
+  }
+  var checksum = 0;
+  for (var i = 0; i < w * h; i++) {
+    var v = blur_dst[i];
+    if (v == undefined) { v = 0; }
+    checksum = (checksum + v) & 0xFFFFFF;
+  }
+  return checksum;
+}
+|js}
+
+(* K09 json-parse-financial: tokenizer/parser over a JSON-ish string —
+   dominated by string runtime (non-FTL). *)
+let k09_json_parse_financial =
+  {js|
+var json_data = '';
+function jsonInit() {
+  var s = '';
+  for (var i = 0; i < 40; i++) {
+    s = s + 'id' + i + '=' + (i * 13 % 997) + '.' + (i % 100) + ',';
+  }
+  json_data = s;
+}
+function benchmark() {
+  if (json_data.length == 0) { jsonInit(); }
+  var fields = json_data.split(',');
+  var total = 0.0;
+  for (var i = 0; i < fields.length; i++) {
+    var f = fields[i];
+    if (f.length == 0) { continue; }
+    var eq = f.indexOf('=');
+    var v = parseFloat(f.substring(eq + 1, f.length));
+    total += v;
+  }
+  return Math.floor(total * 100);
+}
+|js}
+
+(* K10 json-stringify-tinderbox: object → string serialization (non-FTL). *)
+let k10_json_stringify_tinderbox =
+  {js|
+function stringifyRecord(r) {
+  return '{' + 'name:' + r.name + ',ok:' + r.ok + ',time:' + r.time + '}';
+}
+function benchmark() {
+  var out = '';
+  for (var i = 0; i < 40; i++) {
+    var rec = { name: 'build' + i, ok: (i % 3) == 0, time: i * 17 };
+    out = stringifyRecord(rec);
+  }
+  var h = 0;
+  for (var j = 0; j < out.length; j++) { h = (h * 31 + out.charCodeAt(j)) & 0xFFFFFF; }
+  return h;
+}
+|js}
+
+(* K11 crypto-aes: larger state than S13, multiple blocks. *)
+let k11_crypto_aes =
+  {js|
+var kaes_sbox = new Array(256);
+var kaes_init = 0;
+function kaesInit() {
+  for (var i = 0; i < 256; i++) { kaes_sbox[i] = ((i * 13) ^ (i >> 3) ^ 0x3A) & 0xFF; }
+  kaes_init = 1;
+}
+function encryptBlock(block, rounds) {
+  for (var r = 0; r < rounds; r++) {
+    for (var i = 0; i < block.length; i++) {
+      block[i] = kaes_sbox[(block[i] ^ r) & 0xFF];
+    }
+    for (var c = 0; c + 3 < block.length; c += 4) {
+      var a0 = block[c]; var a1 = block[c + 1]; var a2 = block[c + 2]; var a3 = block[c + 3];
+      block[c] = (a0 ^ ((a1 << 1) | (a1 >> 7)) ^ c) & 0xFF;
+      block[c + 1] = (a1 ^ ((a2 << 1) | (a2 >> 7)) ^ r) & 0xFF;
+      block[c + 2] = (a2 ^ ((a3 << 1) | (a3 >> 7)) ^ 0x1B) & 0xFF;
+      block[c + 3] = (a3 ^ ((a0 << 1) | (a0 >> 7))) & 0xFF;
+    }
+  }
+}
+function benchmark() {
+  if (!kaes_init) { kaesInit(); }
+  var h = 0;
+  for (var b = 0; b < 6; b++) {
+    var block = new Array(16);
+    for (var i = 0; i < 16; i++) { block[i] = (b * 16 + i) * 3 & 0xFF; }
+    encryptBlock(block, 10);
+    for (var j = 0; j < 16; j++) { h = (h * 31 + block[j]) & 0xFFFFFF; }
+  }
+  return h;
+}
+|js}
+
+(* K12 crypto-ccm: CBC-MAC + counter-mode combination. *)
+let k12_crypto_ccm =
+  {js|
+function ccmMix(x, k) { return ((x ^ k) * 2654435761 >> 8) & 0xFF; }
+function benchmark() {
+  var msg = new Array(128);
+  for (var i = 0; i < 128; i++) { msg[i] = (i * 101) & 0xFF; }
+  var mac = 0;
+  for (var j = 0; j < 128; j++) { mac = ccmMix(mac ^ msg[j], j & 0xFF); }
+  var out = 0;
+  for (var ctr = 0; ctr < 128; ctr++) {
+    var key = ccmMix(ctr, 0x5A);
+    out = (out + (msg[ctr] ^ key)) & 0xFFFFFF;
+  }
+  return out * 256 + mac;
+}
+|js}
+
+(* K13 crypto-pbkdf2: iterated HMAC-ish key stretching. *)
+let k13_crypto_pbkdf2 =
+  {js|
+function prf(state, salt) {
+  var h = state | 0;
+  for (var i = 0; i < 8; i++) {
+    h = ((h << 5) - h + salt + i) | 0;
+    h = h ^ (h >>> 13);
+  }
+  return h;
+}
+function benchmark() {
+  var key = 0x1234;
+  for (var iter = 0; iter < 400; iter++) {
+    key = prf(key, iter & 0xFF);
+  }
+  return key & 0xFFFFFF;
+}
+|js}
+
+(* K14 crypto-sha256-iterative: message-schedule expansion + rounds. *)
+let k14_crypto_sha256_iterative =
+  {js|
+function rotr(x, n) { return (x >>> n) | (x << (32 - n)); }
+function benchmark() {
+  var w = new Array(64);
+  for (var i = 0; i < 16; i++) { w[i] = (i * 0x9E3779B9) | 0; }
+  var h0 = 0x6a09e667 | 0; var h1 = 0xbb67ae85 | 0;
+  for (var block = 0; block < 8; block++) {
+    for (var t = 16; t < 64; t++) {
+      var s0 = rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >>> 3);
+      var s1 = rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >>> 10);
+      w[t] = (w[t - 16] + s0 + w[t - 7] + s1) | 0;
+    }
+    var a = h0; var b = h1;
+    for (var r = 0; r < 64; r++) {
+      var tmp = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) | 0;
+      tmp = (tmp + w[r] + (a & b)) | 0;
+      b = a; a = tmp;
+    }
+    h0 = (h0 + a) | 0; h1 = (h1 + b) | 0;
+  }
+  return (h0 ^ h1) & 0xFFFFFFF;
+}
+|js}
+
+let all =
+  [
+    ("ai-astar", k01_ai_astar);
+    ("audio-beat-detection", k02_audio_beat_detection);
+    ("audio-dft", k03_audio_dft);
+    ("audio-fft", k04_audio_fft);
+    ("audio-oscillator", k05_audio_oscillator);
+    ("imaging-darkroom", k06_imaging_darkroom);
+    ("imaging-desaturate", k07_imaging_desaturate);
+    ("imaging-gaussian-blur", k08_imaging_gaussian_blur);
+    ("json-parse-financial", k09_json_parse_financial);
+    ("json-stringify-tinderbox", k10_json_stringify_tinderbox);
+    ("crypto-aes", k11_crypto_aes);
+    ("crypto-ccm", k12_crypto_ccm);
+    ("crypto-pbkdf2", k13_crypto_pbkdf2);
+    ("crypto-sha256-iterative", k14_crypto_sha256_iterative);
+  ]
+
+(** Paper Table III: Kraken benchmarks included in AvgS. *)
+let avg_s_members = [ 1; 5; 6; 7; 8; 11; 12; 13; 14 ]

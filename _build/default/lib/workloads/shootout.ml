@@ -1,0 +1,305 @@
+(** Shootout benchmarks (paper Figure 1): the classic language-comparison
+    kernels, used to position MiniJS-under-our-JIT against the interpreter
+    stand-ins for Python/PHP/Ruby and the ideal-native "C" bound. *)
+
+let ary =
+  {js|
+function benchmark() {
+  var n = 300;
+  var x = new Array(n);
+  var y = new Array(n);
+  for (var i = 0; i < n; i++) { x[i] = i + 1; y[i] = 0; }
+  for (var k = 0; k < 4; k++) {
+    for (var j = n - 1; j >= 0; j--) { y[j] += x[j]; }
+  }
+  return y[0] + y[n - 1];
+}
+|js}
+
+let binarytrees =
+  {js|
+function BTNode(l, r) { this.l = l; this.r = r; }
+function makeTree(depth) {
+  if (depth <= 0) { return new BTNode(null, null); }
+  return new BTNode(makeTree(depth - 1), makeTree(depth - 1));
+}
+function checkTree(t) {
+  if (t.l == null) { return 1; }
+  return 1 + checkTree(t.l) + checkTree(t.r);
+}
+function benchmark() {
+  var check = 0;
+  for (var d = 2; d <= 5; d++) { check += checkTree(makeTree(d)); }
+  return check;
+}
+|js}
+
+let fannkuchredux =
+  {js|
+function benchmark() {
+  var n = 6;
+  var p = new Array(n); var q = new Array(n); var s = new Array(n);
+  for (var i = 0; i < n; i++) { p[i] = i; q[i] = i; s[i] = i; }
+  var sum = 0; var maxflips = 0;
+  var sign = 1;
+  var iterations = 0;
+  while (iterations < 250) {
+    iterations++;
+    var q0 = p[0];
+    if (q0 != 0) {
+      for (var i2 = 1; i2 < n; i2++) { q[i2] = p[i2]; }
+      var flips = 1;
+      while (true) {
+        var qq = q[q0];
+        if (qq == 0) { break; }
+        q[q0] = q0;
+        if (q0 >= 3) {
+          var lo = 1; var hi = q0 - 1;
+          while (lo < hi) {
+            var t = q[lo]; q[lo] = q[hi]; q[hi] = t;
+            lo++; hi--;
+          }
+        }
+        q0 = qq;
+        flips++;
+      }
+      sum += sign * flips;
+      if (flips > maxflips) { maxflips = flips; }
+    }
+    if (sign == 1) {
+      var t1 = p[1]; p[1] = p[0]; p[0] = t1;
+      sign = -1;
+    } else {
+      var t2 = p[1]; p[1] = p[2]; p[2] = t2;
+      sign = 1;
+      var broke = false;
+      for (var i3 = 2; i3 < n - 1; i3++) {
+        var sx = s[i3];
+        if (sx != 0) { s[i3] = sx - 1; broke = true; break; }
+        if (i3 == n - 2) { return sum * 1000 + maxflips; }
+        s[i3] = i3;
+        var t0 = p[0];
+        for (var j = 0; j <= i3; j++) { p[j] = p[j + 1]; }
+        p[i3 + 1] = t0;
+      }
+      if (!broke) { }
+    }
+  }
+  return sum * 1000 + maxflips;
+}
+|js}
+
+let fibo =
+  {js|
+function fib(n) {
+  if (n < 2) { return 1; }
+  return fib(n - 2) + fib(n - 1);
+}
+function benchmark() { return fib(13); }
+|js}
+
+let harmonic =
+  {js|
+function benchmark() {
+  var partial = 0.0;
+  for (var d = 1; d <= 4000; d++) {
+    partial += 1.0 / d;
+  }
+  return Math.floor(partial * 1e9);
+}
+|js}
+
+let hash_bench =
+  {js|
+function benchmark() {
+  var o = {};
+  o.c0 = 0; o.c1 = 0; o.c2 = 0; o.c3 = 0; o.c4 = 0;
+  o.c5 = 0; o.c6 = 0; o.c7 = 0; o.c8 = 0; o.c9 = 0;
+  var keys = ['c0', 'c1', 'c2', 'c3', 'c4', 'c5', 'c6', 'c7', 'c8', 'c9'];
+  var total = 0;
+  for (var i = 0; i < 200; i++) {
+    var k = keys[i % 10];
+    if (k == 'c3') { total++; }
+  }
+  for (var j = 0; j < 200; j++) {
+    o.c3 = o.c3 + 1;
+    total += o.c3 & 1;
+  }
+  return total;
+}
+|js}
+
+let heapsort =
+  {js|
+var heap_rand_state = 42;
+function heapRandom() {
+  heap_rand_state = (heap_rand_state * 3877 + 29573) % 139968;
+  return heap_rand_state / 139968.0;
+}
+function heapsortKernel(n, ra) {
+  var l = (n >> 1) + 1;
+  var ir = n;
+  var rra = 0.0;
+  while (true) {
+    if (l > 1) {
+      l = l - 1;
+      rra = ra[l];
+    } else {
+      rra = ra[ir];
+      ra[ir] = ra[1];
+      ir = ir - 1;
+      if (ir == 1) { ra[1] = rra; return; }
+    }
+    var i = l;
+    var j = l * 2;
+    while (j <= ir) {
+      if (j < ir && ra[j] < ra[j + 1]) { j++; }
+      if (rra < ra[j]) {
+        ra[i] = ra[j];
+        i = j;
+        j = j + i;
+      } else {
+        j = ir + 1;
+      }
+    }
+    ra[i] = rra;
+  }
+}
+function benchmark() {
+  heap_rand_state = 42;
+  var n = 250;
+  var ra = new Array(n + 1);
+  ra[0] = 0.0;
+  for (var i = 1; i <= n; i++) { ra[i] = heapRandom(); }
+  heapsortKernel(n, ra);
+  return Math.floor(ra[n] * 1e9);
+}
+|js}
+
+let matrix =
+  {js|
+function mkmatrix(rows, cols) {
+  var m = new Array(rows);
+  var count = 1;
+  for (var i = 0; i < rows; i++) {
+    m[i] = new Array(cols);
+    for (var j = 0; j < cols; j++) { m[i][j] = count; count++; }
+  }
+  return m;
+}
+function mmult(rows, cols, m1, m2, m3) {
+  for (var i = 0; i < rows; i++) {
+    for (var j = 0; j < cols; j++) {
+      var val = 0;
+      for (var k = 0; k < cols; k++) { val += m1[i][k] * m2[k][j]; }
+      m3[i][j] = val;
+    }
+  }
+}
+function benchmark() {
+  var size = 8;
+  var m1 = mkmatrix(size, size);
+  var m2 = mkmatrix(size, size);
+  var m3 = mkmatrix(size, size);
+  for (var it = 0; it < 4; it++) { mmult(size, size, m1, m2, m3); }
+  return m3[0][0] + m3[2][3] + m3[size - 1][size - 1];
+}
+|js}
+
+let nbody =
+  {js|
+var sx = [];
+var sy = [];
+var svx = [];
+var svy = [];
+var smass = [39.478417604357432, 0.0377236791740387, 0.01128632612525443];
+function resetSystem() {
+  sx = [0.0, 4.84143144246472090, 8.34336671824457987];
+  sy = [0.0, -1.16032004402742839, 4.12479856412430479];
+  svx = [0.0, 0.00166007664274403694, -0.00276742510726862411];
+  svy = [0.0, 0.00769901118419740425, 0.00499852801234917238];
+}
+function nbodyAdvance(dt) {
+  for (var i = 0; i < 3; i++) {
+    for (var j = i + 1; j < 3; j++) {
+      var dx = sx[i] - sx[j];
+      var dy = sy[i] - sy[j];
+      var dist = Math.sqrt(dx * dx + dy * dy);
+      var mag = dt / (dist * dist * dist);
+      svx[i] -= dx * smass[j] * mag;
+      svy[i] -= dy * smass[j] * mag;
+      svx[j] += dx * smass[i] * mag;
+      svy[j] += dy * smass[i] * mag;
+    }
+  }
+  for (var k = 0; k < 3; k++) { sx[k] += dt * svx[k]; sy[k] += dt * svy[k]; }
+}
+function benchmark() {
+  resetSystem();
+  for (var step = 0; step < 80; step++) { nbodyAdvance(0.01); }
+  var e = 0.0;
+  for (var i = 0; i < 3; i++) { e += 0.5 * smass[i] * (svx[i] * svx[i] + svy[i] * svy[i]); }
+  return Math.floor(e * 1e9);
+}
+|js}
+
+let random_bench =
+  {js|
+var rand_last = 42;
+function genRandom(max) {
+  rand_last = (rand_last * 3877 + 29573) % 139968;
+  return max * rand_last / 139968;
+}
+function benchmark() {
+  rand_last = 42;
+  var r = 0.0;
+  for (var i = 0; i < 3000; i++) { r = genRandom(100.0); }
+  return Math.floor(r * 1e9);
+}
+|js}
+
+let sieve =
+  {js|
+function benchmark() {
+  var flags = new Array(1001);
+  var count = 0;
+  for (var pass = 0; pass < 3; pass++) {
+    count = 0;
+    for (var i = 2; i <= 1000; i++) { flags[i] = true; }
+    for (var p = 2; p <= 1000; p++) {
+      if (flags[p]) {
+        count++;
+        for (var m = p + p; m <= 1000; m += p) { flags[m] = false; }
+      }
+    }
+  }
+  return count;
+}
+|js}
+
+let takfp =
+  {js|
+function takfp(x, y, z) {
+  if (y >= x) { return z; }
+  return takfp(takfp(x - 1.0, y, z), takfp(y - 1.0, z, x), takfp(z - 1.0, x, y));
+}
+function benchmark() {
+  return Math.floor(takfp(8.0, 4.0, 0.0) * 1000);
+}
+|js}
+
+let all =
+  [
+    ("ary", ary);
+    ("binarytrees", binarytrees);
+    ("fannkuchredux", fannkuchredux);
+    ("fibo", fibo);
+    ("harmonic", harmonic);
+    ("hash", hash_bench);
+    ("heapsort", heapsort);
+    ("matrix", matrix);
+    ("nbody", nbody);
+    ("random", random_bench);
+    ("sieve", sieve);
+    ("takfp", takfp);
+  ]

@@ -1,0 +1,792 @@
+(** SunSpider kernels (S01–S26), written in MiniJS with the computational
+    shape of the originals: the same dominant operation mix (FP matrix math,
+    int array traversal, bit twiddling, crypto rounds, string building), so
+    the check-density and category profiles the paper reports emerge from
+    the code rather than being asserted.
+
+    Every program defines [function benchmark()] returning a checksum; the
+    harness calls it repeatedly.  Sizes are scaled down (the simulator costs
+    ~100x a real CPU) but loop structures match. *)
+
+(* S01 3d-cube: 3D matrix rotations over unit-cube vertices. *)
+let s01_3d_cube =
+  {js|
+var cube_q = [];
+function makeCube() {
+  var v = [];
+  v.push([1, 1, 1]); v.push([1, 1, -1]); v.push([1, -1, 1]); v.push([1, -1, -1]);
+  v.push([-1, 1, 1]); v.push([-1, 1, -1]); v.push([-1, -1, 1]); v.push([-1, -1, -1]);
+  return v;
+}
+function rotateX(p, a) {
+  var c = Math.cos(a); var s = Math.sin(a);
+  var y = p[1] * c - p[2] * s;
+  var z = p[1] * s + p[2] * c;
+  p[1] = y; p[2] = z;
+}
+function rotateY(p, a) {
+  var c = Math.cos(a); var s = Math.sin(a);
+  var x = p[0] * c + p[2] * s;
+  var z = -p[0] * s + p[2] * c;
+  p[0] = x; p[2] = z;
+}
+function rotateZ(p, a) {
+  var c = Math.cos(a); var s = Math.sin(a);
+  var x = p[0] * c - p[1] * s;
+  var y = p[0] * s + p[1] * c;
+  p[0] = x; p[1] = y;
+}
+function benchmark() {
+  var cube = makeCube();
+  var total = 0.0;
+  for (var frame = 0; frame < 45; frame++) {
+    var a = frame * 0.1;
+    for (var i = 0; i < cube.length; i++) {
+      rotateX(cube[i], a);
+      rotateY(cube[i], a * 0.5);
+      rotateZ(cube[i], a * 0.25);
+    }
+    for (var j = 0; j < cube.length; j++) {
+      total += cube[j][0] * (j + 1) + cube[j][1] * (j + 2) + cube[j][2] * (j + 3);
+    }
+  }
+  return Math.floor(total * 1000);
+}
+|js}
+
+(* S02 3d-morph: sine-wave morphing of a mesh; the paper notes its kernel is
+   optimized away as dead code once SMPs become aborts (nothing observes the
+   mesh), which we reproduce by never reading the result. *)
+let s02_3d_morph =
+  {js|
+var morph_mesh = new Array(120);
+function benchmark() {
+  var loops = 12;
+  for (var l = 0; l < loops; l++) {
+    for (var i = 0; i < 120; i++) {
+      morph_mesh[i] = Math.sin((i + l) * 0.05) * 0.5 + 0.5;
+    }
+  }
+  return 1;
+}
+|js}
+
+(* S03 3d-raytrace: sphere intersection tests with vector objects. *)
+let s03_3d_raytrace =
+  {js|
+function Vector(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function sub(a, b) { return new Vector(a.x - b.x, a.y - b.y, a.z - b.z); }
+function intersectSphere(orig, dir, center, radius) {
+  var oc = sub(center, orig);
+  var tca = dot(oc, dir);
+  if (tca < 0) { return -1.0; }
+  var d2 = dot(oc, oc) - tca * tca;
+  var r2 = radius * radius;
+  if (d2 > r2) { return -1.0; }
+  return tca - Math.sqrt(r2 - d2);
+}
+function benchmark() {
+  var orig = new Vector(0, 0, 0);
+  var hits = 0;
+  var depth = 0.0;
+  for (var py = 0; py < 12; py++) {
+    for (var px = 0; px < 12; px++) {
+      var dx = (px - 6) / 6.0;
+      var dy = (py - 6) / 6.0;
+      var norm = Math.sqrt(dx * dx + dy * dy + 1.0);
+      var dir = new Vector(dx / norm, dy / norm, 1.0 / norm);
+      var t = intersectSphere(orig, dir, new Vector(0, 0, 10), 3.0);
+      if (t > 0) { hits++; depth += t; }
+    }
+  }
+  return hits * 1000 + Math.floor(depth);
+}
+|js}
+
+(* S04 access-binary-trees: allocate and walk binary trees (GC pressure). *)
+let s04_access_binary_trees =
+  {js|
+function TreeNode(left, right, item) {
+  this.left = left; this.right = right; this.item = item;
+}
+function bottomUpTree(item, depth) {
+  if (depth > 0) {
+    return new TreeNode(bottomUpTree(2 * item - 1, depth - 1),
+                        bottomUpTree(2 * item, depth - 1), item);
+  }
+  return new TreeNode(null, null, item);
+}
+function itemCheck(node) {
+  if (node.left == null) { return node.item; }
+  return node.item + itemCheck(node.left) - itemCheck(node.right);
+}
+function benchmark() {
+  var check = 0;
+  for (var depth = 2; depth <= 5; depth++) {
+    var iterations = 1 << (7 - depth);
+    for (var i = 1; i <= iterations; i++) {
+      check += itemCheck(bottomUpTree(i, depth));
+      check += itemCheck(bottomUpTree(-i, depth));
+    }
+  }
+  return check;
+}
+|js}
+
+(* S05 access-fannkuch: pancake-flip permutations over int arrays. *)
+let s05_access_fannkuch =
+  {js|
+function fannkuch(n) {
+  var perm = new Array(n);
+  var perm1 = new Array(n);
+  var count = new Array(n);
+  var maxFlips = 0;
+  var r = n;
+  for (var i = 0; i < n; i++) { perm1[i] = i; }
+  var iter = 0;
+  while (iter < 300) {
+    iter++;
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (var j = 0; j < n; j++) { perm[j] = perm1[j]; }
+    var flips = 0;
+    var k = perm[0];
+    while (k != 0) {
+      var half = (k + 1) >> 1;
+      for (var m = 0; m < half; m++) {
+        var t = perm[m]; perm[m] = perm[k - m]; perm[k - m] = t;
+      }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > maxFlips) { maxFlips = flips; }
+    var done = false;
+    while (!done) {
+      if (r == n) { return maxFlips; }
+      var p0 = perm1[0];
+      for (var q = 0; q < r; q++) { perm1[q] = perm1[q + 1]; }
+      perm1[r] = p0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) { done = true; } else { r++; }
+    }
+  }
+  return maxFlips;
+}
+function benchmark() { return fannkuch(6); }
+|js}
+
+(* S06 access-nbody: planetary n-body FP simulation. *)
+let s06_access_nbody =
+  {js|
+var bx = [];
+var by = [];
+var bvx = [];
+var bvy = [];
+var bmass = [39.47, 0.0377, 0.0113, 0.0017, 0.0002];
+function resetBodies() {
+  bx = [0.0, 4.84, 8.34, 12.89, 15.37];
+  by = [0.0, -1.16, 4.12, -15.11, -25.91];
+  bvx = [0.0, 0.00166, -0.00276, 0.00296, 0.00268];
+  bvy = [0.0, 0.00769, 0.00499, 0.00237, 0.00162];
+}
+function advance(dt) {
+  var n = 5;
+  for (var i = 0; i < n; i++) {
+    for (var j = i + 1; j < n; j++) {
+      var dx = bx[i] - bx[j];
+      var dy = by[i] - by[j];
+      var d2 = dx * dx + dy * dy;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bvx[i] -= dx * bmass[j] * mag;
+      bvy[i] -= dy * bmass[j] * mag;
+      bvx[j] += dx * bmass[i] * mag;
+      bvy[j] += dy * bmass[i] * mag;
+    }
+  }
+  for (var k = 0; k < n; k++) {
+    bx[k] += dt * bvx[k];
+    by[k] += dt * bvy[k];
+  }
+}
+function energy() {
+  var e = 0.0;
+  for (var i = 0; i < 5; i++) {
+    e += 0.5 * bmass[i] * (bvx[i] * bvx[i] + bvy[i] * bvy[i]);
+  }
+  return e;
+}
+function benchmark() {
+  resetBodies();
+  for (var s = 0; s < 60; s++) { advance(0.01); }
+  return Math.floor(energy() * 1e9);
+}
+|js}
+
+(* S07 access-nsieve: sieve of Eratosthenes over a boolean array. *)
+let s07_access_nsieve =
+  {js|
+function nsieve(m, flags) {
+  var count = 0;
+  for (var i = 2; i < m; i++) { flags[i] = true; }
+  for (var j = 2; j < m; j++) {
+    if (flags[j]) {
+      for (var k = j + j; k < m; k += j) { flags[k] = false; }
+      count++;
+    }
+  }
+  return count;
+}
+function benchmark() {
+  var sum = 0;
+  for (var p = 0; p < 3; p++) {
+    var m = (1 << p) * 500;
+    var flags = new Array(m + 1);
+    sum += nsieve(m, flags);
+  }
+  return sum;
+}
+|js}
+
+(* S08 bitops-3bit-bits-in-byte: paper notes this collapses to dead code. *)
+let s08_bitops_3bit_bits_in_byte =
+  {js|
+function fast3bitlookup(b) {
+  var c = 0xE994;
+  var bi3b = (c >> ((b & 7) << 1)) & 3;
+  bi3b += (c >> (((b >> 3) & 7) << 1)) & 3;
+  bi3b += (c >> (((b >> 6) & 3) << 1)) & 3;
+  return bi3b;
+}
+function benchmark() {
+  for (var i = 0; i < 500; i++) { fast3bitlookup(i & 0xFF); }
+  return 1;
+}
+|js}
+
+(* S09 bitops-bits-in-byte: likewise dead once unobserved. *)
+let s09_bitops_bits_in_byte =
+  {js|
+function bitsinbyte(b) {
+  var m = 1; var c = 0;
+  while (m < 0x100) {
+    if (b & m) { c++; }
+    m <<= 1;
+  }
+  return c;
+}
+function benchmark() {
+  for (var j = 0; j < 500; j++) { bitsinbyte(j & 0xFF); }
+  return 1;
+}
+|js}
+
+(* S10 bitops-bitwise-and: tight int loop; the paper highlights its SOF win. *)
+let s10_bitops_bitwise_and =
+  {js|
+var bitwiseAndValue = 4294967296;
+function benchmark() {
+  bitwiseAndValue = 4294967296;
+  for (var i = 0; i < 2000; i++) {
+    bitwiseAndValue = (bitwiseAndValue & i) + 1;
+  }
+  return bitwiseAndValue;
+}
+|js}
+
+(* S11 bitops-nsieve-bits: sieve packed into int32 bit vectors. *)
+let s11_bitops_nsieve_bits =
+  {js|
+function primes(isPrime, n) {
+  var count = 0;
+  var m = 10000 << n;
+  var size = (m + 31) >> 5;
+  for (var i = 0; i < size; i++) { isPrime[i] = 0xffffffff | 0; }
+  for (var j = 2; j < m; j++) {
+    if (isPrime[j >> 5] & (1 << (j & 31))) {
+      for (var k = j + j; k < m; k += j) {
+        isPrime[k >> 5] &= ~(1 << (k & 31));
+      }
+      count++;
+    }
+  }
+  return count;
+}
+function benchmark() {
+  var s = 0;
+  var flags = new Array((10000 + 31) >> 5);
+  s += primes(flags, 0);
+  return s;
+}
+|js}
+
+(* S12 controlflow-recursive: ackermann/fib/tak recursion. *)
+let s12_controlflow_recursive =
+  {js|
+function ack(m, n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+function cfib(n) {
+  if (n < 2) { return n; }
+  return cfib(n - 2) + cfib(n - 1);
+}
+function tak(x, y, z) {
+  if (y >= x) { return z; }
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+function benchmark() {
+  var r = 0;
+  for (var i = 1; i <= 2; i++) {
+    r += ack(2, i);
+    r += cfib(3 + i * 2);
+    r += tak(i * 2, i, i - 1);
+  }
+  return r;
+}
+|js}
+
+(* S13 crypto-aes: byte-substitution + mix-columns style rounds over int
+   arrays; the paper reports 72 bounds checks sunk from 29 loops here. *)
+let s13_crypto_aes =
+  {js|
+var aes_sbox = new Array(256);
+var aes_init_done = 0;
+function aesInit() {
+  for (var i = 0; i < 256; i++) {
+    aes_sbox[i] = ((i * 7) ^ (i >> 4) ^ 0x63) & 0xFF;
+  }
+  aes_init_done = 1;
+}
+function subBytes(state) {
+  for (var i = 0; i < state.length; i++) {
+    state[i] = aes_sbox[state[i] & 0xFF];
+  }
+}
+function shiftRows(state) {
+  for (var r = 1; r < 4; r++) {
+    for (var s = 0; s < r; s++) {
+      var t = state[r * 4];
+      for (var c = 0; c < 3; c++) { state[r * 4 + c] = state[r * 4 + c + 1]; }
+      state[r * 4 + 3] = t;
+    }
+  }
+}
+function mixColumns(state) {
+  for (var c = 0; c < 4; c++) {
+    var a0 = state[c]; var a1 = state[c + 4];
+    var a2 = state[c + 8]; var a3 = state[c + 12];
+    state[c] = (a0 ^ a1 ^ a2) & 0xFF;
+    state[c + 4] = (a1 ^ a2 ^ a3) & 0xFF;
+    state[c + 8] = (a2 ^ a3 ^ a0) & 0xFF;
+    state[c + 12] = (a3 ^ a0 ^ a1) & 0xFF;
+  }
+}
+function benchmark() {
+  if (!aes_init_done) { aesInit(); }
+  var state = new Array(16);
+  for (var i = 0; i < 16; i++) { state[i] = i * 11; }
+  for (var round = 0; round < 40; round++) {
+    subBytes(state);
+    shiftRows(state);
+    mixColumns(state);
+  }
+  var h = 0;
+  for (var j = 0; j < 16; j++) { h = (h * 31 + state[j]) & 0xFFFFFF; }
+  return h;
+}
+|js}
+
+(* S14 crypto-md5: 32-bit rounds with rotations over a message block. *)
+let s14_crypto_md5 =
+  {js|
+function rotl(x, n) { return (x << n) | (x >>> (32 - n)); }
+function md5round(a, b, x, s) {
+  return (rotl((a + ((b & 0x5A82) | (~b & 0x7999)) + x) | 0, s) + b) | 0;
+}
+function benchmark() {
+  var block = new Array(16);
+  for (var i = 0; i < 16; i++) { block[i] = i * 0x01010101; }
+  var a = 0x67452301 | 0; var b = 0xefcdab89 | 0;
+  for (var round = 0; round < 60; round++) {
+    for (var w = 0; w < 16; w++) {
+      a = md5round(a, b, block[w], (w & 3) + 4);
+      var t = a; a = b; b = t;
+    }
+  }
+  return (a ^ b) & 0xFFFFFFF;
+}
+|js}
+
+(* S15 crypto-sha1: expansion + rounds over 80-word schedule. *)
+let s15_crypto_sha1 =
+  {js|
+function rol(num, cnt) { return (num << cnt) | (num >>> (32 - cnt)); }
+function benchmark() {
+  var w = new Array(80);
+  for (var i = 0; i < 16; i++) { w[i] = i * 0x11111111; }
+  var h0 = 0x67452301 | 0; var h1 = 0xEFCDAB89 | 0; var h2 = 0x98BADCFE | 0;
+  for (var block = 0; block < 12; block++) {
+    for (var t = 16; t < 80; t++) {
+      w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    var a = h0; var b = h1; var c = h2;
+    for (var r = 0; r < 80; r++) {
+      var f = (b & c) | (~b & 0x5A827999);
+      var tmp = (rol(a, 5) + f + w[r]) | 0;
+      a = b; b = c; c = tmp;
+    }
+    h0 = (h0 + a) | 0; h1 = (h1 + b) | 0; h2 = (h2 + c) | 0;
+  }
+  return (h0 ^ h1 ^ h2) & 0xFFFFFFF;
+}
+|js}
+
+(* S16 date-format-tofte: calendar arithmetic + string assembly. *)
+let s16_date_format_tofte =
+  {js|
+var month_names = ['Jan', 'Feb', 'Mar', 'Apr', 'May', 'Jun', 'Jul', 'Aug', 'Sep', 'Oct', 'Nov', 'Dec'];
+function pad2(n) { return n < 10 ? '0' + n : '' + n; }
+function formatDate(day_num) {
+  var year = 1970 + Math.floor(day_num / 365);
+  var day_of_year = day_num % 365;
+  var month = Math.floor(day_of_year / 31);
+  if (month > 11) { month = 11; }
+  var day = (day_of_year % 31) + 1;
+  var hour = (day_num * 7) % 24;
+  var minute = (day_num * 13) % 60;
+  return month_names[month] + ' ' + pad2(day) + ' ' + year + ' ' +
+         pad2(hour) + ':' + pad2(minute);
+}
+function benchmark() {
+  var h = 0;
+  for (var d = 0; d < 120; d++) {
+    var s = formatDate(d * 37);
+    h = (h * 31 + s.length + s.charCodeAt(0) + s.charCodeAt(s.length - 1)) & 0xFFFFFF;
+  }
+  return h;
+}
+|js}
+
+(* S17 date-format-xparb: mostly string/dispatch work (95% non-FTL). *)
+let s17_date_format_xparb =
+  {js|
+var xparb_tokens = ['Y', 'm', 'd', 'H', 'i', 's'];
+function fieldFor(token, seed) {
+  if (token == 'Y') { return '' + (1970 + (seed % 60)); }
+  if (token == 'm') { return '' + (1 + (seed % 12)); }
+  if (token == 'd') { return '' + (1 + (seed % 28)); }
+  if (token == 'H') { return '' + (seed % 24); }
+  if (token == 'i') { return '' + (seed % 60); }
+  return '' + (seed % 60);
+}
+function benchmark() {
+  var out = '';
+  for (var i = 0; i < 60; i++) {
+    var s = '';
+    for (var t = 0; t < xparb_tokens.length; t++) {
+      s = s + fieldFor(xparb_tokens[t], i * 7 + t) + '-';
+    }
+    out = s;
+  }
+  var h = 0;
+  for (var j = 0; j < out.length; j++) { h = (h + out.charCodeAt(j)) & 0xFFFF; }
+  return h;
+}
+|js}
+
+(* S18 math-cordic: CORDIC sin/cos — the paper's redundant-load showcase. *)
+let s18_math_cordic =
+  {js|
+var cordic_angles = [];
+var cordic_state = { x: 0, y: 0, targ: 0 };
+function cordicInit() {
+  var k = 1.0;
+  for (var i = 0; i < 25; i++) {
+    cordic_angles.push(Math.atan(k) * 65536.0);
+    k = k / 2.0;
+  }
+}
+function cordicsincos(target) {
+  cordic_state.x = 1073741824 / 65536;
+  cordic_state.y = 0;
+  cordic_state.targ = target * 65536.0;
+  var angle = 0.0;
+  for (var step = 0; step < 25; step++) {
+    var nx = cordic_state.x;
+    if (cordic_state.targ > angle) {
+      cordic_state.x = nx - (cordic_state.y >> step);
+      cordic_state.y = (nx >> step) + cordic_state.y;
+      angle += cordic_angles[step];
+    } else {
+      cordic_state.x = nx + (cordic_state.y >> step);
+      cordic_state.y = cordic_state.y - (nx >> step);
+      angle -= cordic_angles[step];
+    }
+  }
+  return cordic_state.x + cordic_state.y;
+}
+function benchmark() {
+  if (cordic_angles.length == 0) { cordicInit(); }
+  var total = 0;
+  for (var i = 0; i < 60; i++) {
+    total = (total + cordicsincos(0.5 + i * 0.01)) & 0xFFFFFFF;
+  }
+  return total;
+}
+|js}
+
+(* S19 math-partial-sums: series accumulation in doubles. *)
+let s19_math_partial_sums =
+  {js|
+function partial(n) {
+  var a1 = 0.0; var a2 = 0.0; var a3 = 0.0; var a4 = 0.0; var a5 = 0.0;
+  var twothirds = 2.0 / 3.0;
+  var alt = -1.0;
+  for (var k = 1; k <= n; k++) {
+    var k2 = k * k;
+    var k3 = k2 * k;
+    var sk = Math.sin(k);
+    var ck = Math.cos(k);
+    alt = -alt;
+    a1 += Math.pow(twothirds, k - 1);
+    a2 += 1.0 / (k3 * sk * sk);
+    a3 += 1.0 / (k3 * ck * ck);
+    a4 += 1.0 / k;
+    a5 += alt / k;
+  }
+  return a1 + a2 + a3 + a4 + a5;
+}
+function benchmark() {
+  var s = 0.0;
+  for (var n = 64; n <= 256; n *= 2) { s += partial(n); }
+  return Math.floor(s * 1e6);
+}
+|js}
+
+(* S20 math-spectral-norm: matrix-free power iteration. *)
+let s20_math_spectral_norm =
+  {js|
+function Ael(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+function Au(u, v) {
+  var n = u.length;
+  for (var i = 0; i < n; i++) {
+    var t = 0.0;
+    for (var j = 0; j < n; j++) { t += Ael(i, j) * u[j]; }
+    v[i] = t;
+  }
+}
+function Atu(u, v) {
+  var n = u.length;
+  for (var i = 0; i < n; i++) {
+    var t = 0.0;
+    for (var j = 0; j < n; j++) { t += Ael(j, i) * u[j]; }
+    v[i] = t;
+  }
+}
+function AtAu(u, v, w) { Au(u, w); Atu(w, v); }
+function benchmark() {
+  var n = 16;
+  var u = new Array(n); var v = new Array(n); var w = new Array(n);
+  for (var i = 0; i < n; i++) { u[i] = 1.0; v[i] = 0.0; w[i] = 0.0; }
+  for (var it = 0; it < 6; it++) { AtAu(u, v, w); AtAu(v, u, w); }
+  var vBv = 0.0; var vv = 0.0;
+  for (var k = 0; k < n; k++) { vBv += u[k] * v[k]; vv += v[k] * v[k]; }
+  return Math.floor(Math.sqrt(vBv / vv) * 1e9);
+}
+|js}
+
+(* S21 regexp-dna: pattern scanning over a DNA string (string-runtime heavy). *)
+let s21_regexp_dna =
+  {js|
+var dna_seq = '';
+function dnaInit() {
+  var bases = 'acgt';
+  var s = '';
+  for (var i = 0; i < 600; i++) {
+    s = s + bases.charAt((i * 7 + (i >> 3)) % 4);
+  }
+  dna_seq = s;
+}
+function countPattern(seq, pat) {
+  var count = 0;
+  var from = 0;
+  while (true) {
+    var idx = seq.substring(from, seq.length).indexOf(pat);
+    if (idx < 0) { break; }
+    count++;
+    from = from + idx + 1;
+  }
+  return count;
+}
+function benchmark() {
+  if (dna_seq.length == 0) { dnaInit(); }
+  var total = 0;
+  total += countPattern(dna_seq, 'at');
+  total += countPattern(dna_seq, 'tg');
+  total += countPattern(dna_seq, 'gc');
+  total += countPattern(dna_seq, 'catg');
+  return total;
+}
+|js}
+
+(* S22 string-base64: table-driven encoding building a string. *)
+let s22_string_base64 =
+  {js|
+var b64_chars = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+function toBase64(data) {
+  var out = '';
+  var i = 0;
+  while (i + 2 < data.length) {
+    var n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out = out + b64_chars.charAt((n >>> 18) & 63) + b64_chars.charAt((n >>> 12) & 63)
+              + b64_chars.charAt((n >>> 6) & 63) + b64_chars.charAt(n & 63);
+    i += 3;
+  }
+  return out;
+}
+function benchmark() {
+  var data = new Array(120);
+  for (var i = 0; i < 120; i++) { data[i] = (i * 37) & 0xFF; }
+  var s = toBase64(data);
+  var h = 0;
+  for (var j = 0; j < s.length; j++) { h = (h * 31 + s.charCodeAt(j)) & 0xFFFFFF; }
+  return h;
+}
+|js}
+
+(* S23 string-fasta: weighted random sequence generation via string concat. *)
+let s23_string_fasta =
+  {js|
+var fasta_last = 42;
+function fastaRand(max) {
+  fasta_last = (fasta_last * 3877 + 29573) % 139968;
+  return max * fasta_last / 139968;
+}
+function benchmark() {
+  fasta_last = 42;
+  var codes = 'acgtBDHKMNRSVWY';
+  var out = '';
+  for (var i = 0; i < 240; i++) {
+    var r = fastaRand(codes.length);
+    out = out + codes.charAt(Math.floor(r));
+  }
+  var h = 0;
+  for (var j = 0; j < out.length; j++) { h = (h + out.charCodeAt(j)) & 0xFFFF; }
+  return h;
+}
+|js}
+
+(* S24 string-tagcloud: parse-ish workload over delimited records. *)
+let s24_string_tagcloud =
+  {js|
+var tagcloud_data = '';
+function tagcloudInit() {
+  var s = '';
+  for (var i = 0; i < 60; i++) {
+    s = s + 'tag' + i + ':' + ((i * 17) % 100) + ';';
+  }
+  tagcloud_data = s;
+}
+function benchmark() {
+  if (tagcloud_data.length == 0) { tagcloudInit(); }
+  var entries = tagcloud_data.split(';');
+  var total = 0;
+  for (var i = 0; i < entries.length; i++) {
+    var e = entries[i];
+    if (e.length == 0) { continue; }
+    var colon = e.indexOf(':');
+    var weight = parseInt(e.substring(colon + 1, e.length));
+    total += weight;
+  }
+  return total;
+}
+|js}
+
+(* S25 string-unpack-code: substring/indexOf-driven decompression-ish loop. *)
+let s25_string_unpack_code =
+  {js|
+var packed_words = '';
+function unpackInit() {
+  var s = '';
+  for (var i = 0; i < 80; i++) { s = s + 'w' + i + '|'; }
+  packed_words = s;
+}
+function benchmark() {
+  if (packed_words.length == 0) { unpackInit(); }
+  var out = '';
+  var from = 0;
+  var count = 0;
+  while (true) {
+    var rest = packed_words.substring(from, packed_words.length);
+    var bar = rest.indexOf('|');
+    if (bar < 0) { break; }
+    var word = rest.substring(0, bar);
+    out = out + word.toUpperCase() + ' ';
+    from += bar + 1;
+    count++;
+  }
+  return count * 1000 + (out.length & 0xFF);
+}
+|js}
+
+(* S26 string-validate-input: character-class validation of synthetic input. *)
+let s26_string_validate_input =
+  {js|
+function isDigit(c) { return c >= 48 && c <= 57; }
+function isAlpha(c) { return (c >= 97 && c <= 122) || (c >= 65 && c <= 90); }
+function validateEmail(s) {
+  var at = s.indexOf('@');
+  if (at <= 0) { return false; }
+  var dot = s.substring(at, s.length).indexOf('.');
+  if (dot < 0) { return false; }
+  for (var i = 0; i < at; i++) {
+    var c = s.charCodeAt(i);
+    if (!isAlpha(c) && !isDigit(c)) { return false; }
+  }
+  return true;
+}
+function benchmark() {
+  var ok = 0;
+  for (var i = 0; i < 60; i++) {
+    var name = 'user' + i;
+    var addr = name + '@example.com';
+    if (validateEmail(addr)) { ok++; }
+    if (validateEmail(name)) { ok += 100; }
+  }
+  return ok;
+}
+|js}
+
+let all =
+  [
+    ("3d-cube", s01_3d_cube);
+    ("3d-morph", s02_3d_morph);
+    ("3d-raytrace", s03_3d_raytrace);
+    ("access-binary-trees", s04_access_binary_trees);
+    ("access-fannkuch", s05_access_fannkuch);
+    ("access-nbody", s06_access_nbody);
+    ("access-nsieve", s07_access_nsieve);
+    ("bitops-3bit-bits-in-byte", s08_bitops_3bit_bits_in_byte);
+    ("bitops-bits-in-byte", s09_bitops_bits_in_byte);
+    ("bitops-bitwise-and", s10_bitops_bitwise_and);
+    ("bitops-nsieve-bits", s11_bitops_nsieve_bits);
+    ("controlflow-recursive", s12_controlflow_recursive);
+    ("crypto-aes", s13_crypto_aes);
+    ("crypto-md5", s14_crypto_md5);
+    ("crypto-sha1", s15_crypto_sha1);
+    ("date-format-tofte", s16_date_format_tofte);
+    ("date-format-xparb", s17_date_format_xparb);
+    ("math-cordic", s18_math_cordic);
+    ("math-partial-sums", s19_math_partial_sums);
+    ("math-spectral-norm", s20_math_spectral_norm);
+    ("regexp-dna", s21_regexp_dna);
+    ("string-base64", s22_string_base64);
+    ("string-fasta", s23_string_fasta);
+    ("string-tagcloud", s24_string_tagcloud);
+    ("string-unpack-code", s25_string_unpack_code);
+    ("string-validate-input", s26_string_validate_input);
+  ]
+
+(** Paper Table III: SunSpider benchmarks included in AvgS. *)
+let avg_s_members = [ 1; 3; 4; 5; 6; 7; 10; 11; 12; 13; 14; 15; 16; 18; 19; 20 ]

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Instance Interp Nomap_bytecode Nomap_interp Nomap_profile Nomap_runtime

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Float List Nomap_bytecode Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cache_htm.ml: Alcotest List Nomap_cache Nomap_htm Nomap_runtime QCheck2 QCheck_alcotest

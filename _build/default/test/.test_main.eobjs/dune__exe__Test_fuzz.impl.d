@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Helpers List Nomap_bytecode Nomap_nomap Nomap_runtime Nomap_vm Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Helpers Nomap_bytecode Nomap_interp Nomap_profile Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lexer_parser.ml: Alcotest Ast Lexer List Nomap_jsir Parser Printer Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lir.ml: Alcotest Array Hashtbl Helpers List Nomap_bytecode Nomap_interp Nomap_lir Nomap_profile Nomap_tiers Option

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Hashtbl Helpers Nomap_htm Nomap_machine Nomap_nomap Nomap_runtime Nomap_vm Printf String

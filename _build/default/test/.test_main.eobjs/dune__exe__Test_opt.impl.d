@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Helpers List Nomap_bytecode Nomap_interp Nomap_lir Nomap_nomap Nomap_opt Nomap_profile Nomap_tiers Option Printf

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float Heap Intrinsics List Nomap_jsir Nomap_runtime Ops Printf QCheck2 QCheck_alcotest Shape Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Nomap_util Prng QCheck2 QCheck_alcotest Stats String Table

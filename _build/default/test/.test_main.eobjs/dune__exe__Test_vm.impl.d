@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Helpers List Nomap_lir Nomap_machine Nomap_nomap Nomap_runtime Nomap_vm Printf

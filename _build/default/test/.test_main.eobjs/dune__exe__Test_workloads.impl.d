@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Nomap_interp Nomap_jsir Nomap_nomap Nomap_runtime Nomap_vm Nomap_workloads Option Printf String

@@ -1,0 +1,44 @@
+(** Shared helpers for the test suite: compile and run MiniJS snippets under
+    the interpreter or baseline engines, and fetch globals by name. *)
+
+open Nomap_interp
+
+let compile src = Nomap_bytecode.Compile.compile_source src
+
+let global_value inst name =
+  let prog = inst.Instance.prog in
+  let idx = ref (-1) in
+  Array.iteri (fun i n -> if n = name then idx := i) prog.Nomap_bytecode.Opcode.globals;
+  if !idx < 0 then Alcotest.failf "no global %s" name;
+  inst.Instance.globals.(!idx)
+
+(** Run [src] to completion in the given tier; returns (instance, charged
+    instruction count, profile). *)
+let run_program ?(mode = Interp.Interp_tier) ?(fuel = 50_000_000) ?(seed = 42) src =
+  let prog = compile src in
+  let inst = Instance.create ~seed ~fuel prog in
+  let count = ref 0 in
+  let profile =
+    match mode with
+    | Interp.Baseline_tier -> Some (Nomap_profile.Feedback.create prog)
+    | Interp.Interp_tier | Interp.Native_tier -> None
+  in
+  let rec env =
+    {
+      Interp.instance = inst;
+      mode;
+      profile;
+      charge = (fun n -> count := !count + n);
+      call = (fun ~fid ~this ~args -> Interp.call_function env ~fid ~this ~args);
+    }
+  in
+  let (_ : Nomap_runtime.Value.t) =
+    Interp.call_function env ~fid:prog.Nomap_bytecode.Opcode.main_fid ~this:Nomap_runtime.Value.Undef
+      ~args:[]
+  in
+  (inst, !count, profile)
+
+(** Run [src] and return the JS string rendering of global [result]. *)
+let run_result ?mode ?fuel ?seed src =
+  let inst, _, _ = run_program ?mode ?fuel ?seed src in
+  Nomap_runtime.Value.to_js_string (global_value inst "result")

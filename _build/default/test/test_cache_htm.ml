@@ -1,0 +1,178 @@
+(** Cache-model and HTM unit tests. *)
+
+module Footprint = Nomap_cache.Footprint
+module Cache = Nomap_cache.Cache
+module Htm = Nomap_htm.Htm
+module Heap = Nomap_runtime.Heap
+module Value = Nomap_runtime.Value
+
+let test_footprint_counts_lines () =
+  let fp = Footprint.create ~sets:64 ~ways:8 ~line_bytes:64 in
+  Alcotest.(check bool) "fits" true (Footprint.touch fp ~addr:0 ~bytes:8);
+  Alcotest.(check bool) "same line" true (Footprint.touch fp ~addr:32 ~bytes:8);
+  Alcotest.(check int) "one line" 64 (Footprint.bytes fp);
+  ignore (Footprint.touch fp ~addr:64 ~bytes:8);
+  Alcotest.(check int) "two lines" 128 (Footprint.bytes fp);
+  (* Bytes 60..189 straddle three 64B lines. *)
+  let fp2 = Footprint.create ~sets:64 ~ways:8 ~line_bytes:64 in
+  ignore (Footprint.touch fp2 ~addr:60 ~bytes:130);
+  Alcotest.(check int) "straddle" 3 (Footprint.bytes fp2 / 64)
+
+let test_footprint_associativity_overflow () =
+  let fp = Footprint.create ~sets:4 ~ways:2 ~line_bytes:64 in
+  (* Lines mapping to set 0: line numbers 0, 4, 8 -> third one overflows. *)
+  Alcotest.(check bool) "1st fits" true (Footprint.touch fp ~addr:0 ~bytes:8);
+  Alcotest.(check bool) "2nd fits" true (Footprint.touch fp ~addr:(4 * 64) ~bytes:8);
+  Alcotest.(check bool) "3rd overflows" false (Footprint.touch fp ~addr:(8 * 64) ~bytes:8);
+  Alcotest.(check bool) "sticky" false (Footprint.fits fp);
+  Alcotest.(check int) "max ways" 3 (Footprint.max_ways fp)
+
+let test_footprint_scaled_geometry () =
+  let full = Footprint.l1d () in
+  let scaled = Footprint.l1d ~scale:8 () in
+  Alcotest.(check int) "full sets" 64 full.Footprint.sets;
+  Alcotest.(check int) "scaled sets" 8 scaled.Footprint.sets
+
+let test_cache_lru () =
+  let c = Cache.create ~size_bytes:(2 * 64 * 2) ~ways:2 ~line_bytes:64 in
+  (* 2 sets, 2 ways. Lines 0, 2, 4 all map to set 0. *)
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit" true (Cache.access c 0);
+  ignore (Cache.access c (2 * 64));
+  (* line 2 *)
+  ignore (Cache.access c (4 * 64));
+  (* line 4 evicts line 0 (LRU) *)
+  Alcotest.(check bool) "line 0 evicted" false (Cache.access c 0);
+  Alcotest.(check bool) "line 4 still present" true (Cache.access c (4 * 64))
+
+let test_cache_miss_rate () =
+  let c = Cache.l1d () in
+  Cache.reset c;
+  for i = 0 to 99 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Alcotest.(check (float 1e-9)) "all cold misses" 1.0 (Cache.miss_rate c);
+  for i = 0 to 99 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Alcotest.(check (float 1e-9)) "half hits now" 0.5 (Cache.miss_rate c)
+
+let test_htm_commit_keeps_writes () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 4 in
+  Heap.set_elem heap arr 0 (Value.Int 1);
+  let tx =
+    Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0
+  in
+  Heap.set_elem heap arr 0 (Value.Int 42);
+  Htm.commit tx;
+  Alcotest.(check string) "write survives commit" "42"
+    (Value.to_js_string (Heap.get_elem heap arr 0))
+
+let test_htm_rollback_restores () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 4 in
+  let obj = Heap.alloc_object heap in
+  Heap.set_elem heap arr 0 (Value.Int 1);
+  Heap.set_prop heap obj "x" (Value.Int 5);
+  let tx = Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+  Heap.set_elem heap arr 0 (Value.Int 42);
+  Heap.set_elem heap arr 9 (Value.Int 7);
+  Heap.set_prop heap obj "x" (Value.Int 99);
+  Heap.set_prop heap obj "y" (Value.Int 1);
+  Htm.rollback tx;
+  Alcotest.(check string) "element restored" "1" (Value.to_js_string (Heap.get_elem heap arr 0));
+  Alcotest.(check int) "length restored" 4 arr.Value.alen;
+  Alcotest.(check string) "prop restored" "5" (Value.to_js_string (Heap.get_prop heap obj "x"));
+  Alcotest.(check string) "added prop gone" "undefined"
+    (Value.to_js_string (Heap.get_prop heap obj "y"))
+
+let test_htm_write_footprint_tracked () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 64 in
+  let tx = Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+  for i = 0 to 63 do
+    Heap.set_elem heap arr i (Value.Int i)
+  done;
+  (* 64 elements * 8B = 512B = 8 lines. *)
+  Alcotest.(check bool) "footprint ~8 lines" true
+    (Footprint.bytes tx.Htm.write_fp >= 8 * 64 && Footprint.bytes tx.Htm.write_fp <= 10 * 64);
+  Htm.commit tx
+
+let test_htm_rtm_read_tracking () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 64 in
+  for i = 0 to 63 do
+    Heap.set_elem heap arr i (Value.Int i)
+  done;
+  let tx = Htm.begin_tx heap ~mode:Htm.Rtm ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+  for i = 0 to 63 do
+    ignore (Heap.get_elem heap arr i)
+  done;
+  (match tx.Htm.read_fp with
+  | Some fp -> Alcotest.(check bool) "reads tracked" true (Footprint.bytes fp > 0)
+  | None -> Alcotest.fail "RTM must track reads");
+  Alcotest.(check bool) "ROT does not track reads" true
+    ((Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0).Htm.read_fp
+    = None);
+  Heap.(heap.hooks.load <- (fun _ _ -> ()));
+  Heap.(heap.hooks.store <- (fun _ _ _ -> ()))
+
+let test_htm_capacity_abort () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 5000 in
+  (* A tiny scaled RTM write set overflows quickly. *)
+  let tx =
+    Htm.begin_tx ~capacity_scale:64 heap ~mode:Htm.Rtm ~snapshot:[] ~resume_pc:0
+      ~owner_frame:0
+  in
+  let aborted = ref false in
+  (try
+     for i = 0 to 4999 do
+       Heap.set_elem heap arr i (Value.Int i)
+     done
+   with Htm.Abort Htm.Capacity_write -> aborted := true);
+  Htm.rollback tx;
+  Alcotest.(check bool) "capacity abort raised" true !aborted
+
+let qcheck_footprint_line_count =
+  QCheck2.Test.make ~name:"footprint counts distinct lines" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 100_000))
+    (fun addrs ->
+      let fp = Footprint.create ~sets:1024 ~ways:1024 ~line_bytes:64 in
+      List.iter (fun a -> ignore (Footprint.touch fp ~addr:a ~bytes:1)) addrs;
+      let distinct = List.sort_uniq compare (List.map (fun a -> a / 64) addrs) in
+      Footprint.bytes fp = 64 * List.length distinct)
+
+let qcheck_rollback_is_identity =
+  QCheck2.Test.make ~name:"tx rollback restores arbitrary write sequences" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 19) (int_range (-100) 100)))
+    (fun writes ->
+      let heap = Heap.create () in
+      let arr = Heap.alloc_array heap 10 in
+      for i = 0 to 9 do
+        Heap.set_elem heap arr i (Value.Int (i * 100))
+      done;
+      let before = List.init 10 (fun i -> Value.to_js_string (Heap.get_elem heap arr i)) in
+      let tx = Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+      List.iter (fun (i, v) -> Heap.set_elem heap arr i (Value.Int v)) writes;
+      Htm.rollback tx;
+      let after = List.init 10 (fun i -> Value.to_js_string (Heap.get_elem heap arr i)) in
+      before = after && arr.Value.alen = 10)
+
+let tests =
+  [
+    Alcotest.test_case "footprint counts lines" `Quick test_footprint_counts_lines;
+    Alcotest.test_case "footprint associativity overflow" `Quick
+      test_footprint_associativity_overflow;
+    Alcotest.test_case "footprint scaled geometry" `Quick test_footprint_scaled_geometry;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache miss rate" `Quick test_cache_miss_rate;
+    Alcotest.test_case "htm commit keeps writes" `Quick test_htm_commit_keeps_writes;
+    Alcotest.test_case "htm rollback restores" `Quick test_htm_rollback_restores;
+    Alcotest.test_case "htm write footprint" `Quick test_htm_write_footprint_tracked;
+    Alcotest.test_case "htm rtm read tracking" `Quick test_htm_rtm_read_tracking;
+    Alcotest.test_case "htm capacity abort" `Quick test_htm_capacity_abort;
+    QCheck_alcotest.to_alcotest qcheck_footprint_line_count;
+    QCheck_alcotest.to_alcotest qcheck_rollback_is_identity;
+  ]

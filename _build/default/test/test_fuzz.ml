@@ -1,0 +1,133 @@
+(** Differential fuzzing: generate random MiniJS programs with loops,
+    arrays, objects and arithmetic; every architecture at full tier must
+    compute exactly what the reference interpreter computes.
+
+    This is the strongest correctness property in the suite: it exercises
+    speculation, OSR exits, transactional rollback, bounds combining, SOF
+    and the whole optimizer pipeline against randomly-shaped programs. *)
+
+module Config = Nomap_nomap.Config
+module Vm = Nomap_vm.Vm
+module Value = Nomap_runtime.Value
+module Gen = QCheck2.Gen
+
+(* --- a tiny MiniJS program generator --------------------------------- *)
+
+(* Expressions over: loop vars i/j, accumulator s, array a (length 10),
+   object o with fields x/y, small constants. *)
+let gen_leaf =
+  Gen.oneof
+    [
+      Gen.map string_of_int (Gen.int_range (-20) 20);
+      Gen.return "i";
+      Gen.return "s";
+      Gen.return "o.x";
+      Gen.return "o.y";
+      Gen.return "a[i % 10]";
+      Gen.return "a[(i + 3) % 10]";
+      Gen.return "1.5";
+      Gen.return "0.25";
+    ]
+
+(* Depth is bounded explicitly: QCheck's default size ramps to ~100, and a
+   100-node expression makes each whole-VM property call take seconds. *)
+let gen_expr =
+  Gen.bind (Gen.int_range 2 24)
+    (Gen.fix (fun self n ->
+         if n <= 0 then gen_leaf
+         else
+           Gen.oneof
+             [
+               gen_leaf;
+               Gen.map2 (Printf.sprintf "(%s + %s)") (self (n / 2)) (self (n / 2));
+               Gen.map2 (Printf.sprintf "(%s - %s)") (self (n / 2)) (self (n / 2));
+               Gen.map2 (Printf.sprintf "(%s * %s)") (self (n / 2)) (self (n / 2));
+               Gen.map2 (Printf.sprintf "(%s & %s)") (self (n / 2)) (self (n / 2));
+               Gen.map2 (Printf.sprintf "(%s | %s)") (self (n / 2)) (self (n / 2));
+               Gen.map2 (Printf.sprintf "(%s ^ %s)") (self (n / 2)) (self (n / 2));
+               Gen.map (Printf.sprintf "Math.floor(%s)") (self (n - 1));
+               Gen.map (Printf.sprintf "Math.abs(%s)") (self (n - 1));
+               Gen.map2
+                 (fun c e -> Printf.sprintf "((%s > 0) ? %s : (0 - %s))" c e e)
+                 (self (n / 2)) (self (n / 2));
+             ]))
+
+(* Statements inside the hot loop. *)
+let gen_stmt =
+  Gen.oneof
+    [
+      Gen.map (Printf.sprintf "s = (s + %s) & 0xFFFFF;") gen_expr;
+      Gen.map (Printf.sprintf "s += %s;") gen_expr;
+      Gen.map (Printf.sprintf "a[i %% 10] = %s;") gen_expr;
+      Gen.map (Printf.sprintf "o.x = %s;") gen_expr;
+      Gen.map (Printf.sprintf "o.y = o.y + %s;") gen_expr;
+      Gen.map (Printf.sprintf "if (s > 1000) { s = s - %s; }") gen_expr;
+      Gen.map (Printf.sprintf "if ((i & 3) == 0) { continue; } s += %s;") gen_expr;
+    ]
+
+let gen_program_shrinkable =
+  let open Gen in
+  let* nstmts = int_range 1 4 in
+  let* stmts = list_size (return nstmts) gen_stmt in
+  let* trip = int_range 5 25 in
+  let body = String.concat "\n    " stmts in
+  return
+    (Printf.sprintf
+       {|
+function bench() {
+  var a = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+  var o = { x: 2, y: 7 };
+  var s = 0;
+  for (var i = 0; i < %d; i++) {
+    %s
+  }
+  return s + o.x + o.y + a[0] + a[9];
+}
+var it;
+var result = 0;
+for (it = 0; it < 45; it++) { result = bench(); }
+|}
+       trip body)
+
+(* Shrinking re-runs the (expensive, whole-VM) property thousands of times
+   and the generated programs are small anyway: report failures as-is. *)
+let gen_program = Gen.no_shrink gen_program_shrinkable
+
+(* --- the differential property --------------------------------------- *)
+
+let run_arch src arch =
+  let prog = Nomap_bytecode.Compile.compile_source src in
+  let vm =
+    Vm.create ~fuel:300_000_000 ~verify_lir:true ~config:(Config.create arch)
+      ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "?"
+
+let reference src = Helpers.run_result ~fuel:300_000_000 src
+
+let agree_under archs =
+  Gen.map (fun src -> (src, ())) gen_program |> ignore;
+  QCheck2.Test.make ~count:50
+    ~name:
+      (Printf.sprintf "random programs agree: interpreter vs %s"
+         (String.concat "," (List.map Config.name archs)))
+    gen_program
+    (fun src ->
+      let expected = reference src in
+      List.for_all
+        (fun arch ->
+          let got = run_arch src arch in
+          if got <> expected then
+            QCheck2.Test.fail_reportf "under %s:\n%s\nexpected %s, got %s" (Config.name arch)
+              src expected got
+          else true)
+        archs)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest (agree_under [ Config.Base ]);
+    QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_S; Config.NoMap_B ]);
+    QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_full; Config.NoMap_BC ]);
+    QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_RTM ]);
+  ]

@@ -1,0 +1,199 @@
+(** Semantics tests for the bytecode engine, run in both Interpreter and
+    Baseline modes (they must agree — only cost/profiling differ). *)
+
+let check_result ?(name = "result") src expected =
+  ignore name;
+  Alcotest.(check string) "interp" expected (Helpers.run_result ~mode:Nomap_interp.Interp.Interp_tier src);
+  Alcotest.(check string) "baseline" expected
+    (Helpers.run_result ~mode:Nomap_interp.Interp.Baseline_tier src)
+
+let test_arithmetic () =
+  check_result "result = 1 + 2 * 3 - 4 / 8;" "6.5";
+  check_result "result = (1 + 2) * 3;" "9";
+  check_result "result = 7 % 3;" "1";
+  check_result "result = -5 + +3;" "-2"
+
+let test_string_ops () =
+  check_result "result = 'a' + 'b' + 1;" "ab1";
+  check_result "result = 1 + 2 + 'x';" "3x";
+  check_result "result = 'abc'.length;" "3";
+  check_result "result = 'abc'.charCodeAt(1);" "98";
+  check_result "var s = 'hello world'; result = s.indexOf('world');" "6"
+
+let test_comparisons_and_logic () =
+  check_result "result = 1 < 2 && 2 < 3;" "true";
+  check_result "result = 1 > 2 || 3 > 2;" "true";
+  check_result "result = 'b' > 'a';" "true";
+  check_result "result = (0 || 'x');" "x";
+  check_result "result = (5 && 7);" "7";
+  check_result "result = !0;" "true"
+
+let test_control_flow () =
+  check_result "var s = 0; for (var i = 0; i < 10; i++) { s += i; } result = s;" "45";
+  check_result "var s = 0; var i = 0; while (i < 5) { s += 2; i++; } result = s;" "10";
+  check_result "var s = 0; var i = 0; do { s++; i++; } while (i < 3); result = s;" "3";
+  check_result
+    "var s = 0; for (var i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } if (i > 6) { break; \
+     } s += i; } result = s;"
+    "9";
+  check_result "result = 3 > 2 ? 'yes' : 'no';" "yes"
+
+let test_functions () =
+  check_result "function add(a, b) { return a + b; } result = add(2, 3);" "5";
+  check_result
+    "function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } result = \
+     fib(12);"
+    "144";
+  check_result "function f() { return; } result = f();" "undefined";
+  check_result "function f(a, b) { return a; } result = f(9);" "9"
+
+let test_objects () =
+  check_result "var o = { x: 1, y: 2 }; result = o.x + o.y;" "3";
+  check_result "var o = {}; o.a = 10; o.a = 20; result = o.a;" "20";
+  check_result "var o = {}; result = o.missing;" "undefined";
+  check_result
+    "function Point(x, y) { this.x = x; this.y = y; } var p = new Point(3, 4); result = \
+     Math.sqrt(p.x * p.x + p.y * p.y);"
+    "5"
+
+let test_methods_on_objects () =
+  check_result
+    "function dbl(x) { return x * 2; } var o = { f: dbl }; result = o.f(21);" "42"
+
+let test_arrays () =
+  check_result "var a = [1, 2, 3]; result = a[0] + a[1] + a[2];" "6";
+  check_result "var a = []; a[4] = 9; result = a.length;" "5";
+  check_result "var a = [1]; result = a[7];" "undefined";
+  check_result "var a = new Array(3); a[0] = 5; result = a.length;" "3";
+  check_result "var a = []; a.push(1); a.push(2); result = a.pop() + a.length;" "3";
+  check_result "var a = ['x', 'y']; result = a.join('-');" "x-y"
+
+let test_int_overflow_semantics () =
+  check_result "result = 2147483647 + 1;" "2147483648";
+  check_result "var x = 2147483647; x += 2; result = x;" "2147483649";
+  check_result "result = (2147483647 + 1) | 0;" "-2147483648"
+
+let test_bitops () =
+  check_result "result = (0xF0 & 0xFF) >>> 4;" "15";
+  check_result "result = 1 << 31;" "-2147483648";
+  check_result "result = -8 >> 1;" "-4";
+  check_result "result = -8 >>> 28;" "15";
+  check_result "result = ~0;" "-1"
+
+let test_incr_decr () =
+  check_result "var i = 5; result = i++ + i;" "11";
+  check_result "var i = 5; result = ++i + i;" "12";
+  check_result "var a = [3]; a[0]++; result = a[0];" "4";
+  check_result "var o = { n: 1 }; o.n += 4; result = o.n;" "5"
+
+let test_globals_shared_across_functions () =
+  check_result
+    "var total = 0; function bump(x) { total += x; return total; } bump(1); bump(2); result = \
+     total;"
+    "3"
+
+let test_math_intrinsics () =
+  check_result "result = Math.max(1, 9, 4);" "9";
+  check_result "result = Math.floor(2.7) + Math.ceil(2.1);" "5";
+  check_result "result = Math.abs(-4.5);" "4.5";
+  check_result "result = Math.pow(3, 4);" "81";
+  check_result "result = Math.round(2.5);" "3"
+
+let test_nan_propagation () =
+  check_result "result = 0 / 0;" "NaN";
+  check_result "result = isNaN(0 / 0);" "true";
+  check_result "var x = 0 / 0; result = x == x;" "false"
+
+let test_baseline_profile_collected () =
+  let src =
+    "function hot(a) { var s = 0; for (var i = 0; i < a.length; i++) { s += a[i]; } return s; } \
+     var arr = [1, 2, 3, 4]; var r = 0; for (var k = 0; k < 20; k++) { r = hot(arr); } result = \
+     r;"
+  in
+  let _, _, profile = Helpers.run_program ~mode:Nomap_interp.Interp.Baseline_tier src in
+  match profile with
+  | None -> Alcotest.fail "baseline must profile"
+  | Some p ->
+    let fp = Nomap_profile.Feedback.func_profile p 0 in
+    Alcotest.(check int) "hot called 20x" 20 fp.Nomap_profile.Feedback.call_count;
+    (* The loop in `hot` should have recorded ~4 iterations per entry. *)
+    let prog = Helpers.compile src in
+    let f = prog.Nomap_bytecode.Opcode.funcs.(0) in
+    (match f.Nomap_bytecode.Opcode.loop_headers with
+    | [ header ] ->
+      let avg = Nomap_profile.Feedback.avg_trip_count fp header in
+      Alcotest.(check bool) "avg trip count near 4" true (avg > 3.0 && avg < 5.1)
+    | _ -> Alcotest.fail "expected one loop")
+
+let test_interp_cheaper_than_baseline_is_false () =
+  (* Baseline should charge fewer instructions than the interpreter. *)
+  let src = "var s = 0; for (var i = 0; i < 1000; i++) { s += i; } result = s;" in
+  let _, interp_cost, _ = Helpers.run_program ~mode:Nomap_interp.Interp.Interp_tier src in
+  let _, baseline_cost, _ = Helpers.run_program ~mode:Nomap_interp.Interp.Baseline_tier src in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline (%d) < interp (%d)" baseline_cost interp_cost)
+    true
+    (baseline_cost < interp_cost)
+
+let test_fuel_guard () =
+  Alcotest.(check bool) "runaway loop trips fuel" true
+    (try
+       ignore (Helpers.run_result ~fuel:10_000 "while (true) { }");
+       false
+     with Nomap_interp.Instance.Out_of_fuel -> true)
+
+let test_runtime_error () =
+  Alcotest.(check bool) "calling a number fails" true
+    (try
+       ignore (Helpers.run_result "var o = { f: 3 }; o.f(1);");
+       false
+     with Nomap_interp.Interp.Runtime_error _ -> true)
+
+(* Differential property test: random arithmetic expressions evaluate the
+   same under interpreter and baseline. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then map string_of_int (int_range (-100) 100)
+         else
+           oneof
+             [
+               map string_of_int (int_range (-100) 100);
+               map2 (Printf.sprintf "(%s + %s)") (self (n / 2)) (self (n / 2));
+               map2 (Printf.sprintf "(%s - %s)") (self (n / 2)) (self (n / 2));
+               map2 (Printf.sprintf "(%s * %s)") (self (n / 2)) (self (n / 2));
+               map2 (Printf.sprintf "(%s | %s)") (self (n / 2)) (self (n / 2));
+               map2 (Printf.sprintf "(%s & %s)") (self (n / 2)) (self (n / 2));
+               map2 (Printf.sprintf "(%s ^ %s)") (self (n / 2)) (self (n / 2));
+             ]))
+
+let qcheck_interp_baseline_agree =
+  QCheck2.Test.make ~name:"interp and baseline agree on expressions" ~count:200 gen_expr
+    (fun e ->
+      let src = Printf.sprintf "result = %s;" e in
+      Helpers.run_result ~mode:Nomap_interp.Interp.Interp_tier src
+      = Helpers.run_result ~mode:Nomap_interp.Interp.Baseline_tier src)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "string ops" `Quick test_string_ops;
+    Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "objects" `Quick test_objects;
+    Alcotest.test_case "object methods" `Quick test_methods_on_objects;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "int overflow semantics" `Quick test_int_overflow_semantics;
+    Alcotest.test_case "bitops" `Quick test_bitops;
+    Alcotest.test_case "incr/decr" `Quick test_incr_decr;
+    Alcotest.test_case "globals shared" `Quick test_globals_shared_across_functions;
+    Alcotest.test_case "math intrinsics" `Quick test_math_intrinsics;
+    Alcotest.test_case "NaN propagation" `Quick test_nan_propagation;
+    Alcotest.test_case "baseline profiles" `Quick test_baseline_profile_collected;
+    Alcotest.test_case "baseline cheaper than interp" `Quick test_interp_cheaper_than_baseline_is_false;
+    Alcotest.test_case "fuel guard" `Quick test_fuel_guard;
+    Alcotest.test_case "runtime error" `Quick test_runtime_error;
+    QCheck_alcotest.to_alcotest qcheck_interp_baseline_agree;
+  ]

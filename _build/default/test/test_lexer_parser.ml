@@ -1,0 +1,148 @@
+open Nomap_jsir
+
+let toks src =
+  List.map (fun (t, _) -> Lexer.token_to_string t) (Lexer.tokenize src)
+
+let test_lex_numbers () =
+  Alcotest.(check (list string)) "ints and floats"
+    [ "NUMBER(1)"; "NUMBER(2.5)"; "NUMBER(0.125)"; "NUMBER(1000)"; "NUMBER(255)"; "EOF" ]
+    (toks "1 2.5 0.125 1e3 0xFF")
+
+let test_lex_strings () =
+  Alcotest.(check (list string)) "escapes"
+    [ "STRING(\"a\\nb\")"; "STRING(\"q'\")"; "EOF" ]
+    (toks "\"a\\nb\" 'q\\''")
+
+let test_lex_punct_longest_match () =
+  Alcotest.(check (list string)) "3-char ops win"
+    [ "IDENT(a)"; "PUNCT(>>>)"; "IDENT(b)"; "PUNCT(>>)"; "IDENT(c)"; "EOF" ]
+    (toks "a >>> b >> c")
+
+let test_lex_comments () =
+  Alcotest.(check (list string)) "comments skipped"
+    [ "IDENT(x)"; "IDENT(y)"; "EOF" ]
+    (toks "x // line\n/* block\nmore */ y")
+
+let test_lex_keywords () =
+  Alcotest.(check (list string)) "keywords"
+    [ "KEYWORD(var)"; "IDENT(variable)"; "KEYWORD(new)"; "EOF" ]
+    (toks "var variable new")
+
+let test_lex_error () =
+  Alcotest.check_raises "bad char"
+    (Lexer.Error ("unexpected character '#'", { Ast.line = 1; col = 1 }))
+    (fun () -> ignore (Lexer.tokenize "#"))
+
+let parse src = Parser.parse_program_exn src
+
+let test_parse_precedence () =
+  match parse "x = 1 + 2 * 3;" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (Ast.Lvar "x", e))) ] ->
+    Alcotest.(check string) "mul binds tighter" "(1 + (2 * 3))" (Printer.expr_to_string e)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_assoc () =
+  match parse "x = 1 - 2 - 3;" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, e))) ] ->
+    Alcotest.(check string) "left assoc" "((1 - 2) - 3)" (Printer.expr_to_string e)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_ternary_nested () =
+  match parse "x = a ? b : c ? d : e;" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.Cond (_, _, Ast.Cond _)))) ] -> ()
+  | _ -> Alcotest.fail "ternary should nest right"
+
+let test_parse_for () =
+  match parse "for (var i = 0; i < 10; i++) { s += i; }" with
+  | [ Ast.Stmt (Ast.For (Some (Ast.Var_decl [ ("i", Some _) ]), Some _, Some _, [ _ ])) ] -> ()
+  | _ -> Alcotest.fail "for structure"
+
+let test_parse_function () =
+  match parse "function add(a, b) { return a + b; }" with
+  | [ Ast.Func { fname = "add"; params = [ "a"; "b" ]; body = [ Ast.Return (Some _) ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "function structure"
+
+let test_parse_method_chain () =
+  match parse "x = s.substring(1, 2).toUpperCase();" with
+  | [ Ast.Stmt
+        (Ast.Expr (Ast.Assign (_, Ast.Method_call (Ast.Method_call (_, "substring", _), "toUpperCase", []))))
+    ] -> ()
+  | _ -> Alcotest.fail "method chain"
+
+let test_parse_new () =
+  match parse "p = new Point(1, 2); a = new Array(8);" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.New ("Point", [ _; _ ]))));
+      Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.New_array _)))
+    ] -> ()
+  | _ -> Alcotest.fail "new forms"
+
+let test_parse_object_array_literals () =
+  match parse "o = { a: 1, b: [2, 3] };" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.Object_lit [ ("a", _); ("b", Ast.Array_lit [ _; _ ]) ]))) ]
+    -> ()
+  | _ -> Alcotest.fail "literals"
+
+let test_parse_logical_value () =
+  match parse "x = a || b && c;" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.Or (_, Ast.And (_, _))))) ] -> ()
+  | _ -> Alcotest.fail "&& binds tighter than ||"
+
+let test_parse_incr_forms () =
+  match parse "i++; ++i; i--; --i;" with
+  | [ Ast.Stmt (Ast.Expr (Ast.Incr (_, 1, `Post)));
+      Ast.Stmt (Ast.Expr (Ast.Incr (_, 1, `Pre)));
+      Ast.Stmt (Ast.Expr (Ast.Incr (_, -1, `Post)));
+      Ast.Stmt (Ast.Expr (Ast.Incr (_, -1, `Pre)))
+    ] -> ()
+  | _ -> Alcotest.fail "incr forms"
+
+let test_parse_nested_function_rejected () =
+  Alcotest.(check bool) "nested function rejected" true
+    (try
+       ignore (parse "function f() { function g() {} }");
+       false
+     with Failure _ -> true)
+
+let test_roundtrip_print_parse () =
+  (* Printing then reparsing should preserve structure. *)
+  let src =
+    "function f(a) { var x = 0; for (var i = 0; i < a; i++) { x += i * 2; } return x; } \
+     var r = f(10);"
+  in
+  let p1 = parse src in
+  let printed = Printer.program_to_string p1 in
+  let p2 = parse printed in
+  Alcotest.(check string) "fixpoint" printed (Printer.program_to_string p2)
+
+let qcheck_number_roundtrip =
+  QCheck2.Test.make ~name:"number literal roundtrip" ~count:300
+    QCheck2.Gen.(float_range 0.0 1e9)
+    (fun f ->
+      let src = Printf.sprintf "x = %.17g;" f in
+      match parse src with
+      | [ Ast.Stmt (Ast.Expr (Ast.Assign (_, Ast.Number g))) ] -> g = f
+      | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "lex numbers" `Quick test_lex_numbers;
+    Alcotest.test_case "lex strings" `Quick test_lex_strings;
+    Alcotest.test_case "lex longest match" `Quick test_lex_punct_longest_match;
+    Alcotest.test_case "lex comments" `Quick test_lex_comments;
+    Alcotest.test_case "lex keywords" `Quick test_lex_keywords;
+    Alcotest.test_case "lex error position" `Quick test_lex_error;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse associativity" `Quick test_parse_assoc;
+    Alcotest.test_case "parse nested ternary" `Quick test_parse_ternary_nested;
+    Alcotest.test_case "parse for" `Quick test_parse_for;
+    Alcotest.test_case "parse function" `Quick test_parse_function;
+    Alcotest.test_case "parse method chain" `Quick test_parse_method_chain;
+    Alcotest.test_case "parse new forms" `Quick test_parse_new;
+    Alcotest.test_case "parse literals" `Quick test_parse_object_array_literals;
+    Alcotest.test_case "parse logical precedence" `Quick test_parse_logical_value;
+    Alcotest.test_case "parse incr forms" `Quick test_parse_incr_forms;
+    Alcotest.test_case "nested function rejected" `Quick test_parse_nested_function_rejected;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_print_parse;
+    QCheck_alcotest.to_alcotest qcheck_number_roundtrip;
+  ]

@@ -1,0 +1,173 @@
+(** LIR construction: SSA well-formedness, speculation decisions, CFG
+    analyses. *)
+
+module L = Nomap_lir.Lir
+module Cfg = Nomap_lir.Cfg
+module Verify = Nomap_lir.Verify
+
+(* Compile [src] under the Baseline tier (collecting feedback), then run the
+   speculative compiler on function [fid]. *)
+let specialize ?(fid = 0) src =
+  let inst, _, profile = Helpers.run_program ~mode:Nomap_interp.Interp.Baseline_tier src in
+  let profile = Option.get profile in
+  let bc = inst.Nomap_interp.Instance.prog.Nomap_bytecode.Opcode.funcs.(fid) in
+  let consts = inst.Nomap_interp.Instance.consts.(fid) in
+  let fp = Nomap_profile.Feedback.func_profile profile fid in
+  (Nomap_tiers.Specialize.compile ~bc ~consts ~profile:fp, inst, profile)
+
+let hot_loop_src =
+  "function hot(a, n) { var s = 0; for (var i = 0; i < n; i++) { s += a[i]; } return s; } \
+   var arr = [1, 2, 3, 4, 5, 6, 7, 8]; var r = 0; for (var k = 0; k < 30; k++) { r = hot(arr, \
+   arr.length); } result = r;"
+
+let count_kind lir pred =
+  let n = ref 0 in
+  L.iter_instrs lir (fun _ i -> if pred i.L.kind then incr n);
+  !n
+
+let test_verify_simple () =
+  let c, _, _ = specialize "function f(a, b) { return a + b; } var r = f(1, 2); result = r;" in
+  Verify.verify c.Nomap_tiers.Specialize.lir
+
+let test_verify_loop () =
+  let c, _, _ = specialize hot_loop_src in
+  Verify.verify c.Nomap_tiers.Specialize.lir;
+  Alcotest.(check bool) "has phis" true
+    (count_kind c.Nomap_tiers.Specialize.lir (function L.Phi _ -> true | _ -> false) >= 2)
+
+let test_speculation_int_loop () =
+  let c, _, _ = specialize hot_loop_src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  (* The loop should speculate: bounds check, hole check, overflow check. *)
+  Alcotest.(check bool) "bounds check" true
+    (count_kind lir (function L.Check_bounds _ -> true | _ -> false) >= 1);
+  Alcotest.(check bool) "overflow check" true
+    (count_kind lir (function L.Check_overflow _ -> true | _ -> false) >= 1);
+  Alcotest.(check bool) "element fast path" true
+    (count_kind lir (function L.Load_elem _ -> true | _ -> false) >= 1);
+  (* No generic runtime element access. *)
+  Alcotest.(check int) "no generic get_elem" 0
+    (count_kind lir (function
+      | L.Call_runtime (L.Rt_get_elem, _, _) -> true
+      | _ -> false))
+
+let test_speculation_property () =
+  let src =
+    "function f(o) { return o.x + o.y; } var obj = { x: 1, y: 2 }; var r = 0; for (var k = 0; k \
+     < 30; k++) { r = f(obj); } result = r;"
+  in
+  let c, _, _ = specialize src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  Verify.verify lir;
+  Alcotest.(check bool) "shape check emitted" true
+    (count_kind lir (function L.Check_shape _ -> true | _ -> false) >= 1);
+  Alcotest.(check bool) "slot loads" true
+    (count_kind lir (function L.Load_slot _ -> true | _ -> false) >= 2)
+
+let test_speculation_double () =
+  let src =
+    "function f(x) { return x * 1.5 + 0.25; } var r = 0; for (var k = 0; k < 30; k++) { r = \
+     f(k); } result = r;"
+  in
+  let c, _, _ = specialize src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  Verify.verify lir;
+  Alcotest.(check bool) "double math" true
+    (count_kind lir (function L.Fmul _ | L.Fadd _ -> true | _ -> false) >= 2);
+  Alcotest.(check int) "no overflow checks on doubles" 0
+    (count_kind lir (function L.Check_overflow _ -> true | _ -> false))
+
+let test_cold_code_generic () =
+  (* A function never called gets no useful feedback: generic runtime ops. *)
+  let src = "function cold(o) { return o.x + 1; } var r = 1; result = r;" in
+  let c, _, _ = specialize src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  Verify.verify lir;
+  Alcotest.(check bool) "generic property access" true
+    (count_kind lir (function L.Call_runtime (L.Rt_get_prop _, _, _) -> true | _ -> false) >= 1)
+
+let test_smp_live_maps () =
+  let c, _, _ = specialize hot_loop_src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  (* Every deopt check must carry a live map whose values are defined. *)
+  let checked = ref 0 in
+  L.iter_instrs lir (fun _ i ->
+      match L.exit_of i.L.kind with
+      | Some { L.ekind = L.Deopt; smp } ->
+        incr checked;
+        Alcotest.(check bool) "live map nonempty" true (List.length smp.L.live > 0)
+      | _ -> ());
+  Alcotest.(check bool) "has deopt checks" true (!checked > 0)
+
+let test_loop_detection () =
+  let c, _, _ = specialize hot_loop_src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  let doms = Cfg.compute_doms lir in
+  let loops = Cfg.natural_loops lir doms in
+  Alcotest.(check int) "one loop in hot" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check bool) "loop has exit" true (List.length l.Cfg.exits >= 1);
+  Alcotest.(check int) "depth 1" 1 l.Cfg.depth
+
+let test_nested_loop_depth () =
+  let src =
+    "function f(n) { var s = 0; for (var i = 0; i < n; i++) { for (var j = 0; j < n; j++) { s \
+     += i * j; } } return s; } var r = 0; for (var k = 0; k < 30; k++) { r = f(5); } result = \
+     r;"
+  in
+  let c, _, _ = specialize src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  Verify.verify lir;
+  let doms = Cfg.compute_doms lir in
+  let loops = Cfg.natural_loops lir doms in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let depths = List.sort compare (List.map (fun l -> l.Cfg.depth) loops) in
+  Alcotest.(check (list int)) "nesting" [ 1; 2 ] depths
+
+let test_entry_state_recorded () =
+  let c, _, _ = specialize hot_loop_src in
+  Alcotest.(check bool) "loop header entry state captured" true
+    (Hashtbl.length c.Nomap_tiers.Specialize.entry_states >= 1)
+
+let test_dominators_diamond () =
+  let src =
+    "function f(x) { var r = 0; if (x > 0) { r = 1; } else { r = 2; } return r + x; } var r = \
+     0; for (var k = 0; k < 30; k++) { r = f(k - 15); } result = r;"
+  in
+  let c, _, _ = specialize src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  Verify.verify lir;
+  let doms = Cfg.compute_doms lir in
+  (* Entry dominates everything reachable. *)
+  let reach = Cfg.reachable lir in
+  L.iter_blocks lir (fun b ->
+      if reach.(b.L.bid) then
+        Alcotest.(check bool) "entry dominates" true (Cfg.dominates doms lir.L.entry b.L.bid))
+
+let test_preheader_creation () =
+  let c, _, _ = specialize hot_loop_src in
+  let lir = c.Nomap_tiers.Specialize.lir in
+  let doms = Cfg.compute_doms lir in
+  match Cfg.natural_loops lir doms with
+  | [ l ] ->
+    let ph = Cfg.ensure_preheader lir l in
+    Verify.verify lir;
+    Alcotest.(check bool) "preheader jumps to header" true
+      ((Nomap_lir.Lir.block lir ph).L.term = L.Jump l.Cfg.header)
+  | _ -> Alcotest.fail "expected one loop"
+
+let tests =
+  [
+    Alcotest.test_case "verify simple" `Quick test_verify_simple;
+    Alcotest.test_case "verify loop" `Quick test_verify_loop;
+    Alcotest.test_case "int loop speculation" `Quick test_speculation_int_loop;
+    Alcotest.test_case "property speculation" `Quick test_speculation_property;
+    Alcotest.test_case "double speculation" `Quick test_speculation_double;
+    Alcotest.test_case "cold code generic" `Quick test_cold_code_generic;
+    Alcotest.test_case "smp live maps" `Quick test_smp_live_maps;
+    Alcotest.test_case "loop detection" `Quick test_loop_detection;
+    Alcotest.test_case "nested loop depth" `Quick test_nested_loop_depth;
+    Alcotest.test_case "entry state recorded" `Quick test_entry_state_recorded;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "preheader creation" `Quick test_preheader_creation;
+  ]

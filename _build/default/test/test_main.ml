@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "nomap"
+    [
+      ("util", Test_util.tests);
+      ("lexer/parser", Test_lexer_parser.tests);
+      ("runtime", Test_runtime.tests);
+      ("bytecode", Test_bytecode.tests);
+      ("interp", Test_interp.tests);
+      ("lir", Test_lir.tests);
+      ("vm", Test_vm.tests);
+      ("opt", Test_opt.tests);
+      ("cache/htm", Test_cache_htm.tests);
+      ("workloads", Test_workloads.tests);
+      ("machine", Test_machine.tests);
+      ("fuzz", Test_fuzz.tests);
+    ]

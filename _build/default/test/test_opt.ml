@@ -1,0 +1,222 @@
+(** Optimizer behaviour tests: each pass's paper-relevant legality rule,
+    checked on real compiled code — SMPs block motion, aborts don't. *)
+
+module L = Nomap_lir.Lir
+module Cfg = Nomap_lir.Cfg
+module Config = Nomap_nomap.Config
+module Specialize = Nomap_tiers.Specialize
+module Transform = Nomap_nomap.Transform
+
+(* Compile a hot function under Baseline profiling, apply the configured
+   NoMap transform, run the FTL pipeline, return the LIR. *)
+let ftl_code ?(arch = Config.Base) ?(fid = 0) src =
+  let inst, _, profile = Helpers.run_program ~mode:Nomap_interp.Interp.Baseline_tier src in
+  let profile = Option.get profile in
+  let bc = inst.Nomap_interp.Instance.prog.Nomap_bytecode.Opcode.funcs.(fid) in
+  let consts = inst.Nomap_interp.Instance.consts.(fid) in
+  let fp = Nomap_profile.Feedback.func_profile profile fid in
+  let c = Specialize.compile ~bc ~consts ~profile:fp in
+  ignore
+    (Transform.apply (Config.create arch) ~placement:Nomap_nomap.Txplace.Auto ~profile:fp c);
+  ignore (Nomap_opt.Pipeline.ftl c.Specialize.lir);
+  Nomap_lir.Verify.verify c.Specialize.lir;
+  c.Specialize.lir
+
+let count lir pred =
+  let n = ref 0 in
+  L.iter_instrs lir (fun _ i -> if pred i.L.kind then incr n);
+  !n
+
+let count_in_loops lir pred =
+  let doms = Cfg.compute_doms lir in
+  let loops = Cfg.natural_loops lir doms in
+  let in_any_loop b = List.exists (fun l -> List.mem b l.Cfg.body) loops in
+  let n = ref 0 in
+  L.iter_instrs lir (fun blk i -> if in_any_loop blk.L.bid && pred i.L.kind then incr n);
+  !n
+
+let hot kernel =
+  Printf.sprintf "%s var it; for (it = 0; it < 60; it++) { result = bench(); }" kernel
+
+let sum_loop =
+  hot
+    "function bench() { var a = [1, 2, 3, 4, 5, 6, 7, 8]; var s = 0; for (var i = 0; i < \
+     a.length; i++) { s += a[i]; } return s; }"
+
+let obj_accum =
+  hot
+    "function bench() { var obj = { values: [1, 2, 3, 4, 5, 6, 7, 8], sum: 0 }; obj.sum = 0; \
+     var len = obj.values.length; for (var idx = 0; idx < len; idx++) { obj.sum += \
+     obj.values[idx]; } return obj.sum; }"
+
+let test_gvn_dedupes_arithmetic () =
+  let src =
+    hot "function bench() { var s = 0; for (var i = 1; i < 40; i++) { s += i * i + i * i; } \
+         return s; }"
+  in
+  let lir = ftl_code src in
+  Alcotest.(check int) "one multiply after GVN" 1
+    (count lir (function L.Imul _ -> true | _ -> false))
+
+let test_gvn_dedupes_pure_checks () =
+  (* Two int uses of the same value need only one Check_int. *)
+  let src =
+    hot "function bench() { var s = 0; for (var i = 0; i < 40; i++) { var x = i | 0; s = (s + \
+         (x & 7) + (x & 3)) | 0; } return s; }"
+  in
+  let lir = ftl_code src in
+  (* The same value must not be int-checked twice in the loop. *)
+  Alcotest.(check bool) "at most one check_int" true
+    (count lir (function L.Check_int _ -> true | _ -> false) <= 1)
+
+let test_licm_blocked_by_smp_in_base () =
+  (* a.length is loop-invariant but its load cannot leave a loop full of
+     SMPs (paper III-A3). *)
+  let lir = ftl_code ~arch:Config.Base sum_loop in
+  Alcotest.(check bool) "length load stays in loop under Base" true
+    (count_in_loops lir (function L.Load_length _ -> true | _ -> false) >= 1)
+
+let test_licm_enabled_by_transactions () =
+  let lir = ftl_code ~arch:Config.NoMap_S sum_loop in
+  Alcotest.(check int) "length load hoisted out of loop under NoMap_S" 0
+    (count_in_loops lir (function L.Load_length _ -> true | _ -> false))
+
+let test_promote_blocked_by_smp () =
+  let lir = ftl_code ~arch:Config.Base obj_accum in
+  Alcotest.(check bool) "obj.sum store stays in loop under Base" true
+    (count_in_loops lir (function L.Store_slot _ -> true | _ -> false) >= 1)
+
+let test_promote_enabled_by_transactions () =
+  let lir = ftl_code ~arch:Config.NoMap_S obj_accum in
+  Alcotest.(check int) "obj.sum store sunk out of loop under NoMap_S" 0
+    (count_in_loops lir (function L.Store_slot _ -> true | _ -> false));
+  (* The store still happens once per region execution, at the exits. *)
+  Alcotest.(check bool) "exit store exists" true
+    (count lir (function L.Store_slot _ -> true | _ -> false) >= 1)
+
+let test_bounds_combining () =
+  let base = ftl_code ~arch:Config.NoMap_S sum_loop in
+  let combined = ftl_code ~arch:Config.NoMap_B sum_loop in
+  let in_loop_bounds lir = count_in_loops lir (function L.Check_bounds _ -> true | _ -> false) in
+  Alcotest.(check bool) "NoMap_S keeps per-iteration bounds checks" true
+    (in_loop_bounds base >= 1);
+  Alcotest.(check int) "NoMap_B removes per-iteration bounds checks" 0
+    (in_loop_bounds combined);
+  (* Boundary checks exist outside the loop. *)
+  Alcotest.(check bool) "boundary checks inserted" true
+    (count combined (function L.Check_bounds _ -> true | _ -> false) >= 2)
+
+let test_overflow_removal_with_sof () =
+  let with_checks = ftl_code ~arch:Config.NoMap_B sum_loop in
+  let without = ftl_code ~arch:Config.NoMap_full sum_loop in
+  Alcotest.(check bool) "NoMap_B keeps overflow checks" true
+    (count with_checks (function L.Check_overflow _ -> true | _ -> false) >= 1);
+  Alcotest.(check int) "NoMap removes in-transaction overflow checks" 0
+    (count_in_loops without (function L.Check_overflow _ -> true | _ -> false))
+
+let test_rtm_keeps_overflow_checks () =
+  (* x86 has no SOF: NoMap_RTM cannot remove overflow checks. *)
+  let lir = ftl_code ~arch:Config.NoMap_RTM sum_loop in
+  Alcotest.(check bool) "RTM keeps overflow checks" true
+    (count lir (function L.Check_overflow _ -> true | _ -> false) >= 1)
+
+let test_bc_removes_all_checks_in_tx () =
+  let lir = ftl_code ~arch:Config.NoMap_BC sum_loop in
+  Alcotest.(check int) "no checks left in transaction loops" 0
+    (count_in_loops lir (fun k -> L.is_check k))
+
+let test_elide_truncated_add () =
+  (* (s + i) & mask needs no overflow check even in Base: wrap == ToInt32. *)
+  let src =
+    hot "function bench() { var s = 0; for (var i = 0; i < 40; i++) { s = (s + i) & 0xFFFF; } \
+         return s; }"
+  in
+  let lir = ftl_code ~arch:Config.Base src in
+  Alcotest.(check bool) "wrapping add emitted" true
+    (count lir (function L.Iadd_wrap _ -> true | _ -> false) >= 1);
+  (* Only the loop-counter increment keeps its check. *)
+  Alcotest.(check bool) "at most one overflow check" true
+    (count lir (function L.Check_overflow _ -> true | _ -> false) <= 1)
+
+let test_elide_chain () =
+  (* ((h << 5) - h + i) & 0xFFFF : the whole chain elides via fixpoint
+     (operands stay comfortably inside int32, so the int path is taken). *)
+  let src =
+    hot "function bench() { var h = 7; for (var i = 0; i < 40; i++) { h = ((h << 5) - h + i) & \
+         0xFFFF; } return h; }"
+  in
+  let lir = ftl_code ~arch:Config.Base src in
+  Alcotest.(check bool) "chain uses wrapping ops" true
+    (count lir (function L.Isub_wrap _ | L.Iadd_wrap _ -> true | _ -> false) >= 2)
+
+let test_overflowing_chain_uses_doubles () =
+  (* With overflow feedback the chain compiles to double math plus an
+     inline truncating OR — no generic runtime call (JSC's ValueToInt32). *)
+  let src =
+    hot "function bench() { var h = 7; for (var i = 0; i < 40; i++) { h = ((h << 5) - h + i) | \
+         0; } return h; }"
+  in
+  let lir = ftl_code ~arch:Config.Base src in
+  Alcotest.(check int) "no generic binop runtime call" 0
+    (count lir (function L.Call_runtime (L.Rt_binop _, _, _) -> true | _ -> false));
+  Alcotest.(check bool) "double subtract used" true
+    (count lir (function L.Fsub _ -> true | _ -> false) >= 1)
+
+let test_elide_not_applied_to_mul () =
+  (* (a * b) | 0 must keep its overflow check (double rounding != wrap). *)
+  let src =
+    hot "function bench() { var h = 3; for (var i = 1; i < 40; i++) { h = (h * 31) & 0xFFFF; } \
+         return h; }"
+  in
+  let lir = ftl_code ~arch:Config.Base src in
+  Alcotest.(check bool) "multiply keeps overflow check" true
+    (count lir (function L.Check_overflow _ -> true | _ -> false) >= 1);
+  Alcotest.(check int) "no wrap for multiply" 0
+    (count lir (function L.Iadd_wrap _ | L.Isub_wrap _ -> true | _ -> false))
+
+let test_dce_keeps_smp_live_values () =
+  (* A value only observable through a deopt live map must survive DCE. *)
+  let lir = ftl_code ~arch:Config.Base sum_loop in
+  L.iter_instrs lir (fun _ i ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "live value defined" true ((L.instr lir v).L.block >= 0))
+        (L.smp_uses i.L.kind))
+
+let test_transform_stats () =
+  let inst, _, profile =
+    Helpers.run_program ~mode:Nomap_interp.Interp.Baseline_tier sum_loop
+  in
+  let profile = Option.get profile in
+  let bc = inst.Nomap_interp.Instance.prog.Nomap_bytecode.Opcode.funcs.(0) in
+  let consts = inst.Nomap_interp.Instance.consts.(0) in
+  let fp = Nomap_profile.Feedback.func_profile profile 0 in
+  let c = Specialize.compile ~bc ~consts ~profile:fp in
+  let stats = Transform.empty_stats () in
+  let regions =
+    Transform.apply (Config.create Config.NoMap_full) ~placement:Nomap_nomap.Txplace.Auto
+      ~profile:fp ~stats c
+  in
+  Alcotest.(check bool) "regions placed" true (List.length regions >= 1);
+  Alcotest.(check bool) "bounds combined counted" true (stats.Transform.bounds_combined >= 1);
+  Alcotest.(check bool) "overflow removed counted" true (stats.Transform.overflow_removed >= 1)
+
+let tests =
+  [
+    Alcotest.test_case "gvn dedupes arithmetic" `Quick test_gvn_dedupes_arithmetic;
+    Alcotest.test_case "gvn dedupes pure checks" `Quick test_gvn_dedupes_pure_checks;
+    Alcotest.test_case "licm blocked by SMPs (Base)" `Quick test_licm_blocked_by_smp_in_base;
+    Alcotest.test_case "licm enabled by tx (NoMap_S)" `Quick test_licm_enabled_by_transactions;
+    Alcotest.test_case "promotion blocked by SMPs" `Quick test_promote_blocked_by_smp;
+    Alcotest.test_case "promotion enabled by tx" `Quick test_promote_enabled_by_transactions;
+    Alcotest.test_case "bounds combining (NoMap_B)" `Quick test_bounds_combining;
+    Alcotest.test_case "overflow removal with SOF" `Quick test_overflow_removal_with_sof;
+    Alcotest.test_case "RTM keeps overflow checks" `Quick test_rtm_keeps_overflow_checks;
+    Alcotest.test_case "BC removes all tx checks" `Quick test_bc_removes_all_checks_in_tx;
+    Alcotest.test_case "elide truncated add" `Quick test_elide_truncated_add;
+    Alcotest.test_case "elide chain" `Quick test_elide_chain;
+    Alcotest.test_case "overflowing chain uses doubles" `Quick test_overflowing_chain_uses_doubles;
+    Alcotest.test_case "no elide for multiply" `Quick test_elide_not_applied_to_mul;
+    Alcotest.test_case "dce keeps smp live values" `Quick test_dce_keeps_smp_live_values;
+    Alcotest.test_case "transform stats" `Quick test_transform_stats;
+  ]

@@ -1,0 +1,88 @@
+open Nomap_util
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float p 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_seed_changes_stream () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_shuffle_permutation () =
+  let p = Prng.create ~seed:9 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 5.0 (Stats.geomean [ 5.0 ])
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  Alcotest.(check (float 1e-6)) "known" 1.0 (Stats.stddev [ 1.0; 3.0; 1.0; 3.0 ])
+
+let test_percent_reduction () =
+  Alcotest.(check (float 1e-9)) "20%" 20.0 (Stats.percent_reduction ~base:100.0 80.0)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~header:[ "name"; "v" ] () in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| alpha |  1 |"))
+
+let qcheck_geomean_le_mean =
+  QCheck2.Test.make ~name:"geomean <= mean (positive inputs)" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.001 1000.0))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let qcheck_prng_int_range =
+  QCheck2.Test.make ~name:"prng int stays in range" ~count:200
+    QCheck2.Gen.(pair int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let x = Prng.int p bound in
+      x >= 0 && x < bound)
+
+let tests =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_seed_changes_stream;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percent reduction" `Quick test_percent_reduction;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    QCheck_alcotest.to_alcotest qcheck_geomean_le_mean;
+    QCheck_alcotest.to_alcotest qcheck_prng_int_range;
+  ]

@@ -1,0 +1,261 @@
+(** End-to-end VM tests: every architecture must compute exactly what the
+    plain interpreter computes, while actually exercising the FTL tier,
+    transactions, deopts and aborts. *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Value = Nomap_runtime.Value
+
+let run_vm ?(arch = Config.Base) ?(cap = Vm.Cap_ftl) ?(fuel = 200_000_000) src =
+  let prog = Helpers.compile src in
+  let t =
+    Vm.create ~fuel ~verify_lir:true ~config:(Config.create arch) ~tier_cap:cap prog
+  in
+  ignore (Vm.run_main t);
+  t
+
+let result_of t =
+  match Vm.global t "result" with
+  | Some v -> Value.to_js_string v
+  | None -> Alcotest.fail "no result global"
+
+(* Wrap a kernel in a hot-call harness so it reaches FTL. *)
+let hot kernel = Printf.sprintf "%s var it; for (it = 0; it < 60; it++) { result = bench(); }" kernel
+
+let all_archs = Config.all
+
+let check_all_archs ?fuel name src =
+  let expected = Helpers.run_result ~fuel:200_000_000 src in
+  List.iter
+    (fun arch ->
+      let t = run_vm ?fuel ~arch src in
+      Alcotest.(check string)
+        (Printf.sprintf "%s under %s" name (Config.name arch))
+        expected (result_of t);
+      (* The hot harness must actually reach FTL. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: FTL ran under %s" name (Config.name arch))
+        true
+        (t.Vm.counters.Counters.ftl_calls > 0))
+    all_archs
+
+let test_sum_loop () =
+  check_all_archs "sum loop"
+    (hot
+       "function bench() { var a = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]; var s = 0; for (var i = 0; \
+        i < a.length; i++) { s += a[i]; } return s; }")
+
+let test_accumulator_object () =
+  (* The paper's Figure 4 shape: loop accumulating into obj.sum. *)
+  check_all_archs "object accumulator"
+    (hot
+       "function bench() { var obj = { values: [1, 2, 3, 4, 5, 6, 7, 8], sum: 0 }; var len = \
+        obj.values.length; for (var idx = 0; idx < len; idx++) { obj.sum += obj.values[idx]; } \
+        return obj.sum; }")
+
+let test_nested_loops () =
+  check_all_archs "nested loops"
+    (hot
+       "function bench() { var m = 0; for (var i = 0; i < 10; i++) { for (var j = 0; j < 10; \
+        j++) { m += i * j; } } return m; }")
+
+let test_double_math () =
+  check_all_archs "double math"
+    (hot
+       "function bench() { var s = 0.0; for (var i = 0; i < 50; i++) { s += Math.sqrt(i) * 1.5 \
+        - s / 7.0; } return Math.floor(s * 1000); }")
+
+let test_string_kernel () =
+  check_all_archs "string kernel"
+    (hot
+       "function bench() { var s = 'the quick brown fox jumps over the lazy dog'; var h = 0; \
+        for (var i = 0; i < s.length; i++) { h = (h * 31 + s.charCodeAt(i)) & 0xFFFFFF; } \
+        return h; }")
+
+let test_constructor_kernel () =
+  check_all_archs "constructors and methods"
+    (hot
+       "function Vec(x, y) { this.x = x; this.y = y; } function norm2(v) { return v.x * v.x + \
+        v.y * v.y; } function bench() { var s = 0; for (var i = 0; i < 20; i++) { var v = new \
+        Vec(i, i + 1); s += norm2(v); } return s; }")
+
+let test_early_exit_loop () =
+  check_all_archs "break in loop"
+    (hot
+       "function bench() { var a = [5, 3, 9, 1, 7, 2, 8]; var found = -1; for (var i = 0; i < \
+        a.length; i++) { if (a[i] == 1) { found = i; break; } } return found; }")
+
+let test_calls_in_loop () =
+  check_all_archs "calls inside hot loop"
+    (hot
+       "function f(x) { return x * 2 + 1; } function bench() { var s = 0; for (var i = 0; i < \
+        30; i++) { s += f(i); } return s; }")
+
+let test_array_writes () =
+  check_all_archs "array writes in loop"
+    (hot
+       "function bench() { var a = new Array(64); for (var i = 0; i < 64; i++) { a[i] = i * i; \
+        } var s = 0; for (var j = 0; j < 64; j++) { s += a[j]; } return s; }")
+
+(* --- speculation failure paths ------------------------------------- *)
+
+let test_type_deopt_after_warmup () =
+  (* hot() sees ints for 50 calls, then a double: the int speculation must
+     deopt and still compute correctly. *)
+  let src =
+    "function f(x) { return x + 1; } var s = 0; for (var i = 0; i < 50; i++) { s = f(i); } \
+     result = f(2.5);"
+  in
+  let expected = Helpers.run_result src in
+  List.iter
+    (fun arch ->
+      let t = run_vm ~arch src in
+      Alcotest.(check string) (Config.name arch) expected (result_of t))
+    all_archs
+
+let test_overflow_late () =
+  (* Arithmetic overflows only after the loop is FTL-compiled; Base deopts,
+     NoMap (SOF) aborts the transaction — both must produce the double
+     result. *)
+  let src =
+    "function bench(start) { var x = start; for (var i = 0; i < 40; i++) { x = x + 1000; } \
+     return x; } var r = 0; for (var it = 0; it < 60; it++) { r = bench(it); } result = \
+     bench(2147483000);"
+  in
+  let expected = Helpers.run_result src in
+  List.iter
+    (fun arch ->
+      let t = run_vm ~arch src in
+      Alcotest.(check string) (Config.name arch) expected (result_of t))
+    all_archs
+
+let test_bounds_deopt () =
+  (* After warmup with in-bounds accesses, go out of bounds: returns
+     undefined via the generic path. *)
+  let src =
+    "function get(a, i) { return a[i]; } var arr = [1, 2, 3, 4]; var s = 0; for (var it = 0; \
+     it < 60; it++) { s += get(arr, it % 4); } var x = get(arr, 77); result = (x == undefined) \
+     ? 'undef' : x;"
+  in
+  let expected = Helpers.run_result src in
+  List.iter
+    (fun arch ->
+      let t = run_vm ~arch src in
+      Alcotest.(check string) (Config.name arch) expected (result_of t))
+    all_archs
+
+let test_shape_change_deopt () =
+  let src =
+    "function getx(o) { return o.x; } var a = { x: 7 }; var s = 0; for (var it = 0; it < 60; \
+     it++) { s += getx(a); } var b = { y: 1, x: 42 }; result = getx(b);"
+  in
+  let expected = Helpers.run_result src in
+  List.iter
+    (fun arch ->
+      let t = run_vm ~arch src in
+      Alcotest.(check string) (Config.name arch) expected (result_of t))
+    all_archs
+
+(* --- paper-mechanism observability ---------------------------------- *)
+
+let sum_kernel =
+  hot
+    "function bench() { var a = new Array(256); for (var i = 0; i < 256; i++) { a[i] = i; } \
+     var obj = { sum: 0 }; obj.sum = 0; for (var j = 0; j < 256; j++) { obj.sum += a[j]; } \
+     return obj.sum; }"
+
+let test_nomap_reduces_instructions () =
+  let base = run_vm ~arch:Config.Base sum_kernel in
+  let nomap = run_vm ~arch:Config.NoMap_full sum_kernel in
+  let bi = Counters.total_instrs base.Vm.counters in
+  let ni = Counters.total_instrs nomap.Vm.counters in
+  Alcotest.(check string) "same result" (result_of base) (result_of nomap);
+  Alcotest.(check bool)
+    (Printf.sprintf "NoMap (%d) < Base (%d)" ni bi)
+    true (ni < bi)
+
+let test_base_has_ghost_regions () =
+  let t = run_vm ~arch:Config.Base sum_kernel in
+  Alcotest.(check bool) "Base classifies TMOpt instructions" true
+    (t.Vm.counters.Counters.instrs.(Counters.category_index Counters.Tm_opt) > 0)
+
+let test_transactions_commit () =
+  let t = run_vm ~arch:Config.NoMap_full sum_kernel in
+  Alcotest.(check bool) "transactions committed" true (t.Vm.counters.Counters.tx_commits > 0);
+  Alcotest.(check bool) "write footprint recorded" true
+    (t.Vm.counters.Counters.tx_write_kb_sum > 0.0)
+
+let test_checks_counted () =
+  let t = run_vm ~arch:Config.Base sum_kernel in
+  Alcotest.(check bool) "bounds checks executed" true
+    (t.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) > 0);
+  Alcotest.(check bool) "overflow checks executed" true
+    (t.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) > 0)
+
+let test_nomap_removes_bounds_checks () =
+  let base = run_vm ~arch:Config.Base sum_kernel in
+  let nomap_b = run_vm ~arch:Config.NoMap_B sum_kernel in
+  let b = base.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
+  let n = nomap_b.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
+  Alcotest.(check bool) (Printf.sprintf "NoMap_B bounds (%d) << Base (%d)" n b) true
+    (n * 4 < b)
+
+let test_nomap_removes_overflow_checks () =
+  let nomap_b = run_vm ~arch:Config.NoMap_B sum_kernel in
+  let nomap = run_vm ~arch:Config.NoMap_full sum_kernel in
+  let b = nomap_b.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
+  let n = nomap.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
+  Alcotest.(check bool) (Printf.sprintf "NoMap overflow (%d) << NoMap_B (%d)" n b) true
+    (n * 4 < b)
+
+let test_tier_caps_ordering () =
+  (* Lower tier caps must charge more instructions. *)
+  let src =
+    hot
+      "function bench() { var s = 0; for (var i = 0; i < 100; i++) { s = (s + i) % 100000; } \
+       return s; }"
+  in
+  let run cap =
+    let t = run_vm ~cap src in
+    t.Vm.counters.Counters.cycles
+  in
+  let interp = run Vm.Cap_interp in
+  let baseline = run Vm.Cap_baseline in
+  let dfg = run Vm.Cap_dfg in
+  let ftl = run Vm.Cap_ftl in
+  Alcotest.(check bool) (Printf.sprintf "interp %.0f > baseline %.0f" interp baseline) true
+    (interp > baseline);
+  Alcotest.(check bool) (Printf.sprintf "baseline %.0f > dfg %.0f" baseline dfg) true
+    (baseline > dfg);
+  Alcotest.(check bool) (Printf.sprintf "dfg %.0f > ftl %.0f" dfg ftl) true (dfg > ftl)
+
+let test_rare_deopts_in_steady_state () =
+  (* Paper §III-A2: in steady state checks practically never fail. *)
+  let t = run_vm ~arch:Config.Base sum_kernel in
+  Alcotest.(check int) "no deopts in a type-stable kernel" 0 t.Vm.counters.Counters.deopts
+
+let tests =
+  [
+    Alcotest.test_case "sum loop, all archs" `Quick test_sum_loop;
+    Alcotest.test_case "object accumulator, all archs" `Quick test_accumulator_object;
+    Alcotest.test_case "nested loops, all archs" `Quick test_nested_loops;
+    Alcotest.test_case "double math, all archs" `Quick test_double_math;
+    Alcotest.test_case "string kernel, all archs" `Quick test_string_kernel;
+    Alcotest.test_case "constructors, all archs" `Quick test_constructor_kernel;
+    Alcotest.test_case "break in loop, all archs" `Quick test_early_exit_loop;
+    Alcotest.test_case "calls in loop, all archs" `Quick test_calls_in_loop;
+    Alcotest.test_case "array writes, all archs" `Quick test_array_writes;
+    Alcotest.test_case "type deopt after warmup" `Quick test_type_deopt_after_warmup;
+    Alcotest.test_case "late overflow" `Quick test_overflow_late;
+    Alcotest.test_case "bounds deopt" `Quick test_bounds_deopt;
+    Alcotest.test_case "shape change deopt" `Quick test_shape_change_deopt;
+    Alcotest.test_case "NoMap reduces instructions" `Quick test_nomap_reduces_instructions;
+    Alcotest.test_case "Base ghost regions" `Quick test_base_has_ghost_regions;
+    Alcotest.test_case "transactions commit" `Quick test_transactions_commit;
+    Alcotest.test_case "checks counted" `Quick test_checks_counted;
+    Alcotest.test_case "NoMap_B removes bounds checks" `Quick test_nomap_removes_bounds_checks;
+    Alcotest.test_case "NoMap removes overflow checks" `Quick test_nomap_removes_overflow_checks;
+    Alcotest.test_case "tier cap ordering" `Quick test_tier_caps_ordering;
+    Alcotest.test_case "rare deopts in steady state" `Quick test_rare_deopts_in_steady_state;
+  ]
