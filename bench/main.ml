@@ -6,7 +6,12 @@
     this is the artifact-evaluation output recorded in EXPERIMENTS.md.
     Phase 2 re-times each driver on the warm measurement cache (the
     simulation results are memoized; the timed quantity is table
-    regeneration, which is what a user iterating on the data pays). *)
+    regeneration, which is what a user iterating on the data pays).
+
+    [--json <path>] additionally writes both measurements to [path] as one
+    machine-readable report (schema [nomap-bench-v1], see DESIGN.md), so
+    wall-clock regressions of the simulator itself can be tracked across
+    commits. *)
 
 module E = Nomap_harness.Experiments
 module Registry = Nomap_workloads.Registry
@@ -46,18 +51,67 @@ let quietly f =
       Unix.close devnull)
     f
 
+(* ------------------------------------------------------------------ *)
+(* JSON report (hand-rolled: the report is flat and we add no deps). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~total_wall_s ~(rows : (string * float * float option) list) =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"nomap-bench-v1\",\n";
+  Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" total_wall_s;
+  output_string oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall_s, warm_ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"wall_s\": %.6f, \"warm_ns_per_run\": %s}%s\n"
+        (json_escape name) wall_s
+        (match warm_ns with Some ns -> Printf.sprintf "%.1f" ns | None -> "null")
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d experiments)\n" path (List.length rows)
+
+let json_path =
+  let rec scan = function
+    | [ "--json" ] ->
+      prerr_endline "error: --json requires a path";
+      exit 2
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   print_endline "==================================================================";
   print_endline " NoMap reproduction: full experiment sweep (paper tables/figures)";
   print_endline "==================================================================\n";
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (name, f) ->
-      let start = Unix.gettimeofday () in
-      ignore (f ());
-      Printf.printf "[%s took %.1fs]\n\n" name (Unix.gettimeofday () -. start))
-    experiments;
-  Printf.printf "full sweep: %.1fs\n\n" (Unix.gettimeofday () -. t0);
+  let wall_times =
+    List.map
+      (fun (name, f) ->
+        let start = Unix.gettimeofday () in
+        ignore (f ());
+        let dt = Unix.gettimeofday () -. start in
+        Printf.printf "[%s took %.1fs]\n\n" name dt;
+        (name, dt))
+      experiments
+  in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "full sweep: %.1fs\n\n" total_wall_s;
   print_endline "==================================================================";
   print_endline " Bechamel timings (warm regeneration of each table/figure)";
   print_endline "==================================================================";
@@ -72,10 +126,22 @@ let () =
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* Bechamel names tests "nomap <name>" (the ~fmt above). *)
+  let warm_ns name =
+    match Hashtbl.find_opt results ("nomap " ^ name) with
+    | Some result -> (
+      match Analyze.OLS.estimates result with Some [ est ] -> Some est | _ -> None)
+    | None -> None
+  in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
       | Some [ est ] -> Printf.printf "  %-45s %12.1f ns/run\n" name est
       | _ -> Printf.printf "  %-45s (no estimate)\n" name)
     results;
+  (match json_path with
+  | Some path ->
+    write_json path ~total_wall_s
+      ~rows:(List.map (fun (name, wall_s) -> (name, wall_s, warm_ns name)) wall_times)
+  | None -> ());
   print_endline "\ndone."

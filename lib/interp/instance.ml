@@ -9,6 +9,9 @@ type t = {
   heap : Heap.t;
   globals : Value.t array;
   consts : Value.t array array;  (** per function, materialized *)
+  header_masks : bool array array;
+      (** per function, [mask.(pc)] iff [pc] is a loop header — O(1) form of
+          [List.mem pc f.loop_headers] for the interpreter's back-edge test *)
   mutable fuel : int;  (** remaining bytecode ops / LIR instrs; guards runaways *)
 }
 
@@ -32,6 +35,13 @@ let create ?(seed = 42) ?(fuel = max_int) (prog : Nomap_bytecode.Opcode.program)
     consts =
       Array.map (fun (f : Nomap_bytecode.Opcode.func) ->
           Array.map (materialize_const heap) f.consts)
+        prog.funcs;
+    header_masks =
+      Array.map (fun (f : Nomap_bytecode.Opcode.func) ->
+          let m = Array.make (max 1 (Array.length f.code)) false in
+          List.iter (fun pc -> if pc >= 0 && pc < Array.length m then m.(pc) <- true)
+            f.loop_headers;
+          m)
         prog.funcs;
     fuel;
   }

@@ -123,10 +123,13 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
     | Some p -> Some (Feedback.func_profile p fid)
     | None -> None
   in
-  let site pc =
-    match env.profile with Some p -> Some (Feedback.site p fid pc) | None -> None
-  in
-  let is_header pc = List.mem pc f.Opcode.loop_headers in
+  (* Prefetched profiling state: [sites.(pc)] replaces the option-returning
+     site lookup (which allocated a [Some] per profiled op), and the header
+     bitmask replaces a [List.mem] per control-flow edge. *)
+  let profiling = fp <> None in
+  let sites = match fp with Some p -> p.Feedback.sites | None -> [||] in
+  let headers = inst.Instance.header_masks.(fid) in
+  let is_header pc = headers.(pc) in
   let note_edge ~from ~target =
     match fp with
     | Some fp when is_header target ->
@@ -167,20 +170,20 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       let fast = binop_fast bop va vb in
       charge_op op fast;
       let r = Ops.apply_binop heap bop va vb in
-      (match site cur with
-      | Some s ->
+      (if profiling then
+        let s = sites.(cur) in
         Feedback.record_class s va;
         Feedback.record_class s vb;
         Feedback.record_result s r;
         (* Int operands producing a double means int32 overflow here. *)
         if both_int va vb && (match r with Value.Num _ -> true | _ -> false) then
-          Feedback.record_overflow s
-      | None -> ());
+          Feedback.record_overflow s);
       regs.(d) <- r
     | Unop (uop, d, a) ->
       let va = regs.(a) in
       charge_op op (is_int va);
-      (match site cur with Some s -> Feedback.record_class s va | None -> ());
+      (if profiling then
+        let s = sites.(cur) in Feedback.record_class s va);
       regs.(d) <- Ops.apply_unop uop va
     | Get_prop (d, o, name) -> (
       match regs.(o) with
@@ -189,9 +192,8 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
         (match Shape.lookup sh name with
         | Some slot ->
           charge_op op true;
-          (match site cur with
-          | Some s -> Feedback.record_shape s sh.Shape.id (Feedback.Load_slot slot)
-          | None -> ());
+          (if profiling then
+            let s = sites.(cur) in Feedback.record_shape s sh.Shape.id (Feedback.Load_slot slot));
           regs.(d) <- Heap.load_slot heap obj slot
         | None ->
           charge_op op false;
@@ -200,7 +202,8 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
         (* Property reads on non-objects: only .length-bearing types give
            anything; everything else is undefined. *)
         charge_op op false;
-        (match site cur with Some s -> Feedback.record_class s v | None -> ());
+        (if profiling then
+          let s = sites.(cur) in Feedback.record_class s v);
         regs.(d) <- Value.Undef)
     | Set_prop (o, name, v) -> (
       match regs.(o) with
@@ -209,8 +212,8 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
         let existed = Shape.lookup sh name in
         charge_op op (existed <> None);
         Heap.set_prop heap obj name regs.(v);
-        (match site cur with
-        | Some s -> (
+        (if profiling then
+          let s = sites.(cur) in (
           match existed with
           | Some slot -> Feedback.record_shape s sh.Shape.id (Feedback.Store_slot slot)
           | None ->
@@ -219,8 +222,7 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
               match Shape.lookup new_sh name with Some sl -> sl | None -> assert false
             in
             Feedback.record_shape s sh.Shape.id
-              (Feedback.Transition (new_sh.Shape.id, slot)))
-        | None -> ())
+              (Feedback.Transition (new_sh.Shape.id, slot))))
       | v' ->
         raise (Runtime_error ("cannot set property on " ^ Value.type_name v')))
     | Get_elem (d, a, i) -> (
@@ -231,29 +233,28 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
         let v = Heap.get_elem heap arr idx in
         let hole = (not oob) && Heap.load_elem heap arr idx = Value.Hole in
         charge_op op (not (oob || hole));
-        (match site cur with
-        | Some s ->
+        (if profiling then
+          let s = sites.(cur) in
           Feedback.record_class s va;
           Feedback.record_class s vi;
           if oob then Feedback.record_oob s;
           if hole then Feedback.record_hole s;
-          Feedback.record_result s v
-        | None -> ());
+          Feedback.record_result s v);
         regs.(d) <- v
       | Value.Arr arr, _ ->
         charge_op op false;
-        (match site cur with
-        | Some s ->
+        (if profiling then
+          let s = sites.(cur) in
           Feedback.record_class s va;
-          Feedback.record_class s vi
-        | None -> ());
+          Feedback.record_class s vi);
         let idx = Value.to_int32 vi in
         regs.(d) <-
           (if float_of_int idx = Value.to_number vi then Heap.get_elem heap arr idx
            else Value.Undef)
       | Value.Str str, Value.Int idx ->
         charge_op op false;
-        (match site cur with Some s -> Feedback.record_class s va | None -> ());
+        (if profiling then
+          let s = sites.(cur) in Feedback.record_class s va);
         let data = str.Value.sdata in
         regs.(d) <-
           (if idx >= 0 && idx < String.length data then
@@ -266,12 +267,11 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       | Value.Arr arr, Value.Int idx ->
         let elongates = idx >= arr.Value.alen in
         charge_op op (not elongates);
-        (match site cur with
-        | Some s ->
+        (if profiling then
+          let s = sites.(cur) in
           Feedback.record_class s va;
           Feedback.record_class s vi;
-          if elongates then Feedback.record_elongation s
-        | None -> ());
+          if elongates then Feedback.record_elongation s);
         Heap.set_elem heap arr idx regs.(v)
       | Value.Arr arr, _ ->
         charge_op op false;
@@ -280,7 +280,8 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       | v', _ -> raise (Runtime_error ("cannot index-assign " ^ Value.type_name v')))
     | Get_length (d, x) -> (
       let vx = regs.(x) in
-      (match site cur with Some s -> Feedback.record_class s vx | None -> ());
+      (if profiling then
+        let s = sites.(cur) in Feedback.record_class s vx);
       match Ops.js_length vx with
       | Some v ->
         charge_op op true;
@@ -316,7 +317,8 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       | Some intr ->
         charge_op op true;
         env.charge (Intrinsics.cost intr + Intrinsics.dynamic_cost intr vrecv argv);
-        (match site cur with Some s -> Feedback.record_class s vrecv | None -> ());
+        (if profiling then
+          let s = sites.(cur) in Feedback.record_class s vrecv);
         regs.(d) <-
           (try Intrinsics.eval heap intr vrecv argv
            with Intrinsics.Type_error m -> raise (Runtime_error m))
@@ -328,11 +330,10 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
             match Heap.load_slot heap obj slot with
             | Value.Fun fid' ->
               charge_op op true;
-              (match site cur with
-              | Some s ->
+              (if profiling then
+                let s = sites.(cur) in
                 Feedback.record_shape s (shape_id obj) (Feedback.Load_slot slot);
-                Feedback.record_callee s fid'
-              | None -> ());
+                Feedback.record_callee s fid');
               regs.(d) <- env.call ~fid:fid' ~this:vrecv ~args:argv
             | v ->
               raise (Runtime_error (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))

@@ -1,0 +1,138 @@
+(** Pre-decoded executable form of an LIR function.
+
+    The abstract machine used to re-traverse each block's [instrs] list on
+    every execution: [Vec.get] per instruction (bounds-checked), a
+    [List.assoc_opt] per phi input per edge, and a [List.iter] closure per
+    block.  Decoding flattens a compiled function once into dense arrays so
+    the hot loop is array indexing only:
+
+    - each block's non-phi body as a [dinstr array], with the per-instruction
+      machine cost and call-argument value ids pre-resolved;
+    - the block-leading phi group as one [phi_edge] per incoming edge — the
+      (destination, source) pairs that edge copies, in parallel-assignment
+      order;
+    - the terminator by value.
+
+    Semantics are bit-identical to direct interpretation: phis and [Nop]s
+    never burned fuel, ticked transactions, or charged cycles, so dropping
+    them from the decoded body changes no simulated metric.  Phis appearing
+    after the first real instruction of a block were already dead (the
+    machine never executed them) and decode drops them the same way.
+
+    Decoding snapshots [kind]s by reference: callers must not mutate the LIR
+    (optimizer passes, NoMap transforms) after the function has been
+    decoded.  The tier pipeline satisfies this — every recompilation builds
+    a fresh [Lir.func]. *)
+
+module Value = Nomap_runtime.Value
+
+type phi_edge = {
+  pred : int;  (** incoming block id this edge handles *)
+  dsts : int array;  (** phi value ids assigned when entering via [pred] *)
+  srcs : int array;  (** source value ids, parallel to [dsts] *)
+}
+
+type dinstr = {
+  id : int;  (** SSA value the instruction defines *)
+  kind : Lir.kind;
+  cost : int;  (** pre-computed machine-instruction cost of [kind] *)
+  is_tx_marker : bool;  (** [Tx_begin]/[Tx_end]: free under ghost HTM mode *)
+  args : int array;  (** pre-resolved call/intrinsic argument value ids *)
+}
+
+type dblock = {
+  phi_edges : phi_edge array;
+  body : dinstr array;  (** non-phi, non-Nop instructions in order *)
+  dterm : Lir.terminator;
+}
+
+type t = {
+  nvalues : int;  (** size of the SSA value space (register file to allocate) *)
+  entry : int;
+  dblocks : dblock array;
+  scratch : Value.t array;
+      (** phi-copy staging buffer, sized to the largest phi group.  Safe to
+          share across (re-entrant) activations: the read and write phases
+          of a parallel copy complete without any intervening call. *)
+}
+
+let no_args = [||]
+
+let args_of = function
+  | Lir.Call_func (_, args) | Lir.Ctor_call (_, args) | Lir.Intrinsic (_, args)
+  | Lir.Call_method (_, _, args)
+  | Lir.Call_runtime (_, _, args) ->
+    Array.of_list args
+  | _ -> no_args
+
+(** [decode ~cost f] flattens [f]; [cost] is the executing machine's
+    per-instruction cost model (kept out of this module so the IR layer
+    stays cost-agnostic). *)
+let decode ~(cost : Lir.kind -> int) (f : Lir.func) : t =
+  let nblocks = Nomap_util.Vec.length f.Lir.blocks in
+  let max_phis = ref 0 in
+  let dblocks =
+    Array.init nblocks (fun bid ->
+        let b = Lir.block f bid in
+        (* Split the leading run of phis (Nops interleaved are skipped) from
+           the body; later phis/Nops are dead and dropped. *)
+        let rec split phis = function
+          | v :: rest -> (
+            match (Lir.instr f v).Lir.kind with
+            | Lir.Phi ins -> split ((v, ins) :: phis) rest
+            | Lir.Nop -> split phis rest
+            | _ -> (List.rev phis, v :: rest))
+          | [] -> (List.rev phis, [])
+        in
+        let phis, body_ids = split [] b.Lir.instrs in
+        max_phis := max !max_phis (List.length phis);
+        (* One edge per predecessor appearing in any phi's input list. *)
+        let preds =
+          List.sort_uniq compare
+            (List.concat_map (fun (_, ins) -> List.map fst ins) phis)
+        in
+        let phi_edges =
+          Array.of_list
+            (List.map
+               (fun pred ->
+                 let copies =
+                   List.filter_map
+                     (fun (v, ins) ->
+                       match List.assoc_opt pred ins with
+                       | Some src -> Some (v, src)
+                       | None -> None)
+                     phis
+                 in
+                 {
+                   pred;
+                   dsts = Array.of_list (List.map fst copies);
+                   srcs = Array.of_list (List.map snd copies);
+                 })
+               preds)
+        in
+        let body =
+          body_ids
+          |> List.filter_map (fun v ->
+                 let k = (Lir.instr f v).Lir.kind in
+                 match k with
+                 | Lir.Nop | Lir.Phi _ -> None
+                 | _ ->
+                   Some
+                     {
+                       id = v;
+                       kind = k;
+                       cost = cost k;
+                       is_tx_marker =
+                         (match k with Lir.Tx_begin _ | Lir.Tx_end -> true | _ -> false);
+                       args = args_of k;
+                     })
+          |> Array.of_list
+        in
+        { phi_edges; body; dterm = b.Lir.term })
+  in
+  {
+    nvalues = Nomap_util.Vec.length f.Lir.instrs;
+    entry = f.Lir.entry;
+    dblocks;
+    scratch = Array.make (max 1 !max_phis) Value.Undef;
+  }

@@ -104,8 +104,19 @@ let checks_per_100 t kind =
 let copy t = { t with instrs = Array.copy t.instrs; checks = Array.copy t.checks;
                abort_reasons = Hashtbl.copy t.abort_reasons }
 
-(** Metrics accumulated between [snapshot] and now (for steady-state
-    measurement after warmup). *)
+(** Open a measurement window: returns a snapshot for [diff ~before] and
+    resets the running maxima, so the maxima reported by a later [diff] come
+    from transactions committed inside the window only (Table IV must not be
+    polluted by warmup-only transactions, e.g. pre-demotion placements). *)
+let begin_window t =
+  let before = copy t in
+  t.tx_write_kb_max <- 0.0;
+  t.tx_assoc_max <- 0;
+  before
+
+(** Metrics accumulated between [begin_window] and now (for steady-state
+    measurement after warmup).  Maxima are window maxima: [begin_window]
+    reset them, so [now]'s values cover exactly the measured interval. *)
 let diff ~now ~before =
   let t = create () in
   Array.iteri (fun i x -> t.instrs.(i) <- x - before.instrs.(i)) now.instrs;
@@ -117,6 +128,11 @@ let diff ~now ~before =
   t.dfg_calls <- now.dfg_calls - before.dfg_calls;
   t.tx_commits <- now.tx_commits - before.tx_commits;
   t.tx_aborts <- now.tx_aborts - before.tx_aborts;
+  Hashtbl.iter
+    (fun reason n ->
+      let earlier = try Hashtbl.find before.abort_reasons reason with Not_found -> 0 in
+      if n - earlier > 0 then Hashtbl.replace t.abort_reasons reason (n - earlier))
+    now.abort_reasons;
   t.tx_write_kb_sum <- now.tx_write_kb_sum -. before.tx_write_kb_sum;
   t.tx_write_kb_max <- now.tx_write_kb_max;
   t.tx_assoc_sum <- now.tx_assoc_sum -. before.tx_assoc_sum;

@@ -54,6 +54,13 @@ val checks_per_100 : t -> Nomap_lir.Lir.check_kind -> float
 
 val copy : t -> t
 
-(** Metrics accumulated between a [copy] snapshot and now (steady-state
-    measurement after warmup). *)
+(** Snapshot the counters and open a measurement window: the running maxima
+    ([tx_write_kb_max], [tx_assoc_max]) are reset so a later [diff] against
+    the returned snapshot reports maxima over the window only, not over
+    warmup. *)
+val begin_window : t -> t
+
+(** Metrics accumulated between a [begin_window] snapshot and now
+    (steady-state measurement after warmup).  Includes the per-reason abort
+    breakdown; maxima are window maxima (see [begin_window]). *)
 val diff : now:t -> before:t -> t

@@ -13,7 +13,14 @@
       hooks, and an abort rolls the heap back and resumes the Baseline tier
       at the region entry — the control flow of paper Figure 5(b);
     - performing OSR exits: a failing Deopt check materializes its stack map
-      into a Baseline frame and the rest of the function runs there. *)
+      into a Baseline frame and the rest of the function runs there.
+
+    For wall-clock speed the machine executes the pre-decoded form of each
+    compiled function ([Nomap_lir.Decode]): per-block instruction arrays
+    instead of id lists, phi inputs resolved to per-edge copy tables, call
+    arguments as arrays, and per-instruction costs precomputed — none of
+    which changes any simulated metric (guarded by the counter-determinism
+    test). *)
 
 module Value = Nomap_runtime.Value
 module Heap = Nomap_runtime.Heap
@@ -22,6 +29,7 @@ module Shape = Nomap_runtime.Shape
 module Intrinsics = Nomap_runtime.Intrinsics
 module Instance = Nomap_interp.Instance
 module L = Nomap_lir.Lir
+module D = Nomap_lir.Decode
 module Htm = Nomap_htm.Htm
 module Footprint = Nomap_cache.Footprint
 module Specialize = Nomap_tiers.Specialize
@@ -90,6 +98,16 @@ let charge_runtime env n =
       (float_of_int n *. Timing.cpi_runtime)
   end
 
+(** RTM transactional reads are ~20% slower (paper §VI-B).  The HTM load
+    hook counts every in-transaction read in [tx.reads]; the penalty is
+    charged in one multiply when the transaction finishes (commit or abort)
+    — cycle-identical to per-read charging, but the hot hook stays a bare
+    increment. *)
+let charge_rtm_reads env (tx : Htm.tx) =
+  if tx.Htm.mode = Htm.Rtm && tx.Htm.reads > 0 then
+    Counters.add_cycles env.counters ~in_tx:true
+      (float_of_int tx.Htm.reads *. Timing.rtm_read_penalty)
+
 (* ------------------------------------------------------------------ *)
 (* Cost tables (simulated machine instructions per LIR instruction). *)
 
@@ -126,18 +144,6 @@ let intrinsic_cost = function
   | Intrinsics.Math_random -> (1, 12)
   | _ -> (1, 40)
 
-let runtime_cost rt (recv : Value.t) (args : Value.t list) =
-  match rt with
-  | L.Rt_binop _ -> 30
-  | L.Rt_unop _ -> 16
-  | L.Rt_get_prop _ -> 35
-  | L.Rt_set_prop _ -> 40
-  | L.Rt_get_elem -> 30
-  | L.Rt_set_elem -> 34
-  | L.Rt_get_length -> 16
-  | L.Rt_method _ -> 44
-  | L.Rt_intrinsic i -> 6 + Intrinsics.cost i + Intrinsics.dynamic_cost i recv args
-
 (* ------------------------------------------------------------------ *)
 
 let wrap_int32 = Ops.wrap_int32
@@ -151,7 +157,145 @@ let as_num = Value.to_number
 let as_arr = function Value.Arr a -> Some a | _ -> None
 let as_obj = function Value.Obj o -> Some o | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Hot-path helpers, hoisted to the top level so executing a function
+   allocates no closures per instruction (they used to be rebuilt on every
+   call).  All take the per-activation state they touch explicitly. *)
+
+let materialize (values : Value.t array) live =
+  List.map (fun (r, v) -> (r, values.(v))) live
+
+(* A failing check: Deopt outside any real transaction OSR-exits; inside a
+   transaction any failure is an abort (Deopt there is irrevocable).  An
+   Abort exit with no live transaction is only possible if a pass
+   mis-converted; treat it as a plain deopt to stay safe. *)
+let check_fail env (values : Value.t array) (e : L.exit) kind =
+  match env.tx with
+  | Some _ -> raise (Htm.Abort (Htm.Check_failed kind))
+  | None -> raise (Deopt_exit (e.L.smp.L.resume_pc, materialize values e.L.smp.L.live))
+
+let tx_tick env =
+  match env.tx with
+  | Some tx ->
+    tx.Htm.instr_count <- tx.Htm.instr_count + 1;
+    if tx.Htm.instr_count > env.tx_watchdog then raise (Htm.Abort Htm.Watchdog)
+  | None -> ()
+
+let int_result env (overflowed : bool array) id raw =
+  if Value.fits_int32 raw then Value.Int raw
+  else begin
+    overflowed.(id) <- true;
+    (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
+    Value.Int (wrap_int32 raw)
+  end
+
+(** Build a call's argument list from pre-resolved value ids. *)
+let arg_values (values : Value.t array) (ids : int array) =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (values.(ids.(i)) :: acc) in
+  go (Array.length ids - 1) []
+
+(** Generic runtime calls (the NoFTL slow paths).  Each branch charges its
+    runtime cost (same table as always: binop 30, unop 16, get_prop 35,
+    set_prop 40, get_elem 30, set_elem 34, get_length 16, method 44,
+    intrinsic 6 + static + dynamic) before executing, then reads its
+    operands straight out of the value array — no [List.nth]. *)
+let exec_runtime env rt (recv : Value.t) (ids : int array) (values : Value.t array) :
+    Value.t =
+  let heap = env.instance.Instance.heap in
+  let arg i = values.(ids.(i)) in
+  match rt with
+  | L.Rt_binop op ->
+    charge_runtime env 30;
+    Ops.apply_binop heap op (arg 0) (arg 1)
+  | L.Rt_unop op ->
+    charge_runtime env 16;
+    Ops.apply_unop op (arg 0)
+  | L.Rt_get_prop name -> (
+    charge_runtime env 35;
+    match as_obj recv with
+    | Some o -> Heap.get_prop heap o name
+    | None -> Value.Undef)
+  | L.Rt_set_prop name -> (
+    charge_runtime env 40;
+    match as_obj recv with
+    | Some o ->
+      Heap.set_prop heap o name (arg 0);
+      Value.Undef
+    | None -> raise (Nomap_interp.Interp.Runtime_error "set property on non-object"))
+  | L.Rt_get_elem -> (
+    charge_runtime env 30;
+    let vi = arg 0 in
+    match (recv, vi) with
+    | Value.Arr arr, Value.Int idx -> Heap.get_elem heap arr idx
+    | Value.Arr arr, _ ->
+      let idx = Value.to_int32 vi in
+      if float_of_int idx = Value.to_number vi then Heap.get_elem heap arr idx
+      else Value.Undef
+    | Value.Str s, Value.Int idx ->
+      let data = s.Value.sdata in
+      if idx >= 0 && idx < String.length data then Heap.str heap (String.make 1 data.[idx])
+      else Value.Undef
+    | v, _ ->
+      raise (Nomap_interp.Interp.Runtime_error ("cannot index " ^ Value.type_name v)))
+  | L.Rt_set_elem -> (
+    charge_runtime env 34;
+    let vi = arg 0 and vx = arg 1 in
+    match recv with
+    | Value.Arr arr ->
+      let idx = as_int vi in
+      if float_of_int idx = Value.to_number vi then Heap.set_elem heap arr idx vx;
+      Value.Undef
+    | v -> raise (Nomap_interp.Interp.Runtime_error ("cannot index-assign " ^ Value.type_name v)))
+  | L.Rt_get_length -> (
+    charge_runtime env 16;
+    match Ops.js_length recv with
+    | Some v -> v
+    | None -> (
+      match as_obj recv with
+      | Some o -> Heap.get_prop heap o "length"
+      | None ->
+        raise (Nomap_interp.Interp.Runtime_error ("no length on " ^ Value.type_name recv))))
+  | L.Rt_method name -> (
+    charge_runtime env 44;
+    let args = arg_values values ids in
+    match Intrinsics.method_lookup recv name with
+    | Some intr -> (
+      try Intrinsics.eval heap intr recv args
+      with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+    | None -> (
+      match as_obj recv with
+      | Some o -> (
+        match Shape.lookup o.Value.shape name with
+        | Some slot -> (
+          match Heap.load_slot heap o slot with
+          | Value.Fun fid -> env.call ~fid ~this:recv ~args
+          | v ->
+            raise
+              (Nomap_interp.Interp.Runtime_error
+                 (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))
+        | None -> raise (Nomap_interp.Interp.Runtime_error ("no method " ^ name)))
+      | None ->
+        raise
+          (Nomap_interp.Interp.Runtime_error
+             (Printf.sprintf "no method %s on %s" name (Value.type_name recv)))))
+  | L.Rt_intrinsic intr -> (
+    let args = arg_values values ids in
+    charge_runtime env (6 + Intrinsics.cost intr + Intrinsics.dynamic_cost intr recv args);
+    try Intrinsics.eval heap intr recv args
+    with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+
+(** The pre-decoded form of [c], built on first execution — after every
+    transform/optimizer pass has run — and cached on the compiled record. *)
+let decoded (c : Specialize.compiled) =
+  match c.Specialize.decoded with
+  | Some d -> d
+  | None ->
+    let d = D.decode ~cost:base_cost c.Specialize.lir in
+    c.Specialize.decoded <- Some d;
+    d
+
 let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
+  let d = decoded c in
   let lir = c.Specialize.lir in
   let inst = env.instance in
   let heap = inst.Instance.heap in
@@ -160,404 +304,325 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
   | Dfg -> env.counters.Counters.dfg_calls <- env.counters.Counters.dfg_calls + 1);
   let frame = env.next_frame in
   env.next_frame <- env.next_frame + 1;
-  let n = Nomap_util.Vec.length lir.L.instrs in
+  let n = max 1 d.D.nvalues in
   let values = Array.make n Value.Undef in
   let overflowed = Array.make n false in
-  let charge n = charge_ftl env ~frame ~tier n in
-  let materialize live = List.map (fun (r, v) -> (r, values.(v))) live in
-  (* A failing check: Deopt outside any real transaction OSR-exits; inside a
-     transaction any failure is an abort (Deopt there is irrevocable). *)
-  let check_fail (e : L.exit) kind =
-    match env.tx with
-    | Some _ -> raise (Htm.Abort (Htm.Check_failed kind))
-    | None -> (
-      match e.L.ekind with
-      | L.Deopt -> raise (Deopt_exit (e.L.smp.L.resume_pc, materialize e.L.smp.L.live))
-      | L.Abort ->
-        (* Abort exit with no live transaction: only possible if a pass
-           mis-converted; treat as a plain deopt to stay safe. *)
-        raise (Deopt_exit (e.L.smp.L.resume_pc, materialize e.L.smp.L.live)))
-  in
-  let pass_check kind v =
-    Counters.add_check env.counters kind;
-    v
-  in
-  let int_result id raw =
-    if Value.fits_int32 raw then Value.Int raw
-    else begin
-      overflowed.(id) <- true;
-      (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
-      Value.Int (wrap_int32 raw)
-    end
-  in
-  let tx_tick () =
-    match env.tx with
-    | Some tx ->
-      tx.Htm.instr_count <- tx.Htm.instr_count + 1;
-      if tx.Htm.instr_count > env.tx_watchdog then raise (Htm.Abort Htm.Watchdog)
-    | None -> ()
-  in
-  let exec_runtime rt recv args =
-    charge_runtime env (runtime_cost rt recv args);
-    match rt with
-    | L.Rt_binop op -> Ops.apply_binop heap op (List.nth args 0) (List.nth args 1)
-    | L.Rt_unop op -> Ops.apply_unop op (List.nth args 0)
-    | L.Rt_get_prop name -> (
-      match as_obj recv with
-      | Some o -> Heap.get_prop heap o name
-      | None -> Value.Undef)
-    | L.Rt_set_prop name -> (
-      match as_obj recv with
-      | Some o ->
-        Heap.set_prop heap o name (List.nth args 0);
-        Value.Undef
-      | None -> raise (Nomap_interp.Interp.Runtime_error "set property on non-object"))
-    | L.Rt_get_elem -> (
-      let vi = List.nth args 0 in
-      match (recv, vi) with
-      | Value.Arr arr, Value.Int idx -> Heap.get_elem heap arr idx
-      | Value.Arr arr, _ ->
-        let idx = Value.to_int32 vi in
-        if float_of_int idx = Value.to_number vi then Heap.get_elem heap arr idx
-        else Value.Undef
-      | Value.Str s, Value.Int idx ->
-        let data = s.Value.sdata in
-        if idx >= 0 && idx < String.length data then Heap.str heap (String.make 1 data.[idx])
-        else Value.Undef
-      | v, _ ->
-        raise (Nomap_interp.Interp.Runtime_error ("cannot index " ^ Value.type_name v)))
-    | L.Rt_set_elem -> (
-      let vi = List.nth args 0 and vx = List.nth args 1 in
-      match recv with
-      | Value.Arr arr ->
-        let idx = as_int vi in
-        if float_of_int idx = Value.to_number vi then Heap.set_elem heap arr idx vx;
-        Value.Undef
-      | v -> raise (Nomap_interp.Interp.Runtime_error ("cannot index-assign " ^ Value.type_name v)))
-    | L.Rt_get_length -> (
-      match Ops.js_length recv with
-      | Some v -> v
-      | None -> (
-        match as_obj recv with
-        | Some o -> Heap.get_prop heap o "length"
-        | None ->
-          raise (Nomap_interp.Interp.Runtime_error ("no length on " ^ Value.type_name recv))))
-    | L.Rt_method name -> (
-      match Intrinsics.method_lookup recv name with
-      | Some intr -> (
-        try Intrinsics.eval heap intr recv args
-        with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
-      | None -> (
-        match as_obj recv with
-        | Some o -> (
-          match Shape.lookup o.Value.shape name with
-          | Some slot -> (
-            match Heap.load_slot heap o slot with
-            | Value.Fun fid -> env.call ~fid ~this:recv ~args
-            | v ->
-              raise
-                (Nomap_interp.Interp.Runtime_error
-                   (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))
-          | None -> raise (Nomap_interp.Interp.Runtime_error ("no method " ^ name)))
-        | None ->
-          raise
-            (Nomap_interp.Interp.Runtime_error
-               (Printf.sprintf "no method %s on %s" name (Value.type_name recv)))))
-    | L.Rt_intrinsic intr -> (
-      try Intrinsics.eval heap intr recv args
-      with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
-  in
+  let argv = Array.of_list args in
+  let nargs = Array.length argv in
   let run () =
     let prev_block = ref (-1) in
-    let cur_block = ref lir.L.entry in
-    let result = ref None in
-    while !result = None do
-      let b = L.block lir !cur_block in
-      (* Phis: read all inputs against the incoming edge, then assign in
-         parallel, then run the block body. *)
-      let rec exec_phis = function
-        | v :: rest -> (
-          let i = L.instr lir v in
-          match i.L.kind with
-          | L.Phi ins ->
-            let copies = ref [] in
-            let rec gather = function
-              | w :: more -> (
-                let j = L.instr lir w in
-                match j.L.kind with
-                | L.Phi ins' ->
-                  (match List.assoc_opt !prev_block ins' with
-                  | Some src -> copies := (w, values.(src)) :: !copies
-                  | None -> ());
-                  gather more
-                | L.Nop -> gather more
-                | _ -> w :: more)
-              | [] -> []
-            in
-            ignore ins;
-            let body = gather (v :: rest) in
-            List.iter (fun (w, value) -> values.(w) <- value) !copies;
-            exec_instrs body
-          | L.Nop -> exec_phis rest
-          | _ -> exec_instrs (v :: rest))
-        | [] -> ()
-      and exec_instrs instrs =
-        List.iter
-          (fun v ->
-            let i = L.instr lir v in
-            let k = i.L.kind in
-            (match k with
-            | L.Phi _ | L.Nop -> ()
-            | (L.Tx_begin _ | L.Tx_end) when env.htm_mode = Htm.Ghost ->
-              (* Base config: region markers only, no machine cost. *)
-              Instance.burn inst 1
-            | _ ->
-              Instance.burn inst 1;
-              tx_tick ();
-              charge (base_cost k));
-            match k with
-            | L.Nop | L.Phi _ -> ()
-            | L.Param r ->
-              values.(v) <-
-                (if r = 0 then this
-                 else match List.nth_opt args (r - 1) with Some x -> x | None -> Value.Undef)
-            | L.Const c -> values.(v) <- c
-            | L.Iadd (a, b) -> values.(v) <- int_result v (as_int values.(a) + as_int values.(b))
-            | L.Isub (a, b) -> values.(v) <- int_result v (as_int values.(a) - as_int values.(b))
-            | L.Iadd_wrap (a, b) ->
-              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) + as_int values.(b)))
-            | L.Isub_wrap (a, b) ->
-              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) - as_int values.(b)))
-            | L.Imul (a, b) -> values.(v) <- int_result v (as_int values.(a) * as_int values.(b))
-            | L.Ineg a ->
-              let x = as_int values.(a) in
-              (* -0 and -int32_min are not int32-representable results. *)
-              if x = 0 || x = Value.int32_min then begin
-                overflowed.(v) <- true;
-                (match env.tx with
-                | Some tx when env.sof_enabled -> tx.Htm.sof <- true
-                | _ -> ());
-                values.(v) <- Value.Int (wrap_int32 (-x))
-              end
-              else values.(v) <- Value.Int (-x)
-            | L.Fadd (a, b) -> values.(v) <- Value.number (as_num values.(a) +. as_num values.(b))
-            | L.Fsub (a, b) -> values.(v) <- Value.number (as_num values.(a) -. as_num values.(b))
-            | L.Fmul (a, b) -> values.(v) <- Value.number (as_num values.(a) *. as_num values.(b))
-            | L.Fdiv (a, b) -> values.(v) <- Value.number (as_num values.(a) /. as_num values.(b))
-            | L.Fmod (a, b) ->
-              values.(v) <- Value.number (Float.rem (as_num values.(a)) (as_num values.(b)))
-            | L.Fneg a -> values.(v) <- Value.number (-.as_num values.(a))
-            | L.Band (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) land as_int values.(b)))
-            | L.Bor (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lor as_int values.(b)))
-            | L.Bxor (a, b) -> values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lxor as_int values.(b)))
-            | L.Bnot a -> values.(v) <- Value.Int (wrap_int32 (lnot (as_int values.(a))))
-            | L.Shl (a, b) ->
-              values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lsl (as_int values.(b) land 31)))
-            | L.Shr (a, b) -> values.(v) <- Value.Int (as_int values.(a) asr (as_int values.(b) land 31))
-            | L.Ushr (a, b) -> values.(v) <- Ops.js_ushr values.(a) values.(b)
-            | L.Cmp (c, a, b) ->
-              let x = as_num values.(a) and y = as_num values.(b) in
-              let r =
-                match c with
-                | L.Ceq -> x = y
-                | L.Cne -> x <> y (* JS: NaN != anything is true *)
-                | L.Clt -> x < y
-                | L.Cle -> x <= y
-                | L.Cgt -> x > y
-                | L.Cge -> x >= y
-              in
-              values.(v) <- Value.Bool r
-            | L.Not a -> values.(v) <- Value.Bool (not (Value.truthy values.(a)))
-            | L.Load_slot (o, slot) -> (
-              match as_obj values.(o) with
-              | Some obj when slot < Array.length obj.Value.slots ->
-                values.(v) <- Heap.load_slot heap obj slot
-              | _ -> values.(v) <- Value.Undef)
-            | L.Store_slot (o, slot, x) -> (
-              match as_obj values.(o) with
-              | Some obj when slot < Array.length obj.Value.slots ->
-                Heap.store_slot heap obj slot values.(x)
-              | _ -> ())
-            | L.Store_transition (o, name, slot, x) -> (
-              match as_obj values.(o) with
-              | Some obj ->
-                (* The guarding shape check ran just before; resolve the
-                   (memoized) transition and install shape + value. *)
-                let new_shape =
-                  Shape.transition heap.Heap.shapes obj.Value.shape name
-                in
-                if new_shape.Shape.prop_count - 1 = slot then
-                  Heap.transition_store heap obj new_shape slot values.(x)
-                else
-                  (* Shape drifted (possible only in a doomed transaction). *)
-                  Heap.set_prop heap obj name values.(x)
-              | None -> ())
-            | L.Load_elem (a, i') -> (
-              match as_arr values.(a) with
-              | Some arr -> values.(v) <- Heap.load_elem heap arr (as_int values.(i'))
-              | None -> values.(v) <- Value.Undef)
-            | L.Store_elem (a, i', x) -> (
-              match as_arr values.(a) with
-              | Some arr -> Heap.store_elem heap arr (as_int values.(i')) values.(x)
-              | None -> ())
-            | L.Load_length a -> (
-              match as_arr values.(a) with
-              | Some arr ->
-                heap.Heap.hooks.load arr.Value.aaddr 8;
-                values.(v) <- Value.Int arr.Value.alen
-              | None -> values.(v) <- Value.Int 0)
-            | L.Str_length a -> (
-              match values.(a) with
-              | Value.Str s -> values.(v) <- Value.Int (String.length s.Value.sdata)
-              | _ -> values.(v) <- Value.Int 0)
-            | L.Load_char_code (s, i') -> (
-              match values.(s) with
-              | Value.Str str ->
-                values.(v) <- Value.Int (Ops.string_char_code heap str (as_int values.(i')))
-              | _ -> values.(v) <- Value.Int 0)
-            | L.Load_global g -> values.(v) <- inst.Instance.globals.(g)
-            | L.Store_global (g, x) -> inst.Instance.globals.(g) <- values.(x)
-            | L.Check_int (a, e) -> (
-              match values.(a) with
-              | Value.Int _ -> values.(v) <- pass_check L.Type values.(a)
-              | _ -> check_fail e L.Type)
-            | L.Check_number (a, e) -> (
-              match values.(a) with
-              | Value.Int _ | Value.Num _ -> values.(v) <- pass_check L.Type values.(a)
-              | _ -> check_fail e L.Type)
-            | L.Check_string (a, e) -> (
-              match values.(a) with
-              | Value.Str _ -> values.(v) <- pass_check L.Type values.(a)
-              | _ -> check_fail e L.Type)
-            | L.Check_array (a, e) -> (
-              match values.(a) with
-              | Value.Arr _ -> values.(v) <- pass_check L.Type values.(a)
-              | _ -> check_fail e L.Type)
-            | L.Check_shape (a, shape_id, e) -> (
-              match values.(a) with
-              | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
-                heap.Heap.hooks.load o.Value.oaddr 8;
-                values.(v) <- pass_check L.Property values.(a)
-              | _ -> check_fail e L.Property)
-            | L.Check_fun_eq (a, fid, e) -> (
-              match values.(a) with
-              | Value.Fun f when f = fid -> values.(v) <- pass_check L.Path values.(a)
-              | _ -> check_fail e L.Path)
-            | L.Check_bounds (a, i', e) -> (
-              let idx = as_int values.(i') in
-              match as_arr values.(a) with
-              | Some arr when idx >= 0 && idx < arr.Value.alen ->
-                heap.Heap.hooks.load arr.Value.aaddr 8;
-                values.(v) <- pass_check L.Bounds (Value.Int idx)
-              | _ -> check_fail e L.Bounds)
-            | L.Check_str_bounds (s, i', e) -> (
-              let idx = as_int values.(i') in
-              match values.(s) with
-              | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-                values.(v) <- pass_check L.Bounds (Value.Int idx)
-              | _ -> check_fail e L.Bounds)
-            | L.Check_not_hole (a, i', e) -> (
-              let idx = as_int values.(i') in
-              match as_arr values.(a) with
-              | Some arr
-                when idx >= 0
-                     && idx < Array.length arr.Value.elems
-                     && Heap.load_elem heap arr idx <> Value.Hole ->
-                values.(v) <- pass_check L.Hole (Value.Int idx)
-              | _ -> check_fail e L.Hole)
-            | L.Check_overflow (a, e) ->
-              if overflowed.(a) then check_fail e L.Overflow
-              else values.(v) <- pass_check L.Overflow values.(a)
-            | L.Check_cond (a, expected, e) ->
-              if Value.truthy values.(a) = expected then
-                values.(v) <- pass_check L.Path values.(a)
-              else check_fail e L.Path
-            | L.Call_func (fid, cargs) ->
-              values.(v) <- env.call ~fid ~this:Value.Undef ~args:(List.map (fun a -> values.(a)) cargs)
-            | L.Call_method (fid, thisv, cargs) ->
-              values.(v) <-
-                env.call ~fid ~this:values.(thisv) ~args:(List.map (fun a -> values.(a)) cargs)
-            | L.Ctor_call (fid, cargs) ->
-              let obj = Value.Obj (Heap.alloc_object heap) in
-              let r = env.call ~fid ~this:obj ~args:(List.map (fun a -> values.(a)) cargs) in
-              values.(v) <- (match r with Value.Undef -> obj | x -> x)
-            | L.Call_runtime (rt, recv, cargs) ->
-              values.(v) <- exec_runtime rt values.(recv) (List.map (fun a -> values.(a)) cargs)
-            | L.Intrinsic (intr, cargs) ->
-              let ftl_c, rt_c = intrinsic_cost intr in
-              charge ftl_c;
-              charge_runtime env rt_c;
-              values.(v) <-
-                (try Intrinsics.eval heap intr Value.Undef (List.map (fun a -> values.(a)) cargs)
-                 with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
-            | L.Alloc_object -> values.(v) <- Value.Obj (Heap.alloc_object heap)
-            | L.Alloc_array len ->
-              let n = as_int values.(len) in
-              if n < 0 || n > 1 lsl 24 then begin
-                if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
-                else raise (Nomap_interp.Interp.Runtime_error "bad array length")
-              end;
-              values.(v) <- Value.Arr (Heap.alloc_array heap n)
-            | L.Tx_begin smp -> (
-              match env.htm_mode with
-              | Htm.Ghost ->
-                if env.ghost_depth = 0 then env.ghost_owner <- frame;
-                env.ghost_depth <- env.ghost_depth + 1
-              | (Htm.Rot | Htm.Rtm) as mode -> (
-                match env.tx with
-                | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
-                | None ->
-                  let snapshot = materialize smp.L.live in
-                  env.tx <-
-                    Some
-                      (Htm.begin_tx ~capacity_scale:env.capacity_scale heap ~mode ~snapshot
-                         ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
-                  (* Transaction lengths scale with the workloads; scale the
-                     fixed begin/end costs equally so the overhead-to-work
-                     ratio stays in the paper's regime (DESIGN.md §6). *)
-                  Counters.add_cycles env.counters ~in_tx:true
-                    (Timing.xbegin_cycles /. float_of_int env.capacity_scale)))
-            | L.Tx_end -> (
-              match env.htm_mode with
-              | Htm.Ghost ->
-                env.ghost_depth <- max 0 (env.ghost_depth - 1);
-                if env.ghost_depth = 0 then env.ghost_owner <- -1
-              | Htm.Rot | Htm.Rtm -> (
-                match env.tx with
-                | None -> ()  (* abort already tore the transaction down *)
-                | Some tx ->
-                  tx.Htm.nesting <- tx.Htm.nesting - 1;
-                  if tx.Htm.nesting = 0 then begin
-                    if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
-                    Counters.add_cycles env.counters ~in_tx:true
-                      ((match tx.Htm.mode with
-                       | Htm.Rtm -> Timing.xend_rtm_cycles
-                       | _ -> Timing.xend_rot_cycles)
-                      /. float_of_int env.capacity_scale);
-                    Counters.record_commit env.counters
-                      ~write_kb:(Footprint.kb tx.Htm.write_fp)
-                      ~assoc:(Footprint.max_ways tx.Htm.write_fp);
-                    Htm.commit tx;
-                    env.tx <- None
-                  end)))
-          instrs
-      in
-      exec_phis b.L.instrs;
-      charge 1;
+    let cur_block = ref d.D.entry in
+    let running = ref true in
+    let result = ref Value.Undef in
+    while !running do
+      let b = d.D.dblocks.(!cur_block) in
+      (* Phis: the pre-resolved copy table for the incoming edge, applied as
+         a parallel assignment (read phase, then write phase). *)
+      let edges = b.D.phi_edges in
+      let n_edges = Array.length edges in
+      if n_edges > 0 then begin
+        let prev = !prev_block in
+        let rec find_edge i =
+          if i >= n_edges then -1
+          else if edges.(i).D.pred = prev then i
+          else find_edge (i + 1)
+        in
+        let ei = find_edge 0 in
+        if ei >= 0 then begin
+          let e = edges.(ei) in
+          let dsts = e.D.dsts and srcs = e.D.srcs in
+          let scratch = d.D.scratch in
+          let np = Array.length dsts in
+          for i = 0 to np - 1 do
+            scratch.(i) <- values.(srcs.(i))
+          done;
+          for i = 0 to np - 1 do
+            values.(dsts.(i)) <- scratch.(i)
+          done
+        end
+      end;
+      let body = b.D.body in
+      for idx = 0 to Array.length body - 1 do
+        let di = body.(idx) in
+        let v = di.D.id in
+        if di.D.is_tx_marker && env.htm_mode = Htm.Ghost then
+          (* Base config: region markers only, no machine cost. *)
+          Instance.burn inst 1
+        else begin
+          Instance.burn inst 1;
+          tx_tick env;
+          charge_ftl env ~frame ~tier di.D.cost
+        end;
+        match di.D.kind with
+        | L.Nop | L.Phi _ -> ()
+        | L.Param r ->
+          values.(v) <-
+            (if r = 0 then this
+             else if r - 1 < nargs then argv.(r - 1)
+             else Value.Undef)
+        | L.Const c -> values.(v) <- c
+        | L.Iadd (a, b) ->
+          values.(v) <- int_result env overflowed v (as_int values.(a) + as_int values.(b))
+        | L.Isub (a, b) ->
+          values.(v) <- int_result env overflowed v (as_int values.(a) - as_int values.(b))
+        | L.Iadd_wrap (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) + as_int values.(b)))
+        | L.Isub_wrap (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) - as_int values.(b)))
+        | L.Imul (a, b) ->
+          values.(v) <- int_result env overflowed v (as_int values.(a) * as_int values.(b))
+        | L.Ineg a ->
+          let x = as_int values.(a) in
+          (* -0 and -int32_min are not int32-representable results. *)
+          if x = 0 || x = Value.int32_min then begin
+            overflowed.(v) <- true;
+            (match env.tx with
+            | Some tx when env.sof_enabled -> tx.Htm.sof <- true
+            | _ -> ());
+            values.(v) <- Value.Int (wrap_int32 (-x))
+          end
+          else values.(v) <- Value.Int (-x)
+        | L.Fadd (a, b) -> values.(v) <- Value.number (as_num values.(a) +. as_num values.(b))
+        | L.Fsub (a, b) -> values.(v) <- Value.number (as_num values.(a) -. as_num values.(b))
+        | L.Fmul (a, b) -> values.(v) <- Value.number (as_num values.(a) *. as_num values.(b))
+        | L.Fdiv (a, b) -> values.(v) <- Value.number (as_num values.(a) /. as_num values.(b))
+        | L.Fmod (a, b) ->
+          values.(v) <- Value.number (Float.rem (as_num values.(a)) (as_num values.(b)))
+        | L.Fneg a -> values.(v) <- Value.number (-.as_num values.(a))
+        | L.Band (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) land as_int values.(b)))
+        | L.Bor (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lor as_int values.(b)))
+        | L.Bxor (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lxor as_int values.(b)))
+        | L.Bnot a -> values.(v) <- Value.Int (wrap_int32 (lnot (as_int values.(a))))
+        | L.Shl (a, b) ->
+          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lsl (as_int values.(b) land 31)))
+        | L.Shr (a, b) -> values.(v) <- Value.Int (as_int values.(a) asr (as_int values.(b) land 31))
+        | L.Ushr (a, b) -> values.(v) <- Ops.js_ushr values.(a) values.(b)
+        | L.Cmp (c, a, b) ->
+          let x = as_num values.(a) and y = as_num values.(b) in
+          let r =
+            match c with
+            | L.Ceq -> x = y
+            | L.Cne -> x <> y (* JS: NaN != anything is true *)
+            | L.Clt -> x < y
+            | L.Cle -> x <= y
+            | L.Cgt -> x > y
+            | L.Cge -> x >= y
+          in
+          values.(v) <- Value.Bool r
+        | L.Not a -> values.(v) <- Value.Bool (not (Value.truthy values.(a)))
+        | L.Load_slot (o, slot) -> (
+          match as_obj values.(o) with
+          | Some obj when slot < Array.length obj.Value.slots ->
+            values.(v) <- Heap.load_slot heap obj slot
+          | _ -> values.(v) <- Value.Undef)
+        | L.Store_slot (o, slot, x) -> (
+          match as_obj values.(o) with
+          | Some obj when slot < Array.length obj.Value.slots ->
+            Heap.store_slot heap obj slot values.(x)
+          | _ -> ())
+        | L.Store_transition (o, name, slot, x) -> (
+          match as_obj values.(o) with
+          | Some obj ->
+            (* The guarding shape check ran just before; resolve the
+               (memoized) transition and install shape + value. *)
+            let new_shape = Shape.transition heap.Heap.shapes obj.Value.shape name in
+            if new_shape.Shape.prop_count - 1 = slot then
+              Heap.transition_store heap obj new_shape slot values.(x)
+            else
+              (* Shape drifted (possible only in a doomed transaction). *)
+              Heap.set_prop heap obj name values.(x)
+          | None -> ())
+        | L.Load_elem (a, i') -> (
+          match as_arr values.(a) with
+          | Some arr -> values.(v) <- Heap.load_elem heap arr (as_int values.(i'))
+          | None -> values.(v) <- Value.Undef)
+        | L.Store_elem (a, i', x) -> (
+          match as_arr values.(a) with
+          | Some arr -> Heap.store_elem heap arr (as_int values.(i')) values.(x)
+          | None -> ())
+        | L.Load_length a -> (
+          match as_arr values.(a) with
+          | Some arr ->
+            heap.Heap.hooks.load arr.Value.aaddr 8;
+            values.(v) <- Value.Int arr.Value.alen
+          | None -> values.(v) <- Value.Int 0)
+        | L.Str_length a -> (
+          match values.(a) with
+          | Value.Str s -> values.(v) <- Value.Int (String.length s.Value.sdata)
+          | _ -> values.(v) <- Value.Int 0)
+        | L.Load_char_code (s, i') -> (
+          match values.(s) with
+          | Value.Str str ->
+            values.(v) <- Value.Int (Ops.string_char_code heap str (as_int values.(i')))
+          | _ -> values.(v) <- Value.Int 0)
+        | L.Load_global g -> values.(v) <- inst.Instance.globals.(g)
+        | L.Store_global (g, x) -> inst.Instance.globals.(g) <- values.(x)
+        | L.Check_int (a, e) -> (
+          match values.(a) with
+          | Value.Int _ ->
+            Counters.add_check env.counters L.Type;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Type)
+        | L.Check_number (a, e) -> (
+          match values.(a) with
+          | Value.Int _ | Value.Num _ ->
+            Counters.add_check env.counters L.Type;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Type)
+        | L.Check_string (a, e) -> (
+          match values.(a) with
+          | Value.Str _ ->
+            Counters.add_check env.counters L.Type;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Type)
+        | L.Check_array (a, e) -> (
+          match values.(a) with
+          | Value.Arr _ ->
+            Counters.add_check env.counters L.Type;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Type)
+        | L.Check_shape (a, shape_id, e) -> (
+          match values.(a) with
+          | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
+            heap.Heap.hooks.load o.Value.oaddr 8;
+            Counters.add_check env.counters L.Property;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Property)
+        | L.Check_fun_eq (a, fid, e) -> (
+          match values.(a) with
+          | Value.Fun f when f = fid ->
+            Counters.add_check env.counters L.Path;
+            values.(v) <- values.(a)
+          | _ -> check_fail env values e L.Path)
+        | L.Check_bounds (a, i', e) -> (
+          let idx = as_int values.(i') in
+          match as_arr values.(a) with
+          | Some arr when idx >= 0 && idx < arr.Value.alen ->
+            heap.Heap.hooks.load arr.Value.aaddr 8;
+            Counters.add_check env.counters L.Bounds;
+            values.(v) <- Value.Int idx
+          | _ -> check_fail env values e L.Bounds)
+        | L.Check_str_bounds (s, i', e) -> (
+          let idx = as_int values.(i') in
+          match values.(s) with
+          | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
+            Counters.add_check env.counters L.Bounds;
+            values.(v) <- Value.Int idx
+          | _ -> check_fail env values e L.Bounds)
+        | L.Check_not_hole (a, i', e) -> (
+          let idx = as_int values.(i') in
+          match as_arr values.(a) with
+          | Some arr
+            when idx >= 0
+                 && idx < Array.length arr.Value.elems
+                 && Heap.load_elem heap arr idx <> Value.Hole ->
+            Counters.add_check env.counters L.Hole;
+            values.(v) <- Value.Int idx
+          | _ -> check_fail env values e L.Hole)
+        | L.Check_overflow (a, e) ->
+          if overflowed.(a) then check_fail env values e L.Overflow
+          else begin
+            Counters.add_check env.counters L.Overflow;
+            values.(v) <- values.(a)
+          end
+        | L.Check_cond (a, expected, e) ->
+          if Value.truthy values.(a) = expected then begin
+            Counters.add_check env.counters L.Path;
+            values.(v) <- values.(a)
+          end
+          else check_fail env values e L.Path
+        | L.Call_func (fid, _) ->
+          values.(v) <- env.call ~fid ~this:Value.Undef ~args:(arg_values values di.D.args)
+        | L.Call_method (fid, thisv, _) ->
+          values.(v) <-
+            env.call ~fid ~this:values.(thisv) ~args:(arg_values values di.D.args)
+        | L.Ctor_call (fid, _) ->
+          let obj = Value.Obj (Heap.alloc_object heap) in
+          let r = env.call ~fid ~this:obj ~args:(arg_values values di.D.args) in
+          values.(v) <- (match r with Value.Undef -> obj | x -> x)
+        | L.Call_runtime (rt, recv, _) ->
+          values.(v) <- exec_runtime env rt values.(recv) di.D.args values
+        | L.Intrinsic (intr, _) ->
+          let ftl_c, rt_c = intrinsic_cost intr in
+          charge_ftl env ~frame ~tier ftl_c;
+          charge_runtime env rt_c;
+          values.(v) <-
+            (try Intrinsics.eval heap intr Value.Undef (arg_values values di.D.args)
+             with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+        | L.Alloc_object -> values.(v) <- Value.Obj (Heap.alloc_object heap)
+        | L.Alloc_array len ->
+          let n = as_int values.(len) in
+          if n < 0 || n > 1 lsl 24 then begin
+            if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
+            else raise (Nomap_interp.Interp.Runtime_error "bad array length")
+          end;
+          values.(v) <- Value.Arr (Heap.alloc_array heap n)
+        | L.Tx_begin smp -> (
+          match env.htm_mode with
+          | Htm.Ghost ->
+            if env.ghost_depth = 0 then env.ghost_owner <- frame;
+            env.ghost_depth <- env.ghost_depth + 1
+          | (Htm.Rot | Htm.Rtm) as mode -> (
+            match env.tx with
+            | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
+            | None ->
+              let snapshot = materialize values smp.L.live in
+              env.tx <-
+                Some
+                  (Htm.begin_tx ~capacity_scale:env.capacity_scale heap ~mode ~snapshot
+                     ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
+              (* Transaction lengths scale with the workloads; scale the
+                 fixed begin/end costs equally so the overhead-to-work
+                 ratio stays in the paper's regime (DESIGN.md §6). *)
+              Counters.add_cycles env.counters ~in_tx:true
+                (Timing.xbegin_cycles /. float_of_int env.capacity_scale)))
+        | L.Tx_end -> (
+          match env.htm_mode with
+          | Htm.Ghost ->
+            env.ghost_depth <- max 0 (env.ghost_depth - 1);
+            if env.ghost_depth = 0 then env.ghost_owner <- -1
+          | Htm.Rot | Htm.Rtm -> (
+            match env.tx with
+            | None -> ()  (* abort already tore the transaction down *)
+            | Some tx ->
+              tx.Htm.nesting <- tx.Htm.nesting - 1;
+              if tx.Htm.nesting = 0 then begin
+                if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
+                charge_rtm_reads env tx;
+                Counters.add_cycles env.counters ~in_tx:true
+                  ((match tx.Htm.mode with
+                   | Htm.Rtm -> Timing.xend_rtm_cycles
+                   | _ -> Timing.xend_rot_cycles)
+                  /. float_of_int env.capacity_scale);
+                Counters.record_commit env.counters
+                  ~write_kb:(Footprint.kb tx.Htm.write_fp)
+                  ~assoc:(Footprint.max_ways tx.Htm.write_fp);
+                Htm.commit tx;
+                env.tx <- None
+              end))
+      done;
+      charge_ftl env ~frame ~tier 1;
       (* terminator *)
-      match b.L.term with
+      match b.D.dterm with
       | L.Jump t ->
         prev_block := !cur_block;
         cur_block := t
       | L.Br (cv, bt, bf) ->
         prev_block := !cur_block;
         cur_block := (if Value.truthy values.(cv) then bt else bf)
-      | L.Ret r -> result := Some (match r with Some rv -> values.(rv) | None -> Value.Undef)
+      | L.Ret r ->
+        result := (match r with Some rv -> values.(rv) | None -> Value.Undef);
+        running := false
       | L.Unreachable -> raise (Nomap_interp.Interp.Runtime_error "reached unreachable block")
     done;
-    match !result with Some r -> r | None -> assert false
+    !result
   in
   let handle_abort reason tx =
+    (* Reads performed before the abort still cost RTM read-latency. *)
+    charge_rtm_reads env tx;
     Htm.rollback tx;
     env.tx <- None;
     Counters.record_abort env.counters reason;

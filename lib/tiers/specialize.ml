@@ -70,6 +70,10 @@ type compiled = {
   header_blocks : (int * int) list;  (** (bytecode loop-header pc, LIR block id) *)
   entry_states : (int, (int * L.v) list) Hashtbl.t;
       (** loop-header LIR block -> live (reg, value-at-entry) pairs *)
+  mutable decoded : Nomap_lir.Decode.t option;
+      (** pre-decoded executable form, built lazily by the machine on first
+          execution (i.e. after all transform/optimizer passes have run);
+          the LIR must not be mutated once this is set *)
 }
 
 type builder = {
@@ -631,4 +635,4 @@ let compile ~(bc : Opcode.func) ~(consts : Value.t array) ~(profile : Feedback.f
   let header_blocks =
     List.map (fun pc -> (pc, block_of pc)) bc.Opcode.loop_headers
   in
-  { lir; block_pc; header_blocks; entry_states = b.entry_states }
+  { lir; block_pc; header_blocks; entry_states = b.entry_states; decoded = None }

@@ -223,3 +223,8 @@ let global t name =
 
 (** Snapshot of the current counters (for steady-state diffs). *)
 let snapshot t = Counters.copy t.counters
+
+(** Snapshot that also opens a measurement window: running maxima
+    (write-set KB, associativity) restart here, so a later [Counters.diff]
+    reports window maxima rather than whole-run maxima. *)
+let begin_measurement t = Counters.begin_window t.counters

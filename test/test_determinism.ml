@@ -1,0 +1,102 @@
+(** Counter-determinism harness guarding the machine hot-loop rewrite.
+
+    For every registered workload × every architecture, a fixed execution
+    protocol (lowered tier-up thresholds so all tiers engage, then a fixed
+    number of benchmark calls) must reproduce the committed golden counter
+    table bit-for-bit: instruction categories, executed checks, cycles
+    (hex-float, so exact), commits/aborts with reason breakdown, and the
+    Table IV write-set statistics.  Any change to simulated metrics — an
+    optimization of the simulator that is supposed to be
+    observation-preserving, or an accidental cost-model change — shows up
+    here as a one-line diff naming the workload and architecture.
+
+    Regenerate after an *intentional* metric change with:
+      NOMAP_UPDATE_GOLDEN=$PWD/test/determinism.expected dune exec \
+        test/test_main.exe -- test determinism *)
+
+module Registry = Nomap_workloads.Registry
+module Config = Nomap_nomap.Config
+module Counters = Nomap_machine.Counters
+module Vm = Nomap_vm.Vm
+
+(* Low thresholds so Interpreter → Baseline → DFG → FTL all engage within
+   few calls; 8 calls also exercise recompilation/demotion adaptations. *)
+let thresholds = { Vm.baseline_at = 1; dfg_at = 2; ftl_at = 4 }
+let calls = 8
+
+(* `dune runtest` runs in the test directory (the file is a declared dep);
+   `dune exec test/test_main.exe` runs from the project root. *)
+let golden_file () =
+  List.find_opt Sys.file_exists
+    [ "determinism.expected"; Filename.concat "test" "determinism.expected" ]
+
+let canonical (c : Counters.t) =
+  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  let reasons =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.Counters.abort_reasons []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
+     commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
+     assoc_max=%d samples=%d"
+    (ints c.Counters.instrs) (ints c.Counters.checks) c.Counters.cycles
+    c.Counters.tx_cycles c.Counters.deopts c.Counters.ftl_calls c.Counters.dfg_calls
+    c.Counters.tx_commits c.Counters.tx_aborts reasons c.Counters.tx_write_kb_sum
+    c.Counters.tx_write_kb_max c.Counters.tx_assoc_sum c.Counters.tx_assoc_max
+    c.Counters.tx_samples
+
+let run_one bench arch =
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:2_000_000_000 ~thresholds ~config:(Config.create arch)
+      ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  for _ = 1 to calls do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  Printf.sprintf "%s/%s %s" bench.Registry.id (Config.name arch) (canonical vm.Vm.counters)
+
+let compute_table () =
+  List.concat_map
+    (fun bench -> List.map (run_one bench) Config.all)
+    Registry.all
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_counter_determinism () =
+  let table = compute_table () in
+  match Sys.getenv_opt "NOMAP_UPDATE_GOLDEN" with
+  | Some path ->
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) table;
+    close_out oc;
+    Printf.printf "wrote %d golden lines to %s\n" (List.length table) path
+  | None ->
+    let golden =
+      match golden_file () with
+      | Some path -> read_lines path
+      | None -> Alcotest.fail "missing golden table determinism.expected"
+    in
+    Alcotest.(check int) "runs covered" (List.length golden) (List.length table);
+    List.iter2
+      (fun expected got ->
+        let name = String.sub got 0 (String.index got ' ') in
+        Alcotest.(check string) name expected got)
+      golden table
+
+let tests =
+  [ Alcotest.test_case "counters bit-identical across workloads x archs" `Slow
+      test_counter_determinism ]

@@ -67,14 +67,19 @@ let test_chunked_transactions () =
 
 let test_rtm_reads_slower () =
   (* Read-heavy kernel: RTM charges a per-read penalty inside transactions
-     and a costlier commit; same instruction stream must cost more cycles
-     than ROT wherever transactions run. *)
+     and a costlier commit; the same instruction stream must cost strictly
+     more cycles than ROT wherever transactions run (Timing.rtm_read_penalty
+     actually being charged is what this guards). *)
   let t_rot = run ~arch:Config.NoMap_B leaf_kernel in
   let t_rtm = run ~arch:Config.NoMap_RTM leaf_kernel in
   Alcotest.(check string) "same result" (result_of t_rot) (result_of t_rtm);
-  if t_rtm.Vm.counters.Counters.tx_commits > 0 then
-    Alcotest.(check bool) "RTM cycles >= ROT cycles" true
-      (t_rtm.Vm.counters.Counters.cycles >= t_rot.Vm.counters.Counters.cycles)
+  Alcotest.(check bool) "RTM committed transactions" true
+    (t_rtm.Vm.counters.Counters.tx_commits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "RTM cycles (%.1f) > ROT cycles (%.1f)"
+       t_rtm.Vm.counters.Counters.cycles t_rot.Vm.counters.Counters.cycles)
+    true
+    (t_rtm.Vm.counters.Counters.cycles > t_rot.Vm.counters.Counters.cycles)
 
 let test_deopt_in_tx_aborts () =
   (* inner() is int-specialized during warmup; the final call feeds doubles

@@ -12,5 +12,7 @@ let () =
       ("cache/htm", Test_cache_htm.tests);
       ("workloads", Test_workloads.tests);
       ("machine", Test_machine.tests);
+      ("determinism", Test_determinism.tests);
+      ("measurement", Test_measurement.tests);
       ("fuzz", Test_fuzz.tests);
     ]
