@@ -2,19 +2,31 @@
     wall-times each experiment driver with Bechamel (one [Test.make] per
     table/figure).
 
-    Phase 1 runs every experiment cold and prints the paper-style tables —
-    this is the artifact-evaluation output recorded in EXPERIMENTS.md.
-    Phase 2 re-times each driver on the warm measurement cache (the
-    simulation results are memoized; the timed quantity is table
-    regeneration, which is what a user iterating on the data pays).
+    Phase 1 runs every experiment cold and serially, printing the
+    paper-style tables — this is the artifact-evaluation output recorded in
+    EXPERIMENTS.md — and records per-experiment wall times plus the serial
+    sweep total.  Phase 2 resets the scheduler store and re-runs the whole
+    sweep through the domain-parallel scheduler ([-j N], default: the
+    machine's recommended domain count), recording the parallel sweep wall
+    time for comparison.  Phase 3 re-times each driver on the warm store
+    (the timed quantity is table regeneration, which is what a user
+    iterating on the data pays).
 
-    [--json <path>] additionally writes both measurements to [path] as one
-    machine-readable report (schema [nomap-bench-v1], see DESIGN.md), so
+    All wall times use the monotonic clock (same stub Bechamel samples), so
+    NTP adjustments can't skew the report.
+
+    [--json <path>] additionally writes the measurements to [path] as one
+    machine-readable report (schema [nomap-bench-v2], see DESIGN.md §9), so
     wall-clock regressions of the simulator itself can be tracked across
     commits. *)
 
 module E = Nomap_harness.Experiments
+module Scheduler = Nomap_harness.Scheduler
 module Registry = Nomap_workloads.Registry
+
+(* Bound before the opens: Bechamel's [Toolkit] shadows [Monotonic_clock]
+   with its measure witness, which has no [now]. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 open Bechamel
 open Toolkit
@@ -25,7 +37,10 @@ let experiments : (string * (unit -> string)) list =
     ("table1_tier_speedups", E.table1);
     ("fig3a_checks_sunspider", fun () -> E.fig3 Registry.Sunspider);
     ("fig3b_checks_kraken", fun () -> E.fig3 Registry.Kraken);
-    ("deopt_frequency", fun () -> E.deopt_freq ~iterations:100 ());
+    (* Default iterations (300), matching the experiments.exe catalogue, so
+       the serial phase-1 sweep and the parallel phase-2 re-sweep execute
+       the identical key universe. *)
+    ("deopt_frequency", fun () -> E.deopt_freq ());
     ("fig8_instructions_sunspider", fun () -> E.fig8_9 Registry.Sunspider);
     ("fig9_instructions_kraken", fun () -> E.fig8_9 Registry.Kraken);
     ("fig10_time_sunspider", fun () -> E.fig10_11 Registry.Sunspider);
@@ -67,11 +82,14 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~total_wall_s ~(rows : (string * float * float option) list) =
+let write_json path ~serial_wall_s ~parallel_wall_s ~jobs
+    ~(rows : (string * float * float option) list) =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"nomap-bench-v1\",\n";
-  Printf.fprintf oc "  \"total_wall_s\": %.6f,\n" total_wall_s;
+  output_string oc "  \"schema\": \"nomap-bench-v2\",\n";
+  Printf.fprintf oc "  \"sweep_wall_s_serial\": %.6f,\n" serial_wall_s;
+  Printf.fprintf oc "  \"sweep_wall_s_parallel\": %.6f,\n" parallel_wall_s;
+  Printf.fprintf oc "  \"parallel_jobs\": %d,\n" jobs;
   output_string oc "  \"experiments\": [\n";
   List.iteri
     (fun i (name, wall_s, warm_ns) ->
@@ -84,34 +102,57 @@ let write_json path ~total_wall_s ~(rows : (string * float * float option) list)
   close_out oc;
   Printf.printf "wrote %s (%d experiments)\n" path (List.length rows)
 
-let json_path =
+let json_path, jobs =
+  let json = ref None and jobs = ref (Scheduler.default_jobs ()) in
   let rec scan = function
     | [ "--json" ] ->
       prerr_endline "error: --json requires a path";
       exit 2
-    | "--json" :: path :: _ -> Some path
+    | [ "-j" ] | [ "--jobs" ] ->
+      prerr_endline "error: -j requires a count";
+      exit 2
+    | "--json" :: path :: rest ->
+      json := Some path;
+      scan rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        prerr_endline ("error: bad job count: " ^ n);
+        exit 2);
+      scan rest
     | _ :: rest -> scan rest
-    | [] -> None
+    | [] -> ()
   in
-  scan (Array.to_list Sys.argv)
+  scan (List.tl (Array.to_list Sys.argv));
+  (!json, !jobs)
 
 let () =
   print_endline "==================================================================";
   print_endline " NoMap reproduction: full experiment sweep (paper tables/figures)";
   print_endline "==================================================================\n";
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let wall_times =
     List.map
       (fun (name, f) ->
-        let start = Unix.gettimeofday () in
+        let start = now_s () in
         ignore (f ());
-        let dt = Unix.gettimeofday () -. start in
+        let dt = now_s () -. start in
         Printf.printf "[%s took %.1fs]\n\n" name dt;
         (name, dt))
       experiments
   in
-  let total_wall_s = Unix.gettimeofday () -. t0 in
-  Printf.printf "full sweep: %.1fs\n\n" total_wall_s;
+  let serial_wall_s = now_s () -. t0 in
+  Printf.printf "full sweep, serial: %.1fs\n\n" serial_wall_s;
+  print_endline "==================================================================";
+  Printf.printf " Parallel re-sweep from cold (-j %d, scheduler fan-out)\n" jobs;
+  print_endline "==================================================================";
+  Scheduler.reset ();
+  let t1 = now_s () in
+  ignore (quietly (fun () -> E.run_all ~jobs ()));
+  let parallel_wall_s = now_s () -. t1 in
+  Printf.printf "full sweep, -j %d: %.1fs (serial was %.1fs)\n\n" jobs parallel_wall_s
+    serial_wall_s;
   print_endline "==================================================================";
   print_endline " Bechamel timings (warm regeneration of each table/figure)";
   print_endline "==================================================================";
@@ -141,7 +182,7 @@ let () =
     results;
   (match json_path with
   | Some path ->
-    write_json path ~total_wall_s
+    write_json path ~serial_wall_s ~parallel_wall_s ~jobs
       ~rows:(List.map (fun (name, wall_s) -> (name, wall_s, warm_ns name)) wall_times)
   | None -> ());
   print_endline "\ndone."

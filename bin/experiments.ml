@@ -1,34 +1,34 @@
 (** CLI for regenerating the paper's tables and figures.
 
-    Usage: experiments.exe [EXPERIMENT] — where EXPERIMENT is one of fig1,
-    table1, fig3, deopt_freq, fig8, fig9, fig10, fig11, table4,
-    validate_htm, headline, all (default: all). *)
+    Usage: experiments.exe [EXPERIMENT] [-j N] — where EXPERIMENT is one of
+    fig1, table1, fig3, deopt_freq, fig8, fig9, fig10, fig11, table4,
+    validate_htm, ablation, headline, all (default: all).  Measurements are
+    planned up front, deduplicated, and executed on N domains (default: the
+    machine's recommended domain count); tables render afterwards, in
+    order, and are bit-identical at any N. *)
 
 module E = Nomap_harness.Experiments
-module Registry = Nomap_workloads.Registry
+module Scheduler = Nomap_harness.Scheduler
 
 open Cmdliner
 
-let run_experiment name =
-  match name with
-  | "fig1" -> ignore (E.fig1 ())
-  | "table1" -> ignore (E.table1 ())
-  | "fig3" ->
-    ignore (E.fig3 Registry.Sunspider);
-    ignore (E.fig3 Registry.Kraken)
-  | "deopt_freq" -> ignore (E.deopt_freq ())
-  | "fig8" -> ignore (E.fig8_9 Registry.Sunspider)
-  | "fig9" -> ignore (E.fig8_9 Registry.Kraken)
-  | "fig10" -> ignore (E.fig10_11 Registry.Sunspider)
-  | "fig11" -> ignore (E.fig10_11 Registry.Kraken)
-  | "table4" -> ignore (E.table4 ())
-  | "validate_htm" -> ignore (E.validate_htm ())
-  | "ablation" -> ignore (E.ablation ())
-  | "headline" -> ignore (E.headline ())
-  | "all" -> ignore (E.run_all ())
-  | other ->
-    prerr_endline ("unknown experiment: " ^ other);
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let run_experiment name jobs =
+  let names =
+    match name with
+    | "fig3" -> [ "fig3a"; "fig3b" ]
+    | "all" -> E.all_names
+    | n -> [ n ]
+  in
+  match List.filter (fun n -> Option.is_none (E.find n)) names with
+  | missing :: _ ->
+    prerr_endline ("unknown experiment: " ^ missing);
     exit 1
+  | [] ->
+    let t0 = now_s () in
+    ignore (E.run ~jobs names);
+    Printf.eprintf "[%s: %.1fs wall, -j %d]\n" name (now_s () -. t0) jobs
 
 let experiment =
   let doc =
@@ -37,8 +37,15 @@ let experiment =
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
+let jobs =
+  let doc = "Number of domains to execute measurements on." in
+  Arg.(
+    value
+    & opt int (Scheduler.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Regenerate the NoMap paper's tables and figures from the simulator" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiment $ experiment)
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiment $ experiment $ jobs)
 
 let () = exit (Cmd.eval cmd)

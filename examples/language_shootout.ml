@@ -8,15 +8,16 @@
     Run with: dune exec examples/language_shootout.exe *)
 
 module Runner = Nomap_harness.Runner
+module Scheduler = Nomap_harness.Scheduler
 module Registry = Nomap_workloads.Registry
 
 let () =
   let bench = Option.get (Registry.by_name "sieve") in
   print_endline "== sieve of Eratosthenes, five language implementations ==\n";
-  let c = Runner.run_language ~lang:Runner.Lang_c bench in
+  let c = Scheduler.run_language ~lang:Runner.Lang_c bench in
   List.iter
     (fun lang ->
-      let m = Runner.run_language ~lang bench in
+      let m = Scheduler.run_language ~lang bench in
       Printf.printf "  %-11s %10.0f cycles   %6.2fx C   (checksum %s)\n"
         (Runner.language_name lang) m.Runner.cycles
         (m.Runner.cycles /. c.Runner.cycles)

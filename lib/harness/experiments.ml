@@ -1,6 +1,15 @@
-(** Experiment drivers: one per table/figure in the paper.  Each returns the
-    rendered table text (and prints it), so EXPERIMENTS.md and the bench
-    harness share output. *)
+(** Experiment drivers: one per table/figure in the paper, split into a
+    plan/render pair (DESIGN.md §10).
+
+    [plan] declares, as pure data, every measurement key the experiment
+    reads; [render] is a pure function from the completed scheduler store
+    to the table text (it also prints it, so EXPERIMENTS.md and the bench
+    harness share output).  [run] unions and dedups the plans of the
+    requested experiments, executes them across domains via
+    [Scheduler.prefetch], then renders serially.  Each render reads through
+    the memoized [Scheduler.run_*] accessors, which compute on a miss — so
+    calling a figure function directly (no prefetch) still works and is
+    exactly the old serial behavior. *)
 
 module Registry = Nomap_workloads.Registry
 module Config = Nomap_nomap.Config
@@ -10,38 +19,46 @@ module Vm = Nomap_vm.Vm
 module Table = Nomap_util.Table
 module Stats = Nomap_util.Stats
 module L = Nomap_lir.Lir
-module Value = Nomap_runtime.Value
+module Key = Scheduler.Key
 
 let f2 = Table.fmt_f ~digits:2
 let f1 = Table.fmt_f ~digits:1
 
 let suite_avg_s suite = List.filter (fun b -> b.Registry.in_avg_s) (Registry.of_suite suite)
 
+let both_suites = Registry.of_suite Registry.Sunspider @ Registry.of_suite Registry.Kraken
+let both_avg_s = suite_avg_s Registry.Sunspider @ suite_avg_s Registry.Kraken
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1: Shootout execution time across language implementations,
    normalized to C. *)
 
+let fig1_langs =
+  [ Runner.Lang_c; Runner.Lang_js; Runner.Lang_python; Runner.Lang_php; Runner.Lang_ruby ]
+
+let fig1_plan () =
+  List.concat_map
+    (fun b -> List.map (fun lang -> Key.lang ~lang b) fig1_langs)
+    (Registry.of_suite Registry.Shootout)
+
 let fig1 () =
-  let langs =
-    [ Runner.Lang_c; Runner.Lang_js; Runner.Lang_python; Runner.Lang_php; Runner.Lang_ruby ]
-  in
   let t =
     Table.create ~title:"Figure 1: Shootout execution time normalized to C (lower is better)"
-      ~header:("benchmark" :: List.map Runner.language_name langs)
+      ~header:("benchmark" :: List.map Runner.language_name fig1_langs)
       ()
   in
-  let ratios = List.map (fun _ -> ref []) langs in
+  let ratios = List.map (fun _ -> ref []) fig1_langs in
   List.iter
     (fun b ->
-      let c_cycles = (Runner.run_language ~lang:Runner.Lang_c b).Runner.cycles in
+      let c_cycles = (Scheduler.run_language ~lang:Runner.Lang_c b).Runner.cycles in
       let row =
         List.map2
           (fun lang acc ->
-            let m = Runner.run_language ~lang b in
+            let m = Scheduler.run_language ~lang b in
             let r = m.Runner.cycles /. c_cycles in
             acc := r :: !acc;
             f2 r)
-          langs ratios
+          fig1_langs ratios
       in
       Table.add_row t (b.Registry.name :: row))
     (Registry.of_suite Registry.Shootout);
@@ -54,6 +71,13 @@ let fig1 () =
 (* ------------------------------------------------------------------ *)
 (* Table I: speedup of each tier over the interpreter. *)
 
+let table1_caps = [ Vm.Cap_baseline; Vm.Cap_dfg; Vm.Cap_ftl ]
+
+let table1_plan () =
+  List.concat_map
+    (fun cap -> List.map (fun b -> Key.cap ~cap b) both_suites)
+    (Vm.Cap_interp :: table1_caps)
+
 let table1 () =
   let t =
     Table.create ~title:"Table I: Speedup of JavaScriptCore tiers over interpreter"
@@ -64,8 +88,8 @@ let table1 () =
   let speedups cap suite members =
     List.map
       (fun b ->
-        let interp = Runner.run_cap ~cap:Vm.Cap_interp b in
-        let m = Runner.run_cap ~cap b in
+        let interp = Scheduler.run_cap ~cap:Vm.Cap_interp b in
+        let m = Scheduler.run_cap ~cap b in
         interp.Runner.cycles /. m.Runner.cycles)
       (List.filter members (Registry.of_suite suite))
   in
@@ -83,7 +107,7 @@ let table1 () =
           Table.fmt_x (Stats.geomean k_s);
           Table.fmt_x (Stats.geomean k_t);
         ])
-    [ Vm.Cap_baseline; Vm.Cap_dfg; Vm.Cap_ftl ];
+    table1_caps;
   let s = Table.render t in
   print_string s;
   s
@@ -92,6 +116,9 @@ let table1 () =
 (* Figure 3: SMP-guarding checks per 100 dynamic instructions. *)
 
 let check_cols = [ L.Bounds; L.Overflow; L.Type; L.Property ]
+
+let fig3_plan suite () =
+  List.map (fun b -> Key.arch ~arch:Config.Base b) (Registry.of_suite suite)
 
 let fig3 suite =
   let figno = match suite with Registry.Sunspider -> "3(a)" | _ -> "3(b)" in
@@ -104,7 +131,7 @@ let fig3 suite =
       ()
   in
   let per_bench b =
-    let m = Runner.run_arch ~arch:Config.Base b in
+    let m = Scheduler.run_arch ~arch:Config.Base b in
     let c = m.Runner.counters in
     let col k = Counters.checks_per_100 c k in
     let other = col L.Hole +. col L.Path in
@@ -134,11 +161,14 @@ let fig3 suite =
   s
 
 (* ------------------------------------------------------------------ *)
-(* §III-A2: deoptimization frequency in steady state. *)
+(* §III-A2: deoptimization frequency in steady state.  Per-benchmark sweeps
+   are individual scheduler keys (so they parallelize and memoize); the
+   table is a pure fold over the per-benchmark statistics. *)
 
-let deopt_freq_cache : (int, string) Hashtbl.t = Hashtbl.create 2
+let deopt_freq_plan ?(iterations = 300) () =
+  List.map (fun b -> Key.deopt ~iterations b) both_suites
 
-let deopt_freq_uncached ~iterations () =
+let deopt_freq ?(iterations = 300) () =
   let t =
     Table.create
       ~title:
@@ -148,48 +178,34 @@ let deopt_freq_uncached ~iterations () =
       ~header:[ "suite"; "FTL calls"; "deopts"; "deopts after iter 50" ]
       ()
   in
-  let run_suite suite =
+  let row suite =
     let ftl = ref 0 and deopts = ref 0 and late = ref 0 in
     List.iter
       (fun b ->
-        let prog = Registry.compile b in
-        let vm =
-          Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base)
-            ~tier_cap:Vm.Cap_ftl prog
-        in
-        ignore (Vm.run_main vm);
-        let deopts_at_50 = ref 0 in
-        for i = 1 to iterations do
-          ignore (Vm.call_function vm "benchmark" []);
-          if i = 50 then deopts_at_50 := vm.Vm.counters.Counters.deopts
-        done;
-        ftl := !ftl + vm.Vm.counters.Counters.ftl_calls;
-        deopts := !deopts + vm.Vm.counters.Counters.deopts;
-        late := !late + (vm.Vm.counters.Counters.deopts - !deopts_at_50))
+        let d = Scheduler.deopt_stats ~iterations b in
+        ftl := !ftl + d.Runner.d_ftl_calls;
+        deopts := !deopts + d.Runner.d_deopts;
+        late := !late + d.Runner.d_late)
       (Registry.of_suite suite);
     Table.add_row t
       [ Registry.suite_name suite; string_of_int !ftl; string_of_int !deopts;
         string_of_int !late ]
   in
-  run_suite Registry.Sunspider;
-  run_suite Registry.Kraken;
+  row Registry.Sunspider;
+  row Registry.Kraken;
   let s = Table.render t in
-  Hashtbl.replace deopt_freq_cache iterations s;
   print_string s;
   s
-
-let deopt_freq ?(iterations = 300) () =
-  match Hashtbl.find_opt deopt_freq_cache iterations with
-  | Some s ->
-    print_string s;
-    s
-  | None -> deopt_freq_uncached ~iterations ()
 
 (* ------------------------------------------------------------------ *)
 (* Figures 8/9: dynamic instruction count, normalized to Base, broken into
    NoFTL / NoTM / TMUnopt / TMOpt. *)
 
 let archs = Config.all
+
+let arch_sweep_plan suite () =
+  List.concat_map (fun b -> List.map (fun arch -> Key.arch ~arch b) archs)
+    (Registry.of_suite suite)
 
 let fig8_9 suite =
   let figno = match suite with Registry.Sunspider -> "8" | _ -> "9" in
@@ -203,8 +219,8 @@ let fig8_9 suite =
       ()
   in
   let norm_of b arch =
-    let base = Runner.run_arch ~arch:Config.Base b in
-    let m = Runner.run_arch ~arch b in
+    let base = Scheduler.run_arch ~arch:Config.Base b in
+    let m = Scheduler.run_arch ~arch b in
     let bt = float_of_int (Counters.total_instrs base.Runner.counters) in
     let mt = float_of_int (Counters.total_instrs m.Runner.counters) in
     let norm = mt /. bt in
@@ -232,7 +248,7 @@ let fig8_9 suite =
                 (List.map
                    (fun b ->
                      let norm, _ = norm_of b arch in
-                     let m = Runner.run_arch ~arch b in
+                     let m = Scheduler.run_arch ~arch b in
                      Counters.category_fraction m.Runner.counters cat *. norm)
                    benches))
             Counters.categories
@@ -255,8 +271,8 @@ let instr_reduction suite ~members =
       let reductions =
         List.map
           (fun b ->
-            let base = Runner.run_arch ~arch:Config.Base b in
-            let m = Runner.run_arch ~arch b in
+            let base = Scheduler.run_arch ~arch:Config.Base b in
+            let m = Scheduler.run_arch ~arch b in
             Stats.percent_reduction
               ~base:(float_of_int (Counters.total_instrs base.Runner.counters))
               (float_of_int (Counters.total_instrs m.Runner.counters)))
@@ -279,8 +295,8 @@ let fig10_11 suite =
       ()
   in
   let norm_of b arch =
-    let base = Runner.run_arch ~arch:Config.Base b in
-    let m = Runner.run_arch ~arch b in
+    let base = Scheduler.run_arch ~arch:Config.Base b in
+    let m = Scheduler.run_arch ~arch b in
     let norm = m.Runner.cycles /. base.Runner.cycles in
     let tm_frac =
       if m.Runner.cycles > 0.0 then m.Runner.counters.Counters.tx_cycles /. m.Runner.cycles
@@ -323,8 +339,8 @@ let time_reduction suite ~members =
       let reductions =
         List.map
           (fun b ->
-            let base = Runner.run_arch ~arch:Config.Base b in
-            let m = Runner.run_arch ~arch b in
+            let base = Scheduler.run_arch ~arch:Config.Base b in
+            let m = Scheduler.run_arch ~arch b in
             Stats.percent_reduction ~base:base.Runner.cycles m.Runner.cycles)
           benches
       in
@@ -333,6 +349,8 @@ let time_reduction suite ~members =
 
 (* ------------------------------------------------------------------ *)
 (* Table IV: transaction characterization. *)
+
+let table4_plan () = List.map (fun b -> Key.arch ~arch:Config.NoMap_full b) both_avg_s
 
 let table4 () =
   let t =
@@ -345,7 +363,7 @@ let table4 () =
   in
   let row suite =
     let benches = suite_avg_s suite in
-    let ms = List.map (fun b -> Runner.run_arch ~arch:Config.NoMap_full b) benches in
+    let ms = List.map (fun b -> Scheduler.run_arch ~arch:Config.NoMap_full b) benches in
     let per_tx_avgs =
       List.filter_map
         (fun m ->
@@ -394,14 +412,14 @@ let table4 () =
    transaction-dense kernel and report the modeled per-transaction cost,
    checking it against the constants the paper assumes. *)
 
-let validate_htm () =
-  let b =
-    {
-      Registry.id = "VAL";
-      name = "htm-validation";
-      suite = Registry.Sunspider;
-      source =
-        {js|
+(* Registered under a unique id so it gets its own cache key space. *)
+let validation_bench =
+  {
+    Registry.id = "VAL";
+    name = "htm-validation";
+    suite = Registry.Sunspider;
+    source =
+      {js|
 function bench_inner(a) {
   var s = 0;
   for (var i = 0; i < a.length; i++) { s += a[i]; }
@@ -414,12 +432,18 @@ function benchmark() {
   return t;
 }
 |js};
-      in_avg_s = false;
-    }
-  in
-  (* Bypass the registry cache key space by registering under a unique id. *)
-  let rot = Runner.run_arch ~arch:Config.NoMap_full b in
-  let rtm = Runner.run_arch ~arch:Config.NoMap_RTM b in
+    in_avg_s = false;
+  }
+
+let validate_htm_plan () =
+  [
+    Key.arch ~arch:Config.NoMap_full validation_bench;
+    Key.arch ~arch:Config.NoMap_RTM validation_bench;
+  ]
+
+let validate_htm () =
+  let rot = Scheduler.run_arch ~arch:Config.NoMap_full validation_bench in
+  let rtm = Scheduler.run_arch ~arch:Config.NoMap_RTM validation_bench in
   let t =
     Table.create ~title:"Appendix: modeled HTM overheads (per committed transaction)"
       ~header:[ "platform"; "tx commits"; "modeled begin+end cycles"; "aborts" ]
@@ -449,18 +473,26 @@ function benchmark() {
    NoMap runs, so the delta isolates what the transaction conversion lets
    that pass do). *)
 
-let ablation () =
+let ablation_variants =
   let open Nomap_opt.Pipeline in
-  let variants =
-    [
-      ("full", all_on);
-      ("-licm", { all_on with licm = false });
-      ("-promote", { all_on with promote = false });
-      ("-gvn", { all_on with gvn = false });
-      ("-elide", { all_on with elide = false });
-      ("-typeprop", { all_on with typeprop = false });
-    ]
-  in
+  [
+    ("full", all_on);
+    ("-licm", { all_on with licm = false });
+    ("-promote", { all_on with promote = false });
+    ("-gvn", { all_on with gvn = false });
+    ("-elide", { all_on with elide = false });
+    ("-typeprop", { all_on with typeprop = false });
+  ]
+
+let ablation_plan () =
+  List.concat_map
+    (fun (label, knobs) ->
+      List.concat_map
+        (fun arch -> List.map (fun b -> Key.ablation ~arch ~knobs ~label b) both_avg_s)
+        [ Config.Base; Config.NoMap_full ])
+    ablation_variants
+
+let ablation () =
   let t =
     Table.create
       ~title:
@@ -473,8 +505,8 @@ let ablation () =
     Stats.mean
       (List.map
          (fun b ->
-           let base = Runner.run_ablation ~arch:Config.Base ~knobs ~label b in
-           let m = Runner.run_ablation ~arch:Config.NoMap_full ~knobs ~label b in
+           let base = Scheduler.run_ablation ~arch:Config.Base ~knobs ~label b in
+           let m = Scheduler.run_ablation ~arch:Config.NoMap_full ~knobs ~label b in
            Stats.percent_reduction
              ~base:(float_of_int (Counters.total_instrs base.Runner.counters))
              (float_of_int (Counters.total_instrs m.Runner.counters)))
@@ -488,12 +520,15 @@ let ablation () =
           Table.fmt_pct ~digits:1 (reduction Registry.Sunspider v);
           Table.fmt_pct ~digits:1 (reduction Registry.Kraken v);
         ])
-    variants;
+    ablation_variants;
   let s = Table.render t in
   print_string s;
   s
 
 (* ------------------------------------------------------------------ *)
+
+let headline_plan () =
+  List.concat_map (fun b -> List.map (fun arch -> Key.arch ~arch b) archs) both_suites
 
 let headline () =
   let t =
@@ -528,22 +563,75 @@ let headline () =
   print_string s;
   s
 
-let run_all () =
-  let outputs =
-    [
-      fig1 ();
-      table1 ();
-      fig3 Registry.Sunspider;
-      fig3 Registry.Kraken;
-      deopt_freq ();
-      fig8_9 Registry.Sunspider;
-      fig8_9 Registry.Kraken;
-      fig10_11 Registry.Sunspider;
-      fig10_11 Registry.Kraken;
-      table4 ();
-      validate_htm ();
-      ablation ();
-      headline ();
-    ]
+(* ------------------------------------------------------------------ *)
+(* The experiment catalogue: plan + render per paper artifact. *)
+
+type experiment = {
+  name : string;
+  plan : unit -> Key.t list;
+  render : unit -> string;
+}
+
+let experiments =
+  [
+    { name = "fig1"; plan = fig1_plan; render = fig1 };
+    { name = "table1"; plan = table1_plan; render = table1 };
+    {
+      name = "fig3a";
+      plan = fig3_plan Registry.Sunspider;
+      render = (fun () -> fig3 Registry.Sunspider);
+    };
+    {
+      name = "fig3b";
+      plan = fig3_plan Registry.Kraken;
+      render = (fun () -> fig3 Registry.Kraken);
+    };
+    {
+      name = "deopt_freq";
+      plan = (fun () -> deopt_freq_plan ());
+      render = (fun () -> deopt_freq ());
+    };
+    {
+      name = "fig8";
+      plan = arch_sweep_plan Registry.Sunspider;
+      render = (fun () -> fig8_9 Registry.Sunspider);
+    };
+    {
+      name = "fig9";
+      plan = arch_sweep_plan Registry.Kraken;
+      render = (fun () -> fig8_9 Registry.Kraken);
+    };
+    {
+      name = "fig10";
+      plan = arch_sweep_plan Registry.Sunspider;
+      render = (fun () -> fig10_11 Registry.Sunspider);
+    };
+    {
+      name = "fig11";
+      plan = arch_sweep_plan Registry.Kraken;
+      render = (fun () -> fig10_11 Registry.Kraken);
+    };
+    { name = "table4"; plan = table4_plan; render = table4 };
+    { name = "validate_htm"; plan = validate_htm_plan; render = validate_htm };
+    { name = "ablation"; plan = ablation_plan; render = ablation };
+    { name = "headline"; plan = headline_plan; render = headline };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) experiments
+
+(** Union the plans of [names], execute them on [jobs] domains, then render
+    each experiment in order; returns the concatenated table text. *)
+let run ?jobs names =
+  let jobs = match jobs with Some j -> j | None -> Scheduler.default_jobs () in
+  let exps =
+    List.map
+      (fun n -> match find n with Some e -> e | None -> invalid_arg ("unknown experiment: " ^ n))
+      names
   in
-  String.concat "\n" outputs
+  let plan = List.concat_map (fun e -> e.plan ()) exps in
+  ignore (Scheduler.prefetch ~jobs plan);
+  String.concat "\n" (List.map (fun e -> e.render ()) exps)
+
+let all_names = List.map (fun e -> e.name) experiments
+
+let run_all ?jobs () = run ?jobs all_names

@@ -1,7 +1,14 @@
-(** Benchmark runner: warm a benchmark to steady state under a given
+(** Measurement primitives: warm a benchmark to steady state under a given
     configuration, measure, and verify the checksum against the reference
-    interpreter.  Results are memoized so the experiment drivers can share
-    runs (Figure 3 and Figures 8-11 all need the Base runs, for example). *)
+    interpreter.
+
+    Every function here is *uncached* and self-contained — one call builds
+    one VM (or interpreter instance), runs the protocol, and returns the
+    steady-state metrics.  Because the shape universe, heap, and counters
+    are all per-VM values, each call is independent of every other, which
+    is what lets [Scheduler] execute measurements on parallel domains.
+    Memoization (the old [Runner.cache]) lives in [Scheduler]'s
+    mutex-guarded store; experiment drivers should go through that. *)
 
 module Registry = Nomap_workloads.Registry
 module Vm = Nomap_vm.Vm
@@ -26,125 +33,96 @@ type measurement = {
   tx_demotions : int;
 }
 
+(** §III-A2 deoptimization statistics for one benchmark. *)
+type deopt_stats = {
+  d_ftl_calls : int;
+  d_deopts : int;
+  d_late : int;  (** deopts after iteration 50 *)
+}
+
 exception Checksum_mismatch of string * string * string
-
-let cache : (string, measurement) Hashtbl.t = Hashtbl.create 128
-
-let memo key compute =
-  match Hashtbl.find_opt cache key with
-  | Some m -> m
-  | None ->
-    let m = compute () in
-    Hashtbl.add cache key m;
-    m
 
 let check bench label got =
   let expected = Registry.reference_result bench in
   if got <> expected then
     raise (Checksum_mismatch (bench.Registry.id ^ "/" ^ label, expected, got))
 
+(* Shared warm/measure protocol over a full VM. *)
+let steady_vm ~warmup ~measure ~label bench vm =
+  ignore (Vm.run_main vm);
+  for _ = 1 to warmup do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  let before = Vm.begin_measurement vm in
+  let result = ref Value.Undef in
+  for _ = 1 to measure do
+    result := Vm.call_function vm "benchmark" []
+  done;
+  let counters = Counters.diff ~now:vm.Vm.counters ~before in
+  let checksum = Value.to_js_string !result in
+  check bench label checksum;
+  {
+    bench;
+    label;
+    counters;
+    cycles = counters.Counters.cycles;
+    checksum;
+    deopts_total = vm.Vm.counters.Counters.deopts;
+    ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
+    tx_demotions = vm.Vm.tx_demotions;
+  }
+
 (** Run [bench] under architecture [arch] at full tier; returns steady-state
     metrics. *)
-let run_arch ?(warmup = default_warmup) ?(measure = default_measure) ~arch bench =
+let measure_arch ?(warmup = default_warmup) ?(measure = default_measure) ~arch bench =
   let label = Config.name arch in
-  memo
-    (Printf.sprintf "%s#%s@w%d+m%d" bench.Registry.id label warmup measure)
-    (fun () ->
-      let prog = Registry.compile bench in
-      let vm =
-        Vm.create ~fuel:4_000_000_000 ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
-      in
-      ignore (Vm.run_main vm);
-      for _ = 1 to warmup do
-        ignore (Vm.call_function vm "benchmark" [])
-      done;
-      let before = Vm.begin_measurement vm in
-      let result = ref Value.Undef in
-      for _ = 1 to measure do
-        result := Vm.call_function vm "benchmark" []
-      done;
-      let counters = Counters.diff ~now:vm.Vm.counters ~before in
-      let checksum = Value.to_js_string !result in
-      check bench label checksum;
-      {
-        bench;
-        label;
-        counters;
-        cycles = counters.Counters.cycles;
-        checksum;
-        deopts_total = vm.Vm.counters.Counters.deopts;
-        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
-        tx_demotions = vm.Vm.tx_demotions;
-      })
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
+  in
+  steady_vm ~warmup ~measure ~label bench vm
 
 (** Run [bench] under [arch] with selected optimizer passes disabled
     (ablation studies). *)
-let run_ablation ?(warmup = default_warmup) ?(measure = default_measure) ~arch ~knobs ~label
-    bench =
-  memo
-    (Printf.sprintf "%s#ablate:%s:%s@w%d+m%d" bench.Registry.id (Config.name arch) label
-       warmup measure)
-    (fun () ->
-      let prog = Registry.compile bench in
-      let vm =
-        Vm.create ~fuel:4_000_000_000 ~opt_knobs:knobs ~config:(Config.create arch)
-          ~tier_cap:Vm.Cap_ftl prog
-      in
-      ignore (Vm.run_main vm);
-      for _ = 1 to warmup do
-        ignore (Vm.call_function vm "benchmark" [])
-      done;
-      let before = Vm.begin_measurement vm in
-      let result = ref Value.Undef in
-      for _ = 1 to measure do
-        result := Vm.call_function vm "benchmark" []
-      done;
-      let counters = Counters.diff ~now:vm.Vm.counters ~before in
-      let checksum = Value.to_js_string !result in
-      check bench (Config.name arch ^ "/" ^ label) checksum;
-      {
-        bench;
-        label;
-        counters;
-        cycles = counters.Counters.cycles;
-        checksum;
-        deopts_total = vm.Vm.counters.Counters.deopts;
-        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
-        tx_demotions = vm.Vm.tx_demotions;
-      })
+let measure_ablation ?(warmup = default_warmup) ?(measure = default_measure) ~arch ~knobs
+    ~label bench =
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~opt_knobs:knobs ~config:(Config.create arch)
+      ~tier_cap:Vm.Cap_ftl prog
+  in
+  let m = steady_vm ~warmup ~measure ~label:(Config.name arch ^ "/" ^ label) bench vm in
+  { m with label }
 
 (** Run [bench] with a tier cap (Table I), Base architecture. *)
-let run_cap ?(warmup = default_warmup) ?(measure = default_measure) ~cap bench =
+let measure_cap ?(warmup = default_warmup) ?(measure = default_measure) ~cap bench =
   let label = "cap:" ^ Vm.cap_name cap in
-  memo
-    (Printf.sprintf "%s#%s@w%d+m%d" bench.Registry.id label warmup measure)
-    (fun () ->
-      let prog = Registry.compile bench in
-      let vm =
-        Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:cap prog
-      in
-      ignore (Vm.run_main vm);
-      for _ = 1 to warmup do
-        ignore (Vm.call_function vm "benchmark" [])
-      done;
-      let before = Vm.begin_measurement vm in
-      let result = ref Value.Undef in
-      for _ = 1 to measure do
-        result := Vm.call_function vm "benchmark" []
-      done;
-      let counters = Counters.diff ~now:vm.Vm.counters ~before in
-      let checksum = Value.to_js_string !result in
-      check bench label checksum;
-      {
-        bench;
-        label;
-        counters;
-        cycles = counters.Counters.cycles;
-        checksum;
-        deopts_total = vm.Vm.counters.Counters.deopts;
-        ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
-        tx_demotions = vm.Vm.tx_demotions;
-      })
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:cap prog
+  in
+  steady_vm ~warmup ~measure ~label bench vm
+
+(** Run [bench] to full tier and keep calling for [iterations] iterations,
+    recording the deopt counter at iteration 50 (paper §III-A2: deopts are a
+    startup phenomenon, not a steady-state one). *)
+let measure_deopt ~iterations bench =
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:Vm.Cap_ftl
+      prog
+  in
+  ignore (Vm.run_main vm);
+  let deopts_at_50 = ref 0 in
+  for i = 1 to iterations do
+    ignore (Vm.call_function vm "benchmark" []);
+    if i = 50 then deopts_at_50 := vm.Vm.counters.Counters.deopts
+  done;
+  {
+    d_ftl_calls = vm.Vm.counters.Counters.ftl_calls;
+    d_deopts = vm.Vm.counters.Counters.deopts;
+    d_late = vm.Vm.counters.Counters.deopts - !deopts_at_50;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1 language stand-ins *)
@@ -158,106 +136,105 @@ let language_name = function
   | Lang_php -> "PHP"
   | Lang_ruby -> "Ruby"
 
+let default_lang_warmup = 5
+let default_lang_measure = 3
+
 (* Bytecode-engine based languages (C = native cost model, Python =
    bytecode interpreter with boxed values and no inline caches). *)
 let run_bytecode_lang ~mode ~cpi ~label bench ~warmup ~measure =
-  memo
-    (Printf.sprintf "%s#lang:%s@w%d+m%d" bench.Registry.id label warmup measure)
-    (fun () ->
-      let prog = Registry.compile bench in
-      let inst = Instance.create ~fuel:4_000_000_000 prog in
-      let count = ref 0 in
-      let rec env =
-        {
-          Interp.instance = inst;
-          mode;
-          profile = None;
-          charge = (fun n -> count := !count + n);
-          call = (fun ~fid ~this ~args -> Interp.call_function env ~fid ~this ~args);
-        }
-      in
-      ignore
-        (Interp.call_function env ~fid:prog.Nomap_bytecode.Opcode.main_fid ~this:Value.Undef
-           ~args:[]);
-      let bench_fid =
-        match Nomap_bytecode.Opcode.func_by_name prog "benchmark" with
-        | Some f -> f.Nomap_bytecode.Opcode.fid
-        | None -> invalid_arg "no benchmark()"
-      in
-      for _ = 1 to warmup do
-        ignore (Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[])
-      done;
-      let before = !count in
-      let result = ref Value.Undef in
-      for _ = 1 to measure do
-        result := Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[]
-      done;
-      let instrs = !count - before in
-      let counters = Counters.create () in
-      Counters.add_instrs counters Counters.No_ftl instrs;
-      let checksum = Value.to_js_string !result in
-      check bench label checksum;
-      {
-        bench;
-        label;
-        counters;
-        cycles = float_of_int instrs *. cpi;
-        checksum;
-        deopts_total = 0;
-        ftl_calls_total = 0;
-        tx_demotions = 0;
-      })
+  let prog = Registry.compile bench in
+  let inst = Instance.create ~fuel:4_000_000_000 prog in
+  let count = ref 0 in
+  let rec env =
+    {
+      Interp.instance = inst;
+      mode;
+      profile = None;
+      charge = (fun n -> count := !count + n);
+      call = (fun ~fid ~this ~args -> Interp.call_function env ~fid ~this ~args);
+    }
+  in
+  ignore
+    (Interp.call_function env ~fid:prog.Nomap_bytecode.Opcode.main_fid ~this:Value.Undef
+       ~args:[]);
+  let bench_fid =
+    match Nomap_bytecode.Opcode.func_by_name prog "benchmark" with
+    | Some f -> f.Nomap_bytecode.Opcode.fid
+    | None -> invalid_arg "no benchmark()"
+  in
+  for _ = 1 to warmup do
+    ignore (Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[])
+  done;
+  let before = !count in
+  let result = ref Value.Undef in
+  for _ = 1 to measure do
+    result := Interp.call_function env ~fid:bench_fid ~this:Value.Undef ~args:[]
+  done;
+  let instrs = !count - before in
+  let counters = Counters.create () in
+  Counters.add_instrs counters Counters.No_ftl instrs;
+  let checksum = Value.to_js_string !result in
+  check bench label checksum;
+  {
+    bench;
+    label;
+    counters;
+    cycles = float_of_int instrs *. cpi;
+    checksum;
+    deopts_total = 0;
+    ftl_calls_total = 0;
+    tx_demotions = 0;
+  }
 
 let run_ast_lang ~flavour ~label bench ~warmup ~measure =
-  memo
-    (Printf.sprintf "%s#lang:%s@w%d+m%d" bench.Registry.id label warmup measure)
-    (fun () ->
-      let ast = Nomap_jsir.Parser.parse_program_exn ~name:bench.Registry.name bench.Registry.source in
-      let count = ref 0 in
-      let env =
-        Nomap_interp.Ast_interp.create ~fuel:4_000_000_000 ~flavour
-          ~charge:(fun n -> count := !count + n)
-          ast
-      in
-      Nomap_interp.Ast_interp.run_program env ast;
-      for _ = 1 to warmup do
-        ignore (Nomap_interp.Ast_interp.call env "benchmark" [])
-      done;
-      let before = !count in
-      let result = ref Value.Undef in
-      for _ = 1 to measure do
-        result := Nomap_interp.Ast_interp.call env "benchmark" []
-      done;
-      let instrs = !count - before in
-      let counters = Counters.create () in
-      Counters.add_instrs counters Counters.No_ftl instrs;
-      let checksum = Value.to_js_string !result in
-      check bench label checksum;
-      {
-        bench;
-        label;
-        counters;
-        cycles = float_of_int instrs *. Timing.cpi_runtime;
-        checksum;
-        deopts_total = 0;
-        ftl_calls_total = 0;
-        tx_demotions = 0;
-      })
+  let ast =
+    Nomap_jsir.Parser.parse_program_exn ~name:bench.Registry.name bench.Registry.source
+  in
+  let count = ref 0 in
+  let env =
+    Nomap_interp.Ast_interp.create ~fuel:4_000_000_000 ~flavour
+      ~charge:(fun n -> count := !count + n)
+      ast
+  in
+  Nomap_interp.Ast_interp.run_program env ast;
+  for _ = 1 to warmup do
+    ignore (Nomap_interp.Ast_interp.call env "benchmark" [])
+  done;
+  let before = !count in
+  let result = ref Value.Undef in
+  for _ = 1 to measure do
+    result := Nomap_interp.Ast_interp.call env "benchmark" []
+  done;
+  let instrs = !count - before in
+  let counters = Counters.create () in
+  Counters.add_instrs counters Counters.No_ftl instrs;
+  let checksum = Value.to_js_string !result in
+  check bench label checksum;
+  {
+    bench;
+    label;
+    counters;
+    cycles = float_of_int instrs *. Timing.cpi_runtime;
+    checksum;
+    deopts_total = 0;
+    ftl_calls_total = 0;
+    tx_demotions = 0;
+  }
 
-let run_language ?(warmup = 5) ?(measure = 3) ~lang bench =
+(** Note: [Lang_js] deliberately ignores [warmup]/[measure] and runs the
+    full [measure_arch] protocol — the shortened protocol the
+    interpreter-only languages use (5+3 calls) would never push
+    [benchmark] past the FTL tier-up threshold, so Figure 1's "JS" bar
+    would measure the Baseline tier.  [Scheduler.Key.lang] normalizes the
+    JS key to the Base-architecture key of Figures 3/8-11 so the store
+    shares the run, which is exactly what we want. *)
+let measure_language ?(warmup = default_lang_warmup) ?(measure = default_lang_measure) ~lang
+    bench =
   match lang with
   | Lang_c ->
     run_bytecode_lang ~mode:Interp.Native_tier ~cpi:Timing.cpi_ftl ~label:"C" bench ~warmup
       ~measure
-  | Lang_js ->
-    (* Our JIT at full tier, unmodified JavaScriptCore analogue.  This case
-       deliberately ignores [warmup]/[measure]: the shortened protocol the
-       interpreter-only languages use (5+3 calls) would never push
-       [benchmark] past the FTL tier-up threshold, so Figure 1's "JS" bar
-       would measure the Baseline tier.  The JIT needs [run_arch]'s full
-       warmup — and sharing its memo entry with the Base-architecture runs
-       of Figures 3/8-11 is exactly what we want. *)
-    run_arch ~arch:Config.Base bench
+  | Lang_js -> measure_arch ~arch:Config.Base bench
   | Lang_python ->
     run_bytecode_lang ~mode:Interp.Interp_tier ~cpi:Timing.cpi_runtime ~label:"Python" bench
       ~warmup ~measure

@@ -1,0 +1,129 @@
+(** Measurement scheduler: the "execute" layer of the plan/execute/render
+    harness (DESIGN.md §10).
+
+    Experiments declare the measurements they need as pure-data {!Key.t}
+    values; {!prefetch} unions and dedups those keys and executes them on a
+    pool of OCaml 5 domains, collecting results into a process-global
+    mutex-guarded store.  Render code then reads measurements back through
+    the memoized accessors ({!run_arch} & friends), which also compute on a
+    miss so every figure function still works standalone and serially. *)
+
+module Registry = Nomap_workloads.Registry
+module Config = Nomap_nomap.Config
+
+module Key : sig
+  (** One schedulable measurement, as pure data.  Two keys with the same
+      {!id} denote the same measurement and are executed once. *)
+  type t =
+    | Arch of {
+        bench : Registry.benchmark;
+        arch : Config.arch;
+        warmup : int;
+        measure : int;
+      }
+    | Ablation of {
+        bench : Registry.benchmark;
+        arch : Config.arch;
+        knobs : Nomap_opt.Pipeline.knobs;
+        label : string;
+        warmup : int;
+        measure : int;
+      }
+    | Cap of {
+        bench : Registry.benchmark;
+        cap : Nomap_vm.Vm.tier_cap;
+        warmup : int;
+        measure : int;
+      }
+    | Lang of {
+        bench : Registry.benchmark;
+        lang : Runner.language;
+        warmup : int;
+        measure : int;
+      }
+    | Deopt of { bench : Registry.benchmark; iterations : int }
+
+  val arch : ?warmup:int -> ?measure:int -> arch:Config.arch -> Registry.benchmark -> t
+
+  val ablation :
+    ?warmup:int ->
+    ?measure:int ->
+    arch:Config.arch ->
+    knobs:Nomap_opt.Pipeline.knobs ->
+    label:string ->
+    Registry.benchmark ->
+    t
+
+  val cap : ?warmup:int -> ?measure:int -> cap:Nomap_vm.Vm.tier_cap -> Registry.benchmark -> t
+
+  (** [lang ~lang b] normalizes [Lang_js] to the default-protocol
+      Base-architecture {!Arch} key so Figure 1 shares the store entry with
+      Figures 3/8-11 (see the note on [Runner.measure_language]). *)
+  val lang : ?warmup:int -> ?measure:int -> lang:Runner.language -> Registry.benchmark -> t
+
+  val deopt : iterations:int -> Registry.benchmark -> t
+
+  (** Stable identity used for store lookup and dedup. *)
+  val id : t -> string
+end
+
+(** Result of executing one key. *)
+type outcome =
+  | Measurement of Runner.measurement
+  | Deopt_stats of Runner.deopt_stats
+
+(** Execute a key, bypassing the store (no memoization). *)
+val exec : Key.t -> outcome
+
+(** Memoized execute-through-the-store: returns the stored outcome,
+    computing and storing it on a miss.  Safe to call from any domain. *)
+val get : Key.t -> outcome
+
+(** Number of key executions performed so far (for dedup tests). *)
+val executed : unit -> int
+
+(** Drop every stored outcome (cold-start for benchmarking). *)
+val reset : unit -> unit
+
+(** [Domain.recommended_domain_count ()] — the default for [-j]. *)
+val default_jobs : unit -> int
+
+(** [parallel_map ~jobs f xs] maps [f] over [xs] on up to [jobs] domains,
+    preserving order.  [jobs <= 1] degenerates to [List.map].  If any
+    application raises, remaining work is abandoned and the first exception
+    (by completion order) is re-raised in the calling domain with its
+    backtrace — a worker raising [Runner.Checksum_mismatch] fails the whole
+    call rather than hanging or vanishing. *)
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [prefetch ~jobs keys] unions and dedups [keys], drops those already in
+    the store, and executes the rest on up to [jobs] domains.  Returns the
+    number of keys actually executed.  Worker exceptions propagate to the
+    caller (see {!parallel_map}). *)
+val prefetch : jobs:int -> Key.t list -> int
+
+(** Memoized conveniences over {!get} — drop-in replacements for the old
+    [Runner.run_*] entry points.  Identical arguments return the physically
+    identical measurement. *)
+
+val run_arch :
+  ?warmup:int -> ?measure:int -> arch:Config.arch -> Registry.benchmark -> Runner.measurement
+
+val run_ablation :
+  ?warmup:int ->
+  ?measure:int ->
+  arch:Config.arch ->
+  knobs:Nomap_opt.Pipeline.knobs ->
+  label:string ->
+  Registry.benchmark ->
+  Runner.measurement
+
+val run_cap :
+  ?warmup:int -> ?measure:int -> cap:Nomap_vm.Vm.tier_cap -> Registry.benchmark ->
+  Runner.measurement
+
+val run_language :
+  ?warmup:int -> ?measure:int -> lang:Runner.language -> Registry.benchmark ->
+  Runner.measurement
+
+val deopt_stats : iterations:int -> Registry.benchmark -> Runner.deopt_stats

@@ -2,7 +2,10 @@
 
     DFG runs a light pipeline (type propagation, value numbering, DCE); FTL
     runs the full set including code motion and promotion — our analogue of
-    LLVM -O2 versus the DFG's own optimizer (paper §II-A). *)
+    LLVM -O2 versus the DFG's own optimizer (paper §II-A).
+
+    Both pipelines are plain pass lists: adding a pass is one list entry
+    naming its knob, its run function, and the [stats] field it feeds. *)
 
 type stats = {
   mutable checks_removed : int;
@@ -35,23 +38,65 @@ type knobs = {
 
 let all_on = { typeprop = true; elide = true; gvn = true; licm = true; promote = true; dce = true }
 
+type pass = {
+  enabled : knobs -> bool;
+  run : Nomap_lir.Lir.func -> int;
+  record : stats -> int -> unit;
+}
+
+let p_typeprop =
+  {
+    enabled = (fun k -> k.typeprop);
+    run = Typeprop.run;
+    record = (fun s n -> s.checks_removed <- s.checks_removed + n);
+  }
+
+let p_elide =
+  {
+    enabled = (fun k -> k.elide);
+    run = Elide.run;
+    record = (fun s n -> s.overflow_elided <- s.overflow_elided + n);
+  }
+
+let p_gvn =
+  {
+    enabled = (fun k -> k.gvn);
+    run = Gvn.run;
+    record = (fun s n -> s.gvn_removed <- s.gvn_removed + n);
+  }
+
+let p_licm =
+  {
+    enabled = (fun k -> k.licm);
+    run = Licm.run;
+    record = (fun s n -> s.licm_hoisted <- s.licm_hoisted + n);
+  }
+
+let p_promote =
+  {
+    enabled = (fun k -> k.promote);
+    run = Promote.run;
+    record = (fun s n -> s.promoted <- s.promoted + n);
+  }
+
+let p_dce =
+  {
+    enabled = (fun k -> k.dce);
+    run = Dce.run;
+    record = (fun s n -> s.dce_removed <- s.dce_removed + n);
+  }
+
 (* Type propagation runs first: the redundant type checks it removes hold
    stack maps whose live sets would otherwise pin intermediates and block
    overflow-check elision. *)
-let dfg ?(stats = empty_stats ()) ?(knobs = all_on) f =
-  if knobs.typeprop then stats.checks_removed <- stats.checks_removed + Typeprop.run f;
-  if knobs.elide then stats.overflow_elided <- stats.overflow_elided + Elide.run f;
-  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
-  if knobs.dce then stats.dce_removed <- stats.dce_removed + Dce.run f;
+let dfg_passes = [ p_typeprop; p_elide; p_gvn; p_dce ]
+
+(* Motion (licm/promote) exposes new redundancies, hence the second gvn. *)
+let ftl_passes = [ p_typeprop; p_elide; p_gvn; p_licm; p_promote; p_gvn; p_dce ]
+
+let run_passes passes ?(stats = empty_stats ()) ?(knobs = all_on) f =
+  List.iter (fun p -> if p.enabled knobs then p.record stats (p.run f)) passes;
   stats
 
-let ftl ?(stats = empty_stats ()) ?(knobs = all_on) f =
-  if knobs.typeprop then stats.checks_removed <- stats.checks_removed + Typeprop.run f;
-  if knobs.elide then stats.overflow_elided <- stats.overflow_elided + Elide.run f;
-  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
-  if knobs.licm then stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
-  if knobs.promote then stats.promoted <- stats.promoted + Promote.run f;
-  (* Motion exposes new redundancies; clean up. *)
-  if knobs.gvn then stats.gvn_removed <- stats.gvn_removed + Gvn.run f;
-  if knobs.dce then stats.dce_removed <- stats.dce_removed + Dce.run f;
-  stats
+let dfg ?stats ?knobs f = run_passes dfg_passes ?stats ?knobs f
+let ftl ?stats ?knobs f = run_passes ftl_passes ?stats ?knobs f

@@ -46,16 +46,24 @@ let of_suite = function
   | Kraken -> kraken
   | Shootout -> shootout
 
-(** Compile a benchmark's source (memoized). *)
+(** Compile a benchmark's source (memoized).  The cache is shared across
+    domains — the harness scheduler compiles from parallel workers — so the
+    table is guarded by a mutex, held across the compile itself: that
+    serializes compilation (cheap, front-end only) and guarantees each
+    benchmark is compiled exactly once, with every domain reading the same
+    program value thereafter. *)
 let compiled_cache : (string, Nomap_bytecode.Opcode.program) Hashtbl.t = Hashtbl.create 64
 
+let compiled_lock = Mutex.create ()
+
 let compile b =
-  match Hashtbl.find_opt compiled_cache b.id with
-  | Some p -> p
-  | None ->
-    let p = Nomap_bytecode.Compile.compile_source ~name:b.name b.source in
-    Hashtbl.replace compiled_cache b.id p;
-    p
+  Mutex.protect compiled_lock (fun () ->
+      match Hashtbl.find_opt compiled_cache b.id with
+      | Some p -> p
+      | None ->
+        let p = Nomap_bytecode.Compile.compile_source ~name:b.name b.source in
+        Hashtbl.replace compiled_cache b.id p;
+        p)
 
 (** Reference result: run [benchmark()] once under the plain interpreter. *)
 let reference_result b =

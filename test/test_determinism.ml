@@ -18,6 +18,16 @@ module Registry = Nomap_workloads.Registry
 module Config = Nomap_nomap.Config
 module Counters = Nomap_machine.Counters
 module Vm = Nomap_vm.Vm
+module Scheduler = Nomap_harness.Scheduler
+
+(* Domains used for the sweep.  Settable with `-j N` on the test binary
+   (test_main strips the flag before Alcotest sees argv) or the NOMAP_JOBS
+   environment variable; the golden comparison must hold at any value. *)
+let jobs =
+  ref
+    (match Sys.getenv_opt "NOMAP_JOBS" with
+    | Some n -> (match int_of_string_opt n with Some n when n >= 1 -> n | _ -> 1)
+    | None -> Scheduler.default_jobs ())
 
 (* Low thresholds so Interpreter → Baseline → DFG → FTL all engage within
    few calls; 8 calls also exercise recompilation/demotion adaptations. *)
@@ -60,10 +70,14 @@ let run_one bench arch =
   done;
   Printf.sprintf "%s/%s %s" bench.Registry.id (Config.name arch) (canonical vm.Vm.counters)
 
-let compute_table () =
-  List.concat_map
-    (fun bench -> List.map (run_one bench) Config.all)
-    Registry.all
+(* Each (bench, arch) run is an independent single-domain VM, so the sweep
+   fans out across domains; order is preserved by [parallel_map]. *)
+let compute_table ?(jobs = 1) () =
+  Scheduler.parallel_map ~jobs
+    (fun (bench, arch) -> run_one bench arch)
+    (List.concat_map
+       (fun bench -> List.map (fun arch -> (bench, arch)) Config.all)
+       Registry.all)
 
 let read_lines path =
   let ic = open_in path in
@@ -76,26 +90,28 @@ let read_lines path =
   in
   go []
 
-let test_counter_determinism () =
-  let table = compute_table () in
-  match Sys.getenv_opt "NOMAP_UPDATE_GOLDEN" with
-  | Some path ->
-    let oc = open_out path in
-    List.iter (fun l -> output_string oc (l ^ "\n")) table;
-    close_out oc;
-    Printf.printf "wrote %d golden lines to %s\n" (List.length table) path
-  | None ->
-    let golden =
-      match golden_file () with
-      | Some path -> read_lines path
-      | None -> Alcotest.fail "missing golden table determinism.expected"
-    in
+let golden_lines () = Option.map read_lines (golden_file ())
+
+let check_against_golden table =
+  match golden_lines () with
+  | None -> Alcotest.fail "missing golden table determinism.expected"
+  | Some golden ->
     Alcotest.(check int) "runs covered" (List.length golden) (List.length table);
     List.iter2
       (fun expected got ->
         let name = String.sub got 0 (String.index got ' ') in
         Alcotest.(check string) name expected got)
       golden table
+
+let test_counter_determinism () =
+  let table = compute_table ~jobs:!jobs () in
+  match Sys.getenv_opt "NOMAP_UPDATE_GOLDEN" with
+  | Some path ->
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) table;
+    close_out oc;
+    Printf.printf "wrote %d golden lines to %s\n" (List.length table) path
+  | None -> check_against_golden table
 
 let tests =
   [ Alcotest.test_case "counters bit-identical across workloads x archs" `Slow

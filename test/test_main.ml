@@ -1,5 +1,21 @@
+(* The test binary accepts `-j N` / `--jobs N` ahead of the usual Alcotest
+   arguments: it sets the domain count for the determinism sweep
+   (test_determinism) and is stripped before Alcotest parses argv.
+   NOMAP_JOBS in the environment works too (see test_determinism.ml). *)
 let () =
-  Alcotest.run "nomap"
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> Test_determinism.jobs := n
+      | _ ->
+        prerr_endline ("test_main: bad job count: " ^ n);
+        exit 2);
+      strip acc rest
+    | a :: rest -> strip (a :: acc) rest
+  in
+  let argv = Array.of_list (strip [] (Array.to_list Sys.argv)) in
+  Alcotest.run ~argv "nomap"
     [
       ("util", Test_util.tests);
       ("lexer/parser", Test_lexer_parser.tests);
@@ -13,6 +29,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("machine", Test_machine.tests);
       ("determinism", Test_determinism.tests);
+      ("scheduler", Test_scheduler.tests);
       ("measurement", Test_measurement.tests);
       ("fuzz", Test_fuzz.tests);
     ]

@@ -1,10 +1,12 @@
-(** Tests for the measurement plumbing fixed in this change: the per-reason
-    abort breakdown surviving [Counters.diff], window-local write-set maxima,
-    and the runner's memo cache distinguishing measurement protocols. *)
+(** Tests for the measurement plumbing: the per-reason abort breakdown
+    surviving [Counters.diff], window-local write-set maxima, and the
+    scheduler store (which replaced the runner's memo cache) distinguishing
+    measurement protocols. *)
 
 module Counters = Nomap_machine.Counters
 module Htm = Nomap_htm.Htm
 module Runner = Nomap_harness.Runner
+module Scheduler = Nomap_harness.Scheduler
 module Registry = Nomap_workloads.Registry
 module Config = Nomap_nomap.Config
 
@@ -39,7 +41,8 @@ let test_diff_window_maxima () =
 
 (* A tiny private benchmark so the runner tests don't pay for a real
    workload.  The id must not collide with the registry ("T" prefix is
-   unused); [Registry.compile] and the runner memo both key on it. *)
+   reserved for tests); [Registry.compile] and the scheduler store both key
+   on it. *)
 let tiny_bench =
   {
     Registry.id = "T90";
@@ -59,9 +62,9 @@ let tiny_bench =
 
 let test_memo_distinguishes_protocols () =
   let arch = Config.Base in
-  let m1 = Runner.run_arch ~warmup:2 ~measure:1 ~arch tiny_bench in
-  let m2 = Runner.run_arch ~warmup:2 ~measure:3 ~arch tiny_bench in
-  let m3 = Runner.run_arch ~warmup:4 ~measure:1 ~arch tiny_bench in
+  let m1 = Scheduler.run_arch ~warmup:2 ~measure:1 ~arch tiny_bench in
+  let m2 = Scheduler.run_arch ~warmup:2 ~measure:3 ~arch tiny_bench in
+  let m3 = Scheduler.run_arch ~warmup:4 ~measure:1 ~arch tiny_bench in
   (* Different measure window: triple the measured calls, so roughly triple
      the counted instructions — certainly not the same measurement. *)
   let i1 = Counters.total_instrs m1.Runner.counters in
@@ -70,8 +73,9 @@ let test_memo_distinguishes_protocols () =
   (* Different warmup with same measure: same steady-state window. *)
   Alcotest.(check bool) "warmup kept out of the window" true
     (Counters.total_instrs m3.Runner.counters = i1);
-  (* Identical protocol: memoized, physically the same measurement. *)
-  let m1' = Runner.run_arch ~warmup:2 ~measure:1 ~arch tiny_bench in
+  (* Identical protocol: memoized in the store, physically the same
+     measurement. *)
+  let m1' = Scheduler.run_arch ~warmup:2 ~measure:1 ~arch tiny_bench in
   Alcotest.(check bool) "identical protocol memoized" true (m1 == m1')
 
 let tests =
