@@ -1,0 +1,136 @@
+(** fuzz.exe: cross-tier differential fuzzing CLI.
+
+    Generates seeded random MiniJS programs and runs each through every
+    tier/architecture configuration, requiring the same observable result
+    and heap checksum as the reference interpreter.  Divergences are
+    shrunk to minimal reproducers and printed; the exit code is the number
+    of diverging cases (capped at 125), so CI can gate on it.
+
+    Usage:
+      fuzz.exe --seed 42 --iters 500                # the acceptance run
+      fuzz.exe --seed 42 --iters 200 --sabotage     # self-test: must fail
+      fuzz.exe --tier-pair ftl:NoMap-RTM --iters 50 # narrow the matrix
+      fuzz.exe --emit seed.js --seed 7 --iters 1    # dump a program *)
+
+module Fuzz = Nomap_fuzz.Fuzz
+module Gen = Nomap_fuzz.Gen
+module Oracle = Nomap_fuzz.Oracle
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+
+open Cmdliner
+
+let parse_tier = function
+  | "interp" -> Ok Vm.Cap_interp
+  | "baseline" -> Ok Vm.Cap_baseline
+  | "dfg" -> Ok Vm.Cap_dfg
+  | "ftl" -> Ok Vm.Cap_ftl
+  | t -> Error ("unknown tier " ^ t ^ " (interp|baseline|dfg|ftl)")
+
+let parse_arch s =
+  match List.find_opt (fun a -> String.lowercase_ascii (Config.name a) = String.lowercase_ascii s) Config.all with
+  | Some a -> Ok a
+  | None ->
+    Error
+      ("unknown arch " ^ s ^ " (one of "
+      ^ String.concat ", " (List.map Config.name Config.all)
+      ^ ")")
+
+(* "ftl:NoMap-RTM" or "dfg:Base,ftl:Base,ftl:NoMap" *)
+let parse_cfgs s =
+  let parse_one tok =
+    match String.split_on_char ':' tok with
+    | [ tier; arch ] -> (
+      match (parse_tier (String.lowercase_ascii tier), parse_arch arch) with
+      | Ok t, Ok a -> Ok { Oracle.tier = t; arch = a }
+      | (Error e, _ | _, Error e) -> Error e)
+    | _ -> Error ("bad config " ^ tok ^ " (expected TIER:ARCH)")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> ( match parse_one tok with Ok c -> go (c :: acc) rest | Error e -> Error e)
+  in
+  go [] (String.split_on_char ',' s)
+
+let cfg_conv =
+  let parse s = match parse_cfgs s with Ok c -> `Ok c | Error e -> `Error e in
+  let print fmt cs =
+    Format.pp_print_string fmt (String.concat "," (List.map Oracle.cfg_name cs))
+  in
+  (parse, print)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+
+let iters =
+  Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Number of programs to generate.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Domains to run cases on (default 1).")
+
+let shrink =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~docv:"BOOL" ~doc:"Shrink diverging programs to minimal reproducers.")
+
+let tier_pair =
+  Arg.(
+    value
+    & opt (some cfg_conv) None
+    & info [ "tier-pair"; "cfgs" ] ~docv:"TIER:ARCH[,...]"
+        ~doc:
+          "Restrict the matrix to these configurations (each checked against the reference \
+           interpreter).  Tiers: interp, baseline, dfg, ftl.  Archs: Base, NoMap_S, NoMap_B, \
+           NoMap, NoMap_BC, NoMap_RTM.")
+
+let sabotage =
+  Arg.(
+    value & flag
+    & info [ "sabotage" ]
+        ~doc:
+          "Self-test: swap subtraction operands in FTL-compiled code.  The run $(b,must) report \
+           divergences; use it to prove the oracle catches injected miscompiles.")
+
+let emit =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"FILE"
+        ~doc:"Write the first generated program's source to FILE and exit (corpus pinning).")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the final summary.")
+
+let main seed iters jobs shrink cfgs sabotage emit quiet =
+  match emit with
+  | Some file ->
+    let prog = Gen.program_of_seed ~seed:(Fuzz.case_seed ~seed 0) in
+    let oc = open_out file in
+    output_string oc (Gen.to_source prog);
+    close_out oc;
+    Printf.printf "wrote %s (%d nodes)\n" file (Nomap_fuzz.Shrink.size prog);
+    0
+  | None ->
+    let ftl_mutate = if sabotage then Some Fuzz.sabotage_swap_sub else None in
+    let t0 = Unix.gettimeofday () in
+    let on_case i outcome =
+      if not quiet then
+        match outcome with
+        | `Agree -> ()
+        | `Skip (seed, msg) -> Printf.printf "case %d (seed %d): skipped: %s\n%!" i seed msg
+        | `Diverge f -> Printf.printf "case %d: %s\n%!" i (Fuzz.failure_to_string f)
+    in
+    let s = Fuzz.run ?cfgs ?ftl_mutate ~jobs ~shrink ~on_case ~seed ~iters () in
+    Printf.printf "%s [%.1fs]\n" (Fuzz.summary_to_string s) (Unix.gettimeofday () -. t0);
+    min 125 (List.length s.Fuzz.failures)
+
+let cmd =
+  let doc = "Differential fuzzer: random MiniJS programs through every tier and architecture" in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const main $ seed $ iters $ jobs $ shrink $ tier_pair $ sabotage $ emit $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,106 @@
+(** Fuzzing campaign driver.
+
+    Generates [iters] programs from per-case seeds derived from the campaign
+    seed, runs each through the differential {!Oracle}, and shrinks any
+    divergence to a minimal reproducer.  Cases are independent, so batches
+    run on OCaml 5 domains via the harness scheduler. *)
+
+module Ast = Nomap_jsir.Ast
+module Scheduler = Nomap_harness.Scheduler
+
+type failure = {
+  seed : int;  (** per-case seed: replay with [--seed N --iters 1] *)
+  program : Ast.program;
+  divergences : Oracle.divergence list;
+  shrunk : Ast.program option;
+}
+
+type summary = {
+  tested : int;
+  agreed : int;
+  skipped : int;  (** reference itself crashed or ran out of fuel *)
+  failures : failure list;
+}
+
+(** Per-case seed: decorrelate neighbouring indices (golden-ratio stride)
+    while keeping the mapping stable, so a failure's seed alone reproduces
+    it regardless of [iters] or job count. *)
+let case_seed ~seed index = seed + ((index + 1) * 0x9E3779B9)
+
+let shrink_failure ?ftl_mutate ~max_checks ~cfgs program =
+  (* Re-check only against the configurations that actually diverged:
+     shrinking probes the property hundreds of times and the full matrix
+     would multiply that by ~9 VM runs. *)
+  let keep p =
+    match Oracle.check ~cfgs ?ftl_mutate p with Oracle.Diverge _ -> true | _ -> false
+  in
+  Shrink.shrink ~max_checks ~keep program
+
+let run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks seed =
+  let program = Gen.program_of_seed ~seed in
+  match Oracle.check ?cfgs ?ftl_mutate program with
+  | Oracle.Agree -> `Agree
+  | Oracle.Skip msg -> `Skip (seed, msg)
+  | Oracle.Diverge divergences ->
+    let shrunk =
+      if not shrink then None
+      else
+        let diverging = List.map (fun d -> d.Oracle.cfg) divergences in
+        Some (shrink_failure ?ftl_mutate ~max_checks:shrink_checks ~cfgs:diverging program)
+    in
+    `Diverge { seed; program; divergences; shrunk }
+
+(** Run a campaign.  [on_case] (if given) is called after each case with
+    (index, outcome) for progress reporting; with [jobs > 1] calls arrive
+    in batch order, not real time. *)
+let run ?cfgs ?ftl_mutate ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
+    ?on_case ~seed ~iters () =
+  let outcomes =
+    Scheduler.parallel_map ~jobs
+      (fun index -> (index, run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks (case_seed ~seed index)))
+      (List.init iters Fun.id)
+  in
+  (match on_case with Some f -> List.iter (fun (i, o) -> f i o) outcomes | None -> ());
+  let agreed = List.length (List.filter (fun (_, o) -> o = `Agree) outcomes) in
+  let skipped =
+    List.length (List.filter (fun (_, o) -> match o with `Skip _ -> true | _ -> false) outcomes)
+  in
+  let failures =
+    List.filter_map (fun (_, o) -> match o with `Diverge f -> Some f | _ -> None) outcomes
+  in
+  { tested = iters; agreed; skipped; failures }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let failure_to_string f =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "seed %d diverged:\n" f.seed;
+  List.iter (fun d -> Printf.bprintf b "%s\n" (Oracle.divergence_to_string d)) f.divergences;
+  (match f.shrunk with
+  | Some p ->
+    Printf.bprintf b "shrunk reproducer (%d nodes, kernel %d):\n%s" (Shrink.size p)
+      (Shrink.kernel_size p) (Gen.to_source p)
+  | None -> Printf.bprintf b "original program:\n%s" (Gen.to_source f.program));
+  Buffer.contents b
+
+let summary_to_string s =
+  Printf.sprintf "%d tested: %d agreed, %d skipped, %d diverged" s.tested s.agreed s.skipped
+    (List.length s.failures)
+
+(* ------------------------------------------------------------------ *)
+(* Deliberate miscompile, for self-test (--sabotage and the acceptance
+   criterion "an injected bug is caught and shrunk"). *)
+
+(** Swap the operands of every subtraction in FTL-compiled LIR: [a - b]
+    becomes [b - a].  Semantics-preserving for [a = b] only, so generated
+    programs catch it quickly; the graph stays verifier-well-formed, which
+    is the point — only *differential* checking can see it. *)
+let sabotage_swap_sub (f : Nomap_lir.Lir.func) =
+  let module L = Nomap_lir.Lir in
+  L.iter_instrs f (fun _ i ->
+      match i.L.kind with
+      | L.Isub (a, b) -> i.L.kind <- L.Isub (b, a)
+      | L.Isub_wrap (a, b) -> i.L.kind <- L.Isub_wrap (b, a)
+      | L.Fsub (a, b) -> i.L.kind <- L.Fsub (b, a)
+      | _ -> ())

@@ -1,0 +1,170 @@
+(** The differential oracle.
+
+    One generated program is executed through every (tier cap, architecture)
+    configuration; all of them must observe exactly what the reference
+    interpreter observes — the same [result] global and the same heap
+    checksum — or the optimizing tiers miscompiled it.  Only performance
+    counters may differ between configurations (DESIGN.md §4); anything
+    observable must not.
+
+    Every VM here runs with [verify_lir] and [paranoid] on, so an
+    ill-formed graph is reported at the optimization pass that produced it
+    rather than as a downstream wrong answer. *)
+
+module Ast = Nomap_jsir.Ast
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Value = Nomap_runtime.Value
+module Shape = Nomap_runtime.Shape
+module Instance = Nomap_interp.Instance
+
+type cfg = { tier : Vm.tier_cap; arch : Config.arch }
+
+let cfg_name c = Vm.cap_name c.tier ^ "/" ^ Config.name c.arch
+
+(** The reference configuration: the plain bytecode interpreter. *)
+let reference = { tier = Vm.Cap_interp; arch = Config.Base }
+
+(** Full differential matrix: each tier below FTL once (architecture only
+    changes FTL-compiled code), then FTL under every architecture the paper
+    evaluates — Base, the NoMap/ROT ladder, and RTM. *)
+let default_cfgs =
+  [
+    { tier = Vm.Cap_baseline; arch = Config.Base };
+    { tier = Vm.Cap_dfg; arch = Config.Base };
+  ]
+  @ List.map (fun arch -> { tier = Vm.Cap_ftl; arch }) Config.all
+
+(* ------------------------------------------------------------------ *)
+(* Heap checksum *)
+
+(* FNV-1a, 64-bit. *)
+let fnv_prime = 0x100000001B3L
+let fnv_basis = 0xCBF29CE484222325L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  (* Terminator byte so "ab","c" and "a","bc" hash differently. *)
+  fnv_byte !h 0xFF
+
+(** Checksum of everything reachable from the program's globals.  Purely
+    structural: simulated addresses, object ids and slot capacities are
+    excluded, because allocation order legitimately differs across tiers
+    (aborted transactions roll back stores but not allocations).  Cycles are
+    cut by tagging back-references. *)
+let heap_checksum (inst : Instance.t) =
+  let seen_obj = Hashtbl.create 16 and seen_arr = Hashtbl.create 16 in
+  let h = ref fnv_basis in
+  let tag s = h := fnv_string !h s in
+  let rec walk (v : Value.t) =
+    match v with
+    | Value.Int i -> tag ("i" ^ string_of_int i)
+    | Value.Num f ->
+      (* NaNs canonicalized; -0.0 vs 0.0 distinguished, as JS can observe
+         the difference (1/x). *)
+      if Float.is_nan f then tag "nan"
+      else tag ("n" ^ Int64.to_string (Int64.bits_of_float f))
+    | Value.Str s -> tag ("s" ^ s.Value.sdata)
+    | Value.Bool b -> tag (if b then "T" else "F")
+    | Value.Undef -> tag "u"
+    | Value.Null -> tag "0"
+    | Value.Fun fid -> tag ("f" ^ string_of_int fid)
+    | Value.Hole -> tag "h"
+    | Value.Obj o ->
+      if Hashtbl.mem seen_obj o.Value.oid then tag "cyc"
+      else begin
+        Hashtbl.replace seen_obj o.Value.oid ();
+        tag "{";
+        List.iteri
+          (fun slot name ->
+            tag name;
+            walk o.Value.slots.(slot))
+          (Shape.property_names o.Value.shape);
+        tag "}"
+      end
+    | Value.Arr a ->
+      if Hashtbl.mem seen_arr a.Value.aid then tag "cyc"
+      else begin
+        Hashtbl.replace seen_arr a.Value.aid ();
+        tag ("[" ^ string_of_int a.Value.alen);
+        for i = 0 to a.Value.alen - 1 do
+          walk a.Value.elems.(i)
+        done;
+        tag "]"
+      end
+  in
+  Array.iteri
+    (fun idx name ->
+      tag name;
+      walk inst.Instance.globals.(idx))
+    inst.Instance.prog.Nomap_bytecode.Opcode.globals;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+type observation =
+  | Outcome of { result : string; heap : string }
+  | Crash of string  (** exception escaping the VM, including Ill_formed *)
+
+let observation_to_string = function
+  | Outcome { result; heap } -> Printf.sprintf "result=%s heap=%s" result heap
+  | Crash msg -> "crash: " ^ msg
+
+(* The reference interpreter charges one fuel per bytecode op; optimized
+   tiers charge per LIR instruction and re-execute rolled-back regions, so
+   they get 4x headroom.  A program over reference fuel is skipped, not
+   failed.  The caps are sized ~4x above the heaviest program the generator
+   can emit: raising them does not find more bugs, it only makes runaway
+   cases (and shrink probes that create them) proportionally slower across
+   all ten configurations. *)
+let reference_fuel = 2_000_000
+let tiered_fuel = 4 * reference_fuel
+
+let run_cfg ?ftl_mutate ~src (c : cfg) : observation =
+  match
+    let prog = Nomap_bytecode.Compile.compile_source src in
+    let fuel = if c = reference then reference_fuel else tiered_fuel in
+    let vm =
+      Vm.create ~fuel ~verify_lir:true ~paranoid:true ?ftl_mutate
+        ~config:(Config.create c.arch) ~tier_cap:c.tier prog
+    in
+    ignore (Vm.run_main vm);
+    let result =
+      match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "<no result>"
+    in
+    Outcome { result; heap = heap_checksum vm.Vm.instance }
+  with
+  | o -> o
+  | exception e -> Crash (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* The differential property *)
+
+type divergence = { cfg : cfg; expected : observation; got : observation }
+
+type verdict =
+  | Agree  (** every configuration matched the reference *)
+  | Skip of string  (** the reference itself failed (e.g. out of fuel) *)
+  | Diverge of divergence list
+
+let check ?(cfgs = default_cfgs) ?ftl_mutate (prog : Ast.program) : verdict =
+  let src = Gen.to_source prog in
+  match run_cfg ~src reference with
+  | Crash msg -> Skip msg
+  | Outcome _ as expected ->
+    let divs =
+      List.filter_map
+        (fun c ->
+          let got = run_cfg ?ftl_mutate ~src c in
+          if got = expected then None else Some { cfg = c; expected; got })
+        cfgs
+    in
+    if divs = [] then Agree else Diverge divs
+
+let divergence_to_string d =
+  Printf.sprintf "  %-18s expected %s\n  %-18s got      %s" (cfg_name d.cfg)
+    (observation_to_string d.expected) "" (observation_to_string d.got)

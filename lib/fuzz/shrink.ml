@@ -1,0 +1,393 @@
+(** Greedy test-case minimization.
+
+    Given a program with some property (for the fuzzer: "still diverges
+    between two tiers"), repeatedly apply the smallest structural reductions
+    that preserve the property, until none applies:
+
+    1. delete a statement;
+    2. unwrap a compound statement (if/loop/block) into its body;
+    3. replace an expression by one of its subexpressions, or by [1];
+    4. halve an integer literal (trip counts, masks, constants).
+
+    The property check is a full differential run, so the total number of
+    candidate evaluations is capped; each accepted candidate strictly
+    decreases the (size, literal-mass) measure, so this terminates. *)
+
+module Ast = Nomap_jsir.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Size *)
+
+let rec size_expr (e : Ast.expr) =
+  1
+  +
+  match e with
+  | Ast.Number _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Undefined | Ast.Var _ | Ast.This -> 0
+  | Ast.Array_lit es -> List.fold_left (fun a e -> a + size_expr e) 0 es
+  | Ast.Object_lit fs -> List.fold_left (fun a (_, e) -> a + size_expr e) 0 fs
+  | Ast.Index (a, i) -> size_expr a + size_expr i
+  | Ast.Prop (o, _) -> size_expr o
+  | Ast.Call (_, args) | Ast.New (_, args) -> List.fold_left (fun a e -> a + size_expr e) 0 args
+  | Ast.Method_call (o, _, args) ->
+    List.fold_left (fun a e -> a + size_expr e) (size_expr o) args
+  | Ast.New_array n -> size_expr n
+  | Ast.Unop (_, e) -> size_expr e
+  | Ast.Binop (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) -> size_expr a + size_expr b
+  | Ast.Cond (c, a, b) -> size_expr c + size_expr a + size_expr b
+  | Ast.Assign (lv, e) | Ast.Op_assign (_, lv, e) -> size_lvalue lv + size_expr e
+  | Ast.Incr (lv, _, _) -> size_lvalue lv
+
+and size_lvalue = function
+  | Ast.Lvar _ -> 1
+  | Ast.Lindex (a, i) -> 1 + size_expr a + size_expr i
+  | Ast.Lprop (o, _) -> 1 + size_expr o
+
+let rec size_stmt (s : Ast.stmt) =
+  1
+  +
+  match s with
+  | Ast.Expr e -> size_expr e
+  | Ast.Var_decl ds ->
+    List.fold_left (fun a (_, e) -> a + match e with Some e -> size_expr e | None -> 0) 0 ds
+  | Ast.If (c, t, e) -> size_expr c + size_block t + size_block e
+  | Ast.While (c, b) -> size_expr c + size_block b
+  | Ast.Do_while (b, c) -> size_block b + size_expr c
+  | Ast.For (init, c, step, b) ->
+    (match init with Some s -> size_stmt s | None -> 0)
+    + (match c with Some e -> size_expr e | None -> 0)
+    + (match step with Some e -> size_expr e | None -> 0)
+    + size_block b
+  | Ast.Return (Some e) -> size_expr e
+  | Ast.Return None | Ast.Break | Ast.Continue -> 0
+  | Ast.Block b -> size_block b
+
+and size_block b = List.fold_left (fun a s -> a + size_stmt s) 0 b
+
+let size_item = function
+  | Ast.Func f -> 1 + size_block f.Ast.body
+  | Ast.Stmt s -> size_stmt s
+
+(** Total AST node count. *)
+let size prog = List.fold_left (fun a i -> a + size_item i) 0 prog
+
+(** Node count of function bodies only — the part the fuzzer varies; the
+    fixed driver scaffold (globals + call loop) is excluded. *)
+let kernel_size prog =
+  List.fold_left
+    (fun a -> function Ast.Func f -> a + size_block f.Ast.body | Ast.Stmt _ -> a)
+    0 prog
+
+(* ------------------------------------------------------------------ *)
+(* Indexed rewriting.  Statements and expressions are numbered in traversal
+   order; [edit_stmt]/[edit_expr] rewrite exactly the [n]th one.  The
+   mutable counter threads through an otherwise pure rewrite. *)
+
+type 'a editor = { mutable remaining : int; f : 'a }
+
+let rec map_stmt (ed : (Ast.stmt -> Ast.stmt list) editor) (s : Ast.stmt) : Ast.stmt list =
+  if ed.remaining = 0 then begin
+    ed.remaining <- -1;
+    ed.f s
+  end
+  else begin
+    if ed.remaining > 0 then ed.remaining <- ed.remaining - 1;
+    match s with
+    | Ast.If (c, t, e) -> [ Ast.If (c, map_block ed t, map_block ed e) ]
+    | Ast.While (c, b) -> [ Ast.While (c, map_block ed b) ]
+    | Ast.Do_while (b, c) -> [ Ast.Do_while (map_block ed b, c) ]
+    | Ast.For (init, c, step, b) -> [ Ast.For (init, c, step, map_block ed b) ]
+    | Ast.Block b -> [ Ast.Block (map_block ed b) ]
+    | s -> [ s ]
+  end
+
+and map_block ed b = List.concat_map (map_stmt ed) b
+
+let rec count_stmts_block b = List.fold_left (fun a s -> a + count_stmts_stmt s) 0 b
+
+and count_stmts_stmt s =
+  1
+  +
+  match s with
+  | Ast.If (_, t, e) -> count_stmts_block t + count_stmts_block e
+  | Ast.While (_, b) | Ast.For (_, _, _, b) -> count_stmts_block b
+  | Ast.Do_while (b, _) -> count_stmts_block b
+  | Ast.Block b -> count_stmts_block b
+  | _ -> 0
+
+let count_stmts prog =
+  List.fold_left
+    (fun a -> function
+      | Ast.Func f -> a + count_stmts_block f.Ast.body
+      | Ast.Stmt s -> a + count_stmts_stmt s)
+    0 prog
+
+let edit_stmt prog n f =
+  let ed = { remaining = n; f } in
+  List.concat_map
+    (function
+      | Ast.Func fn -> [ Ast.Func { fn with Ast.body = map_block ed fn.Ast.body } ]
+      | Ast.Stmt s -> List.map (fun s -> Ast.Stmt s) (map_stmt ed s))
+    prog
+
+(* Expression rewriting mirrors the statement walk; [For] headers are
+   included so trip counts shrink too. *)
+
+let rec map_expr (ed : (Ast.expr -> Ast.expr) editor) (e : Ast.expr) : Ast.expr =
+  if ed.remaining = 0 then begin
+    ed.remaining <- -1;
+    ed.f e
+  end
+  else begin
+    if ed.remaining > 0 then ed.remaining <- ed.remaining - 1;
+    let r = map_expr ed in
+    match e with
+    | Ast.Number _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Undefined | Ast.Var _ | Ast.This ->
+      e
+    | Ast.Array_lit es -> Ast.Array_lit (List.map r es)
+    | Ast.Object_lit fs -> Ast.Object_lit (List.map (fun (n, e) -> (n, r e)) fs)
+    | Ast.Index (a, i) -> Ast.Index (r a, r i)
+    | Ast.Prop (o, p) -> Ast.Prop (r o, p)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map r args)
+    | Ast.Method_call (o, m, args) ->
+      let o = r o in
+      Ast.Method_call (o, m, List.map r args)
+    | Ast.New (f, args) -> Ast.New (f, List.map r args)
+    | Ast.New_array n -> Ast.New_array (r n)
+    | Ast.Unop (op, e) -> Ast.Unop (op, r e)
+    | Ast.Binop (op, a, b) ->
+      let a = r a in
+      Ast.Binop (op, a, r b)
+    | Ast.And (a, b) ->
+      let a = r a in
+      Ast.And (a, r b)
+    | Ast.Or (a, b) ->
+      let a = r a in
+      Ast.Or (a, r b)
+    | Ast.Cond (c, a, b) ->
+      let c = r c in
+      let a = r a in
+      Ast.Cond (c, a, r b)
+    | Ast.Assign (lv, e) ->
+      let lv = map_lvalue ed lv in
+      Ast.Assign (lv, r e)
+    | Ast.Op_assign (op, lv, e) ->
+      let lv = map_lvalue ed lv in
+      Ast.Op_assign (op, lv, r e)
+    | Ast.Incr (lv, d, k) -> Ast.Incr (map_lvalue ed lv, d, k)
+  end
+
+and map_lvalue ed = function
+  | Ast.Lvar x -> Ast.Lvar x
+  | Ast.Lindex (a, i) ->
+    let a = map_expr ed a in
+    Ast.Lindex (a, map_expr ed i)
+  | Ast.Lprop (o, p) -> Ast.Lprop (map_expr ed o, p)
+
+let rec map_expr_stmt ed (s : Ast.stmt) : Ast.stmt =
+  let re = map_expr ed in
+  match s with
+  | Ast.Expr e -> Ast.Expr (re e)
+  | Ast.Var_decl ds -> Ast.Var_decl (List.map (fun (x, e) -> (x, Option.map re e)) ds)
+  | Ast.If (c, t, e) ->
+    let c = re c in
+    let t = map_expr_block ed t in
+    Ast.If (c, t, map_expr_block ed e)
+  | Ast.While (c, b) ->
+    let c = re c in
+    Ast.While (c, map_expr_block ed b)
+  | Ast.Do_while (b, c) ->
+    let b = map_expr_block ed b in
+    Ast.Do_while (b, re c)
+  | Ast.For (init, c, step, b) ->
+    let init = Option.map (map_expr_stmt ed) init in
+    let c = Option.map re c in
+    let step = Option.map re step in
+    Ast.For (init, c, step, map_expr_block ed b)
+  | Ast.Return e -> Ast.Return (Option.map re e)
+  | (Ast.Break | Ast.Continue) as s -> s
+  | Ast.Block b -> Ast.Block (map_expr_block ed b)
+
+and map_expr_block ed b = List.map (map_expr_stmt ed) b
+
+(* Expression numbering must match the walk above, which visits lvalue
+   *subexpressions* but not lvalues themselves — so this counts the same
+   positions [map_expr] assigns, not [size_expr]'s node count. *)
+let count_exprs_expr (e : Ast.expr) =
+  let n = ref 1 in
+  let rec go e =
+    match (e : Ast.expr) with
+    | Ast.Number _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Undefined | Ast.Var _ | Ast.This ->
+      ()
+    | Ast.Array_lit es -> List.iter visit es
+    | Ast.Object_lit fs -> List.iter (fun (_, e) -> visit e) fs
+    | Ast.Index (a, i) ->
+      visit a;
+      visit i
+    | Ast.Prop (o, _) -> visit o
+    | Ast.Call (_, args) | Ast.New (_, args) -> List.iter visit args
+    | Ast.Method_call (o, _, args) ->
+      visit o;
+      List.iter visit args
+    | Ast.New_array n -> visit n
+    | Ast.Unop (_, e) -> visit e
+    | Ast.Binop (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      visit a;
+      visit b
+    | Ast.Cond (c, a, b) ->
+      visit c;
+      visit a;
+      visit b
+    | Ast.Assign (lv, e) | Ast.Op_assign (_, lv, e) ->
+      go_lvalue lv;
+      visit e
+    | Ast.Incr (lv, _, _) -> go_lvalue lv
+  and visit e =
+    incr n;
+    go e
+  and go_lvalue = function
+    | Ast.Lvar _ -> ()
+    | Ast.Lindex (a, i) ->
+      visit a;
+      visit i
+    | Ast.Lprop (o, _) -> visit o
+  in
+  go e;
+  !n
+
+let count_exprs_stmt s =
+  let rec go s =
+    match (s : Ast.stmt) with
+    | Ast.Expr e -> count_exprs_expr e
+    | Ast.Var_decl ds ->
+      List.fold_left
+        (fun a (_, e) -> a + match e with Some e -> count_exprs_expr e | None -> 0)
+        0 ds
+    | Ast.If (c, t, e) -> count_exprs_expr c + go_block t + go_block e
+    | Ast.While (c, b) -> count_exprs_expr c + go_block b
+    | Ast.Do_while (b, c) -> go_block b + count_exprs_expr c
+    | Ast.For (init, c, step, b) ->
+      (match init with Some s -> go s | None -> 0)
+      + (match c with Some e -> count_exprs_expr e | None -> 0)
+      + (match step with Some e -> count_exprs_expr e | None -> 0)
+      + go_block b
+    | Ast.Return (Some e) -> count_exprs_expr e
+    | Ast.Return None | Ast.Break | Ast.Continue -> 0
+    | Ast.Block b -> go_block b
+  and go_block b = List.fold_left (fun a s -> a + go s) 0 b in
+  go s
+
+let count_exprs prog =
+  List.fold_left
+    (fun a -> function
+      | Ast.Func f -> a + List.fold_left (fun a s -> a + count_exprs_stmt s) 0 f.Ast.body
+      | Ast.Stmt s -> a + count_exprs_stmt s)
+    0 prog
+
+let edit_expr prog n f =
+  let ed = { remaining = n; f } in
+  List.map
+    (function
+      | Ast.Func fn -> Ast.Func { fn with Ast.body = map_expr_block ed fn.Ast.body }
+      | Ast.Stmt s -> Ast.Stmt (map_expr_stmt ed s))
+    prog
+
+(* ------------------------------------------------------------------ *)
+(* Candidate reductions *)
+
+let subexprs = function
+  | Ast.Unop (_, e) | Ast.Prop (e, _) | Ast.New_array e -> [ e ]
+  | Ast.Index (a, i) -> [ a; i ]
+  | Ast.Binop (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) -> [ a; b ]
+  | Ast.Cond (c, a, b) -> [ c; a; b ]
+  | Ast.Call (_, args) | Ast.New (_, args) -> args
+  | Ast.Method_call (o, _, args) -> o :: args
+  | Ast.Array_lit es -> es
+  | Ast.Object_lit fs -> List.map snd fs
+  | _ -> []
+
+let unwrap_stmt = function
+  | Ast.If (_, t, e) -> Some (t @ e)
+  | Ast.While (_, b) | Ast.For (_, _, _, b) | Ast.Do_while (b, _) -> Some b
+  | Ast.Block b -> Some b
+  | _ -> None
+
+(** All one-step reductions, cheapest-to-check-and-biggest-win first.
+    Produced lazily: the caller stops at the first candidate that keeps the
+    property, so most candidates are never materialized. *)
+let candidates prog : Ast.program Seq.t =
+  let nstmts = count_stmts prog in
+  let deletions =
+    Seq.map (fun n -> edit_stmt prog n (fun _ -> [])) (Seq.init nstmts Fun.id)
+  in
+  let unwraps =
+    Seq.filter_map
+      (fun n ->
+        let changed = ref false in
+        let p =
+          edit_stmt prog n (fun s ->
+              match unwrap_stmt s with
+              | Some body ->
+                changed := true;
+                body
+              | None -> [ s ])
+        in
+        if !changed then Some p else None)
+      (Seq.init nstmts Fun.id)
+  in
+  let nexprs = count_exprs prog in
+  let simplifications =
+    Seq.concat_map
+      (fun n ->
+        (* One candidate per subexpression, then the constant 1. *)
+        let subs = ref [] in
+        ignore (edit_expr prog n (fun e -> subs := subexprs e; e));
+        let replacements =
+          List.map (fun sub -> fun _ -> sub) !subs
+          @ [ (function Ast.Number _ -> Ast.Number 1.0 | e -> e) ]
+        in
+        List.to_seq
+          (List.filter_map
+             (fun repl ->
+               let p = edit_expr prog n repl in
+               if p = prog then None else Some p)
+             replacements))
+      (Seq.init nexprs Fun.id)
+  in
+  let halvings =
+    Seq.filter_map
+      (fun n ->
+        let p =
+          edit_expr prog n (function
+            | Ast.Number f when Float.is_integer f && Float.abs f >= 4.0 ->
+              Ast.Number (Float.of_int (int_of_float f / 2))
+            | e -> e)
+        in
+        if p = prog then None else Some p)
+      (Seq.init nexprs Fun.id)
+  in
+  Seq.concat (List.to_seq [ deletions; unwraps; simplifications; halvings ])
+
+(* ------------------------------------------------------------------ *)
+
+(** [shrink ~keep prog] greedily minimizes [prog] while [keep] holds.
+    [keep prog] is assumed true on entry.  At most [max_checks] property
+    evaluations are spent (a check is a full differential run). *)
+let shrink ?(max_checks = 500) ~keep prog =
+  let checks = ref 0 in
+  let rec improve prog =
+    if !checks >= max_checks then prog
+    else begin
+      let next =
+        Seq.find_map
+          (fun cand ->
+            if !checks >= max_checks then None
+            else begin
+              incr checks;
+              if keep cand then Some cand else None
+            end)
+          (candidates prog)
+      in
+      match next with None -> prog | Some better -> improve better
+    end
+  in
+  improve prog

@@ -37,6 +37,12 @@ type dinstr = {
   kind : Lir.kind;
   cost : int;  (** pre-computed machine-instruction cost of [kind] *)
   is_tx_marker : bool;  (** [Tx_begin]/[Tx_end]: free under ghost HTM mode *)
+  elided : bool;
+      (** executes for free: full semantics, no machine instructions,
+          cycles, transaction ticks or check-category counts.  Set for
+          instructions the NoMap_BC limit study marked [Lir.elided], plus
+          pure feeders that outright deletion followed by DCE would have
+          erased (computed in [free_map]). *)
   args : int array;  (** pre-resolved call/intrinsic argument value ids *)
 }
 
@@ -56,6 +62,75 @@ type t = {
           of a parallel copy complete without any intervening call. *)
 }
 
+(** Which values execute for free.  The BC limit study used to *delete*
+    its checks (rewiring uses to the checked operand) and let DCE sweep up
+    feeders that only existed for a check; eliding instead keeps the guards
+    executable, so to preserve the study's instruction accounting this
+    computes exactly the set deletion-plus-DCE would have erased: the
+    elided checks themselves, plus every pure instruction that is dead once
+    uses are resolved through elided checks (an elided check contributes no
+    uses; its consumers are treated as reading the checked operand, as the
+    deletion's rewiring did). *)
+let free_map (f : Lir.func) =
+  let n = Nomap_util.Vec.length f.Lir.instrs in
+  let elided = Array.make n false in
+  let seeded = ref false in
+  Lir.iter_instrs f (fun _ i ->
+      if i.Lir.elided then begin
+        elided.(i.Lir.id) <- true;
+        seeded := true
+      end);
+  if not !seeded then elided
+  else begin
+    (* What deletion would have rewired a use of [v] to.  A check's operand
+       is defined before it, so the chain terminates. *)
+    let rec resolve v =
+      if not elided.(v) then v
+      else
+        match Lir.checked_value (Lir.instr f v).Lir.kind with
+        | Some c -> resolve c
+        | None -> v
+    in
+    let live = Array.make n false in
+    let work = ref [] in
+    let mark v =
+      let v = resolve v in
+      if not live.(v) then begin
+        live.(v) <- true;
+        work := v :: !work
+      end
+    in
+    (* Roots, as in DCE: effectful instructions (minus the elided checks,
+       which deletion would have removed) and terminator operands. *)
+    Lir.iter_instrs f (fun _ i ->
+        if
+          (not elided.(i.Lir.id))
+          && i.Lir.kind <> Lir.Nop
+          && not (Lir.removable_if_unused i.Lir.kind)
+        then begin
+          live.(i.Lir.id) <- true;
+          List.iter mark (Lir.uses i.Lir.kind);
+          List.iter mark (Lir.smp_uses i.Lir.kind)
+        end);
+    Lir.iter_blocks f (fun b ->
+        match b.Lir.term with
+        | Lir.Br (c, _, _) -> mark c
+        | Lir.Ret (Some r) -> mark r
+        | Lir.Jump _ | Lir.Ret None | Lir.Unreachable -> ());
+    let rec drain () =
+      match !work with
+      | [] -> ()
+      | v :: rest ->
+        work := rest;
+        let k = (Lir.instr f v).Lir.kind in
+        List.iter mark (Lir.uses k);
+        List.iter mark (Lir.smp_uses k);
+        drain ()
+    in
+    drain ();
+    Array.init n (fun v -> elided.(v) || not live.(v))
+  end
+
 let no_args = [||]
 
 let args_of = function
@@ -69,6 +144,7 @@ let args_of = function
     per-instruction cost model (kept out of this module so the IR layer
     stays cost-agnostic). *)
 let decode ~(cost : Lir.kind -> int) (f : Lir.func) : t =
+  let free = free_map f in
   let nblocks = Nomap_util.Vec.length f.Lir.blocks in
   let max_phis = ref 0 in
   let dblocks =
@@ -121,9 +197,10 @@ let decode ~(cost : Lir.kind -> int) (f : Lir.func) : t =
                      {
                        id = v;
                        kind = k;
-                       cost = cost k;
+                       cost = (if free.(v) then 0 else cost k);
                        is_tx_marker =
                          (match k with Lir.Tx_begin _ | Lir.Tx_end -> true | _ -> false);
+                       elided = free.(v);
                        args = args_of k;
                      })
           |> Array.of_list

@@ -129,7 +129,17 @@ type terminator =
   | Ret of v option
   | Unreachable
 
-type instr = { id : int; mutable kind : kind; mutable block : int }
+type instr = {
+  id : int;
+  mutable kind : kind;
+  mutable block : int;
+  mutable elided : bool;
+      (** executes for free: keeps its (guard) semantics but contributes no
+          machine instructions or cycles.  Set by the NoMap_BC limit study,
+          which models checks whose *cost* hardware removed — deleting the
+          guard outright would change observable behavior whenever the
+          check would actually have failed. *)
+}
 
 type block = {
   bid : int;
@@ -150,7 +160,7 @@ type func = {
 let create_func ~fid =
   {
     fid;
-    instrs = Nomap_util.Vec.create ~dummy:{ id = -1; kind = Nop; block = -1 };
+    instrs = Nomap_util.Vec.create ~dummy:{ id = -1; kind = Nop; block = -1; elided = false };
     blocks = Nomap_util.Vec.create ~dummy:{ bid = -1; instrs = []; term = Unreachable; preds = [] };
     entry = 0;
     next_smp = 0;
@@ -169,7 +179,7 @@ let new_block f =
 
 let new_instr f kind =
   let id = Nomap_util.Vec.length f.instrs in
-  let i = { id; kind; block = -1 } in
+  let i = { id; kind; block = -1; elided = false } in
   ignore (Nomap_util.Vec.push f.instrs i);
   i
 

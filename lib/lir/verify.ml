@@ -82,16 +82,25 @@ let verify (f : Lir.func) =
                   if not (dominates_use ~def_v:u ~use_block:b.Lir.bid ~use_pos:pos) then
                     fail "v%d: use of v%d not dominated by its definition" v u)
                 (Lir.uses k);
+              (* SMP live maps are real uses: the deopt path materializes
+                 them, so each must be dominated by its definition too. *)
               List.iter
-                (fun u -> if not (defined u) then fail "v%d: smp live v%d undefined" v u)
+                (fun u ->
+                  if not (defined u) then fail "v%d: smp live v%d undefined" v u;
+                  if not (dominates_use ~def_v:u ~use_block:b.Lir.bid ~use_pos:pos) then
+                    fail "v%d: smp live v%d not dominated by its definition" v u)
                 (Lir.smp_uses k))
           b.Lir.instrs;
-        (* Terminator. *)
+        (* Terminator: operands read after every instruction in the block. *)
+        let term_pos = List.length b.Lir.instrs in
+        let check_term_operand what u =
+          if not (defined u) then fail "b%d: %s of undefined v%d" b.Lir.bid what u;
+          if not (dominates_use ~def_v:u ~use_block:b.Lir.bid ~use_pos:term_pos) then
+            fail "b%d: %s v%d not dominated by its definition" b.Lir.bid what u
+        in
         (match b.Lir.term with
-        | Lir.Br (c, _, _) ->
-          if not (defined c) then fail "b%d: branch on undefined v%d" b.Lir.bid c
-        | Lir.Ret (Some r) ->
-          if not (defined r) then fail "b%d: return of undefined v%d" b.Lir.bid r
+        | Lir.Br (c, _, _) -> check_term_operand "branch on" c
+        | Lir.Ret (Some r) -> check_term_operand "return of" r
         | _ -> ());
         List.iter (fun s -> check_block_id s "terminator") (Lir.successors b.Lir.term)
       end)

@@ -345,8 +345,11 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
       for idx = 0 to Array.length body - 1 do
         let di = body.(idx) in
         let v = di.D.id in
-        if di.D.is_tx_marker && env.htm_mode = Htm.Ghost then
-          (* Base config: region markers only, no machine cost. *)
+        if (di.D.is_tx_marker && env.htm_mode = Htm.Ghost) || di.D.elided then
+          (* Free instructions: region markers under the Base config, and
+             checks the NoMap_BC limit study elided (they keep their guard
+             semantics below but model zero hardware instructions, so no
+             transaction tick and no cycle charge). *)
           Instance.burn inst 1
         else begin
           Instance.burn inst 1;
@@ -460,56 +463,63 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
           | _ -> values.(v) <- Value.Int 0)
         | L.Load_global g -> values.(v) <- inst.Instance.globals.(g)
         | L.Store_global (g, x) -> inst.Instance.globals.(g) <- values.(x)
+        (* Elided checks (NoMap_BC) guard exactly as charged ones do, but
+           model zero hardware instructions: no check-category count, no
+           cache-visible load of the metadata they test. *)
         | L.Check_int (a, e) -> (
           match values.(a) with
           | Value.Int _ ->
-            Counters.add_check env.counters L.Type;
+            if not di.D.elided then Counters.add_check env.counters L.Type;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Type)
         | L.Check_number (a, e) -> (
           match values.(a) with
           | Value.Int _ | Value.Num _ ->
-            Counters.add_check env.counters L.Type;
+            if not di.D.elided then Counters.add_check env.counters L.Type;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Type)
         | L.Check_string (a, e) -> (
           match values.(a) with
           | Value.Str _ ->
-            Counters.add_check env.counters L.Type;
+            if not di.D.elided then Counters.add_check env.counters L.Type;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Type)
         | L.Check_array (a, e) -> (
           match values.(a) with
           | Value.Arr _ ->
-            Counters.add_check env.counters L.Type;
+            if not di.D.elided then Counters.add_check env.counters L.Type;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Type)
         | L.Check_shape (a, shape_id, e) -> (
           match values.(a) with
           | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
-            heap.Heap.hooks.load o.Value.oaddr 8;
-            Counters.add_check env.counters L.Property;
+            if not di.D.elided then begin
+              heap.Heap.hooks.load o.Value.oaddr 8;
+              Counters.add_check env.counters L.Property
+            end;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Property)
         | L.Check_fun_eq (a, fid, e) -> (
           match values.(a) with
           | Value.Fun f when f = fid ->
-            Counters.add_check env.counters L.Path;
+            if not di.D.elided then Counters.add_check env.counters L.Path;
             values.(v) <- values.(a)
           | _ -> check_fail env values e L.Path)
         | L.Check_bounds (a, i', e) -> (
           let idx = as_int values.(i') in
           match as_arr values.(a) with
           | Some arr when idx >= 0 && idx < arr.Value.alen ->
-            heap.Heap.hooks.load arr.Value.aaddr 8;
-            Counters.add_check env.counters L.Bounds;
+            if not di.D.elided then begin
+              heap.Heap.hooks.load arr.Value.aaddr 8;
+              Counters.add_check env.counters L.Bounds
+            end;
             values.(v) <- Value.Int idx
           | _ -> check_fail env values e L.Bounds)
         | L.Check_str_bounds (s, i', e) -> (
           let idx = as_int values.(i') in
           match values.(s) with
           | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-            Counters.add_check env.counters L.Bounds;
+            if not di.D.elided then Counters.add_check env.counters L.Bounds;
             values.(v) <- Value.Int idx
           | _ -> check_fail env values e L.Bounds)
         | L.Check_not_hole (a, i', e) -> (
@@ -519,18 +529,18 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
             when idx >= 0
                  && idx < Array.length arr.Value.elems
                  && Heap.load_elem heap arr idx <> Value.Hole ->
-            Counters.add_check env.counters L.Hole;
+            if not di.D.elided then Counters.add_check env.counters L.Hole;
             values.(v) <- Value.Int idx
           | _ -> check_fail env values e L.Hole)
         | L.Check_overflow (a, e) ->
           if overflowed.(a) then check_fail env values e L.Overflow
           else begin
-            Counters.add_check env.counters L.Overflow;
+            if not di.D.elided then Counters.add_check env.counters L.Overflow;
             values.(v) <- values.(a)
           end
         | L.Check_cond (a, expected, e) ->
           if Value.truthy values.(a) = expected then begin
-            Counters.add_check env.counters L.Path;
+            if not di.D.elided then Counters.add_check env.counters L.Path;
             values.(v) <- values.(a)
           end
           else check_fail env values e L.Path
@@ -546,9 +556,11 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
         | L.Call_runtime (rt, recv, _) ->
           values.(v) <- exec_runtime env rt values.(recv) di.D.args values
         | L.Intrinsic (intr, _) ->
-          let ftl_c, rt_c = intrinsic_cost intr in
-          charge_ftl env ~frame ~tier ftl_c;
-          charge_runtime env rt_c;
+          if not di.D.elided then begin
+            let ftl_c, rt_c = intrinsic_cost intr in
+            charge_ftl env ~frame ~tier ftl_c;
+            charge_runtime env rt_c
+          end;
           values.(v) <-
             (try Intrinsics.eval heap intr Value.Undef (arg_values values di.D.args)
              with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))

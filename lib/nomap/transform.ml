@@ -27,7 +27,8 @@ let empty_stats () =
   }
 
 (* Delete every abort-exit check matching [select], rewiring uses to the
-   checked value. *)
+   checked value.  Only sound when something else subsumes the guard — SOF
+   hardware replaces the overflow checks this removes. *)
 let remove_abort_checks f select =
   let victims = ref [] in
   L.iter_instrs f (fun _ i ->
@@ -39,6 +40,23 @@ let remove_abort_checks f select =
       | _ -> ());
   Nomap_opt.Passes.delete_and_replace_all f !victims;
   List.length !victims
+
+(* The BC limit study models checks whose *cost* the hardware removed, not
+   absent guards: deleting an abort-exit check outright changes observable
+   behavior whenever the check would actually have failed at runtime (the
+   transaction must abort and re-execute unoptimized).  So mark the checks
+   elided — they still execute and guard, but cost nothing.  Decode
+   additionally zero-costs pure feeders that deletion-plus-DCE would have
+   erased, keeping the instruction accounting of the limit study intact. *)
+let elide_abort_checks f =
+  let n = ref 0 in
+  L.iter_instrs f (fun _ i ->
+      match L.exit_of i.L.kind with
+      | Some { L.ekind = L.Abort; _ } when not i.L.elided ->
+        i.L.elided <- true;
+        incr n
+      | _ -> ());
+  !n
 
 let apply (config : Config.t) ~placement ~(profile : Nomap_profile.Feedback.func_profile)
     ?(stats = empty_stats ()) (c : Nomap_tiers.Specialize.compiled) =
@@ -58,7 +76,6 @@ let apply (config : Config.t) ~placement ~(profile : Nomap_profile.Feedback.func
         stats.overflow_removed
         + remove_abort_checks f (function L.Check_overflow _ -> true | _ -> false);
     if Config.remove_all_checks config then
-      stats.checks_removed_bc <-
-        stats.checks_removed_bc + remove_abort_checks f (fun _ -> true)
+      stats.checks_removed_bc <- stats.checks_removed_bc + elide_abort_checks f
   end;
   regions

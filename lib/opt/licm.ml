@@ -78,6 +78,10 @@ let run f =
                   (fun v ->
                     let kind = (L.instr f v).L.kind in
                     (not (List.exists in_loop (L.uses kind)))
+                    (* SMP-live operands are uses too: an exit check whose
+                       live map names loop-defined values must not be lifted
+                       above their definitions. *)
+                    && (not (List.exists in_loop (L.smp_uses kind)))
                     && hoistable ~has_smp ~has_tx_begin ~stores ~clobber kind)
                   blk.L.instrs
               in

@@ -39,6 +39,7 @@ type knobs = {
 let all_on = { typeprop = true; elide = true; gvn = true; licm = true; promote = true; dce = true }
 
 type pass = {
+  name : string;
   enabled : knobs -> bool;
   run : Nomap_lir.Lir.func -> int;
   record : stats -> int -> unit;
@@ -46,6 +47,7 @@ type pass = {
 
 let p_typeprop =
   {
+    name = "typeprop";
     enabled = (fun k -> k.typeprop);
     run = Typeprop.run;
     record = (fun s n -> s.checks_removed <- s.checks_removed + n);
@@ -53,6 +55,7 @@ let p_typeprop =
 
 let p_elide =
   {
+    name = "elide";
     enabled = (fun k -> k.elide);
     run = Elide.run;
     record = (fun s n -> s.overflow_elided <- s.overflow_elided + n);
@@ -60,6 +63,7 @@ let p_elide =
 
 let p_gvn =
   {
+    name = "gvn";
     enabled = (fun k -> k.gvn);
     run = Gvn.run;
     record = (fun s n -> s.gvn_removed <- s.gvn_removed + n);
@@ -67,6 +71,7 @@ let p_gvn =
 
 let p_licm =
   {
+    name = "licm";
     enabled = (fun k -> k.licm);
     run = Licm.run;
     record = (fun s n -> s.licm_hoisted <- s.licm_hoisted + n);
@@ -74,6 +79,7 @@ let p_licm =
 
 let p_promote =
   {
+    name = "promote";
     enabled = (fun k -> k.promote);
     run = Promote.run;
     record = (fun s n -> s.promoted <- s.promoted + n);
@@ -81,6 +87,7 @@ let p_promote =
 
 let p_dce =
   {
+    name = "dce";
     enabled = (fun k -> k.dce);
     run = Dce.run;
     record = (fun s n -> s.dce_removed <- s.dce_removed + n);
@@ -94,9 +101,22 @@ let dfg_passes = [ p_typeprop; p_elide; p_gvn; p_dce ]
 (* Motion (licm/promote) exposes new redundancies, hence the second gvn. *)
 let ftl_passes = [ p_typeprop; p_elide; p_gvn; p_licm; p_promote; p_gvn; p_dce ]
 
-let run_passes passes ?(stats = empty_stats ()) ?(knobs = all_on) f =
-  List.iter (fun p -> if p.enabled knobs then p.record stats (p.run f)) passes;
+(** [paranoid] re-verifies SSA well-formedness after every pass, so an
+    ill-formed graph is caught at the pass that produced it instead of
+    surfacing later as a miscompile.  Too slow for measurement runs; the
+    differential fuzzer always turns it on. *)
+let run_passes passes ?(stats = empty_stats ()) ?(knobs = all_on) ?(paranoid = false) f =
+  List.iter
+    (fun p ->
+      if p.enabled knobs then begin
+        p.record stats (p.run f);
+        if paranoid then
+          try Nomap_lir.Verify.verify f
+          with Nomap_lir.Verify.Ill_formed msg ->
+            raise (Nomap_lir.Verify.Ill_formed (Printf.sprintf "after %s: %s" p.name msg))
+      end)
+    passes;
   stats
 
-let dfg ?stats ?knobs f = run_passes dfg_passes ?stats ?knobs f
-let ftl ?stats ?knobs f = run_passes ftl_passes ?stats ?knobs f
+let dfg ?stats ?knobs ?paranoid f = run_passes dfg_passes ?stats ?knobs ?paranoid f
+let ftl ?stats ?knobs ?paranoid f = run_passes ftl_passes ?stats ?knobs ?paranoid f

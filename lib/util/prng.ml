@@ -20,11 +20,21 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+(** [int t bound] is exactly uniform in [0, bound); requires [bound > 0].
+    Draws are masked to the smallest covering power of two and rejected when
+    they land at or above [bound] — unlike [r mod bound] this has no modulo
+    bias, at an expected cost of fewer than two raw draws per call. *)
 let int t bound =
   assert (bound > 0);
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let mask =
+    let rec widen m = if m >= bound - 1 then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) land mask in
+    if r < bound then r else draw ()
+  in
+  draw ()
 
 (** [float t bound] is uniform in [0, bound). *)
 let float t bound =

@@ -11,7 +11,8 @@ val create : seed:int -> t
 (** Next raw 64-bit output. *)
 val next_int64 : t -> int64
 
-(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+(** [int t bound] is exactly uniform in [0, bound) — masked rejection
+    sampling, no modulo bias. Requires [bound > 0]. *)
 val int : t -> int -> int
 
 (** [float t bound] is uniform in [0, bound). *)

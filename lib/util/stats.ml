@@ -23,6 +23,8 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
     sqrt var
 
+(** Linear interpolation between closest ranks (the numpy/R-7 definition):
+    rank = p/100 * (n-1), and fractional ranks blend the two neighbours. *)
 let percentile xs p =
   match List.sort compare xs with
   | [] -> 0.0
@@ -30,8 +32,10 @@ let percentile xs p =
     let arr = Array.of_list sorted in
     let n = Array.length arr in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.round rank) in
-    arr.(max 0 (min (n - 1) lo))
+    let lo = max 0 (min (n - 1) (int_of_float (Float.floor rank))) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
 
 (** Ratio helpers for "normalized to Base" style figures. *)
 let normalize ~base xs = List.map (fun x -> x /. base) xs

@@ -10,7 +10,8 @@ val min_max : float list -> float * float
 (** Population standard deviation. *)
 val stddev : float list -> float
 
-(** Nearest-rank percentile, [p] in [0, 100]. *)
+(** Percentile with linear interpolation between closest ranks (the
+    numpy/R-7 definition), [p] in [0, 100]. *)
 val percentile : float list -> float -> float
 
 (** Divide every element by [base]. *)

@@ -54,6 +54,10 @@ type t = {
   thresholds : thresholds;
   versions : version array;
   verify_lir : bool;
+  paranoid : bool;  (** re-verify LIR after every optimization pass *)
+  ftl_mutate : (Nomap_lir.Lir.func -> unit) option;
+      (** post-pipeline hook; the differential fuzzer injects deliberate
+          miscompiles here to prove it can catch and shrink them *)
   opt_knobs : Nomap_opt.Pipeline.knobs;
   opt_stats : Nomap_opt.Pipeline.stats;
   nomap_stats : Transform.stats;
@@ -70,7 +74,8 @@ let fresh_version () =
   { dfg = None; ftl = None; deopt_count = 0; placement = Txplace.Auto; dirty = false }
 
 let rec create ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
-    ?(verify_lir = false) ?(opt_knobs = Nomap_opt.Pipeline.all_on) ~config ~tier_cap
+    ?(verify_lir = false) ?(paranoid = false) ?ftl_mutate
+    ?(opt_knobs = Nomap_opt.Pipeline.all_on) ~config ~tier_cap
     (prog : Opcode.program) =
   let instance = Instance.create ~seed ~fuel prog in
   let profile = Feedback.create prog in
@@ -123,6 +128,8 @@ let rec create ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
       thresholds;
       versions = Array.init (Array.length prog.Opcode.funcs) (fun _ -> fresh_version ());
       verify_lir;
+      paranoid;
+      ftl_mutate;
       opt_knobs;
       opt_stats = Nomap_opt.Pipeline.empty_stats ();
       nomap_stats = Transform.empty_stats ();
@@ -165,7 +172,9 @@ and ensure_dfg t fid =
     let consts = t.instance.Instance.consts.(fid) in
     let fp = Feedback.func_profile t.profile fid in
     let c = Specialize.compile ~bc ~consts ~profile:fp in
-    ignore (Nomap_opt.Pipeline.dfg ~stats:t.opt_stats ~knobs:t.opt_knobs c.Specialize.lir);
+    ignore
+      (Nomap_opt.Pipeline.dfg ~stats:t.opt_stats ~knobs:t.opt_knobs ~paranoid:t.paranoid
+         c.Specialize.lir);
     if t.verify_lir then Nomap_lir.Verify.verify c.Specialize.lir;
     v.dfg <- Some c;
     c
@@ -180,7 +189,15 @@ and ensure_ftl t fid =
     let fp = Feedback.func_profile t.profile fid in
     let c = Specialize.compile ~bc ~consts ~profile:fp in
     ignore (Transform.apply t.config ~placement:v.placement ~profile:fp ~stats:t.nomap_stats c);
-    ignore (Nomap_opt.Pipeline.ftl ~stats:t.opt_stats ~knobs:t.opt_knobs c.Specialize.lir);
+    if t.paranoid then begin
+      try Nomap_lir.Verify.verify c.Specialize.lir
+      with Nomap_lir.Verify.Ill_formed msg ->
+        raise (Nomap_lir.Verify.Ill_formed ("after transform: " ^ msg))
+    end;
+    ignore
+      (Nomap_opt.Pipeline.ftl ~stats:t.opt_stats ~knobs:t.opt_knobs ~paranoid:t.paranoid
+         c.Specialize.lir);
+    (match t.ftl_mutate with Some m -> m c.Specialize.lir | None -> ());
     if t.verify_lir then Nomap_lir.Verify.verify c.Specialize.lir;
     v.ftl <- Some c;
     v.dirty <- false;

@@ -1,0 +1,26 @@
+var ga = [-4, -3, -5, -7, 8, 5];
+
+var go = {x: 0, y: 3};
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [-4, 7, -3, 0, 6, -2, -2, 0];
+  var o = {x: 4, y: 2};
+  var q = {y: 8, x: 1};
+  for (var i = 0; (i < a.length); i++) {
+    a[(s % 8)] = ((i > go.y) ? -20 : (7 - o.x));
+    t += (((ga.length * 4) <= s) ? q : o).y;
+    t = ((t + ((s & ga[0]) % 6)) & 1048575);
+    s = ((s * 31) + ((-19 > ga[((i + 2) % 6)]) ? (-2.5 >>> 3) : (s | t)));
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

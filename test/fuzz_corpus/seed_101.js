@@ -1,0 +1,54 @@
+var ga = [-6, 3, 7, -1, 5, 9, 0, -8];
+
+var go = {x: 0, y: 5};
+
+function h0(x, y) {
+  var r = y;
+  return r;
+}
+
+function h1(x, y) {
+  var r = 0;
+  for (var j = 0; (j < 2); j++) {
+    x = ((x * 31) + h0(h0(x, y), ((x <= y) ? y : x)));
+    if (((j | y) < ((r == x) ? y : y))) {
+      if (((y * 1841460) != (j / 3))) {
+        continue;
+      }
+      if (((r & 3) == 3)) {
+        x = ((x + ((-11 < x) ? (-2.5 + x) : (0.25 ^ 1230242))) & 1048575);
+      }
+    }
+  }
+  return r;
+}
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [7, 8, -2, 5, 6, 8, -1];
+  var o = {x: 5, y: 3};
+  var q = {y: 0, x: 4};
+  for (var i = 0; (i < 8); i++) {
+    if (((t & 3) == 2)) {
+      for (var j = 0; (j < 4); j++) {
+        s += h1((((j >= ga[((t + 5) % 8)]) ? s : o.x) ^ (5 + t)), (h1(-17, s) - (ga[(i % 8)] * a[(s % 7)])));
+      }
+    }
+    s += (((o.x - t) < h1(q.y, t)) ? o : q).x;
+  }
+  for (var i = 0; (i < a.length); i++) {
+    t += (((i & 3) == 1) ? q : go).x;
+    s += h1((t + (s + i)), h0((((s & 3) == 2) ? ga.length : s), s));
+    t += h0(((ga.length ^ a[((t + 4) % 7)]) + ga[((s + 1) % 8)]), (Math.max(o.y, i) + (i & o.x)));
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

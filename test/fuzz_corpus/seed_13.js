@@ -1,0 +1,45 @@
+var ga = [7, 1, 1, 0, -9, 8, 4, -1];
+
+var go = {x: 3, y: 5};
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [8, 0, -4, 5, 5, -5, -1, 9, -2];
+  var o = {x: 3, y: 8};
+  var q = {y: 3, x: 7};
+  for (var i = 0; (i < 13); i++) {
+    ga[((t + 1) % 8)] = (((ga[(t % 8)] != o.x) ? 1.5 : i) - (s | a[8]));
+    a[t] = Math.floor(((10 < i) ? (((s & 3) == 1) ? 0 : s) : (i & ga[4])));
+  }
+  for (var i = 0; (i < a.length); i++) {
+    t = (((s & 3) == 2) ? ((s >> 1) % 8) : ((((s & 3) == 0) ? s : t) - (i & t)));
+    if ((a[(i % 9)] >= (i + i))) {
+      go.y = ((i & i) & (s + 18));
+    } else {
+      a[(t % 9)] = Math.max(o.x, (s + s));
+    }
+    if (((t & 3) == 0)) {
+      if (((i & 3) == 1)) {
+        if (((t & 3) == 2)) {
+          for (var j = 0; (j < 3); j++) {
+            t = q.x;
+            s += (((i & 3) == 2) ? (ga.length + -3) : (((s & 3) == 2) ? ga[(i % 8)] : q.y));
+          }
+        } else {
+          o.z += ((18 | i) | go.y);
+        }
+      }
+    }
+    ga[(i % 8)] = ((go.y != t) ? (s - i) : (i + i));
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

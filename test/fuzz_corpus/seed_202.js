@@ -1,0 +1,30 @@
+var ga = [-4, -2, 5, 9, 1, 4];
+
+var go = {x: 0, y: 7};
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [6, 6, 4, 8, 2, 0, -8];
+  var o = {x: 8, y: 3};
+  var q = {y: 1, x: 6};
+  for (var i = 0; (i < a.length); i++) {
+    if (((i & 3) == 1)) {
+      continue;
+    }
+  }
+  for (var i = 0; (i < 18); i++) {
+    if (((go.y & -19) != (go.y * i))) {
+      q.y = (Math.floor(3.75) ^ (ga.length << 2));
+    }
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

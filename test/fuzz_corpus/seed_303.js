@@ -1,0 +1,50 @@
+var ga = [-2, -4, -8, -4, 2, -7, -4];
+
+var go = {x: 0, y: 1};
+
+function h0(x, y) {
+  var r = (((r / 5) + 14) / 5);
+  return r;
+}
+
+function h1(x, y) {
+  var r = 0;
+  for (var j = 0; (j < 3); j++) {
+    r += h0(h0(r, (x + y)), ((2 * x) ^ (r >> 3)));
+    y += h0((h0(j, y) * j), Math.floor(h0(j, x)));
+    x += h0(((4 * j) | x), r);
+    if ((x != (r | r))) {
+      if (((r & 3) == 2)) {
+        r = ((r + j) & 1048575);
+      }
+      y = ((y + (Math.max(r, 1130758) ^ x)) & 1048575);
+    }
+  }
+  return r;
+}
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [5, 6, -9, 8, 0, 7];
+  var o = {x: 6, y: 0};
+  var q = {y: 6, x: 8};
+  for (var i = 0; (i < a.length); i++) {
+    t = ((t * 31) + h1((13 ^ a.length), 19));
+  }
+  for (var i = 0; (i < a.length); i++) {
+    for (var j = 0; (j < 5); j++) {
+      s = ((s * 31) + h1((a[(i % 6)] / 9), h0(ga[(i % 7)], o.y)));
+    }
+    ga[((i + 5) % 7)] = ((s < s) ? (i * q.y) : (o.x + 2));
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

@@ -1,0 +1,44 @@
+var ga = [6, 0, -3, 0, 9, -7, 5, 7, 3, 0];
+
+var go = {x: 8, y: 8};
+
+function h0(x, y) {
+  var r = 0.25;
+  return r;
+}
+
+function h1(x, y) {
+  var r = 0;
+  for (var j = 0; (j < 5); j++) {
+    y += ((3 + r) + (j + -6));
+  }
+  return r;
+}
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [5, 3, -9, -5, 1, -6];
+  var o = {x: 1, y: 1};
+  var q = {y: 1, x: 3};
+  for (var i = 0; (i < a.length); i++) {
+    a[(t % 6)] = Math.abs(t);
+    t = (((2 * i) - (s >>> 4)) + (3.75 & h0(198520, 2)));
+    t += (((i & 3) == 2) ? go : q).y;
+    t = (((a[4] - t) + (1329561 + i)) % 6);
+  }
+  for (var i = 0; (i < a.length); i++) {
+    t = ((t * 31) + ((ga.length | i) ^ (go.x << 2)));
+    t += (((t & 3) == 0) ? o : q).x;
+    ga[(s % 10)] = ((ga.length >> 3) + 1917312);
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

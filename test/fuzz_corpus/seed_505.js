@@ -1,0 +1,80 @@
+var ga = [2, 7, -5, 7, 5, 1, 8, -8, -9];
+
+var go = {x: 5, y: 0};
+
+function h0(x, y) {
+  var r = 0;
+  for (var j = 0; (j < 4); j++) {
+    r = (Math.floor(((y >= 11) ? r : y)) * ((r | 13) + (-15 * 15)));
+    y += ((j + j) % 2);
+    if (((14 - -18) != (x & 3.75))) {
+      if (((((x & 3) == 3) ? y : 0) != (x + r))) {
+        y = ((y + (-12 * (j >>> 1))) & 1048575);
+      } else {
+        if (((x & 3) == 3)) {
+          y = ((j >>> 4) - ((j * j) / 2));
+          x = Math.floor((((y & 3) == 2) ? (((x & 3) == 0) ? y : 1.5) : (y >>> 3)));
+        }
+      }
+      y = ((y + r) & 1048575);
+    }
+    if (((j & 3) == 2)) {
+      if (((7 / 7) < (6 - x))) {
+        if (((r & 3) == 3)) {
+          if ((((-7 == j) ? r : r) == (((x & 3) == 0) ? 18 : y))) {
+            if (((-14 >>> 2) > (0 + 7))) {
+              r += ((j + 9) * 13);
+            } else {
+              r = ((r + (j + ((r >= 17) ? -20 : y))) & 1048575);
+            }
+            if ((x < -1)) {
+              if (((x - y) <= (j >> 1))) {
+                continue;
+              }
+              if (((x & 3) == 1)) {
+                y += ((j + r) >> 1);
+              }
+            }
+          }
+        } else {
+          x = ((x * 31) + Math.abs((j + j)));
+        }
+      }
+    } else {
+      if (((y ^ r) > Math.abs(18))) {
+        continue;
+      }
+    }
+  }
+  return r;
+}
+
+function h1(x, y) {
+  var r = r;
+  return r;
+}
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [-5, 7, 5, -2, 8, 0, 4, 8];
+  var o = {x: 6, y: 7};
+  var q = {y: 5, x: 6};
+  for (var i = 0; (i < 10); i++) {
+    if (((q.x * 5) < (ga.length & -11))) {
+      continue;
+    }
+    q.x = a[((t + 1) % 8)];
+    q.y = (h1(i, a[(i % 8)]) & ga[((i + 2) % 9)]);
+    s += h0((i * (-3 & -20)), ((384304 <= -8) ? ((1.5 == t) ? q.x : 13) : h1(s, ga[(s % 9)])));
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

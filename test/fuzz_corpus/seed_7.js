@@ -1,0 +1,40 @@
+var ga = [-9, 2, -3, 9, -7, -5];
+
+var go = {x: 7, y: 4};
+
+function h0(x, y) {
+  var r = Math.min(((x ^ x) % 5), (((-10 < x) ? y : y) % 9));
+  return r;
+}
+
+function bench() {
+  var s = 0;
+  var t = 1;
+  var a = [-9, 1, -2, 6, -2, 1, 8];
+  var o = {x: 1, y: 0};
+  var q = {y: 8, x: 3};
+  for (var i = 0; (i < a.length); i++) {
+    for (var j = 0; (j < 3); j++) {
+      t = ga[(s % 6)];
+    }
+  }
+  for (var i = 0; (i < a.length); i++) {
+    s += ((-15 >= ((a[(s % 7)] <= q.x) ? ga[s] : 11)) ? o : go).y;
+    for (var j = 0; (j < 2); j++) {
+      if (((j & 3) == 1)) {
+        t = ((t * 31) + (h0(12, -20) + (j - 1886924)));
+        ga[((t + 3) % 6)] = ((j == j) ? (s >>> 2) : (s * 1.5));
+      }
+    }
+    s += (((194684 - 717038) > Math.max(3, 2)) ? go : o).x;
+  }
+  return (((((s + t) + o.x) + q.y) + a[0]) + a[(a.length - 1)]);
+}
+
+var result = 0;
+
+var it;
+
+for (it = 0; (it < 32); it++) {
+  result = bench();
+}

@@ -124,10 +124,101 @@ let agree_under archs =
           else true)
         archs)
 
+(* --- the structured fuzzer (lib/fuzz) -------------------------------- *)
+
+module FGen = Nomap_fuzz.Gen
+module Oracle = Nomap_fuzz.Oracle
+module Shrink = Nomap_fuzz.Shrink
+module Fuzz = Nomap_fuzz.Fuzz
+
+let test_gen_deterministic () =
+  let a = FGen.to_source (FGen.program_of_seed ~seed:12345) in
+  let b = FGen.to_source (FGen.program_of_seed ~seed:12345) in
+  Alcotest.(check string) "same seed, same program" a b;
+  let c = FGen.to_source (FGen.program_of_seed ~seed:54321) in
+  Alcotest.(check bool) "different seed, different program" true (a <> c)
+
+let test_gen_roundtrips () =
+  (* Printed programs must survive the real lexer/parser: the corpus is
+     stored as source and the oracle compiles from source.  One parse
+     normalizes literals (a printed [-3] reparses as unary minus), so the
+     property is idempotence from the first reparse onward. *)
+  for seed = 0 to 19 do
+    let src = FGen.to_source (FGen.program_of_seed ~seed) in
+    let name = string_of_int seed in
+    let src1 = FGen.to_source (Nomap_jsir.Parser.parse_program_exn ~name src) in
+    let src2 = FGen.to_source (Nomap_jsir.Parser.parse_program_exn ~name src1) in
+    Alcotest.(check string) (Printf.sprintf "seed %d round-trips" seed) src1 src2
+  done
+
+let test_fixed_seed_batch_agrees () =
+  let s = Fuzz.run ~shrink:false ~seed:42 ~iters:8 () in
+  List.iter (fun f -> Alcotest.fail (Fuzz.failure_to_string f)) s.Fuzz.failures;
+  Alcotest.(check int) "all tested" 8 s.Fuzz.tested
+
+(* `dune runtest` runs with cwd = the test directory; `dune exec` from the
+   repo root does not. *)
+let corpus_dir =
+  if Sys.file_exists "fuzz_corpus" then "fuzz_corpus" else "test/fuzz_corpus"
+
+let test_corpus_agrees () =
+  let files = Sys.readdir corpus_dir in
+  Array.sort compare files;
+  let checked = ref 0 in
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".js" then begin
+        let src = In_channel.with_open_text (Filename.concat corpus_dir file) In_channel.input_all in
+        let prog = Nomap_jsir.Parser.parse_program_exn ~name:file src in
+        (match Oracle.check prog with
+        | Oracle.Agree -> ()
+        | Oracle.Skip msg -> Alcotest.fail (file ^ ": reference failed: " ^ msg)
+        | Oracle.Diverge ds ->
+          Alcotest.fail
+            (file ^ " diverged:\n" ^ String.concat "\n" (List.map Oracle.divergence_to_string ds)));
+        incr checked
+      end)
+    files;
+  Alcotest.(check bool) "corpus nonempty" true (!checked >= 8)
+
+let test_sabotage_caught_and_shrunk () =
+  (* The acceptance criterion: inject a miscompile (swapped subtraction
+     operands in FTL code), prove the oracle catches it and the shrinker
+     reduces it to a tiny kernel. *)
+  let s =
+    Fuzz.run ~ftl_mutate:Fuzz.sabotage_swap_sub ~shrink:true ~shrink_checks:200 ~seed:42
+      ~iters:2 ()
+  in
+  match s.Fuzz.failures with
+  | [] -> Alcotest.fail "sabotaged FTL was not caught by the differential oracle"
+  | f :: _ -> (
+    match f.Fuzz.shrunk with
+    | None -> Alcotest.fail "divergence was not shrunk"
+    | Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk kernel small (%d nodes)" (Shrink.kernel_size p))
+        true
+        (Shrink.kernel_size p <= 20);
+      (* The reproducer must still diverge under the sabotage. *)
+      (match Oracle.check ~ftl_mutate:Fuzz.sabotage_swap_sub p with
+      | Oracle.Diverge _ -> ()
+      | _ -> Alcotest.fail "shrunk program no longer reproduces the divergence"))
+
+let test_shrink_size () =
+  let p = FGen.program_of_seed ~seed:7 in
+  Alcotest.(check bool) "size positive" true (Shrink.size p > 0);
+  Alcotest.(check bool) "kernel smaller than whole" true (Shrink.kernel_size p < Shrink.size p)
+
 let tests =
   [
     QCheck_alcotest.to_alcotest (agree_under [ Config.Base ]);
     QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_S; Config.NoMap_B ]);
     QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_full; Config.NoMap_BC ]);
     QCheck_alcotest.to_alcotest (agree_under [ Config.NoMap_RTM ]);
+    Alcotest.test_case "generator deterministic" `Quick test_gen_deterministic;
+    Alcotest.test_case "generator round-trips" `Quick test_gen_roundtrips;
+    Alcotest.test_case "fixed-seed batch agrees" `Quick test_fixed_seed_batch_agrees;
+    Alcotest.test_case "pinned corpus agrees" `Quick test_corpus_agrees;
+    Alcotest.test_case "sabotage caught and shrunk" `Quick test_sabotage_caught_and_shrunk;
+    Alcotest.test_case "shrink sizes" `Quick test_shrink_size;
   ]

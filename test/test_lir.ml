@@ -156,9 +156,80 @@ let test_preheader_creation () =
       ((Nomap_lir.Lir.block lir ph).L.term = L.Jump l.Cfg.header)
   | _ -> Alcotest.fail "expected one loop"
 
+(* --- verifier strengthening regressions ------------------------------ *)
+
+(* Hand-built graphs shaped like real miscompiles the original verifier
+   (definedness-only on SMP live maps, no terminator checks) accepted. *)
+
+let add_instr f (b : L.block) kind =
+  let i = L.new_instr f kind in
+  i.L.block <- b.L.bid;
+  b.L.instrs <- b.L.instrs @ [ i.L.id ];
+  i.L.id
+
+let expect_ill_formed what f =
+  match Verify.verify f with
+  | () -> Alcotest.fail (what ^ ": verifier accepted an ill-formed graph")
+  | exception Verify.Ill_formed _ -> ()
+
+let test_verify_rejects_undominated_smp_live () =
+  (* The old LICM bug: a Deopt check hoisted above the loop while its live
+     map still names a value defined inside the loop.  Here distilled to a
+     check in b0 whose live map references a value defined in b1. *)
+  let f = L.create_func ~fid:0 in
+  let b0 = L.new_block f and b1 = L.new_block f in
+  f.L.entry <- b0.L.bid;
+  let c = add_instr f b0 (L.Const (Nomap_runtime.Value.Int 1)) in
+  let vx = add_instr f b1 (L.Const (Nomap_runtime.Value.Int 7)) in
+  let exit = { L.ekind = L.Deopt; smp = L.fresh_smp f ~resume_pc:0 ~live:[ (0, vx) ] } in
+  ignore (add_instr f b0 (L.Check_int (c, exit)));
+  b0.L.term <- L.Jump b1.L.bid;
+  b1.L.term <- L.Ret None;
+  expect_ill_formed "undominated smp live" f
+
+let test_verify_rejects_undominated_branch_cond () =
+  (* Branching in b0 on a value only defined in a successor. *)
+  let f = L.create_func ~fid:0 in
+  let b0 = L.new_block f and b1 = L.new_block f and b2 = L.new_block f in
+  f.L.entry <- b0.L.bid;
+  let vc = add_instr f b1 (L.Const (Nomap_runtime.Value.Bool true)) in
+  b0.L.term <- L.Br (vc, b1.L.bid, b2.L.bid);
+  b1.L.term <- L.Ret None;
+  b2.L.term <- L.Ret None;
+  expect_ill_formed "undominated branch condition" f
+
+let test_verify_rejects_partial_ret () =
+  (* Returning a value defined on only one side of a diamond. *)
+  let f = L.create_func ~fid:0 in
+  let b0 = L.new_block f
+  and b1 = L.new_block f
+  and b2 = L.new_block f
+  and b3 = L.new_block f in
+  f.L.entry <- b0.L.bid;
+  let c = add_instr f b0 (L.Const (Nomap_runtime.Value.Bool true)) in
+  let vr = add_instr f b1 (L.Const (Nomap_runtime.Value.Int 3)) in
+  b0.L.term <- L.Br (c, b1.L.bid, b2.L.bid);
+  b1.L.term <- L.Jump b3.L.bid;
+  b2.L.term <- L.Jump b3.L.bid;
+  b3.L.term <- L.Ret (Some vr);
+  expect_ill_formed "partially-defined return value" f
+
+let test_verify_rejects_undefined_ret () =
+  let f = L.create_func ~fid:0 in
+  let b0 = L.new_block f in
+  f.L.entry <- b0.L.bid;
+  b0.L.term <- L.Ret (Some 999);
+  expect_ill_formed "undefined return value" f
+
 let tests =
   [
     Alcotest.test_case "verify simple" `Quick test_verify_simple;
+    Alcotest.test_case "verify rejects undominated smp live" `Quick
+      test_verify_rejects_undominated_smp_live;
+    Alcotest.test_case "verify rejects undominated branch cond" `Quick
+      test_verify_rejects_undominated_branch_cond;
+    Alcotest.test_case "verify rejects partial ret" `Quick test_verify_rejects_partial_ret;
+    Alcotest.test_case "verify rejects undefined ret" `Quick test_verify_rejects_undefined_ret;
     Alcotest.test_case "verify loop" `Quick test_verify_loop;
     Alcotest.test_case "int loop speculation" `Quick test_speculation_int_loop;
     Alcotest.test_case "property speculation" `Quick test_speculation_property;

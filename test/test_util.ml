@@ -49,6 +49,38 @@ let test_stddev () =
 let test_percent_reduction () =
   Alcotest.(check (float 1e-9)) "20%" 20.0 (Stats.percent_reduction ~base:100.0 80.0)
 
+let test_percentile_interpolates () =
+  (* Linear interpolation between closest ranks (numpy default): quartiles
+     of [1;2;3;4] land between elements, not on them. *)
+  let xs = [ 4.0; 2.0; 1.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p25" 1.75 (Stats.percentile xs 25.0);
+  Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p75" 3.25 (Stats.percentile xs 75.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "median of 2" 1.5 (Stats.percentile [ 1.0; 2.0 ] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile [ 7.0 ] 99.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile [] 50.0)
+
+let test_prng_int_unbiased () =
+  (* Rejection sampling must make every residue equally likely even for a
+     bound adversarial to "mod": with bound 3 over 40k draws each bucket
+     expects ~13333; the old 2^62-mod-3 bias is tiny, but a buggy masked
+     rejection (e.g. never rejecting) skews buckets grossly.  Bound the
+     deviation loosely so the test is seed-robust. *)
+  let p = Prng.create ~seed:11 in
+  let buckets = Array.make 3 0 in
+  let draws = 40_000 in
+  for _ = 1 to draws do
+    let x = Prng.int p 3 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iter
+    (fun n ->
+      let expected = draws / 3 in
+      Alcotest.(check bool) "within 5% of uniform" true (abs (n - expected) < expected / 20))
+    buckets
+
 let test_table_render () =
   let t = Table.create ~title:"T" ~header:[ "name"; "v" ] () in
   Table.add_row t [ "alpha"; "1" ];
@@ -82,6 +114,8 @@ let tests =
     Alcotest.test_case "geomean" `Quick test_geomean;
     Alcotest.test_case "stddev" `Quick test_stddev;
     Alcotest.test_case "percent reduction" `Quick test_percent_reduction;
+    Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
+    Alcotest.test_case "prng int unbiased" `Quick test_prng_int_unbiased;
     Alcotest.test_case "table render" `Quick test_table_render;
     QCheck_alcotest.to_alcotest qcheck_geomean_le_mean;
     QCheck_alcotest.to_alcotest qcheck_prng_int_range;
