@@ -1,0 +1,361 @@
+(** loadgen.exe: closed-loop load generator for the nomapd daemon.
+
+    [--clients N] client domains each run a fetch-execute loop over a
+    shared request counter: take the next request number, send the
+    corresponding workload-registry program to the daemon, block for the
+    response, record the latency, repeat — closed-loop, so offered load
+    adapts to service rate instead of overrunning it.  Requests cycle
+    round-robin through the selected workloads, which makes the run mostly
+    warm: each program compiles once (a cache miss) and every revisit is a
+    hit, the serving-side analogue of the paper's hot-code amortization.
+
+    Reports throughput and p50/p95/p99 latency ([Stats.percentile]), split
+    into cold (artifact-cache miss) and warm (hit) populations, and writes
+    the same as BENCH_server.json (schema nomap-server-v1).  Exit code 0
+    iff every request succeeded (and, under --check, matched direct [Vm]
+    execution bit-for-bit). *)
+
+module Client = Nomap_server.Client
+module Protocol = Nomap_server.Protocol
+module Registry = Nomap_workloads.Registry
+module Stats = Nomap_util.Stats
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Value = Nomap_runtime.Value
+module Heap_checksum = Nomap_vm.Heap_checksum
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt string "nomapd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket path.")
+
+let requests =
+  Arg.(value & opt int 200 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total requests to issue.")
+
+let clients =
+  Arg.(value & opt int 4 & info [ "clients"; "c" ] ~docv:"N" ~doc:"Concurrent client domains.")
+
+let suite =
+  Arg.(
+    value
+    & opt string "shootout"
+    & info [ "suite" ] ~docv:"NAME"
+        ~doc:"Workload suite: sunspider, kraken, shootout, or all.")
+
+let benchs =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"IDS" ~doc:"Comma-separated benchmark ids (overrides --suite).")
+
+let tier =
+  Arg.(value & opt string "ftl" & info [ "tier" ] ~docv:"T" ~doc:"interp|baseline|dfg|ftl.")
+
+let arch =
+  Arg.(
+    value
+    & opt string "NoMap"
+    & info [ "arch" ] ~docv:"A" ~doc:"Architecture name (paper Table II), e.g. Base, NoMap.")
+
+let iters =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "iters" ] ~docv:"N" ~doc:"benchmark() calls per request after the top level.")
+
+let fuel = Arg.(value & opt int 0 & info [ "fuel" ] ~docv:"N" ~doc:"Per-request fuel (0 = server default).")
+
+let deadline =
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request queue deadline (0 = none).")
+
+let json =
+  Arg.(
+    value
+    & opt string "BENCH_server.json"
+    & info [ "json" ] ~docv:"PATH" ~doc:"Machine-readable report path.")
+
+let keepalive =
+  Arg.(
+    value & flag
+    & info [ "keepalive" ]
+        ~doc:
+          "One persistent connection per client (clients must be <= server domains, or the \
+           extra clients starve).  Default: one connection per request.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Verify every response (result + heap checksum) against direct in-process Vm \
+           execution; mismatches fail the run.")
+
+let shutdown =
+  Arg.(value & flag & info [ "shutdown" ] ~doc:"Send SHUTDOWN to the daemon after the run.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only the summary line.")
+
+let parse_tier = function
+  | "interp" -> Vm.Cap_interp
+  | "baseline" -> Vm.Cap_baseline
+  | "dfg" -> Vm.Cap_dfg
+  | "ftl" -> Vm.Cap_ftl
+  | t -> invalid_arg ("unknown tier " ^ t ^ " (interp|baseline|dfg|ftl)")
+
+let parse_arch s =
+  match
+    List.find_opt
+      (fun a -> String.lowercase_ascii (Config.name a) = String.lowercase_ascii s)
+      Config.all
+  with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      ("unknown arch " ^ s ^ " (one of " ^ String.concat ", " (List.map Config.name Config.all)
+     ^ ")")
+
+let select_benchmarks suite benchs =
+  match benchs with
+  | Some ids ->
+    List.map
+      (fun id ->
+        match Registry.by_id (String.trim id) with
+        | Some b -> b
+        | None -> invalid_arg ("unknown benchmark id " ^ id))
+      (String.split_on_char ',' ids)
+  | None -> (
+    match String.lowercase_ascii suite with
+    | "sunspider" -> Registry.of_suite Registry.Sunspider
+    | "kraken" -> Registry.of_suite Registry.Kraken
+    | "shootout" -> Registry.of_suite Registry.Shootout
+    | "all" -> Registry.all
+    | s -> invalid_arg ("unknown suite " ^ s))
+
+(* One slot per request, so client domains record without contention. *)
+type outcome = Ok_hit | Ok_miss | Timed_out | Overloaded | Failed of string
+
+type record = { latency_s : float; outcome : outcome }
+
+(* Direct in-process execution, for --check: must match the daemon's
+   observation byte for byte (same VM entry points as Session.run). *)
+let expected_observation ~tier ~arch ~iters ~fuel (b : Registry.benchmark) =
+  let prog = Nomap_bytecode.Compile.compile_source ~name:b.Registry.name b.Registry.source in
+  let fuel = if fuel <= 0 then Nomap_server.Session.default_fuel else fuel in
+  let vm = Vm.create ~fuel ~config:(Config.create arch) ~tier_cap:tier prog in
+  ignore (Vm.run_main vm);
+  let last = ref None in
+  for _ = 1 to iters do
+    last := Some (Vm.call_function vm "benchmark" [])
+  done;
+  let result =
+    match !last with
+    | Some v -> Value.to_js_string v
+    | None -> (
+      match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "<no result>")
+  in
+  (result, Heap_checksum.checksum (Vm.instance vm))
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let main socket requests clients suite benchs tier_s arch_s iters fuel deadline json keepalive
+    check shutdown quiet =
+  let tier = parse_tier tier_s and arch = parse_arch arch_s in
+  let benchmarks = Array.of_list (select_benchmarks suite benchs) in
+  if Array.length benchmarks = 0 then invalid_arg "no benchmarks selected";
+  let requests = max 1 requests and clients = max 1 clients in
+  (* Expected observations computed once per workload, on demand, shared
+     across client domains. *)
+  let expected = Array.make (Array.length benchmarks) None in
+  let expected_lock = Mutex.create () in
+  let expect i =
+    Mutex.protect expected_lock (fun () ->
+        match expected.(i) with
+        | Some o -> o
+        | None ->
+          let o = expected_observation ~tier ~arch ~iters ~fuel benchmarks.(i) in
+          expected.(i) <- Some o;
+          o)
+  in
+  let records = Array.make requests None in
+  let next = Atomic.make 0 in
+  let request_of i =
+    let b = benchmarks.(i mod Array.length benchmarks) in
+    ( i mod Array.length benchmarks,
+      Protocol.Run
+        { tier; arch; iters; fuel; deadline_ms = deadline; src = b.Registry.source } )
+  in
+  let run_one conn i =
+    let bidx, req = request_of i in
+    let t0 = now_s () in
+    let resp = Client.rpc conn req in
+    let latency_s = now_s () -. t0 in
+    let outcome =
+      match resp with
+      | Protocol.Run_ok { cache_hit; result; heap; _ } ->
+        if check then begin
+          let exp_result, exp_heap = expect bidx in
+          if result <> exp_result || heap <> exp_heap then
+            Failed
+              (Printf.sprintf "%s: daemon said result=%s heap=%s, direct Vm says result=%s heap=%s"
+                 benchmarks.(bidx).Registry.id result heap exp_result exp_heap)
+          else if cache_hit then Ok_hit
+          else Ok_miss
+        end
+        else if cache_hit then Ok_hit
+        else Ok_miss
+      | Protocol.Error { err = Protocol.Etimeout; msg } ->
+        ignore msg;
+        Timed_out
+      | Protocol.Error { err = Protocol.Eoverloaded; _ } -> Overloaded
+      | Protocol.Error { err; msg } ->
+        Failed (Printf.sprintf "%s: %s" (Protocol.err_name err) msg)
+      | Protocol.Stats_ok _ | Protocol.Pong | Protocol.Shutting_down ->
+        Failed "unexpected response kind"
+    in
+    records.(i) <- Some { latency_s; outcome }
+  in
+  let client_loop () =
+    if keepalive then begin
+      let conn = Client.connect ~retry_for_s:5.0 socket in
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < requests then begin
+          run_one conn i;
+          go ()
+        end
+      in
+      Fun.protect ~finally:(fun () -> Client.close conn) go
+    end
+    else
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < requests then begin
+          let conn = Client.connect ~retry_for_s:5.0 socket in
+          Fun.protect ~finally:(fun () -> Client.close conn) (fun () -> run_one conn i);
+          go ()
+        end
+      in
+      go ()
+  in
+  let wall0 = now_s () in
+  let domains = List.init clients (fun _ -> Domain.spawn client_loop) in
+  List.iter Domain.join domains;
+  let wall_s = now_s () -. wall0 in
+  let recs =
+    Array.to_list records
+    |> List.filter_map (fun r -> r)
+  in
+  let by p = List.filter (fun r -> p r.outcome) recs in
+  let oks = by (function Ok_hit | Ok_miss -> true | _ -> false) in
+  let warm = by (function Ok_hit -> true | _ -> false) in
+  let cold = by (function Ok_miss -> true | _ -> false) in
+  let timeouts = by (function Timed_out -> true | _ -> false) in
+  let overloaded = by (function Overloaded -> true | _ -> false) in
+  let failures =
+    List.filter_map (function { outcome = Failed m; _ } -> Some m | _ -> None) recs
+  in
+  if not quiet then
+    List.iteri
+      (fun i m -> if i < 10 then Printf.eprintf "loadgen: FAILURE %s\n%!" m)
+      failures;
+  let ms l = List.map (fun r -> r.latency_s *. 1000.0) l in
+  let pct l p = if l = [] then 0.0 else Stats.percentile (ms l) p in
+  let throughput = if wall_s > 0.0 then float_of_int (List.length oks) /. wall_s else 0.0 in
+  let hit_rate =
+    let h = List.length warm and m = List.length cold in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let cold_p50 = pct cold 50.0 and warm_p50 = pct warm 50.0 in
+  let stats_txt =
+    let conn = Client.connect ~retry_for_s:5.0 socket in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        let stats =
+          match Client.rpc conn Protocol.Stats with
+          | Protocol.Stats_ok s -> s
+          | _ -> "<stats unavailable>"
+        in
+        if shutdown then ignore (Client.rpc conn Protocol.Shutdown);
+        stats)
+  in
+  if not quiet then begin
+    Printf.printf "--- nomapd load test: %d requests, %d clients, %d workloads (%s/%s, iters %d) ---\n"
+      requests clients (Array.length benchmarks) (Vm.cap_name tier) (Config.name arch) iters;
+    Printf.printf "wall %.2fs  throughput %.0f req/s\n" wall_s throughput;
+    Printf.printf "latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n" (pct oks 50.0) (pct oks 95.0)
+      (pct oks 99.0);
+    Printf.printf "cold (cache miss): %4d requests, p50 %.3f ms\n" (List.length cold) cold_p50;
+    Printf.printf "warm (cache hit):  %4d requests, p50 %.3f ms  (%.1fx faster, hit rate %.1f%%)\n"
+      (List.length warm) warm_p50
+      (if warm_p50 > 0.0 then cold_p50 /. warm_p50 else 0.0)
+      (100.0 *. hit_rate);
+    Printf.printf "errors %d  timeouts %d  overloaded %d%s\n" (List.length failures)
+      (List.length timeouts) (List.length overloaded)
+      (if check then "  (responses verified against direct Vm execution)" else "");
+    print_endline "--- server stats ---";
+    print_endline stats_txt
+  end;
+  let oc = open_out json in
+  Printf.fprintf oc
+    {|{
+  "schema": "nomap-server-v1",
+  "socket": "%s",
+  "requests": %d,
+  "clients": %d,
+  "workloads": %d,
+  "tier": "%s",
+  "arch": "%s",
+  "iters": %d,
+  "keepalive": %b,
+  "checked": %b,
+  "wall_s": %.6f,
+  "throughput_rps": %.3f,
+  "ok": %d,
+  "errors": %d,
+  "timeouts": %d,
+  "overloaded": %d,
+  "latency_ms": { "p50": %.6f, "p95": %.6f, "p99": %.6f },
+  "cold": { "count": %d, "p50_ms": %.6f },
+  "warm": { "count": %d, "p50_ms": %.6f },
+  "cold_over_warm_p50": %.3f,
+  "cache_hit_rate": %.4f
+}
+|}
+    (json_escape socket) requests clients (Array.length benchmarks)
+    (json_escape (Vm.cap_name tier))
+    (json_escape (Config.name arch))
+    iters keepalive check wall_s throughput (List.length oks) (List.length failures)
+    (List.length timeouts) (List.length overloaded) (pct oks 50.0) (pct oks 95.0) (pct oks 99.0)
+    (List.length cold) cold_p50 (List.length warm) warm_p50
+    (if warm_p50 > 0.0 then cold_p50 /. warm_p50 else 0.0)
+    hit_rate;
+  close_out oc;
+  Printf.printf "%d/%d ok (%.0f req/s, p50 %.3f ms warm / %.3f ms cold) -> %s\n"
+    (List.length oks) requests throughput warm_p50 cold_p50 json;
+  if failures = [] && timeouts = [] && overloaded = [] then 0 else 1
+
+let cmd =
+  let doc = "Closed-loop load generator for the nomapd execution daemon" in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const main $ socket $ requests $ clients $ suite $ benchs $ tier $ arch $ iters $ fuel
+      $ deadline $ json $ keepalive $ check $ shutdown $ quiet)
+
+let () = exit (Cmd.eval' cmd)

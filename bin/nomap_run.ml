@@ -85,7 +85,7 @@ let run file arch_name tier_name show_stats disasm dump_lir iterations =
     match Nomap_bytecode.Opcode.func_by_name prog name with
     | None -> Printf.eprintf "no function %s\n" name
     | Some f -> (
-      match vm.Vm.versions.(f.Nomap_bytecode.Opcode.fid).Vm.ftl with
+      match Vm.ftl_code vm f.Nomap_bytecode.Opcode.fid with
       | Some c ->
         print_endline (Nomap_lir.Printer.func_to_string c.Nomap_tiers.Specialize.lir)
       | None ->
@@ -93,7 +93,7 @@ let run file arch_name tier_name show_stats disasm dump_lir iterations =
           name))
   | None -> ());
   if show_stats then begin
-    let c = vm.Vm.counters in
+    let c = Vm.counters vm in
     Printf.printf "--- simulated execution statistics (%s, tier cap %s) ---\n" (Config.name arch)
       (Vm.cap_name tier);
     Printf.printf "instructions: %d\n" (Counters.total_instrs c);
@@ -113,7 +113,7 @@ let run file arch_name tier_name show_stats disasm dump_lir iterations =
     Printf.printf "ftl calls: %d   dfg calls: %d   deopts: %d\n" c.Counters.ftl_calls
       c.Counters.dfg_calls c.Counters.deopts;
     Printf.printf "tx commits: %d   tx aborts: %d   demotions: %d\n" c.Counters.tx_commits
-      c.Counters.tx_aborts vm.Vm.tx_demotions;
+      c.Counters.tx_aborts (Vm.tx_demotions vm);
     if c.Counters.tx_samples > 0 then
       Printf.printf "tx write footprint: avg %.2f KB, max %.2f KB, max set ways %d\n"
         (c.Counters.tx_write_kb_sum /. float_of_int c.Counters.tx_samples)

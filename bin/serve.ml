@@ -1,0 +1,70 @@
+(** serve.exe: the nomapd execution daemon.
+
+    Accepts MiniJS programs over a length-prefixed Unix-domain-socket
+    protocol and executes each on a fresh, isolated VM, amortizing
+    compilation through a shared LRU artifact cache (see DESIGN.md §12).
+
+    Usage:
+      serve.exe --socket /tmp/nomapd.sock --domains 2
+      loadgen.exe --socket /tmp/nomapd.sock --requests 200 --clients 4
+
+    Stop it with SIGINT/SIGTERM or a SHUTDOWN request
+    (loadgen.exe --shutdown). *)
+
+module Server = Nomap_server.Server
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt string "nomapd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+
+let domains =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains executing requests.")
+
+let queue =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-queue bound; connections beyond it are rejected with $(b,overloaded).")
+
+let cache =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "cache" ] ~docv:"N" ~doc:"Compiled-artifact cache capacity (LRU entries).")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup/shutdown chatter.")
+
+let main socket domains queue cache quiet =
+  let t =
+    Server.start
+      { Server.socket_path = socket; domains; queue_capacity = queue; cache_capacity = cache }
+  in
+  if not quiet then
+    Printf.printf "nomapd: listening on %s (%d domains, queue %d, cache %d)\n%!" socket domains
+      queue cache;
+  let on_signal _ = Server.request_stop t in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  (match Server.wait t with
+  | () -> ()
+  | exception e ->
+    Printf.eprintf "nomapd: worker died: %s\n%!" (Printexc.to_string e);
+    exit 1);
+  if not quiet then print_endline "nomapd: stopped";
+  0
+
+let cmd =
+  let doc = "Long-running MiniJS execution daemon with a shared compiled-artifact cache" in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const main $ socket $ domains $ queue $ cache $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -42,7 +42,7 @@ let () =
   let base = run Config.Base in
   let nomap = run Config.NoMap_full in
   let report label (vm : Vm.t) =
-    let c = vm.Vm.counters in
+    let c = Vm.counters vm in
     Printf.printf
       "%-10s instructions=%9d  cycles=%10.0f  ftl-calls=%4d  deopts=%d  tx-commits=%d\n" label
       (Counters.total_instrs c) c.Counters.cycles c.Counters.ftl_calls c.Counters.deopts
@@ -50,8 +50,8 @@ let () =
   in
   report "Base" base;
   report "NoMap" nomap;
-  let bi = float_of_int (Counters.total_instrs base.Vm.counters) in
-  let ni = float_of_int (Counters.total_instrs nomap.Vm.counters) in
+  let bi = float_of_int (Counters.total_instrs (Vm.counters base)) in
+  let ni = float_of_int (Counters.total_instrs (Vm.counters nomap)) in
   Printf.printf "\nNoMap executed %.1f%% fewer instructions than Base.\n"
     ((1.0 -. (ni /. bi)) *. 100.0);
   match Vm.global nomap "result" with

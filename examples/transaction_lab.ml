@@ -68,14 +68,14 @@ let run arch src =
   vm
 
 let show label (vm : Vm.t) =
-  let c = vm.Vm.counters in
+  let c = Vm.counters vm in
   let aborts =
     Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %s=%d" acc k v) c.Counters.abort_reasons ""
   in
   Printf.printf "  %-10s result=%-12s commits=%-6d aborts=%-3d deopts=%-3d demotions=%d%s\n"
     label
     (match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "?")
-    c.Counters.tx_commits c.Counters.tx_aborts c.Counters.deopts vm.Vm.tx_demotions
+    c.Counters.tx_commits c.Counters.tx_aborts c.Counters.deopts (Vm.tx_demotions vm)
     (if aborts = "" then "" else "  [" ^ String.trim aborts ^ " ]")
 
 let () =

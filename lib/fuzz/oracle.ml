@@ -36,72 +36,10 @@ let default_cfgs =
   @ List.map (fun arch -> { tier = Vm.Cap_ftl; arch }) Config.all
 
 (* ------------------------------------------------------------------ *)
-(* Heap checksum *)
+(* Heap checksum — one shared implementation with the execution daemon's
+   response checksum (Nomap_vm.Heap_checksum), so they cannot drift. *)
 
-(* FNV-1a, 64-bit. *)
-let fnv_prime = 0x100000001B3L
-let fnv_basis = 0xCBF29CE484222325L
-
-let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
-
-let fnv_string h s =
-  let h = ref h in
-  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
-  (* Terminator byte so "ab","c" and "a","bc" hash differently. *)
-  fnv_byte !h 0xFF
-
-(** Checksum of everything reachable from the program's globals.  Purely
-    structural: simulated addresses, object ids and slot capacities are
-    excluded, because allocation order legitimately differs across tiers
-    (aborted transactions roll back stores but not allocations).  Cycles are
-    cut by tagging back-references. *)
-let heap_checksum (inst : Instance.t) =
-  let seen_obj = Hashtbl.create 16 and seen_arr = Hashtbl.create 16 in
-  let h = ref fnv_basis in
-  let tag s = h := fnv_string !h s in
-  let rec walk (v : Value.t) =
-    match v with
-    | Value.Int i -> tag ("i" ^ string_of_int i)
-    | Value.Num f ->
-      (* NaNs canonicalized; -0.0 vs 0.0 distinguished, as JS can observe
-         the difference (1/x). *)
-      if Float.is_nan f then tag "nan"
-      else tag ("n" ^ Int64.to_string (Int64.bits_of_float f))
-    | Value.Str s -> tag ("s" ^ s.Value.sdata)
-    | Value.Bool b -> tag (if b then "T" else "F")
-    | Value.Undef -> tag "u"
-    | Value.Null -> tag "0"
-    | Value.Fun fid -> tag ("f" ^ string_of_int fid)
-    | Value.Hole -> tag "h"
-    | Value.Obj o ->
-      if Hashtbl.mem seen_obj o.Value.oid then tag "cyc"
-      else begin
-        Hashtbl.replace seen_obj o.Value.oid ();
-        tag "{";
-        List.iteri
-          (fun slot name ->
-            tag name;
-            walk o.Value.slots.(slot))
-          (Shape.property_names o.Value.shape);
-        tag "}"
-      end
-    | Value.Arr a ->
-      if Hashtbl.mem seen_arr a.Value.aid then tag "cyc"
-      else begin
-        Hashtbl.replace seen_arr a.Value.aid ();
-        tag ("[" ^ string_of_int a.Value.alen);
-        for i = 0 to a.Value.alen - 1 do
-          walk a.Value.elems.(i)
-        done;
-        tag "]"
-      end
-  in
-  Array.iteri
-    (fun idx name ->
-      tag name;
-      walk inst.Instance.globals.(idx))
-    inst.Instance.prog.Nomap_bytecode.Opcode.globals;
-  Printf.sprintf "%016Lx" !h
+let heap_checksum = Nomap_vm.Heap_checksum.checksum
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -129,14 +67,19 @@ let run_cfg ?ftl_mutate ~src (c : cfg) : observation =
     let prog = Nomap_bytecode.Compile.compile_source src in
     let fuel = if c = reference then reference_fuel else tiered_fuel in
     let vm =
-      Vm.create ~fuel ~verify_lir:true ~paranoid:true ?ftl_mutate
-        ~config:(Config.create c.arch) ~tier_cap:c.tier prog
+      match ftl_mutate with
+      | None ->
+        Vm.create ~fuel ~verify_lir:true ~paranoid:true ~config:(Config.create c.arch)
+          ~tier_cap:c.tier prog
+      | Some ftl_mutate ->
+        Vm.create_with_ftl_mutator ~ftl_mutate ~fuel ~verify_lir:true ~paranoid:true
+          ~config:(Config.create c.arch) ~tier_cap:c.tier prog
     in
     ignore (Vm.run_main vm);
     let result =
       match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "<no result>"
     in
-    Outcome { result; heap = heap_checksum vm.Vm.instance }
+    Outcome { result; heap = heap_checksum (Vm.instance vm) }
   with
   | o -> o
   | exception e -> Crash (Printexc.to_string e)

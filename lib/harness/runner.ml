@@ -58,7 +58,7 @@ let steady_vm ~warmup ~measure ~label bench vm =
   for _ = 1 to measure do
     result := Vm.call_function vm "benchmark" []
   done;
-  let counters = Counters.diff ~now:vm.Vm.counters ~before in
+  let counters = Counters.diff ~now:(Vm.counters vm) ~before in
   let checksum = Value.to_js_string !result in
   check bench label checksum;
   {
@@ -67,9 +67,9 @@ let steady_vm ~warmup ~measure ~label bench vm =
     counters;
     cycles = counters.Counters.cycles;
     checksum;
-    deopts_total = vm.Vm.counters.Counters.deopts;
-    ftl_calls_total = vm.Vm.counters.Counters.ftl_calls;
-    tx_demotions = vm.Vm.tx_demotions;
+    deopts_total = (Vm.counters vm).Counters.deopts;
+    ftl_calls_total = (Vm.counters vm).Counters.ftl_calls;
+    tx_demotions = Vm.tx_demotions vm;
   }
 
 (** Run [bench] under architecture [arch] at full tier; returns steady-state
@@ -116,12 +116,12 @@ let measure_deopt ~iterations bench =
   let deopts_at_50 = ref 0 in
   for i = 1 to iterations do
     ignore (Vm.call_function vm "benchmark" []);
-    if i = 50 then deopts_at_50 := vm.Vm.counters.Counters.deopts
+    if i = 50 then deopts_at_50 := (Vm.counters vm).Counters.deopts
   done;
   {
-    d_ftl_calls = vm.Vm.counters.Counters.ftl_calls;
-    d_deopts = vm.Vm.counters.Counters.deopts;
-    d_late = vm.Vm.counters.Counters.deopts - !deopts_at_50;
+    d_ftl_calls = (Vm.counters vm).Counters.ftl_calls;
+    d_deopts = (Vm.counters vm).Counters.deopts;
+    d_late = (Vm.counters vm).Counters.deopts - !deopts_at_50;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,85 @@
+type 'v entry = { value : 'v; mutable last_use : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  lock : Mutex.t;
+  table : ('k, 'v entry) Hashtbl.t;
+  mutable tick : int;  (** logical clock for LRU recency *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create (min capacity 64);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* O(size) scan; eviction only happens at capacity, and capacities here are
+   dozens-to-hundreds of compiled programs, so a scan is cheaper than
+   maintaining an intrusive list and much harder to get wrong. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, oldest) when oldest <= e.last_use -> ()
+      | _ -> victim := Some (k, e.last_use))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+
+let find_or_add t k compute =
+  Mutex.protect t.lock (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+        e.last_use <- t.tick;
+        t.hits <- t.hits + 1;
+        (true, e.value)
+      | None ->
+        t.misses <- t.misses + 1;
+        let v = compute () in
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        Hashtbl.replace t.table k { value = v; last_use = t.tick };
+        (false, v))
+
+let mem t k = Mutex.protect t.lock (fun () -> Hashtbl.mem t.table k)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let hit_rate t =
+  let s = stats t in
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
+
+let stats_to_string t =
+  let s = stats t in
+  Printf.sprintf "size=%d/%d hits=%d misses=%d evictions=%d hit_rate=%.1f%%" s.size s.capacity
+    s.hits s.misses s.evictions (100.0 *. hit_rate t)

@@ -1,0 +1,46 @@
+(** Shared compiled-artifact cache: a mutex-guarded LRU memo table with
+    hit/miss/eviction accounting, safe to share across OCaml 5 domains.
+
+    This generalizes the two memo tables the repo grew by hand — the
+    benchmark registry's compiled-program cache and the old runner memo
+    table (now the scheduler store): one bounded, instrumented
+    implementation instead of bespoke [Hashtbl] + [Mutex] pairs.  The
+    daemon keys it by FNV-1a source hash × tier × architecture
+    ([Session.key]); the registry keys it by benchmark id.
+
+    Concurrency contract: the lock is held across the [compute] callback,
+    so a given key is computed exactly once even when many domains request
+    it simultaneously, and every caller observes the physically identical
+    value.  That serializes computes — acceptable because compiles are
+    cheap front-end work; the expensive part (execution) never happens
+    under this lock.  If [compute] raises, nothing is inserted and the
+    exception propagates to the caller that ran it. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> ('k, 'v) t
+(** [capacity] (default 64, min 1) bounds the entry count; inserting past
+    it evicts the least-recently-used entry. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
+(** [find_or_add t k compute] returns [(hit, value)]: the cached value
+    (refreshing its recency) or the freshly computed one. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure probe: no stats update, no recency refresh. *)
+
+val stats : ('k, 'v) t -> stats
+
+val hit_rate : ('k, 'v) t -> float
+(** Hits over lookups, in [0, 1]; 0 when no lookups yet. *)
+
+val stats_to_string : ('k, 'v) t -> string
+(** One-line rendering for the STATS verb and logs. *)

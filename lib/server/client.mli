@@ -1,0 +1,17 @@
+(** Minimal blocking client for the nomapd protocol: one connection, one
+    in-flight request.  Shared by [bin/loadgen.exe] and the integration
+    tests so both speak the wire format through the same code path. *)
+
+type t
+
+val connect : ?retry_for_s:float -> string -> t
+(** Connect to a daemon's Unix-domain socket.  [retry_for_s] (default 0)
+    keeps retrying [ECONNREFUSED]/[ENOENT] for that long — for racing a
+    daemon that is still binding (CI starts them concurrently).
+    @raise Unix.Unix_error when the daemon never comes up. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** Send one request and block for its response.
+    @raise Failure on EOF or an undecodable response. *)
+
+val close : t -> unit

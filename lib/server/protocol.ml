@@ -1,0 +1,344 @@
+(** nomapd wire protocol: versioned, length-prefixed request/response
+    framing over a byte stream (Unix stdlib only — no external codec).
+
+    Frame layout (both directions):
+
+    {v
+      [u32 BE payload length][payload]
+    v}
+
+    Request payload:
+
+    {v
+      [u8 version = 1][u8 verb]
+      verb 1 (RUN):  [u8 tier][u8 arch][u32 iters][u64 fuel]
+                     [u32 deadline_ms][u32 src_len][src bytes]
+      verb 2 (STATS) / 3 (PING) / 4 (SHUTDOWN): no fields
+    v}
+
+    Response payload:
+
+    {v
+      [u8 version = 1][u8 status]
+      status 0 (RUN_OK):   [u8 cache_hit][str result][str heap]
+                           [u64 instrs][u64 checks][u64 cycles_bits]
+                           [u64 tx_commits][u64 tx_aborts][u64 deopts]
+                           [u64 ftl_calls]
+      status 1 (STATS_OK): [str text]
+      status 2 (PONG), 3 (SHUTTING_DOWN): no fields
+      status 16..19 (MALFORMED/OVERLOADED/TIMEOUT/CRASH): [str message]
+    v}
+
+    where [str] is [u32 len][bytes].  Every decoder is total: malformed
+    input (bad magic version, unknown verb/status, truncated fields,
+    trailing garbage, oversized frames) is rejected with an [Error]
+    description, never an exception — the daemon answers it with a
+    MALFORMED response and drops the connection. *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+
+let version = 1
+
+(** Upper bound on a single frame; a larger announced length is rejected
+    before any allocation, so a hostile client cannot make the daemon
+    allocate unbounded memory with a 4-byte header. *)
+let max_frame = 16 * 1024 * 1024
+
+type run = {
+  tier : Vm.tier_cap;
+  arch : Config.arch;
+  iters : int;  (** [benchmark()] calls after the top level; 0 = top level only *)
+  fuel : int;  (** execution budget in ops; [<= 0] means the server default *)
+  deadline_ms : int;  (** max queue wait before admission; 0 = no deadline *)
+  src : string;  (** MiniJS program text *)
+}
+
+type request = Run of run | Stats | Ping | Shutdown
+
+type err =
+  | Emalformed  (** protocol violation: bad version/verb/framing *)
+  | Eoverloaded  (** admission queue full — retry later *)
+  | Etimeout  (** deadline exceeded in queue, or fuel exhausted running *)
+  | Ecrash  (** the program failed to compile or raised at runtime *)
+
+let err_name = function
+  | Emalformed -> "malformed"
+  | Eoverloaded -> "overloaded"
+  | Etimeout -> "timeout"
+  | Ecrash -> "crash"
+
+(** Per-request machine counters, the serving-side cut of
+    [Nomap_machine.Counters] (totals only; the full per-category breakdown
+    stays a harness concern). *)
+type run_counters = {
+  instrs : int;
+  checks : int;
+  cycles : float;
+  tx_commits : int;
+  tx_aborts : int;
+  deopts : int;
+  ftl_calls : int;
+}
+
+type response =
+  | Run_ok of {
+      cache_hit : bool;  (** compiled artifact came from the shared cache *)
+      result : string;  (** the [result] global (or last [benchmark()] return) *)
+      heap : string;  (** structural heap checksum, [Heap_checksum.checksum] *)
+      counters : run_counters;
+    }
+  | Stats_ok of string
+  | Pong
+  | Shutting_down
+  | Error of { err : err; msg : string }
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let u32 b v =
+  u8 b (v lsr 24);
+  u8 b (v lsr 16);
+  u8 b (v lsr 8);
+  u8 b v
+
+let u64 b (v : int64) =
+  for i = 7 downto 0 do
+    u8 b (Int64.to_int (Int64.shift_right_logical v (i * 8)))
+  done
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers: a cursor over the payload with bounds checking. *)
+
+exception Bad of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then
+    raise (Bad (Printf.sprintf "truncated: need %d bytes at offset %d of %d" n c.pos
+                  (String.length c.data)))
+
+let r8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r32 c =
+  let a = r8 c in
+  let b = r8 c in
+  let d = r8 c in
+  let e = r8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let r64 c =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r8 c))
+  done;
+  !v
+
+let rstr c =
+  let n = r32 c in
+  if n > max_frame then raise (Bad (Printf.sprintf "string length %d exceeds frame cap" n));
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let finish c v =
+  if c.pos <> String.length c.data then
+    raise (Bad (Printf.sprintf "%d trailing bytes" (String.length c.data - c.pos)))
+  else v
+
+(* ------------------------------------------------------------------ *)
+(* Tier / arch codes *)
+
+let tier_code = function Vm.Cap_interp -> 0 | Vm.Cap_baseline -> 1 | Vm.Cap_dfg -> 2 | Vm.Cap_ftl -> 3
+
+let tier_of_code = function
+  | 0 -> Vm.Cap_interp
+  | 1 -> Vm.Cap_baseline
+  | 2 -> Vm.Cap_dfg
+  | 3 -> Vm.Cap_ftl
+  | n -> raise (Bad (Printf.sprintf "unknown tier code %d" n))
+
+(* Positional in [Config.all]; the list order is the paper's Table II and
+   part of the wire format — append, never reorder. *)
+let arch_code a =
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if x = a then i else go (i + 1) rest
+  in
+  go 0 Config.all
+
+let arch_of_code n =
+  match List.nth_opt Config.all n with
+  | Some a -> a
+  | None -> raise (Bad (Printf.sprintf "unknown arch code %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let encode_request (req : request) : string =
+  let b = Buffer.create 256 in
+  u8 b version;
+  (match req with
+  | Run r ->
+    u8 b 1;
+    u8 b (tier_code r.tier);
+    u8 b (arch_code r.arch);
+    u32 b r.iters;
+    u64 b (Int64.of_int (max 0 r.fuel));
+    u32 b r.deadline_ms;
+    str b r.src
+  | Stats -> u8 b 2
+  | Ping -> u8 b 3
+  | Shutdown -> u8 b 4);
+  Buffer.contents b
+
+let decode_request (payload : string) : (request, string) result =
+  match
+    let c = { data = payload; pos = 0 } in
+    let v = r8 c in
+    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    match r8 c with
+    | 1 ->
+      let tier = tier_of_code (r8 c) in
+      let arch = arch_of_code (r8 c) in
+      let iters = r32 c in
+      let fuel = Int64.to_int (r64 c) in
+      let deadline_ms = r32 c in
+      let src = rstr c in
+      finish c (Run { tier; arch; iters; fuel; deadline_ms; src })
+    | 2 -> finish c Stats
+    | 3 -> finish c Ping
+    | 4 -> finish c Shutdown
+    | verb -> raise (Bad (Printf.sprintf "unknown request verb %d" verb))
+  with
+  | req -> Ok req
+  | exception Bad msg -> Result.Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let err_code = function Emalformed -> 16 | Eoverloaded -> 17 | Etimeout -> 18 | Ecrash -> 19
+
+let err_of_code = function
+  | 16 -> Emalformed
+  | 17 -> Eoverloaded
+  | 18 -> Etimeout
+  | 19 -> Ecrash
+  | n -> raise (Bad (Printf.sprintf "unknown error status %d" n))
+
+let encode_response (resp : response) : string =
+  let b = Buffer.create 256 in
+  u8 b version;
+  (match resp with
+  | Run_ok { cache_hit; result; heap; counters } ->
+    u8 b 0;
+    u8 b (if cache_hit then 1 else 0);
+    str b result;
+    str b heap;
+    u64 b (Int64.of_int counters.instrs);
+    u64 b (Int64.of_int counters.checks);
+    u64 b (Int64.bits_of_float counters.cycles);
+    u64 b (Int64.of_int counters.tx_commits);
+    u64 b (Int64.of_int counters.tx_aborts);
+    u64 b (Int64.of_int counters.deopts);
+    u64 b (Int64.of_int counters.ftl_calls)
+  | Stats_ok text ->
+    u8 b 1;
+    str b text
+  | Pong -> u8 b 2
+  | Shutting_down -> u8 b 3
+  | Error { err; msg } ->
+    u8 b (err_code err);
+    str b msg);
+  Buffer.contents b
+
+let decode_response (payload : string) : (response, string) result =
+  match
+    let c = { data = payload; pos = 0 } in
+    let v = r8 c in
+    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    match r8 c with
+    | 0 ->
+      let cache_hit = r8 c <> 0 in
+      let result = rstr c in
+      let heap = rstr c in
+      let instrs = Int64.to_int (r64 c) in
+      let checks = Int64.to_int (r64 c) in
+      let cycles = Int64.float_of_bits (r64 c) in
+      let tx_commits = Int64.to_int (r64 c) in
+      let tx_aborts = Int64.to_int (r64 c) in
+      let deopts = Int64.to_int (r64 c) in
+      let ftl_calls = Int64.to_int (r64 c) in
+      finish c
+        (Run_ok
+           {
+             cache_hit;
+             result;
+             heap;
+             counters = { instrs; checks; cycles; tx_commits; tx_aborts; deopts; ftl_calls };
+           })
+    | 1 -> finish c (Stats_ok (rstr c))
+    | 2 -> finish c Pong
+    | 3 -> finish c Shutting_down
+    | status -> finish c (Error { err = err_of_code status; msg = rstr c })
+  with
+  | resp -> Ok resp
+  | exception Bad msg -> Result.Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Framing over a file descriptor *)
+
+type frame = Frame of string | Eof | Oversized of int
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_frame fd (payload : string) =
+  let n = String.length payload in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set buf 3 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* Read exactly [len] bytes; [None] on a clean EOF at offset 0, [Eof]-worthy
+   errors (connection reset mid-frame) surface as [None] too — a torn frame
+   and a closed peer get the same treatment: drop the connection. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos >= len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> None
+      | n -> go (pos + n)
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
+  in
+  go 0
+
+let read_frame fd : frame =
+  match read_exact fd 4 with
+  | None -> Eof
+  | Some hdr ->
+    let b i = Char.code hdr.[i] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then Oversized n
+    else if n = 0 then Frame ""
+    else (match read_exact fd n with None -> Eof | Some payload -> Frame payload)

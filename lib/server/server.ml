@@ -1,0 +1,231 @@
+type config = {
+  socket_path : string;
+  domains : int;
+  queue_capacity : int;
+  cache_capacity : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; domains = 2; queue_capacity = 64; cache_capacity = 128 }
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected_overloaded : int;
+  mutable run_ok : int;
+  mutable run_hit : int;
+  mutable stats_served : int;
+  mutable pings : int;
+  mutable err_malformed : int;
+  mutable err_overloaded : int;
+  mutable err_timeout : int;
+  mutable err_crash : int;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  cache : Session.cache;
+  queue : (Unix.file_descr * float) Queue.t;  (** accepted conns × enqueue time *)
+  lock : Mutex.t;  (** guards [queue] and [stopping] *)
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  stats_lock : Mutex.t;
+  stats : stats;
+  started_at : float;
+  mutable pool : unit Domain.t list;  (** acceptor + workers; emptied by [wait] *)
+  mutable fatal : (exn * Printexc.raw_backtrace) option;  (** first worker bug *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let cache t = t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let record_response t (resp : Protocol.response) =
+  Mutex.protect t.stats_lock (fun () ->
+      let s = t.stats in
+      match resp with
+      | Protocol.Run_ok { cache_hit; _ } ->
+        s.run_ok <- s.run_ok + 1;
+        if cache_hit then s.run_hit <- s.run_hit + 1
+      | Protocol.Stats_ok _ -> s.stats_served <- s.stats_served + 1
+      | Protocol.Pong -> s.pings <- s.pings + 1
+      | Protocol.Shutting_down -> ()
+      | Protocol.Error { err; _ } -> (
+        match err with
+        | Protocol.Emalformed -> s.err_malformed <- s.err_malformed + 1
+        | Protocol.Eoverloaded -> s.err_overloaded <- s.err_overloaded + 1
+        | Protocol.Etimeout -> s.err_timeout <- s.err_timeout + 1
+        | Protocol.Ecrash -> s.err_crash <- s.err_crash + 1))
+
+let stats_text t =
+  let depth = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  let s = Mutex.protect t.stats_lock (fun () -> { t.stats with accepted = t.stats.accepted }) in
+  String.concat "\n"
+    [
+      Printf.sprintf "nomapd uptime_s=%.1f domains=%d" (now () -. t.started_at) t.cfg.domains;
+      Printf.sprintf "queue depth=%d capacity=%d accepted=%d overloaded_rejections=%d" depth
+        t.cfg.queue_capacity s.accepted s.rejected_overloaded;
+      Printf.sprintf "cache %s" (Artifact_cache.stats_to_string t.cache);
+      Printf.sprintf
+        "requests run_ok=%d run_hit=%d run_miss=%d stats=%d ping=%d \
+         errors=[malformed=%d overloaded=%d timeout=%d crash=%d]"
+        s.run_ok s.run_hit (s.run_ok - s.run_hit) s.stats_served s.pings s.err_malformed
+        s.err_overloaded s.err_timeout s.err_crash;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let request_stop t =
+  Mutex.protect t.lock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.nonempty)
+
+let session_ctx t : Session.ctx =
+  {
+    Session.cache = t.cache;
+    stats_text = (fun () -> stats_text t);
+    request_shutdown = (fun () -> request_stop t);
+    on_response = record_response t;
+  }
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Reject at the door: a full queue answers OVERLOADED instead of
+   buffering.  The write is blocking, but the response is far below any
+   socket buffer, so the acceptor cannot be wedged by a deaf client. *)
+let reject_overloaded t fd =
+  let resp =
+    Protocol.Error
+      {
+        err = Protocol.Eoverloaded;
+        msg = Printf.sprintf "admission queue full (%d connections)" t.cfg.queue_capacity;
+      }
+  in
+  record_response t resp;
+  (try Protocol.write_frame fd (Protocol.encode_response resp)
+   with Unix.Unix_error _ -> ());
+  close_quietly fd;
+  Mutex.protect t.stats_lock (fun () ->
+      t.stats.rejected_overloaded <- t.stats.rejected_overloaded + 1)
+
+(* The acceptor polls with a timeout instead of blocking in [accept] so a
+   [request_stop] from any domain is noticed within ~200 ms without
+   platform-dependent tricks (self-connects, closing a live fd). *)
+let acceptor_loop t =
+  let continue = ref true in
+  while !continue do
+    if Mutex.protect t.lock (fun () -> t.stopping) then continue := false
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+          Mutex.protect t.stats_lock (fun () -> t.stats.accepted <- t.stats.accepted + 1);
+          let action =
+            Mutex.protect t.lock (fun () ->
+                if t.stopping then `Drop
+                else if Queue.length t.queue >= t.cfg.queue_capacity then `Reject
+                else begin
+                  Queue.add (fd, now ()) t.queue;
+                  Condition.signal t.nonempty;
+                  `Admitted
+                end)
+          in
+          (match action with
+          | `Admitted -> ()
+          | `Reject -> reject_overloaded t fd
+          | `Drop -> close_quietly fd))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let worker_loop t =
+  let ctx = session_ctx t in
+  let continue = ref true in
+  while !continue do
+    let job =
+      Mutex.protect t.lock (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.lock
+          done;
+          if Queue.is_empty t.queue then None (* stopping and drained *)
+          else Some (Queue.pop t.queue))
+    in
+    match job with
+    | None -> continue := false
+    | Some (fd, enqueued_at) ->
+      let queue_wait_s = now () -. enqueued_at in
+      (try Session.serve ctx ~queue_wait_s fd
+       with e ->
+         (* Not a client-triggerable path — Session.serve converts those to
+            error responses.  A worker bug poisons the pool: shut down and
+            let [wait] re-raise. *)
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.protect t.lock (fun () ->
+             if t.fatal = None then t.fatal <- Some (e, bt));
+         request_stop t);
+      close_quietly fd
+  done
+
+let start cfg =
+  let cfg = { cfg with domains = max 1 cfg.domains; queue_capacity = max 1 cfg.queue_capacity } in
+  (* A client hanging up mid-reply must surface as EPIPE, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      cfg;
+      listen_fd;
+      cache = Artifact_cache.create ~capacity:cfg.cache_capacity ();
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      stats_lock = Mutex.create ();
+      stats =
+        {
+          accepted = 0;
+          rejected_overloaded = 0;
+          run_ok = 0;
+          run_hit = 0;
+          stats_served = 0;
+          pings = 0;
+          err_malformed = 0;
+          err_overloaded = 0;
+          err_timeout = 0;
+          err_crash = 0;
+        };
+      started_at = now ();
+      pool = [];
+      fatal = None;
+    }
+  in
+  let workers = List.init cfg.domains (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+  let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
+  t.pool <- acceptor :: workers;
+  t
+
+let wait t =
+  let pool = t.pool in
+  t.pool <- [];
+  List.iter Domain.join pool;
+  if pool <> [] then begin
+    close_quietly t.listen_fd;
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  end;
+  match t.fatal with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let stop t =
+  request_stop t;
+  wait t

@@ -1,0 +1,52 @@
+(** nomapd: the long-running execution daemon.
+
+    Architecture: one acceptor loop plus a pool of OCaml 5 [Domain]
+    workers fed by a bounded admission queue of accepted connections.
+    Backpressure is reject-not-buffer: when the queue is full the acceptor
+    answers OVERLOADED and closes, so a traffic spike costs clients a
+    retry instead of costing the daemon unbounded memory.  Workers pull a
+    connection, serve its requests to completion ([Session.serve], one
+    fresh VM per request), close it, and go back to the queue.
+
+    Shared mutable state and its guards:
+    - the artifact cache: internally mutex-guarded ([Artifact_cache]);
+    - the admission queue: the pool mutex + condition variable;
+    - request statistics: a separate stats mutex, taken per response.
+
+    A worker that somehow throws past [Session.serve]'s per-request
+    catch-all (a daemon bug, not a client error) poisons the pool: the
+    first such exception initiates shutdown and is re-raised from [wait],
+    mirroring the harness scheduler's worker-exception propagation. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket path; stale files are replaced *)
+  domains : int;  (** worker pool size (min 1) *)
+  queue_capacity : int;  (** admission queue bound; beyond it, OVERLOADED *)
+  cache_capacity : int;  (** artifact-cache entries *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, queue of 64, cache of 128. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, and spawn the acceptor and worker domains.  Returns once
+    the socket is accepting (a client may connect immediately). *)
+
+val request_stop : t -> unit
+(** Begin shutdown: stop admitting, let workers drain the queue and exit.
+    Also reachable remotely via the SHUTDOWN verb.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until the daemon has stopped (via [request_stop] or SHUTDOWN),
+    join every domain, close and unlink the socket.  Re-raises the first
+    worker-fatal exception, if any. *)
+
+val stop : t -> unit
+(** [request_stop] then [wait]. *)
+
+val stats_text : t -> string
+(** The STATS verb payload: queue, cache, and per-class request counters. *)
+
+val cache : t -> Session.cache

@@ -1,0 +1,122 @@
+module Vm = Nomap_vm.Vm
+module Heap_checksum = Nomap_vm.Heap_checksum
+module Config = Nomap_nomap.Config
+module Value = Nomap_runtime.Value
+module Instance = Nomap_interp.Instance
+module Counters = Nomap_machine.Counters
+module Fnv = Nomap_util.Fnv
+
+type key = { hash : int64; tier : Vm.tier_cap; arch : Config.arch }
+
+type cache = (key, Nomap_bytecode.Opcode.program) Artifact_cache.t
+
+(* Generous for real programs, small enough that a hostile infinite loop
+   costs bounded CPU: roughly one fuzz-oracle tiered budget (DESIGN.md §11). *)
+let default_fuel = 100_000_000
+
+let counters_of_vm vm : Protocol.run_counters =
+  let c = Vm.counters vm in
+  {
+    Protocol.instrs = Counters.total_instrs c;
+    checks = Counters.total_checks c;
+    cycles = c.Counters.cycles;
+    tx_commits = c.Counters.tx_commits;
+    tx_aborts = c.Counters.tx_aborts;
+    deopts = c.Counters.deopts;
+    ftl_calls = c.Counters.ftl_calls;
+  }
+
+let run ~cache (r : Protocol.run) : Protocol.response =
+  match
+    Artifact_cache.find_or_add cache
+      { hash = Fnv.hash64 r.Protocol.src; tier = r.Protocol.tier; arch = r.Protocol.arch }
+      (fun () -> Nomap_bytecode.Compile.compile_source r.Protocol.src)
+  with
+  | exception e ->
+    Protocol.Error { err = Protocol.Ecrash; msg = "compile: " ^ Printexc.to_string e }
+  | cache_hit, prog -> (
+    let fuel = if r.Protocol.fuel <= 0 then default_fuel else r.Protocol.fuel in
+    match
+      let vm =
+        Vm.create ~fuel ~config:(Config.create r.Protocol.arch) ~tier_cap:r.Protocol.tier prog
+      in
+      ignore (Vm.run_main vm);
+      let last = ref None in
+      for _ = 1 to r.Protocol.iters do
+        last := Some (Vm.call_function vm "benchmark" [])
+      done;
+      let result =
+        match !last with
+        | Some v -> Value.to_js_string v
+        | None -> (
+          match Vm.global vm "result" with
+          | Some v -> Value.to_js_string v
+          | None -> "<no result>")
+      in
+      Protocol.Run_ok
+        {
+          cache_hit;
+          result;
+          heap = Heap_checksum.checksum (Vm.instance vm);
+          counters = counters_of_vm vm;
+        }
+    with
+    | resp -> resp
+    | exception Instance.Out_of_fuel ->
+      Protocol.Error
+        { err = Protocol.Etimeout; msg = Printf.sprintf "exceeded fuel budget (%d ops)" fuel }
+    | exception e -> Protocol.Error { err = Protocol.Ecrash; msg = Printexc.to_string e })
+
+type ctx = {
+  cache : cache;
+  stats_text : unit -> string;
+  request_shutdown : unit -> unit;
+  on_response : Protocol.response -> unit;
+}
+
+let reply ctx fd resp =
+  ctx.on_response resp;
+  Protocol.write_frame fd (Protocol.encode_response resp)
+
+let serve ctx ~queue_wait_s fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | Protocol.Eof -> ()
+    | Protocol.Oversized n ->
+      reply ctx fd
+        (Protocol.Error
+           {
+             err = Protocol.Emalformed;
+             msg = Printf.sprintf "frame of %d bytes exceeds cap %d" n Protocol.max_frame;
+           })
+    | Protocol.Frame payload -> (
+      match Protocol.decode_request payload with
+      | Result.Error msg ->
+        (* The stream may be desynchronized — answer and hang up. *)
+        reply ctx fd (Protocol.Error { err = Protocol.Emalformed; msg })
+      | Ok Protocol.Ping ->
+        reply ctx fd Protocol.Pong;
+        loop ()
+      | Ok Protocol.Stats ->
+        reply ctx fd (Protocol.Stats_ok (ctx.stats_text ()));
+        loop ()
+      | Ok Protocol.Shutdown ->
+        reply ctx fd Protocol.Shutting_down;
+        ctx.request_shutdown ()
+      | Ok (Protocol.Run r) ->
+        if r.Protocol.deadline_ms > 0 && queue_wait_s *. 1000.0 > float_of_int r.Protocol.deadline_ms
+        then
+          reply ctx fd
+            (Protocol.Error
+               {
+                 err = Protocol.Etimeout;
+                 msg =
+                   Printf.sprintf "queued %.0f ms past the %d ms deadline"
+                     (queue_wait_s *. 1000.0) r.Protocol.deadline_ms;
+               })
+        else reply ctx fd (run ~cache:ctx.cache r);
+        loop ())
+  in
+  (* A peer that vanishes mid-reply (EPIPE on our write) is indistinguishable
+     from one that hung up early: drop the connection either way. *)
+  try loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()

@@ -1,0 +1,50 @@
+(** Per-connection request execution with VM-instance isolation.
+
+    Every RUN request gets a brand-new [Vm.t] — its own heap, globals,
+    profile and counters — built from a compiled program shared read-only
+    through the artifact cache.  Nothing mutable outlives a request, so
+    concurrent clients (and consecutive requests on one connection) cannot
+    observe each other's globals or heap; the only cross-request state is
+    the immutable compiled artifact and the daemon's own statistics. *)
+
+type key = {
+  hash : int64;  (** FNV-1a of the program source *)
+  tier : Nomap_vm.Vm.tier_cap;
+  arch : Nomap_nomap.Config.arch;
+}
+(** Artifact-cache key.  Tier and architecture are part of the key even
+    though today's artifact (front-end bytecode) is identical across them:
+    the key space is the contract, so a future tier- or arch-specialized
+    artifact (pre-transformed LIR) slots in without a wire or cache
+    migration. *)
+
+type cache = (key, Nomap_bytecode.Opcode.program) Artifact_cache.t
+
+val default_fuel : int
+(** Execution budget when the request doesn't set one. *)
+
+val run : cache:cache -> Protocol.run -> Protocol.response
+(** Execute one RUN request: look up / compile the artifact, run the
+    program's top level on a fresh VM (plus [iters] calls of
+    [benchmark()]), and report the [result] global, the structural heap
+    checksum, and the request's machine counters.  Fuel exhaustion maps to
+    [Etimeout], compile or runtime failures to [Ecrash]; no exception
+    escapes. *)
+
+(** Callbacks a session uses to reach daemon-level state without depending
+    on [Server] (which depends on this module). *)
+type ctx = {
+  cache : cache;
+  stats_text : unit -> string;  (** STATS verb payload *)
+  request_shutdown : unit -> unit;  (** SHUTDOWN verb: begin daemon stop *)
+  on_response : Protocol.response -> unit;  (** accounting tap, called per reply *)
+}
+
+val serve : ctx -> queue_wait_s:float -> Unix.file_descr -> unit
+(** Serve one connection until EOF, SHUTDOWN, or a protocol violation:
+    read a frame, decode, execute, reply, repeat.  [queue_wait_s] is how
+    long the connection sat in the admission queue; a RUN request whose
+    [deadline_ms] is positive and smaller is answered [Etimeout] without
+    executing.  Malformed frames are answered [Emalformed] and the
+    connection is dropped (the stream can no longer be trusted).  Does not
+    close the descriptor; the worker owns it. *)

@@ -1,0 +1,13 @@
+let basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) prime
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let hash64 s = string basis s
+
+let to_hex h = Printf.sprintf "%016Lx" h

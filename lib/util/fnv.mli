@@ -1,0 +1,19 @@
+(** FNV-1a, 64-bit: the repo's standard non-cryptographic hash.  Used by
+    the heap checksum ([Nomap_vm.Heap_checksum]) and the compiled-artifact
+    cache keys ([Nomap_server.Artifact_cache]). *)
+
+val basis : int64
+val prime : int64
+
+(** Fold one byte (low 8 bits of the int) into the hash. *)
+val byte : int64 -> int -> int64
+
+(** Fold a string's bytes into the hash — no terminator; callers that
+    hash delimited sequences must add their own separators. *)
+val string : int64 -> string -> int64
+
+(** One-shot hash of a string from [basis]. *)
+val hash64 : string -> int64
+
+(** Fixed-width lowercase hex rendering ("%016Lx"). *)
+val to_hex : int64 -> string

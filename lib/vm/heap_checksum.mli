@@ -1,0 +1,13 @@
+(** Structural checksum of everything reachable from a program instance's
+    globals.  The single implementation behind both the differential fuzz
+    oracle ([Nomap_fuzz.Oracle]) and the execution daemon's response
+    checksum ([Nomap_server.Session]): two observers of "what did this
+    program do to the heap" that must never drift apart.
+
+    Purely structural: simulated addresses, object ids and slot capacities
+    are excluded, because allocation order legitimately differs across
+    tiers (aborted transactions roll back stores but not allocations).
+    Cycles are cut by tagging back-references. *)
+
+val checksum : Nomap_interp.Instance.t -> string
+(** 16-hex-digit FNV-1a (64-bit) digest. *)

@@ -73,7 +73,7 @@ let machine_env t = Option.get t.env
 let fresh_version () =
   { dfg = None; ftl = None; deopt_count = 0; placement = Txplace.Auto; dirty = false }
 
-let rec create ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
+let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
     ?(verify_lir = false) ?(paranoid = false) ?ftl_mutate
     ?(opt_knobs = Nomap_opt.Pipeline.all_on) ~config ~tier_cap
     (prog : Opcode.program) =
@@ -222,6 +222,14 @@ and dispatch t ~fid ~this ~args =
     let regs = Interp.make_frame t.instance ~fid ~this ~args in
     Interp.run_from t.interp_env ~fid ~entry_pc:0 ~regs
 
+let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ~config ~tier_cap prog =
+  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ~config ~tier_cap prog
+
+let create_with_ftl_mutator ~ftl_mutate ?seed ?fuel ?thresholds ?verify_lir ?paranoid
+    ?opt_knobs ~config ~tier_cap prog =
+  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ~ftl_mutate ?opt_knobs ~config
+    ~tier_cap prog
+
 (** Run the program's top level. *)
 let run_main t =
   dispatch t ~fid:t.instance.Instance.prog.Opcode.main_fid ~this:Value.Undef ~args:[]
@@ -237,6 +245,16 @@ let global t name =
   let idx = ref (-1) in
   Array.iteri (fun i n -> if n = name then idx := i) prog.Opcode.globals;
   if !idx < 0 then None else Some t.instance.Instance.globals.(!idx)
+
+(* Accessors: [t] is abstract in the interface (vm.mli), so external
+   observers — harness, oracle, daemon, tests — read through these and the
+   mutable internals (versions, ftl_mutate, machine env) stay private. *)
+
+let instance t = t.instance
+let counters t = t.counters
+let tx_demotions t = t.tx_demotions
+let deopt_invalidations t = t.deopt_invalidations
+let ftl_code t fid = t.versions.(fid).ftl
 
 (** Snapshot of the current counters (for steady-state diffs). *)
 let snapshot t = Counters.copy t.counters

@@ -46,24 +46,19 @@ let of_suite = function
   | Kraken -> kraken
   | Shootout -> shootout
 
-(** Compile a benchmark's source (memoized).  The cache is shared across
-    domains — the harness scheduler compiles from parallel workers — so the
-    table is guarded by a mutex, held across the compile itself: that
-    serializes compilation (cheap, front-end only) and guarantees each
-    benchmark is compiled exactly once, with every domain reading the same
-    program value thereafter. *)
-let compiled_cache : (string, Nomap_bytecode.Opcode.program) Hashtbl.t = Hashtbl.create 64
-
-let compiled_lock = Mutex.create ()
+(** Compile a benchmark's source (memoized).  The cache is an
+    [Artifact_cache] — the same mutex-guarded LRU the execution daemon
+    shares across domains — sized above the benchmark count so registry
+    entries are never evicted.  Its exactly-once contract (lock held
+    across the compile) is what lets parallel scheduler workers all read
+    the physically identical program value. *)
+let compiled_cache : (string, Nomap_bytecode.Opcode.program) Nomap_server.Artifact_cache.t =
+  Nomap_server.Artifact_cache.create ~capacity:128 ()
 
 let compile b =
-  Mutex.protect compiled_lock (fun () ->
-      match Hashtbl.find_opt compiled_cache b.id with
-      | Some p -> p
-      | None ->
-        let p = Nomap_bytecode.Compile.compile_source ~name:b.name b.source in
-        Hashtbl.replace compiled_cache b.id p;
-        p)
+  snd
+    (Nomap_server.Artifact_cache.find_or_add compiled_cache b.id (fun () ->
+         Nomap_bytecode.Compile.compile_source ~name:b.name b.source))
 
 (** Reference result: run [benchmark()] once under the plain interpreter. *)
 let reference_result b =

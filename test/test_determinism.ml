@@ -68,7 +68,7 @@ let run_one bench arch =
   for _ = 1 to calls do
     ignore (Vm.call_function vm "benchmark" [])
   done;
-  Printf.sprintf "%s/%s %s" bench.Registry.id (Config.name arch) (canonical vm.Vm.counters)
+  Printf.sprintf "%s/%s %s" bench.Registry.id (Config.name arch) (canonical (Vm.counters vm))
 
 (* Each (bench, arch) run is an independent single-domain VM, so the sweep
    fans out across domains; order is preserved by [parallel_map]. *)

@@ -17,7 +17,7 @@ let run ?(arch = Config.NoMap_full) ?(fuel = 500_000_000) src =
 let result_of t =
   match Vm.global t "result" with Some v -> Value.to_js_string v | None -> "?"
 
-let cat t c = t.Vm.counters.Counters.instrs.(Counters.category_index c)
+let cat t c = (Vm.counters t).Counters.instrs.(Counters.category_index c)
 
 (* A leaf kernel: everything hot runs in the function that owns the tx. *)
 let leaf_kernel =
@@ -46,7 +46,7 @@ let test_callee_owns_transaction () =
   Alcotest.(check string) "correct" "360" (result_of t);
   Alcotest.(check bool) "TMOpt present" true (cat t Counters.Tm_opt > 0);
   Alcotest.(check bool) "commits happen in callee" true
-    (t.Vm.counters.Counters.tx_commits > 100)
+    ((Vm.counters t).Counters.tx_commits > 100)
 
 let test_chunked_transactions () =
   (* 4000 stores * 8B = 32KB per entry, above the scaled 16KB ROT budget:
@@ -57,13 +57,13 @@ let test_chunked_transactions () =
   in
   let t = run src in
   Alcotest.(check string) "correct" "3999" (result_of t);
-  let ftl_calls_of_bench = t.Vm.counters.Counters.ftl_calls in
+  let ftl_calls_of_bench = (Vm.counters t).Counters.ftl_calls in
   Alcotest.(check bool)
     (Printf.sprintf "commits (%d) exceed FTL calls (%d): mid-loop commits happened"
-       t.Vm.counters.Counters.tx_commits ftl_calls_of_bench)
+       (Vm.counters t).Counters.tx_commits ftl_calls_of_bench)
     true
-    (t.Vm.counters.Counters.tx_commits > ftl_calls_of_bench);
-  Alcotest.(check int) "no capacity aborts (tiles fit)" 0 t.Vm.counters.Counters.tx_aborts
+    ((Vm.counters t).Counters.tx_commits > ftl_calls_of_bench);
+  Alcotest.(check int) "no capacity aborts (tiles fit)" 0 (Vm.counters t).Counters.tx_aborts
 
 let test_rtm_reads_slower () =
   (* Read-heavy kernel: RTM charges a per-read penalty inside transactions
@@ -74,12 +74,12 @@ let test_rtm_reads_slower () =
   let t_rtm = run ~arch:Config.NoMap_RTM leaf_kernel in
   Alcotest.(check string) "same result" (result_of t_rot) (result_of t_rtm);
   Alcotest.(check bool) "RTM committed transactions" true
-    (t_rtm.Vm.counters.Counters.tx_commits > 0);
+    ((Vm.counters t_rtm).Counters.tx_commits > 0);
   Alcotest.(check bool)
     (Printf.sprintf "RTM cycles (%.1f) > ROT cycles (%.1f)"
-       t_rtm.Vm.counters.Counters.cycles t_rot.Vm.counters.Counters.cycles)
+       (Vm.counters t_rtm).Counters.cycles (Vm.counters t_rot).Counters.cycles)
     true
-    (t_rtm.Vm.counters.Counters.cycles > t_rot.Vm.counters.Counters.cycles)
+    ((Vm.counters t_rtm).Counters.cycles > (Vm.counters t_rot).Counters.cycles)
 
 let test_deopt_in_tx_aborts () =
   (* inner() is int-specialized during warmup; the final call feeds doubles
@@ -96,12 +96,12 @@ let test_deopt_in_tx_aborts () =
   let t = run src in
   Alcotest.(check string) "correct after abort" expected (result_of t);
   let aborts =
-    try Hashtbl.find t.Vm.counters.Counters.abort_reasons "deopt-in-tx" with Not_found -> 0
+    try Hashtbl.find (Vm.counters t).Counters.abort_reasons "deopt-in-tx" with Not_found -> 0
   in
   let check_aborts =
     Hashtbl.fold
       (fun k v acc -> if String.length k >= 5 && String.sub k 0 5 = "check" then acc + v else acc)
-      t.Vm.counters.Counters.abort_reasons 0
+      (Vm.counters t).Counters.abort_reasons 0
   in
   Alcotest.(check bool)
     (Printf.sprintf "an abort fired (deopt-in-tx=%d, check=%d)" aborts check_aborts)
@@ -121,7 +121,7 @@ let test_sof_only_at_commit () =
   let t = run src in
   Alcotest.(check string) "exact double result" expected (result_of t);
   Alcotest.(check bool) "sof abort recorded" true
-    (Hashtbl.mem t.Vm.counters.Counters.abort_reasons "sof-overflow")
+    (Hashtbl.mem (Vm.counters t).Counters.abort_reasons "sof-overflow")
 
 let test_print_in_tx_is_irrevocable () =
   (* A print reached inside a transaction must abort it first (paper V-A),
@@ -136,8 +136,8 @@ let test_print_in_tx_is_irrevocable () =
   let t = run src in
   Alcotest.(check string) "correct with io" expected (result_of t);
   Alcotest.(check bool) "irrevocable abort recorded" true
-    (Hashtbl.mem t.Vm.counters.Counters.abort_reasons "irrevocable-io"
-    || Hashtbl.length t.Vm.counters.Counters.abort_reasons > 0)
+    (Hashtbl.mem (Vm.counters t).Counters.abort_reasons "irrevocable-io"
+    || Hashtbl.length (Vm.counters t).Counters.abort_reasons > 0)
 
 let test_math_random_rolls_back () =
   (* Math.random's PRNG state is journaled: a rollback replays the same
@@ -157,7 +157,7 @@ let test_ghost_regions_cost_nothing () =
      check marker instructions are charged zero by comparing category sums
      against the total. *)
   let t = run ~arch:Config.Base leaf_kernel in
-  let c = t.Vm.counters in
+  let c = (Vm.counters t) in
   Alcotest.(check int) "no transactional state in Base" 0 c.Counters.tx_commits;
   Alcotest.(check bool) "cycles consistent" true (c.Counters.cycles > 0.0)
 

@@ -31,5 +31,6 @@ let () =
       ("determinism", Test_determinism.tests);
       ("scheduler", Test_scheduler.tests);
       ("measurement", Test_measurement.tests);
+      ("server", Test_server.tests);
       ("fuzz", Test_fuzz.tests);
     ]

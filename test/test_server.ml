@@ -1,0 +1,396 @@
+(* The nomapd serving layer: wire protocol totality, artifact-cache LRU
+   semantics (including a cross-domain hammer), and a live daemon on a temp
+   socket exercised by concurrent clients against the fuzz corpus, checked
+   bit-for-bit against direct Vm execution. *)
+
+module Protocol = Nomap_server.Protocol
+module Artifact_cache = Nomap_server.Artifact_cache
+module Session = Nomap_server.Session
+module Server = Nomap_server.Server
+module Client = Nomap_server.Client
+module Vm = Nomap_vm.Vm
+module Heap_checksum = Nomap_vm.Heap_checksum
+module Config = Nomap_nomap.Config
+module Value = Nomap_runtime.Value
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let sample_run =
+  {
+    Protocol.tier = Vm.Cap_ftl;
+    arch = Config.NoMap_full;
+    iters = 3;
+    fuel = 1_000_000;
+    deadline_ms = 250;
+    src = "var result = 1 + 2;";
+  }
+
+let roundtrip_request req =
+  match Protocol.decode_request (Protocol.encode_request req) with
+  | Ok req' -> req'
+  | Result.Error msg -> Alcotest.failf "request did not roundtrip: %s" msg
+
+let roundtrip_response resp =
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok resp' -> resp'
+  | Result.Error msg -> Alcotest.failf "response did not roundtrip: %s" msg
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool) "request roundtrips" true (roundtrip_request req = req))
+    [
+      Protocol.Run sample_run;
+      Protocol.Run { sample_run with tier = Vm.Cap_interp; arch = Config.Base; src = "" };
+      Protocol.Stats;
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+
+let test_response_roundtrip () =
+  let counters =
+    {
+      Protocol.instrs = 12345;
+      checks = 678;
+      cycles = 90123.5;
+      tx_commits = 4;
+      tx_aborts = 1;
+      deopts = 2;
+      ftl_calls = 7;
+    }
+  in
+  List.iter
+    (fun resp ->
+      Alcotest.(check bool) "response roundtrips" true (roundtrip_response resp = resp))
+    [
+      Protocol.Run_ok { cache_hit = true; result = "42"; heap = "deadbeefdeadbeef"; counters };
+      Protocol.Stats_ok "queue depth=0\ncache size=1";
+      Protocol.Pong;
+      Protocol.Shutting_down;
+      Protocol.Error { err = Protocol.Eoverloaded; msg = "queue full" };
+      Protocol.Error { err = Protocol.Etimeout; msg = "" };
+    ]
+
+let expect_bad what payload =
+  match Protocol.decode_request payload with
+  | Ok _ -> Alcotest.failf "%s: decoder accepted malformed input" what
+  | Result.Error _ -> ()
+
+let test_malformed_rejected () =
+  let good = Protocol.encode_request (Protocol.Run sample_run) in
+  expect_bad "empty" "";
+  expect_bad "bad version" ("\x07" ^ String.sub good 1 (String.length good - 1));
+  expect_bad "unknown verb" "\x01\x63";
+  expect_bad "truncated run" (String.sub good 0 (String.length good - 3));
+  expect_bad "trailing garbage" (good ^ "xx");
+  (* Announced string length far past the payload. *)
+  expect_bad "lying length"
+    "\x01\x01\x03\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff";
+  match Protocol.decode_response "\x01\x63" with
+  | Ok _ -> Alcotest.fail "unknown status accepted"
+  | Result.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Artifact cache *)
+
+let test_lru_eviction_order () =
+  let c = Artifact_cache.create ~capacity:2 () in
+  let add k = ignore (Artifact_cache.find_or_add c k (fun () -> String.uppercase_ascii k)) in
+  add "a";
+  add "b";
+  (* Refresh "a": now "b" is the least recently used. *)
+  let hit, v = Artifact_cache.find_or_add c "a" (fun () -> assert false) in
+  Alcotest.(check bool) "refresh was a hit" true hit;
+  Alcotest.(check string) "cached value" "A" v;
+  add "c";
+  Alcotest.(check bool) "a survives (recently used)" true (Artifact_cache.mem c "a");
+  Alcotest.(check bool) "b evicted (LRU)" false (Artifact_cache.mem c "b");
+  Alcotest.(check bool) "c present" true (Artifact_cache.mem c "c");
+  let s = Artifact_cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Artifact_cache.hits;
+  Alcotest.(check int) "misses" 3 s.Artifact_cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Artifact_cache.evictions;
+  Alcotest.(check int) "size" 2 s.Artifact_cache.size;
+  (* Re-adding the victim recomputes: a genuine miss. *)
+  add "b";
+  let s = Artifact_cache.stats c in
+  Alcotest.(check int) "miss after eviction" 4 s.Artifact_cache.misses
+
+let test_cache_compute_failure_not_inserted () =
+  let c = Artifact_cache.create ~capacity:4 () in
+  (try ignore (Artifact_cache.find_or_add c "k" (fun () -> failwith "compile error"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "failed compute not cached" false (Artifact_cache.mem c "k");
+  let _, v = Artifact_cache.find_or_add c "k" (fun () -> 7) in
+  Alcotest.(check int) "recomputed after failure" 7 v
+
+let test_cache_domain_hammer () =
+  let capacity = 8 and keyspace = 16 and domains = 4 and iters = 2000 in
+  let c = Artifact_cache.create ~capacity () in
+  let computes = Array.init keyspace (fun _ -> Atomic.make 0) in
+  let worker d () =
+    for i = 0 to iters - 1 do
+      let k = ((d * 7919) + (i * 104729) + (i * i * 31)) mod keyspace in
+      let _, v =
+        Artifact_cache.find_or_add c k (fun () ->
+            Atomic.incr computes.(k);
+            k * 2)
+      in
+      if v <> k * 2 then Alcotest.failf "domain %d saw wrong value %d for key %d" d v k
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let s = Artifact_cache.stats c in
+  let total_computes = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 computes in
+  Alcotest.(check int) "every lookup accounted" (domains * iters)
+    (s.Artifact_cache.hits + s.Artifact_cache.misses);
+  Alcotest.(check int) "misses = computes" total_computes s.Artifact_cache.misses;
+  Alcotest.(check int) "evictions = computes - live entries"
+    (total_computes - s.Artifact_cache.size)
+    s.Artifact_cache.evictions;
+  Alcotest.(check bool) "bounded" true (s.Artifact_cache.size <= capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon integration *)
+
+let corpus_dir = if Sys.file_exists "fuzz_corpus" then "fuzz_corpus" else "test/fuzz_corpus"
+
+let corpus () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".js")
+  |> List.sort compare
+  |> List.map (fun f ->
+         let ic = open_in (Filename.concat corpus_dir f) in
+         let n = in_channel_length ic in
+         let s = really_input_string ic n in
+         close_in ic;
+         (f, s))
+
+let temp_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nomapd-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(domains = 2) ?(queue = 64) cfg_f =
+  let path = temp_socket () in
+  let t =
+    Server.start
+      { Server.socket_path = path; domains; queue_capacity = queue; cache_capacity = 32 }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> cfg_f path t)
+
+(* Exactly Session.run's execution recipe, in-process: the contract the
+   daemon must match byte for byte. *)
+let direct ~tier ~arch src =
+  let prog = Nomap_bytecode.Compile.compile_source src in
+  let vm = Vm.create ~fuel:Session.default_fuel ~config:(Config.create arch) ~tier_cap:tier prog in
+  ignore (Vm.run_main vm);
+  let result =
+    match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "<no result>"
+  in
+  (result, Heap_checksum.checksum (Vm.instance vm))
+
+let run_req ?(tier = Vm.Cap_ftl) ?(arch = Config.NoMap_full) ?(iters = 0) ?(fuel = 0)
+    ?(deadline_ms = 0) src =
+  Protocol.Run { tier; arch; iters; fuel; deadline_ms; src }
+
+let test_corpus_concurrent_clients () =
+  let programs = corpus () in
+  Alcotest.(check bool) "corpus nonempty" true (programs <> []);
+  let expected =
+    List.map (fun (f, src) -> (f, src, direct ~tier:Vm.Cap_ftl ~arch:Config.NoMap_full src))
+      programs
+  in
+  with_server (fun path _t ->
+      let clients = 4 in
+      let failures = Atomic.make 0 in
+      let client () =
+        (* One persistent connection per client: more clients than worker
+           domains would starve with keepalive, so connect per program. *)
+        List.iter
+          (fun (f, src, (exp_result, exp_heap)) ->
+            let conn = Client.connect ~retry_for_s:5.0 path in
+            Fun.protect
+              ~finally:(fun () -> Client.close conn)
+              (fun () ->
+                match Client.rpc conn (run_req src) with
+                | Protocol.Run_ok { result; heap; _ } ->
+                  if result <> exp_result || heap <> exp_heap then begin
+                    Printf.eprintf "%s: daemon (%s,%s) <> direct (%s,%s)\n%!" f result heap
+                      exp_result exp_heap;
+                    Atomic.incr failures
+                  end
+                | resp ->
+                  Printf.eprintf "%s: unexpected response %s\n%!" f
+                    (Protocol.encode_response resp);
+                  Atomic.incr failures))
+          expected
+      in
+      let ds = List.init clients (fun _ -> Domain.spawn client) in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "all concurrent responses bit-identical to direct Vm" 0
+        (Atomic.get failures))
+
+(* [g] starts Undef (falsy) in a fresh VM; if any globals/heap leaked
+   between requests, the second run would observe g = 1 and flip to 1. *)
+let isolation_probe = "var n = (g ? 1 : 0);\ng = 1;\nvar result = n;"
+
+let test_session_isolation () =
+  with_server (fun path _t ->
+      let conn = Client.connect ~retry_for_s:5.0 path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          for i = 1 to 3 do
+            match Client.rpc conn (run_req isolation_probe) with
+            | Protocol.Run_ok { result; _ } ->
+              Alcotest.(check string)
+                (Printf.sprintf "request %d sees a fresh VM" i)
+                "0" result
+            | _ -> Alcotest.fail "isolation probe did not run"
+          done))
+
+let test_error_paths () =
+  with_server (fun path _t ->
+      (* Ping. *)
+      let conn = Client.connect ~retry_for_s:5.0 path in
+      (match Client.rpc conn Protocol.Ping with
+      | Protocol.Pong -> ()
+      | _ -> Alcotest.fail "no pong");
+      (* Crash: program that doesn't parse. *)
+      (match Client.rpc conn (run_req "var = ) {") with
+      | Protocol.Error { err = Protocol.Ecrash; _ } -> ()
+      | _ -> Alcotest.fail "parse error should be a crash response");
+      (* Timeout: fuel exhaustion. *)
+      (match
+         Client.rpc conn
+           (run_req ~fuel:1000 "var s = 0; for (var i = 0; i < 1000000; i++) { s = s + i; } var result = s;")
+       with
+      | Protocol.Error { err = Protocol.Etimeout; _ } -> ()
+      | _ -> Alcotest.fail "fuel exhaustion should be a timeout response");
+      (* The connection survives run-level errors and still serves. *)
+      (match Client.rpc conn (run_req "var result = 6 * 7;") with
+      | Protocol.Run_ok { result; _ } -> Alcotest.(check string) "recovers" "42" result
+      | _ -> Alcotest.fail "connection did not recover");
+      (* STATS over the wire. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      (match Client.rpc conn Protocol.Stats with
+      | Protocol.Stats_ok text ->
+        Alcotest.(check bool) "stats mentions the cache" true (contains text "cache")
+      | _ -> Alcotest.fail "no stats");
+      Client.close conn;
+      (* Malformed frame: garbage payload gets a MALFORMED reply, then the
+         daemon hangs up. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Protocol.write_frame fd "this is not a request";
+      (match Protocol.read_frame fd with
+      | Protocol.Frame payload -> (
+        match Protocol.decode_response payload with
+        | Ok (Protocol.Error { err = Protocol.Emalformed; _ }) -> ()
+        | _ -> Alcotest.fail "garbage should be answered MALFORMED")
+      | _ -> Alcotest.fail "no reply to garbage");
+      (match Protocol.read_frame fd with
+      | Protocol.Eof -> ()
+      | _ -> Alcotest.fail "daemon should hang up after a malformed frame");
+      Unix.close fd)
+
+(* Cache-hit flag over the wire: first sight of a source is a miss, every
+   identical resend is a hit (same key: hash x tier x arch); a different
+   tier is a different artifact. *)
+let test_cache_hit_flag () =
+  with_server (fun path _t ->
+      let conn = Client.connect ~retry_for_s:5.0 path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let src = "var result = 1 + 1;" in
+          let hit_of = function
+            | Protocol.Run_ok { cache_hit; _ } -> cache_hit
+            | _ -> Alcotest.fail "run failed"
+          in
+          Alcotest.(check bool) "first run misses" false
+            (hit_of (Client.rpc conn (run_req src)));
+          Alcotest.(check bool) "second run hits" true
+            (hit_of (Client.rpc conn (run_req src)));
+          Alcotest.(check bool) "other tier misses" false
+            (hit_of (Client.rpc conn (run_req ~tier:Vm.Cap_interp src)))))
+
+(* Backpressure and queue deadlines, deterministically: a 1-domain daemon
+   with a queue of 1.  A slow request pins the only worker; the next
+   connection fills the queue; the one after that must be rejected
+   OVERLOADED at the door.  When the pinned worker finally frees up, the
+   queued connection's request — stamped with a 1 ms deadline — has been
+   waiting far longer and must be answered TIMEOUT without executing. *)
+let test_overload_and_deadline () =
+  with_server ~domains:1 ~queue:1 (fun path _t ->
+      let slow_src =
+        "var s = 0; for (var i = 0; i < 5000000; i++) { s = (s + i) & 1048575; } var result = s;"
+      in
+      let slow = Client.connect ~retry_for_s:5.0 path in
+      (* A served Ping proves the only worker owns this connection: the
+         queue is empty again and everything after us queues behind it. *)
+      (match Client.rpc slow Protocol.Ping with
+      | Protocol.Pong -> ()
+      | _ -> Alcotest.fail "no pong from the worker");
+      let queued = Client.connect ~retry_for_s:5.0 path in
+      let slow_result = ref None in
+      (* Pin the worker from another domain; close when done so the worker
+         moves on to [queued]. *)
+      let runner =
+        Domain.spawn (fun () ->
+            slow_result := Some (Client.rpc slow (run_req ~tier:Vm.Cap_interp slow_src));
+            Client.close slow)
+      in
+      Unix.sleepf 0.3;
+      (* Worker pinned, [queued] holds the only queue slot: the next
+         connection must be turned away at the door, with the OVERLOADED
+         frame pushed before we send anything. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      (match Protocol.read_frame fd with
+      | Protocol.Frame payload -> (
+        match Protocol.decode_response payload with
+        | Ok (Protocol.Error { err = Protocol.Eoverloaded; _ }) -> ()
+        | _ -> Alcotest.fail "third connection should be rejected overloaded")
+      | _ -> Alcotest.fail "no overload rejection frame");
+      Unix.close fd;
+      (* A 1 ms queue deadline: the worker picks [queued] up only after the
+         slow run finishes, so its wait dwarfs the deadline. *)
+      (match Client.rpc queued (run_req ~deadline_ms:1 "var result = 1;") with
+      | Protocol.Error { err = Protocol.Etimeout; _ } -> ()
+      | _ -> Alcotest.fail "stale queued request should time out");
+      Domain.join runner;
+      (match !slow_result with
+      | Some (Protocol.Run_ok _) -> ()
+      | _ -> Alcotest.fail "slow request should still succeed");
+      Client.close queued)
+
+let tests =
+  [
+    Alcotest.test_case "protocol: request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "protocol: malformed inputs rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "cache: LRU eviction order and counters" `Quick test_lru_eviction_order;
+    Alcotest.test_case "cache: failed compute not inserted" `Quick
+      test_cache_compute_failure_not_inserted;
+    Alcotest.test_case "cache: concurrent domain hammer" `Quick test_cache_domain_hammer;
+    Alcotest.test_case "daemon: corpus x concurrent clients == direct Vm" `Slow
+      test_corpus_concurrent_clients;
+    Alcotest.test_case "daemon: sessions are isolated" `Quick test_session_isolation;
+    Alcotest.test_case "daemon: error paths (crash/timeout/malformed/stats)" `Quick
+      test_error_paths;
+    Alcotest.test_case "daemon: cache-hit flag keyed by source x tier" `Quick
+      test_cache_hit_flag;
+    Alcotest.test_case "daemon: backpressure rejects, queue deadline times out" `Slow
+      test_overload_and_deadline;
+  ]

@@ -37,7 +37,7 @@ let check_all_archs ?fuel name src =
       Alcotest.(check bool)
         (Printf.sprintf "%s: FTL ran under %s" name (Config.name arch))
         true
-        (t.Vm.counters.Counters.ftl_calls > 0))
+        ((Vm.counters t).Counters.ftl_calls > 0))
     all_archs
 
 let test_sum_loop () =
@@ -168,8 +168,8 @@ let sum_kernel =
 let test_nomap_reduces_instructions () =
   let base = run_vm ~arch:Config.Base sum_kernel in
   let nomap = run_vm ~arch:Config.NoMap_full sum_kernel in
-  let bi = Counters.total_instrs base.Vm.counters in
-  let ni = Counters.total_instrs nomap.Vm.counters in
+  let bi = Counters.total_instrs (Vm.counters base) in
+  let ni = Counters.total_instrs (Vm.counters nomap) in
   Alcotest.(check string) "same result" (result_of base) (result_of nomap);
   Alcotest.(check bool)
     (Printf.sprintf "NoMap (%d) < Base (%d)" ni bi)
@@ -178,34 +178,34 @@ let test_nomap_reduces_instructions () =
 let test_base_has_ghost_regions () =
   let t = run_vm ~arch:Config.Base sum_kernel in
   Alcotest.(check bool) "Base classifies TMOpt instructions" true
-    (t.Vm.counters.Counters.instrs.(Counters.category_index Counters.Tm_opt) > 0)
+    ((Vm.counters t).Counters.instrs.(Counters.category_index Counters.Tm_opt) > 0)
 
 let test_transactions_commit () =
   let t = run_vm ~arch:Config.NoMap_full sum_kernel in
-  Alcotest.(check bool) "transactions committed" true (t.Vm.counters.Counters.tx_commits > 0);
+  Alcotest.(check bool) "transactions committed" true ((Vm.counters t).Counters.tx_commits > 0);
   Alcotest.(check bool) "write footprint recorded" true
-    (t.Vm.counters.Counters.tx_write_kb_sum > 0.0)
+    ((Vm.counters t).Counters.tx_write_kb_sum > 0.0)
 
 let test_checks_counted () =
   let t = run_vm ~arch:Config.Base sum_kernel in
   Alcotest.(check bool) "bounds checks executed" true
-    (t.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) > 0);
+    ((Vm.counters t).Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) > 0);
   Alcotest.(check bool) "overflow checks executed" true
-    (t.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) > 0)
+    ((Vm.counters t).Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) > 0)
 
 let test_nomap_removes_bounds_checks () =
   let base = run_vm ~arch:Config.Base sum_kernel in
   let nomap_b = run_vm ~arch:Config.NoMap_B sum_kernel in
-  let b = base.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
-  let n = nomap_b.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
+  let b = (Vm.counters base).Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
+  let n = (Vm.counters nomap_b).Counters.checks.(Counters.check_index Nomap_lir.Lir.Bounds) in
   Alcotest.(check bool) (Printf.sprintf "NoMap_B bounds (%d) << Base (%d)" n b) true
     (n * 4 < b)
 
 let test_nomap_removes_overflow_checks () =
   let nomap_b = run_vm ~arch:Config.NoMap_B sum_kernel in
   let nomap = run_vm ~arch:Config.NoMap_full sum_kernel in
-  let b = nomap_b.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
-  let n = nomap.Vm.counters.Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
+  let b = (Vm.counters nomap_b).Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
+  let n = (Vm.counters nomap).Counters.checks.(Counters.check_index Nomap_lir.Lir.Overflow) in
   Alcotest.(check bool) (Printf.sprintf "NoMap overflow (%d) << NoMap_B (%d)" n b) true
     (n * 4 < b)
 
@@ -218,7 +218,7 @@ let test_tier_caps_ordering () =
   in
   let run cap =
     let t = run_vm ~cap src in
-    t.Vm.counters.Counters.cycles
+    (Vm.counters t).Counters.cycles
   in
   let interp = run Vm.Cap_interp in
   let baseline = run Vm.Cap_baseline in
@@ -233,7 +233,7 @@ let test_tier_caps_ordering () =
 let test_rare_deopts_in_steady_state () =
   (* Paper §III-A2: in steady state checks practically never fail. *)
   let t = run_vm ~arch:Config.Base sum_kernel in
-  Alcotest.(check int) "no deopts in a type-stable kernel" 0 t.Vm.counters.Counters.deopts
+  Alcotest.(check int) "no deopts in a type-stable kernel" 0 (Vm.counters t).Counters.deopts
 
 let tests =
   [
