@@ -32,7 +32,15 @@ let queue =
     value
     & opt int 64
     & info [ "queue" ] ~docv:"N"
-        ~doc:"Admission-queue bound; connections beyond it are rejected with $(b,overloaded).")
+        ~doc:"Admission-queue bound (in frames); requests beyond it are answered \
+              $(b,overloaded).")
+
+let max_conns =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Open-connection bound; connections beyond it are rejected at the door.")
 
 let cache =
   Arg.(
@@ -42,14 +50,20 @@ let cache =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup/shutdown chatter.")
 
-let main socket domains queue cache quiet =
+let main socket domains queue cache max_conns quiet =
   let t =
     Server.start
-      { Server.socket_path = socket; domains; queue_capacity = queue; cache_capacity = cache }
+      {
+        Server.socket_path = socket;
+        domains;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        max_connections = max_conns;
+      }
   in
   if not quiet then
-    Printf.printf "nomapd: listening on %s (%d domains, queue %d, cache %d)\n%!" socket domains
-      queue cache;
+    Printf.printf "nomapd: listening on %s (%d domains, queue %d, cache %d, max conns %d)\n%!"
+      socket domains queue cache max_conns;
   let on_signal _ = Server.request_stop t in
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
    with Invalid_argument _ -> ());
@@ -65,6 +79,7 @@ let main socket domains queue cache quiet =
 
 let cmd =
   let doc = "Long-running MiniJS execution daemon with a shared compiled-artifact cache" in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const main $ socket $ domains $ queue $ cache $ quiet)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const main $ socket $ domains $ queue $ cache $ max_conns $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,14 +1,36 @@
+(* Sharded LRU memo table.  Each shard owns a mutex, a table of ready
+   entries, and a table of in-flight computes; [compute] runs with no lock
+   held, deduplicated per key through a pending slot (mutex + condition),
+   so a slow compile for one key never delays a warm hit for another —
+   even one landing on the same shard. *)
+
 type 'v entry = { value : 'v; mutable last_use : int }
 
-type ('k, 'v) t = {
+(* Per-key in-flight slot.  The owner (the caller that found no entry and
+   no slot) runs [compute] and publishes the outcome; everyone else waits
+   on the condition.  [Failed] wakes waiters without a value: the owner's
+   exception is theirs alone, waiters go back and recompute (each such
+   retry is its own miss, so misses stay equal to compute invocations). *)
+type 'v outcome = Computing | Done of 'v | Failed
+
+type 'v pending = {
+  pm : Mutex.t;
+  pcv : Condition.t;
+  mutable outcome : 'v outcome;
+}
+
+type ('k, 'v) shard = {
   capacity : int;
   lock : Mutex.t;
   table : ('k, 'v entry) Hashtbl.t;
+  inflight : ('k, 'v pending) Hashtbl.t;  (** computes in progress; not counted in [capacity] *)
   mutable tick : int;  (** logical clock for LRU recency *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
+
+type ('k, 'v) t = { shards : ('k, 'v) shard array }
 
 type stats = {
   hits : int;
@@ -18,68 +40,147 @@ type stats = {
   capacity : int;
 }
 
-let create ?(capacity = 64) () =
+let create ?(capacity = 64) ?shards () =
   let capacity = max 1 capacity in
+  (* Few shards for small caches: exact-LRU behavior matters more than
+     lock spreading when the whole table is a handful of entries, and a
+     shard must own at least a few slots for its LRU to mean anything. *)
+  let nshards =
+    match shards with
+    | Some n -> max 1 (min n capacity)
+    | None -> max 1 (min 8 (capacity / 8))
+  in
+  let shard_capacity i =
+    (* Distribute the remainder so shard capacities sum to [capacity]. *)
+    (capacity / nshards) + if i < capacity mod nshards then 1 else 0
+  in
   {
-    capacity;
-    lock = Mutex.create ();
-    table = Hashtbl.create (min capacity 64);
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    shards =
+      Array.init nshards (fun i ->
+          {
+            capacity = shard_capacity i;
+            lock = Mutex.create ();
+            table = Hashtbl.create (min (shard_capacity i) 64);
+            inflight = Hashtbl.create 8;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
   }
+
+let shard_of t k = t.shards.(Hashtbl.hash k mod Array.length t.shards)
 
 (* O(size) scan; eviction only happens at capacity, and capacities here are
    dozens-to-hundreds of compiled programs, so a scan is cheaper than
    maintaining an intrusive list and much harder to get wrong. *)
-let evict_lru t =
+let evict_lru s =
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
       match !victim with
       | Some (_, oldest) when oldest <= e.last_use -> ()
       | _ -> victim := Some (k, e.last_use))
-    t.table;
+    s.table;
   match !victim with
   | None -> ()
   | Some (k, _) ->
-    Hashtbl.remove t.table k;
-    t.evictions <- t.evictions + 1
+    Hashtbl.remove s.table k;
+    s.evictions <- s.evictions + 1
 
-let find_or_add t k compute =
-  Mutex.protect t.lock (fun () ->
-      t.tick <- t.tick + 1;
-      match Hashtbl.find_opt t.table k with
-      | Some e ->
-        e.last_use <- t.tick;
-        t.hits <- t.hits + 1;
-        (true, e.value)
-      | None ->
-        t.misses <- t.misses + 1;
-        let v = compute () in
-        if Hashtbl.length t.table >= t.capacity then evict_lru t;
-        Hashtbl.replace t.table k { value = v; last_use = t.tick };
-        (false, v))
+let publish p outcome =
+  Mutex.protect p.pm (fun () ->
+      p.outcome <- outcome;
+      Condition.broadcast p.pcv)
 
-let mem t k = Mutex.protect t.lock (fun () -> Hashtbl.mem t.table k)
+let await p =
+  Mutex.protect p.pm (fun () ->
+      while p.outcome = Computing do
+        Condition.wait p.pcv p.pm
+      done;
+      p.outcome)
+
+let rec find_or_add t k compute =
+  let s = shard_of t k in
+  let action =
+    Mutex.protect s.lock (fun () ->
+        s.tick <- s.tick + 1;
+        match Hashtbl.find_opt s.table k with
+        | Some e ->
+          e.last_use <- s.tick;
+          s.hits <- s.hits + 1;
+          `Hit e.value
+        | None -> (
+          match Hashtbl.find_opt s.inflight k with
+          | Some p -> `Wait p
+          | None ->
+            let p = { pm = Mutex.create (); pcv = Condition.create (); outcome = Computing } in
+            Hashtbl.replace s.inflight k p;
+            s.misses <- s.misses + 1;
+            `Compute p))
+  in
+  match action with
+  | `Hit v -> (true, v)
+  | `Wait p -> (
+    match await p with
+    | Done v ->
+      (* Physically the owner's value; a hit for accounting.  Refresh
+         recency if the entry is still resident (it may already have been
+         evicted by unrelated churn — the value stays valid regardless). *)
+      Mutex.protect s.lock (fun () ->
+          s.tick <- s.tick + 1;
+          s.hits <- s.hits + 1;
+          match Hashtbl.find_opt s.table k with
+          | Some e -> e.last_use <- s.tick
+          | None -> ());
+      (true, v)
+    | Failed -> find_or_add t k compute (* owner's compute raised; try ourselves *)
+    | Computing -> assert false)
+  | `Compute p -> (
+    match compute () with
+    | v ->
+      Mutex.protect s.lock (fun () ->
+          s.tick <- s.tick + 1;
+          Hashtbl.remove s.inflight k;
+          if Hashtbl.length s.table >= s.capacity then evict_lru s;
+          Hashtbl.replace s.table k { value = v; last_use = s.tick });
+      publish p (Done v);
+      (false, v)
+    | exception e ->
+      Mutex.protect s.lock (fun () -> Hashtbl.remove s.inflight k);
+      publish p Failed;
+      raise e)
+
+let mem t k =
+  let s = shard_of t k in
+  Mutex.protect s.lock (fun () -> Hashtbl.mem s.table k)
 
 let stats t =
-  Mutex.protect t.lock (fun () ->
+  Array.fold_left
+    (fun acc s ->
+      let hits, misses, evictions, size =
+        Mutex.protect s.lock (fun () -> (s.hits, s.misses, s.evictions, Hashtbl.length s.table))
+      in
       {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        size = Hashtbl.length t.table;
-        capacity = t.capacity;
+        hits = acc.hits + hits;
+        misses = acc.misses + misses;
+        evictions = acc.evictions + evictions;
+        size = acc.size + size;
+        capacity = acc.capacity + s.capacity;
       })
+    { hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+    t.shards
 
-let hit_rate t =
-  let s = stats t in
+let hit_rate_of (s : stats) =
   let lookups = s.hits + s.misses in
   if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
 
+let hit_rate t = hit_rate_of (stats t)
+
+(* One snapshot for everything printed: size and hit rate move together.
+   (The old version called [stats] twice — once directly, once through
+   [hit_rate] — so the two could disagree under load.) *)
 let stats_to_string t =
   let s = stats t in
   Printf.sprintf "size=%d/%d hits=%d misses=%d evictions=%d hit_rate=%.1f%%" s.size s.capacity
-    s.hits s.misses s.evictions (100.0 *. hit_rate t)
+    s.hits s.misses s.evictions (100.0 *. hit_rate_of s)

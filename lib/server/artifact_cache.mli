@@ -1,5 +1,6 @@
-(** Shared compiled-artifact cache: a mutex-guarded LRU memo table with
-    hit/miss/eviction accounting, safe to share across OCaml 5 domains.
+(** Shared compiled-artifact cache: a sharded, mutex-guarded LRU memo
+    table with hit/miss/eviction accounting, safe to share across OCaml 5
+    domains.
 
     This generalizes the two memo tables the repo grew by hand — the
     benchmark registry's compiled-program cache and the old runner memo
@@ -8,13 +9,16 @@
     daemon keys it by FNV-1a source hash × tier × architecture
     ([Session.key]); the registry keys it by benchmark id.
 
-    Concurrency contract: the lock is held across the [compute] callback,
-    so a given key is computed exactly once even when many domains request
-    it simultaneously, and every caller observes the physically identical
-    value.  That serializes computes — acceptable because compiles are
-    cheap front-end work; the expensive part (execution) never happens
-    under this lock.  If [compute] raises, nothing is inserted and the
-    exception propagates to the caller that ran it. *)
+    Concurrency contract: the table is split into shards by key hash, each
+    behind its own mutex, so warm hits on different keys (almost) never
+    contend — and never serialize behind a compute.  [compute] runs with
+    {e no} lock held; callers racing on the same key rendezvous on a
+    per-key in-flight slot, so a given key is computed exactly once even
+    when many domains request it simultaneously, and every caller observes
+    the physically identical value.  If [compute] raises, nothing is
+    inserted, the exception propagates to the caller that ran it, and any
+    waiters retry (recomputing themselves — each such retry is a fresh
+    miss, keeping misses equal to compute invocations). *)
 
 type ('k, 'v) t
 
@@ -26,21 +30,33 @@ type stats = {
   capacity : int;
 }
 
-val create : ?capacity:int -> unit -> ('k, 'v) t
-(** [capacity] (default 64, min 1) bounds the entry count; inserting past
-    it evicts the least-recently-used entry. *)
+val create : ?capacity:int -> ?shards:int -> unit -> ('k, 'v) t
+(** [capacity] (default 64, min 1) bounds the entry count, split across
+    [shards] (default: [capacity/8] clamped to [1, 8]) — small caches get
+    one shard so eviction is exact global LRU; large ones trade LRU
+    exactness at shard boundaries for contention-free warm hits. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
 (** [find_or_add t k compute] returns [(hit, value)]: the cached value
-    (refreshing its recency) or the freshly computed one. *)
+    (refreshing its recency) or the freshly computed one.  A caller that
+    arrives while another domain is computing [k] blocks only on that
+    key's slot, counts as a hit, and shares the owner's value. *)
 
 val mem : ('k, 'v) t -> 'k -> bool
-(** Pure probe: no stats update, no recency refresh. *)
+(** Pure probe of ready entries: no stats update, no recency refresh,
+    in-flight computes invisible. *)
 
 val stats : ('k, 'v) t -> stats
+(** Aggregated over shards; each shard is snapshotted under its own lock
+    (totals are exact once concurrent callers have quiesced). *)
 
 val hit_rate : ('k, 'v) t -> float
 (** Hits over lookups, in [0, 1]; 0 when no lookups yet. *)
 
+val hit_rate_of : stats -> float
+(** Same, from an already-taken snapshot — lets one snapshot feed both a
+    ratio and the raw counters without re-locking. *)
+
 val stats_to_string : ('k, 'v) t -> string
-(** One-line rendering for the STATS verb and logs. *)
+(** One-line rendering for the STATS verb and logs; every field comes from
+    a single [stats] snapshot. *)

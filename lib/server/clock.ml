@@ -1,0 +1,13 @@
+(** Monotonic time for every latency and deadline computation in the
+    serving stack.
+
+    [Unix.gettimeofday] is wall time: NTP slews and steps move it, so a
+    queue wait measured against it can be negative or wildly inflated —
+    and loadgen already measures with the monotonic clock, so mixing the
+    two made the daemon's deadline math incommensurable with the client's
+    latency numbers.  Everything except the human-facing [uptime_s] line
+    in STATS goes through here (the same
+    [clock_gettime(CLOCK_MONOTONIC)] stub Bechamel samples, see
+    DESIGN.md). *)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9

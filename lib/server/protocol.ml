@@ -342,3 +342,44 @@ let read_frame fd : frame =
     if n > max_frame then Oversized n
     else if n = 0 then Frame ""
     else (match read_exact fd n with None -> Eof | Some payload -> Frame payload)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame assembly, for the daemon's non-pinning poller: bytes
+   arrive in whatever chunks the kernel delivers, [reader_next] hands back
+   complete frames as they materialize.  [read_frame] above stays the
+   blocking path for clients (one connection, one in-flight request). *)
+
+type reader = { rbuf : Buffer.t; mutable roff : int  (** consumed prefix of [rbuf] *) }
+
+let reader_create () = { rbuf = Buffer.create 4096; roff = 0 }
+
+let reader_feed r bytes len = Buffer.add_subbytes r.rbuf bytes 0 len
+
+(* Oversized is sticky-fatal for the caller (it hangs up), so we don't
+   bother consuming the bad header. *)
+let reader_next r : [ `Frame of string | `Oversized of int | `None ] =
+  let avail = Buffer.length r.rbuf - r.roff in
+  if avail < 4 then `None
+  else begin
+    let b i = Char.code (Buffer.nth r.rbuf (r.roff + i)) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then `Oversized n
+    else if avail < 4 + n then `None
+    else begin
+      let payload = Buffer.sub r.rbuf (r.roff + 4) n in
+      r.roff <- r.roff + 4 + n;
+      (* Reclaim consumed bytes: free the whole buffer at a frame boundary,
+         or compact when the dead prefix outgrows a pipelining burst. *)
+      if r.roff = Buffer.length r.rbuf then begin
+        Buffer.clear r.rbuf;
+        r.roff <- 0
+      end
+      else if r.roff > 65536 then begin
+        let rest = Buffer.sub r.rbuf r.roff (Buffer.length r.rbuf - r.roff) in
+        Buffer.clear r.rbuf;
+        Buffer.add_string r.rbuf rest;
+        r.roff <- 0
+      end;
+      `Frame payload
+    end
+  end

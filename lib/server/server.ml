@@ -3,14 +3,22 @@ type config = {
   domains : int;
   queue_capacity : int;
   cache_capacity : int;
+  max_connections : int;
 }
 
 let default_config ~socket_path =
-  { socket_path; domains = 2; queue_capacity = 64; cache_capacity = 128 }
+  {
+    socket_path;
+    domains = 2;
+    queue_capacity = 64;
+    cache_capacity = 128;
+    max_connections = 512;
+  }
 
 type stats = {
   mutable accepted : int;
   mutable rejected_overloaded : int;
+  mutable open_conns : int;
   mutable run_ok : int;
   mutable run_hit : int;
   mutable stats_served : int;
@@ -21,22 +29,35 @@ type stats = {
   mutable err_crash : int;
 }
 
+(* One client connection.  Exactly one of three places owns it at any
+   moment: the poller (idle, watched by select), the job queue, or a
+   worker (executing its frame).  The poller performs every open and
+   close, so descriptor lifecycle has a single writer. *)
+type conn = { fd : Unix.file_descr; reader : Protocol.reader }
+
+type job = {
+  jconn : conn;
+  payload : string;  (** one complete frame payload *)
+  arrival_s : float;  (** monotonic stamp at frame completion *)
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;  (** self-pipe: workers nudge a select-blocked poller *)
+  wake_w : Unix.file_descr;
   cache : Session.cache;
-  queue : (Unix.file_descr * float) Queue.t;  (** accepted conns × enqueue time *)
-  lock : Mutex.t;  (** guards [queue] and [stopping] *)
+  jobs : job Queue.t;  (** admission queue of frames, bound [queue_capacity] *)
+  returned : (conn * [ `Keep | `Close ]) Queue.t;  (** conns workers are done with *)
+  lock : Mutex.t;  (** guards [jobs], [returned], [stopping] *)
   nonempty : Condition.t;
   mutable stopping : bool;
   stats_lock : Mutex.t;
   stats : stats;
-  started_at : float;
-  mutable pool : unit Domain.t list;  (** acceptor + workers; emptied by [wait] *)
-  mutable fatal : (exn * Printexc.raw_backtrace) option;  (** first worker bug *)
+  started_wall : float;  (** wall clock, only for the human-facing uptime line *)
+  mutable pool : unit Domain.t list;  (** poller + workers; emptied by [wait] *)
+  mutable fatal : (exn * Printexc.raw_backtrace) option;  (** first daemon bug *)
 }
-
-let now () = Unix.gettimeofday ()
 
 let cache t = t.cache
 
@@ -61,13 +82,16 @@ let record_response t (resp : Protocol.response) =
         | Protocol.Ecrash -> s.err_crash <- s.err_crash + 1))
 
 let stats_text t =
-  let depth = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  let depth = Mutex.protect t.lock (fun () -> Queue.length t.jobs) in
   let s = Mutex.protect t.stats_lock (fun () -> { t.stats with accepted = t.stats.accepted }) in
   String.concat "\n"
     [
-      Printf.sprintf "nomapd uptime_s=%.1f domains=%d" (now () -. t.started_at) t.cfg.domains;
-      Printf.sprintf "queue depth=%d capacity=%d accepted=%d overloaded_rejections=%d" depth
-        t.cfg.queue_capacity s.accepted s.rejected_overloaded;
+      Printf.sprintf "nomapd uptime_s=%.1f domains=%d"
+        (Unix.gettimeofday () -. t.started_wall)
+        t.cfg.domains;
+      Printf.sprintf
+        "queue depth=%d capacity=%d conns=%d/%d accepted=%d overloaded_rejections=%d" depth
+        t.cfg.queue_capacity s.open_conns t.cfg.max_connections s.accepted s.rejected_overloaded;
       Printf.sprintf "cache %s" (Artifact_cache.stats_to_string t.cache);
       Printf.sprintf
         "requests run_ok=%d run_hit=%d run_miss=%d stats=%d ping=%d \
@@ -77,12 +101,18 @@ let stats_text t =
     ]
 
 (* ------------------------------------------------------------------ *)
-(* Lifecycle *)
+(* Lifecycle plumbing *)
+
+let wake t =
+  (* Nonblocking write; a full pipe already holds a pending wake. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
 
 let request_stop t =
   Mutex.protect t.lock (fun () ->
       t.stopping <- true;
-      Condition.broadcast t.nonempty)
+      Condition.broadcast t.nonempty);
+  wake t
 
 let session_ctx t : Session.ctx =
   {
@@ -94,55 +124,180 @@ let session_ctx t : Session.ctx =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* Reject at the door: a full queue answers OVERLOADED instead of
-   buffering.  The write is blocking, but the response is far below any
-   socket buffer, so the acceptor cannot be wedged by a deaf client. *)
-let reject_overloaded t fd =
-  let resp =
-    Protocol.Error
-      {
-        err = Protocol.Eoverloaded;
-        msg = Printf.sprintf "admission queue full (%d connections)" t.cfg.queue_capacity;
-      }
-  in
-  record_response t resp;
-  (try Protocol.write_frame fd (Protocol.encode_response resp)
-   with Unix.Unix_error _ -> ());
-  close_quietly fd;
-  Mutex.protect t.stats_lock (fun () ->
-      t.stats.rejected_overloaded <- t.stats.rejected_overloaded + 1)
+let record_fatal t e bt =
+  Mutex.protect t.lock (fun () -> if t.fatal = None then t.fatal <- Some (e, bt));
+  request_stop t
 
-(* The acceptor polls with a timeout instead of blocking in [accept] so a
-   [request_stop] from any domain is noticed within ~200 ms without
-   platform-dependent tricks (self-connects, closing a live fd). *)
-let acceptor_loop t =
+(* Error replies pushed by the poller itself (door rejection, per-frame
+   overload, oversized frame).  The write is blocking, but these responses
+   are far below any socket buffer, so the poller cannot be wedged by a
+   deaf client.  Returns [false] when the peer is gone. *)
+let poller_reply t fd resp =
+  record_response t resp;
+  match Protocol.write_frame fd (Protocol.encode_response resp) with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* The poller: accept, read, frame, dispatch.
+
+   One domain owns every descriptor and runs a select loop over the
+   listening socket, the wake pipe, and all idle connections.  Bytes are
+   fed to each connection's incremental frame reader; a completed frame
+   becomes a job (stamped with its monotonic arrival time) and its
+   connection goes dark until a worker hands it back — so an idle
+   keepalive connection costs one fd, never a worker, and a worker is
+   never pinned waiting for a client to type. *)
+
+let poller_loop t =
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let readbuf = Bytes.create 65536 in
+  let live = ref 0 in
+  let set_open_conns () =
+    Mutex.protect t.stats_lock (fun () -> t.stats.open_conns <- !live)
+  in
+  let close_conn c =
+    close_quietly c.fd;
+    decr live;
+    set_open_conns ()
+  in
+  (* Turn buffered bytes into at most one queued job.  Only one frame per
+     connection may be in flight (a worker replies on the fd; two at once
+     would interleave writes), so a queued frame parks the connection until
+     the worker returns it; later pipelined frames wait in its reader. *)
+  let rec dispatch c =
+    match Protocol.reader_next c.reader with
+    | `None -> Hashtbl.replace conns c.fd c (* idle: watch for more bytes *)
+    | `Oversized n ->
+      ignore
+        (poller_reply t c.fd
+           (Protocol.Error
+              {
+                err = Protocol.Emalformed;
+                msg = Printf.sprintf "frame of %d bytes exceeds cap %d" n Protocol.max_frame;
+              }));
+      close_conn c
+    | `Frame payload -> (
+      let arrival_s = Clock.now_s () in
+      let verdict =
+        Mutex.protect t.lock (fun () ->
+            if t.stopping then `Drop
+            else if Queue.length t.jobs >= t.cfg.queue_capacity then `Full
+            else begin
+              Queue.add { jconn = c; payload; arrival_s } t.jobs;
+              Condition.signal t.nonempty;
+              `Queued
+            end)
+      in
+      match verdict with
+      | `Queued -> () (* busy: the worker will hand it back *)
+      | `Drop -> close_conn c
+      | `Full ->
+        (* Reject the frame, keep the connection: the client already paid
+           for the connect, and backpressure is about not buffering work. *)
+        Mutex.protect t.stats_lock (fun () ->
+            t.stats.rejected_overloaded <- t.stats.rejected_overloaded + 1);
+        if
+          poller_reply t c.fd
+            (Protocol.Error
+               {
+                 err = Protocol.Eoverloaded;
+                 msg =
+                   Printf.sprintf "admission queue full (%d frames)" t.cfg.queue_capacity;
+               })
+        then dispatch c
+        else close_conn c)
+  in
+  let accept_one () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | fd, _ ->
+      Mutex.protect t.stats_lock (fun () -> t.stats.accepted <- t.stats.accepted + 1);
+      if !live >= t.cfg.max_connections then begin
+        (* Reject at the door: past the fd budget (select also has a hard
+           FD_SETSIZE ceiling), a new connection is turned away whole. *)
+        Mutex.protect t.stats_lock (fun () ->
+            t.stats.rejected_overloaded <- t.stats.rejected_overloaded + 1);
+        ignore
+          (poller_reply t fd
+             (Protocol.Error
+                {
+                  err = Protocol.Eoverloaded;
+                  msg =
+                    Printf.sprintf "connection limit reached (%d)" t.cfg.max_connections;
+                }));
+        close_quietly fd
+      end
+      else begin
+        incr live;
+        set_open_conns ();
+        dispatch { fd; reader = Protocol.reader_create () }
+      end
+  in
+  let drain_wake () =
+    let rec go () =
+      match Unix.read t.wake_r readbuf 0 64 with
+      | 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let drain_returned () =
+    let batch =
+      Mutex.protect t.lock (fun () ->
+          let xs = List.of_seq (Queue.to_seq t.returned) in
+          Queue.clear t.returned;
+          xs)
+    in
+    List.iter
+      (fun (c, directive) ->
+        match directive with
+        | `Close -> close_conn c
+        | `Keep -> dispatch c (* buffered pipelined frames run before select *))
+      batch
+  in
+  let read_conn c =
+    Hashtbl.remove conns c.fd;
+    match Unix.read c.fd readbuf 0 (Bytes.length readbuf) with
+    | 0 -> close_conn c (* EOF *)
+    | n ->
+      Protocol.reader_feed c.reader readbuf n;
+      dispatch c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Hashtbl.replace conns c.fd c
+  in
   let continue = ref true in
   while !continue do
-    if Mutex.protect t.lock (fun () -> t.stopping) then continue := false
-    else
-      match Unix.select [ t.listen_fd ] [] [] 0.2 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | fd, _ ->
-          Mutex.protect t.stats_lock (fun () -> t.stats.accepted <- t.stats.accepted + 1);
-          let action =
-            Mutex.protect t.lock (fun () ->
-                if t.stopping then `Drop
-                else if Queue.length t.queue >= t.cfg.queue_capacity then `Reject
-                else begin
-                  Queue.add (fd, now ()) t.queue;
-                  Condition.signal t.nonempty;
-                  `Admitted
-                end)
-          in
-          (match action with
-          | `Admitted -> ()
-          | `Reject -> reject_overloaded t fd
-          | `Drop -> close_quietly fd))
+    if Mutex.protect t.lock (fun () -> t.stopping) then begin
+      (* Stop watching: close idle connections and whatever workers have
+         already handed back.  Jobs still queued stay alive — workers
+         drain them and their conns are reaped by [wait]. *)
+      drain_returned ();
+      Hashtbl.iter (fun _ c -> close_quietly c.fd) conns;
+      Hashtbl.reset conns;
+      continue := false
+    end
+    else begin
+      drain_returned ();
+      let watched = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      match Unix.select (t.listen_fd :: t.wake_r :: watched) [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then accept_one ()
+            else if fd = t.wake_r then drain_wake ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some c -> read_conn c
+              | None -> () (* already dispatched or closed this round *))
+          readable
+    end
   done
+
+(* ------------------------------------------------------------------ *)
+(* Workers: execute one frame at a time, from any connection. *)
 
 let worker_loop t =
   let ctx = session_ctx t in
@@ -150,30 +305,38 @@ let worker_loop t =
   while !continue do
     let job =
       Mutex.protect t.lock (fun () ->
-          while Queue.is_empty t.queue && not t.stopping do
+          while Queue.is_empty t.jobs && not t.stopping do
             Condition.wait t.nonempty t.lock
           done;
-          if Queue.is_empty t.queue then None (* stopping and drained *)
-          else Some (Queue.pop t.queue))
+          if Queue.is_empty t.jobs then None (* stopping and drained *)
+          else Some (Queue.pop t.jobs))
     in
     match job with
     | None -> continue := false
-    | Some (fd, enqueued_at) ->
-      let queue_wait_s = now () -. enqueued_at in
-      (try Session.serve ctx ~queue_wait_s fd
-       with e ->
-         (* Not a client-triggerable path — Session.serve converts those to
-            error responses.  A worker bug poisons the pool: shut down and
-            let [wait] re-raise. *)
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.protect t.lock (fun () ->
-             if t.fatal = None then t.fatal <- Some (e, bt));
-         request_stop t);
-      close_quietly fd
+    | Some { jconn; payload; arrival_s } ->
+      let queue_wait_s = Clock.now_s () -. arrival_s in
+      let directive =
+        try Session.handle_frame ctx ~queue_wait_s jconn.fd payload
+        with e ->
+          (* Not a client-triggerable path — Session.handle_frame converts
+             those to error responses.  A worker bug poisons the pool:
+             shut down and let [wait] re-raise. *)
+          record_fatal t e (Printexc.get_raw_backtrace ());
+          `Close
+      in
+      Mutex.protect t.lock (fun () -> Queue.add (jconn, directive) t.returned);
+      wake t
   done
 
 let start cfg =
-  let cfg = { cfg with domains = max 1 cfg.domains; queue_capacity = max 1 cfg.queue_capacity } in
+  let cfg =
+    {
+      cfg with
+      domains = max 1 cfg.domains;
+      queue_capacity = max 1 cfg.queue_capacity;
+      max_connections = max 1 cfg.max_connections;
+    }
+  in
   (* A client hanging up mid-reply must surface as EPIPE, not kill the
      daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -181,12 +344,18 @@ let start cfg =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
   Unix.listen listen_fd 64;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       cfg;
       listen_fd;
+      wake_r;
+      wake_w;
       cache = Artifact_cache.create ~capacity:cfg.cache_capacity ();
-      queue = Queue.create ();
+      jobs = Queue.create ();
+      returned = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
       stopping = false;
@@ -195,6 +364,7 @@ let start cfg =
         {
           accepted = 0;
           rejected_overloaded = 0;
+          open_conns = 0;
           run_ok = 0;
           run_hit = 0;
           stats_served = 0;
@@ -204,14 +374,17 @@ let start cfg =
           err_timeout = 0;
           err_crash = 0;
         };
-      started_at = now ();
+      started_wall = Unix.gettimeofday ();
       pool = [];
       fatal = None;
     }
   in
-  let workers = List.init cfg.domains (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
-  let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
-  t.pool <- acceptor :: workers;
+  let guarded f () =
+    try f t with e -> record_fatal t e (Printexc.get_raw_backtrace ())
+  in
+  let workers = List.init cfg.domains (fun _ -> Domain.spawn (guarded worker_loop)) in
+  let poller = Domain.spawn (guarded poller_loop) in
+  t.pool <- poller :: workers;
   t
 
 let wait t =
@@ -219,7 +392,16 @@ let wait t =
   t.pool <- [];
   List.iter Domain.join pool;
   if pool <> [] then begin
+    (* Everything has quiesced: reap connections the poller never saw
+       again (handed back after it exited, or still queued at stop). *)
+    Mutex.protect t.lock (fun () ->
+        Queue.iter (fun (c, _) -> close_quietly c.fd) t.returned;
+        Queue.clear t.returned;
+        Queue.iter (fun j -> close_quietly j.jconn.fd) t.jobs;
+        Queue.clear t.jobs);
     close_quietly t.listen_fd;
+    close_quietly t.wake_r;
+    close_quietly t.wake_w;
     (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
   end;
   match t.fatal with

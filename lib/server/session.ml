@@ -78,45 +78,45 @@ let reply ctx fd resp =
   ctx.on_response resp;
   Protocol.write_frame fd (Protocol.encode_response resp)
 
-let serve ctx ~queue_wait_s fd =
-  let rec loop () =
-    match Protocol.read_frame fd with
-    | Protocol.Eof -> ()
-    | Protocol.Oversized n ->
-      reply ctx fd
-        (Protocol.Error
-           {
-             err = Protocol.Emalformed;
-             msg = Printf.sprintf "frame of %d bytes exceeds cap %d" n Protocol.max_frame;
-           })
-    | Protocol.Frame payload -> (
-      match Protocol.decode_request payload with
-      | Result.Error msg ->
-        (* The stream may be desynchronized — answer and hang up. *)
-        reply ctx fd (Protocol.Error { err = Protocol.Emalformed; msg })
-      | Ok Protocol.Ping ->
-        reply ctx fd Protocol.Pong;
-        loop ()
-      | Ok Protocol.Stats ->
-        reply ctx fd (Protocol.Stats_ok (ctx.stats_text ()));
-        loop ()
-      | Ok Protocol.Shutdown ->
-        reply ctx fd Protocol.Shutting_down;
-        ctx.request_shutdown ()
-      | Ok (Protocol.Run r) ->
-        if r.Protocol.deadline_ms > 0 && queue_wait_s *. 1000.0 > float_of_int r.Protocol.deadline_ms
-        then
-          reply ctx fd
-            (Protocol.Error
-               {
-                 err = Protocol.Etimeout;
-                 msg =
-                   Printf.sprintf "queued %.0f ms past the %d ms deadline"
-                     (queue_wait_s *. 1000.0) r.Protocol.deadline_ms;
-               })
-        else reply ctx fd (run ~cache:ctx.cache r);
-        loop ())
+let handle_frame ctx ~queue_wait_s fd payload =
+  let step () =
+    match Protocol.decode_request payload with
+    | Result.Error msg ->
+      (* The stream may be desynchronized — answer and hang up. *)
+      reply ctx fd (Protocol.Error { err = Protocol.Emalformed; msg });
+      `Close
+    | Ok Protocol.Ping ->
+      reply ctx fd Protocol.Pong;
+      `Keep
+    | Ok Protocol.Stats ->
+      reply ctx fd (Protocol.Stats_ok (ctx.stats_text ()));
+      `Keep
+    | Ok Protocol.Shutdown ->
+      reply ctx fd Protocol.Shutting_down;
+      ctx.request_shutdown ();
+      `Close
+    | Ok (Protocol.Run r) ->
+      (* [queue_wait_s] is *this frame's* wait — stamped when the frame
+         completed at the poller, measured on the monotonic clock — so a
+         deadline verdict is about this request, not about when its
+         connection happened to be accepted. *)
+      if r.Protocol.deadline_ms > 0 && queue_wait_s *. 1000.0 > float_of_int r.Protocol.deadline_ms
+      then begin
+        reply ctx fd
+          (Protocol.Error
+             {
+               err = Protocol.Etimeout;
+               msg =
+                 Printf.sprintf "queued %.0f ms past the %d ms deadline"
+                   (queue_wait_s *. 1000.0) r.Protocol.deadline_ms;
+             });
+        `Keep
+      end
+      else begin
+        reply ctx fd (run ~cache:ctx.cache r);
+        `Keep
+      end
   in
   (* A peer that vanishes mid-reply (EPIPE on our write) is indistinguishable
      from one that hung up early: drop the connection either way. *)
-  try loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  try step () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Close

@@ -40,11 +40,15 @@ type ctx = {
   on_response : Protocol.response -> unit;  (** accounting tap, called per reply *)
 }
 
-val serve : ctx -> queue_wait_s:float -> Unix.file_descr -> unit
-(** Serve one connection until EOF, SHUTDOWN, or a protocol violation:
-    read a frame, decode, execute, reply, repeat.  [queue_wait_s] is how
-    long the connection sat in the admission queue; a RUN request whose
-    [deadline_ms] is positive and smaller is answered [Etimeout] without
-    executing.  Malformed frames are answered [Emalformed] and the
-    connection is dropped (the stream can no longer be trusted).  Does not
-    close the descriptor; the worker owns it. *)
+val handle_frame :
+  ctx -> queue_wait_s:float -> Unix.file_descr -> string -> [ `Keep | `Close ]
+(** Handle one already-framed request payload: decode, execute, reply.
+    [queue_wait_s] is how long {e this frame} sat in the admission queue
+    (monotonic clock, stamped at frame completion by the poller — each
+    pipelined request on a keepalive connection gets its own measurement);
+    a RUN whose [deadline_ms] is positive and smaller is answered
+    [Etimeout] without executing.  Returns [`Keep] when the connection can
+    serve further frames and [`Close] when it must be dropped: malformed
+    payloads (the stream can no longer be trusted), SHUTDOWN, or a peer
+    that vanished mid-reply.  Never closes the descriptor itself; the
+    poller owns connection lifecycle. *)

@@ -179,7 +179,13 @@ let with_server ?(domains = 2) ?(queue = 64) cfg_f =
   let path = temp_socket () in
   let t =
     Server.start
-      { Server.socket_path = path; domains; queue_capacity = queue; cache_capacity = 32 }
+      {
+        Server.socket_path = path;
+        domains;
+        queue_capacity = queue;
+        cache_capacity = 32;
+        max_connections = 128;
+      }
   in
   Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> cfg_f path t)
 
@@ -324,56 +330,188 @@ let test_cache_hit_flag () =
           Alcotest.(check bool) "other tier misses" false
             (hit_of (Client.rpc conn (run_req ~tier:Vm.Cap_interp src)))))
 
+let slow_src =
+  "var s = 0; for (var i = 0; i < 5000000; i++) { s = (s + i) & 1048575; } var result = s;"
+
+(* Raw framed socket, for tests that need to send without blocking on the
+   reply (Client.rpc is strictly send-then-wait). *)
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let raw_send fd req = Protocol.write_frame fd (Protocol.encode_request req)
+
+let raw_recv what fd =
+  match Protocol.read_frame fd with
+  | Protocol.Frame payload -> (
+    match Protocol.decode_response payload with
+    | Ok resp -> resp
+    | Result.Error msg -> Alcotest.failf "%s: bad response: %s" what msg)
+  | _ -> Alcotest.failf "%s: no response frame" what
+
 (* Backpressure and queue deadlines, deterministically: a 1-domain daemon
-   with a queue of 1.  A slow request pins the only worker; the next
-   connection fills the queue; the one after that must be rejected
-   OVERLOADED at the door.  When the pinned worker finally frees up, the
-   queued connection's request — stamped with a 1 ms deadline — has been
-   waiting far longer and must be answered TIMEOUT without executing. *)
+   with a frame queue of 1.  A slow request occupies the only worker; the
+   next request fills the queue; the one after that must be answered
+   OVERLOADED (the connection survives — backpressure sheds work, not
+   clients).  When the worker finally frees up, the queued request —
+   stamped with a 1 ms deadline at *frame arrival* on the monotonic
+   clock — has been waiting far longer and must be answered TIMEOUT
+   without executing. *)
 let test_overload_and_deadline () =
   with_server ~domains:1 ~queue:1 (fun path _t ->
-      let slow_src =
-        "var s = 0; for (var i = 0; i < 5000000; i++) { s = (s + i) & 1048575; } var result = s;"
-      in
       let slow = Client.connect ~retry_for_s:5.0 path in
-      (* A served Ping proves the only worker owns this connection: the
-         queue is empty again and everything after us queues behind it. *)
-      (match Client.rpc slow Protocol.Ping with
-      | Protocol.Pong -> ()
-      | _ -> Alcotest.fail "no pong from the worker");
-      let queued = Client.connect ~retry_for_s:5.0 path in
       let slow_result = ref None in
-      (* Pin the worker from another domain; close when done so the worker
-         moves on to [queued]. *)
+      (* Occupy the worker from another domain. *)
       let runner =
         Domain.spawn (fun () ->
             slow_result := Some (Client.rpc slow (run_req ~tier:Vm.Cap_interp slow_src));
             Client.close slow)
       in
       Unix.sleepf 0.3;
-      (* Worker pinned, [queued] holds the only queue slot: the next
-         connection must be turned away at the door, with the OVERLOADED
-         frame pushed before we send anything. *)
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
-      (match Protocol.read_frame fd with
-      | Protocol.Frame payload -> (
-        match Protocol.decode_response payload with
-        | Ok (Protocol.Error { err = Protocol.Eoverloaded; _ }) -> ()
-        | _ -> Alcotest.fail "third connection should be rejected overloaded")
-      | _ -> Alcotest.fail "no overload rejection frame");
-      Unix.close fd;
-      (* A 1 ms queue deadline: the worker picks [queued] up only after the
-         slow run finishes, so its wait dwarfs the deadline. *)
-      (match Client.rpc queued (run_req ~deadline_ms:1 "var result = 1;") with
+      (* Worker busy; this request takes the only queue slot.  Sent raw so
+         we don't block on its reply. *)
+      let queued = raw_connect path in
+      raw_send queued (run_req ~deadline_ms:1 "var result = 1;");
+      Unix.sleepf 0.3;
+      (* Queue full: a third request must be shed at the admission queue,
+         and its connection must survive the rejection. *)
+      let shed = raw_connect path in
+      raw_send shed (run_req "var result = 2;");
+      (match raw_recv "shed request" shed with
+      | Protocol.Error { err = Protocol.Eoverloaded; _ } -> ()
+      | _ -> Alcotest.fail "third request should be answered overloaded");
+      (* A 1 ms queue deadline: the worker picks the queued frame up only
+         after the slow run finishes, so its wait dwarfs the deadline. *)
+      (match raw_recv "queued request" queued with
       | Protocol.Error { err = Protocol.Etimeout; _ } -> ()
       | _ -> Alcotest.fail "stale queued request should time out");
       Domain.join runner;
       (match !slow_result with
       | Some (Protocol.Run_ok _) -> ()
       | _ -> Alcotest.fail "slow request should still succeed");
-      Client.close queued)
+      (* The shed connection was kept: once load drains it serves again. *)
+      raw_send shed (run_req "var result = 3;");
+      (match raw_recv "shed connection after drain" shed with
+      | Protocol.Run_ok { result; _ } ->
+        Alcotest.(check string) "shed connection recovers" "3" result
+      | _ -> Alcotest.fail "shed connection should serve after drain");
+      Unix.close shed;
+      Unix.close queued)
+
+(* Regression (the stale pipelined queue-wait bug): the daemon used to
+   measure queue wait once per *connection* at dequeue time and reuse it
+   for every later request on that connection — so after any queued start,
+   every pipelined request with a deadline was compared against a wait
+   that had nothing to do with it.  Here the connection's first request
+   genuinely waits ~a second for the busy worker (no deadline, so it
+   runs); the second request arrives when the daemon is idle and carries a
+   deadline far larger than its own (near-zero) wait.  Pre-fix it was
+   spuriously timed out against the first request's wait. *)
+let test_pipelined_deadline_fresh_wait () =
+  with_server ~domains:1 (fun path _t ->
+      let slow = Client.connect ~retry_for_s:5.0 path in
+      let runner =
+        Domain.spawn (fun () ->
+            ignore (Client.rpc slow (run_req ~tier:Vm.Cap_interp slow_src));
+            Client.close slow)
+      in
+      Unix.sleepf 0.2;
+      let conn = Client.connect ~retry_for_s:5.0 path in
+      (* First request: queued behind the slow run for ~seconds. *)
+      (match Client.rpc conn (run_req "var result = 10;") with
+      | Protocol.Run_ok { result; _ } -> Alcotest.(check string) "first run ok" "10" result
+      | Protocol.Error { err; msg } ->
+        Alcotest.failf "first run failed: %s %s" (Protocol.err_name err) msg
+      | _ -> Alcotest.fail "first run: unexpected response");
+      Domain.join runner;
+      (* Second request on the same connection: the daemon is idle now, so
+         its own queue wait is microseconds — a 250 ms deadline must hold. *)
+      (match Client.rpc conn (run_req ~deadline_ms:250 "var result = 11;") with
+      | Protocol.Run_ok { result; _ } ->
+        Alcotest.(check string) "second run not spuriously timed out" "11" result
+      | Protocol.Error { err = Protocol.Etimeout; msg } ->
+        Alcotest.failf "second run judged by a stale queue wait: %s" msg
+      | _ -> Alcotest.fail "second run: unexpected response");
+      Client.close conn)
+
+(* Frame-level scheduling: pipelined requests sent back-to-back on one
+   connection, before reading anything, come back in order. *)
+let test_pipelined_requests_in_order () =
+  with_server (fun path _t ->
+      let fd = raw_connect path in
+      raw_send fd (run_req "var result = 1;");
+      raw_send fd (run_req "var result = 2;");
+      raw_send fd (run_req "var result = 3;");
+      List.iter
+        (fun expect ->
+          match raw_recv "pipelined" fd with
+          | Protocol.Run_ok { result; _ } ->
+            Alcotest.(check string) "pipelined response order" expect result
+          | _ -> Alcotest.fail "pipelined request did not run")
+        [ "1"; "2"; "3" ];
+      Unix.close fd)
+
+(* A slow compute for key A must not block a warm hit for key B — the
+   compute runs outside every cache lock (capacity 8 means a single
+   shard, so this exercises the in-flight slot, not shard luck). *)
+let test_cache_contention_compute_doesnt_block () =
+  let c = Artifact_cache.create ~capacity:8 () in
+  ignore (Artifact_cache.find_or_add c "B" (fun () -> "warm"));
+  let a_started = Atomic.make false in
+  let slow =
+    Domain.spawn (fun () ->
+        Artifact_cache.find_or_add c "A" (fun () ->
+            Atomic.set a_started true;
+            Unix.sleepf 0.8;
+            "slow"))
+  in
+  while not (Atomic.get a_started) do
+    Domain.cpu_relax ()
+  done;
+  (* A's compute is in flight and holds no lock: warm hits stay fast. *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 20 do
+    let hit, v = Artifact_cache.find_or_add c "B" (fun () -> Alcotest.fail "B recomputed") in
+    Alcotest.(check bool) "warm hit" true hit;
+    Alcotest.(check string) "warm value" "warm" v
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "20 warm hits under in-flight compute took %.3fs (must be << 0.8s)" elapsed)
+    true (elapsed < 0.4);
+  let hit_a, v_a = Domain.join slow in
+  Alcotest.(check bool) "A was computed, not hit" false hit_a;
+  Alcotest.(check string) "A's value" "slow" v_a;
+  let s = Artifact_cache.stats c in
+  Alcotest.(check int) "exactly two computes" 2 s.Artifact_cache.misses
+
+(* Idle keepalive connections must not pin workers: as many idle clients
+   as worker domains, plus one fresh client whose request must still be
+   served.  Pre-fix, each worker was welded to one connection for its
+   lifetime, so two idle clients starved a 2-domain daemon forever. *)
+let test_idle_keepalive_no_starvation () =
+  with_server ~domains:2 (fun path _t ->
+      let idle =
+        List.init 2 (fun _ ->
+            let c = Client.connect ~retry_for_s:5.0 path in
+            (match Client.rpc c Protocol.Ping with
+            | Protocol.Pong -> ()
+            | _ -> Alcotest.fail "idle client got no pong");
+            c)
+      in
+      (* Both idle connections are live and silent; a fresh client's run
+         must complete (SO_RCVTIMEO turns a starved daemon into a clean
+         failure instead of a hung test). *)
+      let fd = raw_connect path in
+      raw_send fd (run_req "var result = 7;");
+      (match raw_recv "fresh client vs idle keepalives" fd with
+      | Protocol.Run_ok { result; _ } ->
+        Alcotest.(check string) "fresh client served" "7" result
+      | _ -> Alcotest.fail "fresh client's run failed");
+      Unix.close fd;
+      List.iter Client.close idle)
 
 let tests =
   [
@@ -384,6 +522,8 @@ let tests =
     Alcotest.test_case "cache: failed compute not inserted" `Quick
       test_cache_compute_failure_not_inserted;
     Alcotest.test_case "cache: concurrent domain hammer" `Quick test_cache_domain_hammer;
+    Alcotest.test_case "cache: in-flight compute doesn't block other keys" `Quick
+      test_cache_contention_compute_doesnt_block;
     Alcotest.test_case "daemon: corpus x concurrent clients == direct Vm" `Slow
       test_corpus_concurrent_clients;
     Alcotest.test_case "daemon: sessions are isolated" `Quick test_session_isolation;
@@ -393,4 +533,10 @@ let tests =
       test_cache_hit_flag;
     Alcotest.test_case "daemon: backpressure rejects, queue deadline times out" `Slow
       test_overload_and_deadline;
+    Alcotest.test_case "daemon: pipelined request gets its own queue wait" `Slow
+      test_pipelined_deadline_fresh_wait;
+    Alcotest.test_case "daemon: pipelined requests answered in order" `Quick
+      test_pipelined_requests_in_order;
+    Alcotest.test_case "daemon: idle keepalive connections don't starve workers" `Quick
+      test_idle_keepalive_no_starvation;
   ]
