@@ -8,21 +8,33 @@
     sweep total.  Phase 2 resets the scheduler store and re-runs the whole
     sweep through the domain-parallel scheduler ([-j N], default: the
     machine's recommended domain count), recording the parallel sweep wall
-    time for comparison.  Phase 3 re-times each driver on the warm store
-    (the timed quantity is table regeneration, which is what a user
-    iterating on the data pays).
+    time for comparison; with [-j 1] the re-sweep would time the identical
+    serial execution, so it is skipped and the report carries [null].
+    Phase 3 re-times each driver on the warm store — the timed quantity is
+    table *regeneration* (what a user iterating on the data pays), which is
+    why the report field is [warm_render_ns_per_run]; schema v2 called this
+    [warm_ns_per_run], misleadingly suggesting execution time.  Phase 4
+    measures genuine warm VM *execution* per engine: one steady-state call
+    of every suite benchmark under the decoded and the threaded engine,
+    reported per suite with the threaded-over-decoded speedup.
 
     All wall times use the monotonic clock (same stub Bechamel samples), so
     NTP adjustments can't skew the report.
 
+    [--engine decoded|threaded] pins the engine used by phases 1-3 (the
+    simulated metrics are engine-invariant; only wall-clock moves).
     [--json <path>] additionally writes the measurements to [path] as one
-    machine-readable report (schema [nomap-bench-v2], see DESIGN.md §9), so
+    machine-readable report (schema [nomap-bench-v3], see DESIGN.md §9), so
     wall-clock regressions of the simulator itself can be tracked across
     commits. *)
 
 module E = Nomap_harness.Experiments
+module Runner = Nomap_harness.Runner
 module Scheduler = Nomap_harness.Scheduler
 module Registry = Nomap_workloads.Registry
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Engine = Nomap_machine.Engine
 
 (* Bound before the opens: Bechamel's [Toolkit] shadows [Monotonic_clock]
    with its measure witness, which has no [now]. *)
@@ -82,28 +94,94 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~serial_wall_s ~parallel_wall_s ~jobs
-    ~(rows : (string * float * float option) list) =
+type engine_exec_row = {
+  ee_name : string;  (** experiment the suite backs (fig8/fig9) *)
+  ee_decoded_ns : float;  (** one warm pass over the suite, decoded engine *)
+  ee_threaded_ns : float;  (** same pass, threaded engine *)
+}
+
+let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
+    ~(rows : (string * float * float option) list) ~(engine_exec : engine_exec_row list) =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"nomap-bench-v2\",\n";
+  output_string oc "  \"schema\": \"nomap-bench-v3\",\n";
+  Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
   Printf.fprintf oc "  \"sweep_wall_s_serial\": %.6f,\n" serial_wall_s;
-  Printf.fprintf oc "  \"sweep_wall_s_parallel\": %.6f,\n" parallel_wall_s;
+  (match parallel_wall_s with
+  | Some w -> Printf.fprintf oc "  \"sweep_wall_s_parallel\": %.6f,\n" w
+  | None -> output_string oc "  \"sweep_wall_s_parallel\": null,\n");
   Printf.fprintf oc "  \"parallel_jobs\": %d,\n" jobs;
   output_string oc "  \"experiments\": [\n";
   List.iteri
     (fun i (name, wall_s, warm_ns) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"wall_s\": %.6f, \"warm_ns_per_run\": %s}%s\n"
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"warm_render_ns_per_run\": %s}%s\n"
         (json_escape name) wall_s
         (match warm_ns with Some ns -> Printf.sprintf "%.1f" ns | None -> "null")
         (if i < List.length rows - 1 then "," else ""))
     rows;
+  output_string oc "  ],\n";
+  output_string oc "  \"engine_exec\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"engines\": [{\"engine\": \"decoded\", \
+         \"warm_ns_per_run\": %.1f}, {\"engine\": \"threaded\", \"warm_ns_per_run\": \
+         %.1f}], \"speedup_threaded_over_decoded\": %.3f}%s\n"
+        (json_escape r.ee_name) r.ee_decoded_ns r.ee_threaded_ns
+        (r.ee_decoded_ns /. r.ee_threaded_ns)
+        (if i < List.length engine_exec - 1 then "," else ""))
+    engine_exec;
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d experiments)\n" path (List.length rows)
 
-let json_path, jobs =
-  let json = ref None and jobs = ref (Scheduler.default_jobs ()) in
+(* ------------------------------------------------------------------ *)
+(* Phase 4: genuine warm execution per engine.  One steady-state VM per
+   (benchmark, engine) — run main, warm up past the FTL threshold, then
+   time [exec_measure] calls of benchmark().  The per-suite number is one
+   warm pass over the suite (sum of per-benchmark ns per call), comparable
+   across engines because both run the identical call sequence.  The two
+   engines are measured back-to-back per benchmark (not one full pass per
+   engine) so slow machine drift hits both sides equally; the timed count
+   is higher than the harness default because the per-call times are tens
+   of microseconds and a 1-core container schedules noisily. *)
+
+let exec_measure = 50
+
+let warm_exec_ns ~engine bench =
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~engine ~config:(Config.create Config.Base)
+      ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  for _ = 1 to Runner.default_warmup do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  let t0 = now_s () in
+  for _ = 1 to exec_measure do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  (now_s () -. t0) /. float_of_int exec_measure *. 1e9
+
+let measure_engine_exec name suite =
+  let benches = Registry.of_suite suite in
+  let d, t =
+    List.fold_left
+      (fun (d, t) b ->
+        (d +. warm_exec_ns ~engine:Engine.Decoded b,
+         t +. warm_exec_ns ~engine:Engine.Threaded b))
+      (0.0, 0.0) benches
+  in
+  Printf.printf "  %-28s decoded %12.0f ns/pass  threaded %12.0f ns/pass  (%.2fx)\n%!"
+    name d t (d /. t);
+  { ee_name = name; ee_decoded_ns = d; ee_threaded_ns = t }
+
+let json_path, jobs, engine =
+  let json = ref None
+  and jobs = ref (Scheduler.default_jobs ())
+  and engine = ref Engine.default in
   let rec scan = function
     | [ "--json" ] ->
       prerr_endline "error: --json requires a path";
@@ -111,8 +189,18 @@ let json_path, jobs =
     | [ "-j" ] | [ "--jobs" ] ->
       prerr_endline "error: -j requires a count";
       exit 2
+    | [ "--engine" ] ->
+      prerr_endline "error: --engine requires a name (decoded|threaded)";
+      exit 2
     | "--json" :: path :: rest ->
       json := Some path;
+      scan rest
+    | "--engine" :: name :: rest ->
+      (match Engine.of_string name with
+      | Some e -> engine := e
+      | None ->
+        prerr_endline ("error: unknown engine " ^ name ^ " (decoded|threaded)");
+        exit 2);
       scan rest
     | ("-j" | "--jobs") :: n :: rest ->
       (match int_of_string_opt n with
@@ -125,11 +213,13 @@ let json_path, jobs =
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
-  (!json, !jobs)
+  (!json, !jobs, !engine)
 
 let () =
+  Runner.engine := engine;
   print_endline "==================================================================";
-  print_endline " NoMap reproduction: full experiment sweep (paper tables/figures)";
+  Printf.printf " NoMap reproduction: full experiment sweep (engine: %s)\n"
+    (Engine.name engine);
   print_endline "==================================================================\n";
   let t0 = now_s () in
   let wall_times =
@@ -144,15 +234,27 @@ let () =
   in
   let serial_wall_s = now_s () -. t0 in
   Printf.printf "full sweep, serial: %.1fs\n\n" serial_wall_s;
-  print_endline "==================================================================";
-  Printf.printf " Parallel re-sweep from cold (-j %d, scheduler fan-out)\n" jobs;
-  print_endline "==================================================================";
-  Scheduler.reset ();
-  let t1 = now_s () in
-  ignore (quietly (fun () -> E.run_all ~jobs ()));
-  let parallel_wall_s = now_s () -. t1 in
-  Printf.printf "full sweep, -j %d: %.1fs (serial was %.1fs)\n\n" jobs parallel_wall_s
-    serial_wall_s;
+  let parallel_wall_s =
+    if jobs <= 1 then begin
+      (* A -j 1 re-sweep times the identical serial execution; recording it
+         as "parallel" would fake a comparison, so skip it. *)
+      print_endline "==================================================================";
+      print_endline " Parallel re-sweep skipped (-j 1: identical to the serial sweep)";
+      print_endline "==================================================================\n";
+      None
+    end
+    else begin
+      print_endline "==================================================================";
+      Printf.printf " Parallel re-sweep from cold (-j %d, scheduler fan-out)\n" jobs;
+      print_endline "==================================================================";
+      Scheduler.reset ();
+      let t1 = now_s () in
+      ignore (quietly (fun () -> E.run_all ~jobs ()));
+      let w = now_s () -. t1 in
+      Printf.printf "full sweep, -j %d: %.1fs (serial was %.1fs)\n\n" jobs w serial_wall_s;
+      Some w
+    end
+  in
   print_endline "==================================================================";
   print_endline " Bechamel timings (warm regeneration of each table/figure)";
   print_endline "==================================================================";
@@ -180,9 +282,18 @@ let () =
       | Some [ est ] -> Printf.printf "  %-45s %12.1f ns/run\n" name est
       | _ -> Printf.printf "  %-45s (no estimate)\n" name)
     results;
+  print_endline "\n==================================================================";
+  print_endline " Engine execution timings (warm pass over each suite, per engine)";
+  print_endline "==================================================================";
+  let engine_exec =
+    [
+      measure_engine_exec "fig8_instructions_sunspider" Registry.Sunspider;
+      measure_engine_exec "fig9_instructions_kraken" Registry.Kraken;
+    ]
+  in
   (match json_path with
   | Some path ->
-    write_json path ~serial_wall_s ~parallel_wall_s ~jobs
+    write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine ~engine_exec
       ~rows:(List.map (fun (name, wall_s) -> (name, wall_s, warm_ns name)) wall_times)
   | None -> ());
   print_endline "\ndone."

@@ -10,6 +10,7 @@
       fuzz.exe --seed 42 --iters 500                # the acceptance run
       fuzz.exe --seed 42 --iters 200 --sabotage     # self-test: must fail
       fuzz.exe --tier-pair ftl:NoMap-RTM --iters 50 # narrow the matrix
+      fuzz.exe --tier-pair ftl:Base:threaded --iters 50  # one engine only
       fuzz.exe --emit seed.js --seed 7 --iters 1    # dump a program *)
 
 module Fuzz = Nomap_fuzz.Fuzz
@@ -17,6 +18,7 @@ module Gen = Nomap_fuzz.Gen
 module Oracle = Nomap_fuzz.Oracle
 module Vm = Nomap_vm.Vm
 module Config = Nomap_nomap.Config
+module Engine = Nomap_machine.Engine
 
 open Cmdliner
 
@@ -27,8 +29,11 @@ let parse_tier = function
   | "ftl" -> Ok Vm.Cap_ftl
   | t -> Error ("unknown tier " ^ t ^ " (interp|baseline|dfg|ftl)")
 
+(* Architecture names are matched case-insensitively with '-' and '_'
+   interchangeable, so the spelled form "NoMap-RTM" resolves to NoMap_RTM. *)
 let parse_arch s =
-  match List.find_opt (fun a -> String.lowercase_ascii (Config.name a) = String.lowercase_ascii s) Config.all with
+  let norm s = String.lowercase_ascii (String.map (function '-' -> '_' | c -> c) s) in
+  match List.find_opt (fun a -> norm (Config.name a) = norm s) Config.all with
   | Some a -> Ok a
   | None ->
     Error
@@ -36,21 +41,39 @@ let parse_arch s =
       ^ String.concat ", " (List.map Config.name Config.all)
       ^ ")")
 
-(* "ftl:NoMap-RTM" or "dfg:Base,ftl:Base,ftl:NoMap" *)
+let parse_engine = function
+  | "decoded" -> Ok Engine.Decoded
+  | "threaded" -> Ok Engine.Threaded
+  | e -> Error ("unknown engine " ^ e ^ " (decoded|threaded)")
+
+(* "ftl:NoMap-RTM" or "dfg:Base,ftl:Base:decoded,ftl:NoMap".  Each token is
+   TIER:ARCH or TIER:ARCH:ENGINE; without an engine the optimizing tiers
+   expand to both engines so the cross-engine counter comparison applies. *)
 let parse_cfgs s =
   let parse_one tok =
     match String.split_on_char ':' tok with
     | [ tier; arch ] -> (
       match (parse_tier (String.lowercase_ascii tier), parse_arch arch) with
-      | Ok t, Ok a -> Ok { Oracle.tier = t; arch = a }
+      | Ok t, Ok a ->
+        Ok
+          (Oracle.with_engine_partners
+             [ { Oracle.tier = t; arch = a; engine = Engine.Decoded } ])
       | (Error e, _ | _, Error e) -> Error e)
-    | _ -> Error ("bad config " ^ tok ^ " (expected TIER:ARCH)")
+    | [ tier; arch; engine ] -> (
+      match
+        ( parse_tier (String.lowercase_ascii tier),
+          parse_arch arch,
+          parse_engine (String.lowercase_ascii engine) )
+      with
+      | Ok t, Ok a, Ok g -> Ok [ { Oracle.tier = t; arch = a; engine = g } ]
+      | (Error e, _, _ | _, Error e, _ | _, _, Error e) -> Error e)
+    | _ -> Error ("bad config " ^ tok ^ " (expected TIER:ARCH or TIER:ARCH:ENGINE)")
   in
   let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | tok :: rest -> ( match parse_one tok with Ok c -> go (c :: acc) rest | Error e -> Error e)
+    | [] -> Ok acc
+    | tok :: rest -> ( match parse_one tok with Ok c -> go (acc @ c) rest | Error e -> Error e)
   in
-  go [] (String.split_on_char ',' s)
+  Result.map (List.sort_uniq compare) (go [] (String.split_on_char ',' s))
 
 let cfg_conv =
   let parse s = match parse_cfgs s with Ok c -> `Ok c | Error e -> `Error e in
@@ -80,11 +103,14 @@ let tier_pair =
   Arg.(
     value
     & opt (some cfg_conv) None
-    & info [ "tier-pair"; "cfgs" ] ~docv:"TIER:ARCH[,...]"
+    & info [ "tier-pair"; "cfgs" ] ~docv:"TIER:ARCH[:ENGINE][,...]"
         ~doc:
           "Restrict the matrix to these configurations (each checked against the reference \
            interpreter).  Tiers: interp, baseline, dfg, ftl.  Archs: Base, NoMap_S, NoMap_B, \
-           NoMap, NoMap_BC, NoMap_RTM.")
+           NoMap, NoMap_BC, NoMap_RTM ('-' and '_' interchangeable).  Engines: decoded, \
+           threaded; omitting the engine runs dfg/ftl configurations under $(b,both) engines \
+           and additionally requires their full counter tables to match bit-for-bit.  Unknown \
+           tier, arch or engine names are rejected with the valid alternatives listed.")
 
 let sabotage =
   Arg.(

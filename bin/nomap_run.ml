@@ -13,6 +13,7 @@
 module Vm = Nomap_vm.Vm
 module Config = Nomap_nomap.Config
 module Counters = Nomap_machine.Counters
+module Engine = Nomap_machine.Engine
 module Value = Nomap_runtime.Value
 
 open Cmdliner
@@ -28,7 +29,7 @@ let tier_of_string = function
   | "ftl" -> Some Vm.Cap_ftl
   | _ -> None
 
-let run file arch_name tier_name show_stats disasm dump_lir iterations =
+let run file arch_name tier_name engine_name show_stats disasm dump_lir iterations =
   let arch =
     match arch_of_string arch_name with
     | Some a -> a
@@ -42,6 +43,13 @@ let run file arch_name tier_name show_stats disasm dump_lir iterations =
     | Some t -> t
     | None ->
       Printf.eprintf "unknown tier %S (interpreter|baseline|dfg|ftl)\n" tier_name;
+      exit 2
+  in
+  let engine =
+    match Engine.of_string (String.lowercase_ascii engine_name) with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown engine %S (decoded|threaded)\n" engine_name;
       exit 2
   in
   let source =
@@ -58,7 +66,9 @@ let run file arch_name tier_name show_stats disasm dump_lir iterations =
       exit 1
   in
   if disasm then print_endline (Nomap_bytecode.Disasm.program_to_string prog);
-  let vm = Vm.create ~fuel:4_000_000_000 ~config:(Config.create arch) ~tier_cap:tier prog in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~engine ~config:(Config.create arch) ~tier_cap:tier prog
+  in
   (try
      ignore (Vm.run_main vm);
      (* If the program defines benchmark(), drive it like the harness does. *)
@@ -130,6 +140,12 @@ let tier =
   Arg.(value & opt string "ftl" & info [ "tier"; "t" ] ~docv:"TIER"
     ~doc:"Highest tier: interpreter, baseline, dfg, ftl.")
 
+let engine =
+  Arg.(value & opt string (Engine.name Engine.default) & info [ "engine"; "e" ] ~docv:"ENGINE"
+    ~doc:"Execution engine for optimized tiers: decoded (reference) or threaded \
+      (closure-threaded, default).  Simulated metrics are identical; only host wall-clock \
+      differs.")
+
 let stats = Arg.(value & flag & info [ "stats"; "s" ] ~doc:"Print execution statistics.")
 let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Print bytecode disassembly.")
 
@@ -144,6 +160,6 @@ let iterations =
 let cmd =
   let doc = "Run a MiniJS program on the NoMap simulated JavaScript VM" in
   Cmd.v (Cmd.info "nomap_run" ~doc)
-    Term.(const run $ file $ arch $ tier $ stats $ disasm $ dump_lir $ iterations)
+    Term.(const run $ file $ arch $ tier $ engine $ stats $ disasm $ dump_lir $ iterations)
 
 let () = exit (Cmd.eval cmd)

@@ -45,7 +45,12 @@ let run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks seed =
     let shrunk =
       if not shrink then None
       else
-        let diverging = List.map (fun d -> d.Oracle.cfg) divergences in
+        (* Close the narrowed matrix under the engine axis: a counters-only
+           engine divergence is invisible without the partner engine's run
+           to compare against. *)
+        let diverging =
+          Oracle.with_engine_partners (List.map (fun d -> d.Oracle.cfg) divergences)
+        in
         Some (shrink_failure ?ftl_mutate ~max_checks:shrink_checks ~cfgs:diverging program)
     in
     `Diverge { seed; program; divergences; shrunk }

@@ -1,11 +1,15 @@
 (** The differential oracle.
 
-    One generated program is executed through every (tier cap, architecture)
-    configuration; all of them must observe exactly what the reference
-    interpreter observes — the same [result] global and the same heap
-    checksum — or the optimizing tiers miscompiled it.  Only performance
-    counters may differ between configurations (DESIGN.md §4); anything
-    observable must not.
+    One generated program is executed through every (tier cap, architecture,
+    engine) configuration; all of them must observe exactly what the
+    reference interpreter observes — the same [result] global and the same
+    heap checksum — or the optimizing tiers miscompiled it.  Performance
+    counters may differ between (tier, arch) configurations (DESIGN.md §4):
+    different code runs.  They may NOT differ between the decoded and
+    threaded engines at the same (tier, arch) — the engines execute the
+    same compiled code and are required to charge bit-identical metrics —
+    so the engine axis additionally compares the full canonical counter
+    table across engine pairs.
 
     Every VM here runs with [verify_lir] and [paranoid] on, so an
     ill-formed graph is reported at the optimization pass that produced it
@@ -17,23 +21,48 @@ module Config = Nomap_nomap.Config
 module Value = Nomap_runtime.Value
 module Shape = Nomap_runtime.Shape
 module Instance = Nomap_interp.Instance
+module Engine = Nomap_machine.Engine
+module Counters = Nomap_machine.Counters
 
-type cfg = { tier : Vm.tier_cap; arch : Config.arch }
+type cfg = { tier : Vm.tier_cap; arch : Config.arch; engine : Engine.kind }
 
-let cfg_name c = Vm.cap_name c.tier ^ "/" ^ Config.name c.arch
+(* The engine only runs DFG/FTL-compiled code; below that it is
+   meaningless, so names (and the configuration matrix) only carry it for
+   the optimizing tiers. *)
+let engine_matters c = match c.tier with Vm.Cap_dfg | Vm.Cap_ftl -> true | _ -> false
+
+let cfg_name c =
+  if engine_matters c then
+    Printf.sprintf "%s/%s/%s" (Vm.cap_name c.tier) (Config.name c.arch)
+      (Engine.name c.engine)
+  else Vm.cap_name c.tier ^ "/" ^ Config.name c.arch
 
 (** The reference configuration: the plain bytecode interpreter. *)
-let reference = { tier = Vm.Cap_interp; arch = Config.Base }
+let reference = { tier = Vm.Cap_interp; arch = Config.Base; engine = Engine.Decoded }
 
-(** Full differential matrix: each tier below FTL once (architecture only
-    changes FTL-compiled code), then FTL under every architecture the paper
-    evaluates — Base, the NoMap/ROT ladder, and RTM. *)
+(** Full differential matrix: each tier below DFG once (the engine and
+    architecture only change compiled code), then the optimizing tiers
+    under both engines — DFG on Base, FTL under every architecture the
+    paper evaluates (Base, the NoMap/ROT ladder, RTM). *)
 let default_cfgs =
-  [
-    { tier = Vm.Cap_baseline; arch = Config.Base };
-    { tier = Vm.Cap_dfg; arch = Config.Base };
-  ]
-  @ List.map (fun arch -> { tier = Vm.Cap_ftl; arch }) Config.all
+  { tier = Vm.Cap_baseline; arch = Config.Base; engine = Engine.Decoded }
+  :: List.concat_map
+       (fun engine ->
+         { tier = Vm.Cap_dfg; arch = Config.Base; engine }
+         :: List.map (fun arch -> { tier = Vm.Cap_ftl; arch; engine }) Config.all)
+       Engine.all
+
+(** Close a configuration list under the engine axis: every optimizing-tier
+    cfg gains its partner under the other engine, so counter comparison
+    across engines stays possible on a narrowed matrix (e.g. during
+    shrinking, where re-checks run only the cfgs that diverged). *)
+let with_engine_partners cfgs =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun c ->
+         if engine_matters c then List.map (fun engine -> { c with engine }) Engine.all
+         else [ c ])
+       cfgs)
 
 (* ------------------------------------------------------------------ *)
 (* Heap checksum — one shared implementation with the execution daemon's
@@ -45,11 +74,13 @@ let heap_checksum = Nomap_vm.Heap_checksum.checksum
 (* Execution *)
 
 type observation =
-  | Outcome of { result : string; heap : string }
+  | Outcome of { result : string; heap : string; counters : string }
+      (** [counters] is the canonical full counter table — compared only
+          across engine pairs at the same (tier, arch) *)
   | Crash of string  (** exception escaping the VM, including Ill_formed *)
 
 let observation_to_string = function
-  | Outcome { result; heap } -> Printf.sprintf "result=%s heap=%s" result heap
+  | Outcome { result; heap; counters = _ } -> Printf.sprintf "result=%s heap=%s" result heap
   | Crash msg -> "crash: " ^ msg
 
 (* The reference interpreter charges one fuel per bytecode op; optimized
@@ -58,7 +89,7 @@ let observation_to_string = function
    failed.  The caps are sized ~4x above the heaviest program the generator
    can emit: raising them does not find more bugs, it only makes runaway
    cases (and shrink probes that create them) proportionally slower across
-   all ten configurations. *)
+   all configurations. *)
 let reference_fuel = 2_000_000
 let tiered_fuel = 4 * reference_fuel
 
@@ -69,17 +100,22 @@ let run_cfg ?ftl_mutate ~src (c : cfg) : observation =
     let vm =
       match ftl_mutate with
       | None ->
-        Vm.create ~fuel ~verify_lir:true ~paranoid:true ~config:(Config.create c.arch)
-          ~tier_cap:c.tier prog
+        Vm.create ~fuel ~verify_lir:true ~paranoid:true ~engine:c.engine
+          ~config:(Config.create c.arch) ~tier_cap:c.tier prog
       | Some ftl_mutate ->
         Vm.create_with_ftl_mutator ~ftl_mutate ~fuel ~verify_lir:true ~paranoid:true
-          ~config:(Config.create c.arch) ~tier_cap:c.tier prog
+          ~engine:c.engine ~config:(Config.create c.arch) ~tier_cap:c.tier prog
     in
     ignore (Vm.run_main vm);
     let result =
       match Vm.global vm "result" with Some v -> Value.to_js_string v | None -> "<no result>"
     in
-    Outcome { result; heap = heap_checksum (Vm.instance vm) }
+    Outcome
+      {
+        result;
+        heap = heap_checksum (Vm.instance vm);
+        counters = Counters.to_canonical_string (Vm.counters vm);
+      }
   with
   | o -> o
   | exception e -> Crash (Printexc.to_string e)
@@ -94,20 +130,64 @@ type verdict =
   | Skip of string  (** the reference itself failed (e.g. out of fuel) *)
   | Diverge of divergence list
 
+(* Against the reference only result + heap matter: counters legitimately
+   differ across tiers and architectures. *)
+let agrees_with_reference ~expected ~got =
+  match (expected, got) with
+  | Outcome e, Outcome g -> e.result = g.result && e.heap = g.heap
+  | Crash a, Crash b -> a = b
+  | _ -> false
+
 let check ?(cfgs = default_cfgs) ?ftl_mutate (prog : Ast.program) : verdict =
   let src = Gen.to_source prog in
   match run_cfg ~src reference with
   | Crash msg -> Skip msg
   | Outcome _ as expected ->
-    let divs =
+    let obs = List.map (fun c -> (c, run_cfg ?ftl_mutate ~src c)) cfgs in
+    let ref_divs =
       List.filter_map
-        (fun c ->
-          let got = run_cfg ?ftl_mutate ~src c in
-          if got = expected then None else Some { cfg = c; expected; got })
-        cfgs
+        (fun (c, got) ->
+          if agrees_with_reference ~expected ~got then None
+          else Some { cfg = c; expected; got })
+        obs
+    in
+    (* Engine axis: the same (tier, arch) under both engines must agree on
+       result, heap AND the full counter table (structural equality on the
+       whole observation, canonical counters string included). *)
+    let engine_divs =
+      List.filter_map
+        (fun (c, got) ->
+          if c.engine = Engine.Decoded || not (engine_matters c) then None
+          else
+            match
+              List.find_opt
+                (fun (c', _) ->
+                  c'.engine = Engine.Decoded && c'.tier = c.tier && c'.arch = c.arch)
+                obs
+            with
+            | Some (_, (Outcome _ as expected')) when got <> expected' ->
+              Some { cfg = c; expected = expected'; got }
+            | _ -> None)
+        obs
+    in
+    let divs =
+      ref_divs
+      @ List.filter
+          (fun d -> not (List.exists (fun r -> r.cfg = d.cfg) ref_divs))
+          engine_divs
     in
     if divs = [] then Agree else Diverge divs
 
 let divergence_to_string d =
-  Printf.sprintf "  %-18s expected %s\n  %-18s got      %s" (cfg_name d.cfg)
-    (observation_to_string d.expected) "" (observation_to_string d.got)
+  let base =
+    Printf.sprintf "  %-24s expected %s\n  %-24s got      %s" (cfg_name d.cfg)
+      (observation_to_string d.expected) "" (observation_to_string d.got)
+  in
+  (* A counters-only engine divergence prints identically above; show the
+     differing canonical tables so the drift is actually visible. *)
+  match (d.expected, d.got) with
+  | Outcome e, Outcome g
+    when e.result = g.result && e.heap = g.heap && e.counters <> g.counters ->
+    Printf.sprintf "%s\n  %-24s counters expected %s\n  %-24s counters got      %s" base ""
+      e.counters "" g.counters
+  | _ -> base

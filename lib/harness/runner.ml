@@ -22,6 +22,14 @@ module Instance = Nomap_interp.Instance
 let default_warmup = 35
 let default_measure = 10
 
+(** Execution engine for every VM the harness builds.  Process-global
+    rather than a memo-key dimension on purpose: the engines are
+    metric-identical (the fuzz oracle pins result, heap checksum and the
+    full counter table across the engine axis), so a measurement cached
+    under one engine is valid under the other — only wall-clock differs,
+    and the harness never caches wall-clock. *)
+let engine = ref Nomap_machine.Engine.default
+
 type measurement = {
   bench : Registry.benchmark;
   label : string;
@@ -78,7 +86,7 @@ let measure_arch ?(warmup = default_warmup) ?(measure = default_measure) ~arch b
   let label = Config.name arch in
   let prog = Registry.compile bench in
   let vm =
-    Vm.create ~fuel:4_000_000_000 ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
+    Vm.create ~fuel:4_000_000_000 ~engine:!engine ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
   in
   steady_vm ~warmup ~measure ~label bench vm
 
@@ -88,7 +96,7 @@ let measure_ablation ?(warmup = default_warmup) ?(measure = default_measure) ~ar
     ~label bench =
   let prog = Registry.compile bench in
   let vm =
-    Vm.create ~fuel:4_000_000_000 ~opt_knobs:knobs ~config:(Config.create arch)
+    Vm.create ~fuel:4_000_000_000 ~engine:!engine ~opt_knobs:knobs ~config:(Config.create arch)
       ~tier_cap:Vm.Cap_ftl prog
   in
   let m = steady_vm ~warmup ~measure ~label:(Config.name arch ^ "/" ^ label) bench vm in
@@ -99,7 +107,7 @@ let measure_cap ?(warmup = default_warmup) ?(measure = default_measure) ~cap ben
   let label = "cap:" ^ Vm.cap_name cap in
   let prog = Registry.compile bench in
   let vm =
-    Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:cap prog
+    Vm.create ~fuel:4_000_000_000 ~engine:!engine ~config:(Config.create Config.Base) ~tier_cap:cap prog
   in
   steady_vm ~warmup ~measure ~label bench vm
 
@@ -109,7 +117,7 @@ let measure_cap ?(warmup = default_warmup) ?(measure = default_measure) ~cap ben
 let measure_deopt ~iterations bench =
   let prog = Registry.compile bench in
   let vm =
-    Vm.create ~fuel:4_000_000_000 ~config:(Config.create Config.Base) ~tier_cap:Vm.Cap_ftl
+    Vm.create ~fuel:4_000_000_000 ~engine:!engine ~config:(Config.create Config.Base) ~tier_cap:Vm.Cap_ftl
       prog
   in
   ignore (Vm.run_main vm);

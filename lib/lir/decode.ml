@@ -43,6 +43,10 @@ type dinstr = {
           instructions the NoMap_BC limit study marked [Lir.elided], plus
           pure feeders that outright deletion followed by DCE would have
           erased (computed in [free_map]). *)
+  pure : bool;
+      (** fusion candidate: [pure_kind kind].  The instruction can neither
+          raise nor observe/alter transaction state, so an engine may batch
+          its accounting with its straight-line neighbours'. *)
   args : int array;  (** pre-resolved call/intrinsic argument value ids *)
 }
 
@@ -131,6 +135,29 @@ let free_map (f : Lir.func) =
     Array.init n (fun v -> elided.(v) || not live.(v))
   end
 
+(** Fusion-candidate classifier.  A kind is [pure] when executing it can
+    neither raise (no checks, no calls, no allocation failure paths) nor
+    touch heap hooks (which abort transactions on capacity overflow) nor
+    change the transaction/ghost category (no tx markers).  Within a run
+    of pure instructions the machine's per-instruction accounting —
+    category, in-transaction flag, watchdog headroom — is invariant, so an
+    engine may execute the run as one superinstruction provided it
+    replicates the per-instruction cycle-accumulation order bit-exactly.
+
+    Note [Load_global]/[Store_global] qualify: the global table is not
+    routed through heap hooks (globals live outside the transactional
+    footprint model).  [Str_length] reads a cached length, no hook;
+    [Load_char_code] does fire a load hook and stays out. *)
+let pure_kind = function
+  | Lir.Nop | Lir.Phi _ | Lir.Param _ | Lir.Const _ | Lir.Iadd _ | Lir.Isub _ | Lir.Imul _
+  | Lir.Ineg _ | Lir.Iadd_wrap _ | Lir.Isub_wrap _ | Lir.Fadd _ | Lir.Fsub _
+  | Lir.Fmul _ | Lir.Fdiv _ | Lir.Fmod _ | Lir.Fneg _ | Lir.Band _
+  | Lir.Bor _ | Lir.Bxor _ | Lir.Bnot _ | Lir.Shl _ | Lir.Shr _ | Lir.Ushr _
+  | Lir.Cmp _ | Lir.Not _ | Lir.Str_length _ | Lir.Load_global _
+  | Lir.Store_global _ ->
+    true
+  | _ -> false
+
 let no_args = [||]
 
 let args_of = function
@@ -201,6 +228,7 @@ let decode ~(cost : Lir.kind -> int) (f : Lir.func) : t =
                        is_tx_marker =
                          (match k with Lir.Tx_begin _ | Lir.Tx_end -> true | _ -> false);
                        elided = free.(v);
+                       pure = pure_kind k;
                        args = args_of k;
                      })
           |> Array.of_list

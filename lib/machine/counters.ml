@@ -139,3 +139,23 @@ let diff ~now ~before =
   t.tx_assoc_max <- now.tx_assoc_max;
   t.tx_samples <- now.tx_samples - before.tx_samples;
   t
+
+(** Canonical one-line rendering of the full counter table.  Cycles are
+    hex-floats so the comparison is exact to the last bit.  Shared by the
+    determinism golden (test/determinism.expected) and the fuzzer's engine
+    axis, where decoded × threaded must match bit-for-bit. *)
+let to_canonical_string (c : t) =
+  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  let reasons =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.abort_reasons []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
+     commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
+     assoc_max=%d samples=%d"
+    (ints c.instrs) (ints c.checks) c.cycles c.tx_cycles c.deopts c.ftl_calls
+    c.dfg_calls c.tx_commits c.tx_aborts reasons c.tx_write_kb_sum
+    c.tx_write_kb_max c.tx_assoc_sum c.tx_assoc_max c.tx_samples

@@ -64,3 +64,8 @@ val begin_window : t -> t
     (steady-state measurement after warmup).  Includes the per-reason abort
     breakdown; maxima are window maxima (see [begin_window]). *)
 val diff : now:t -> before:t -> t
+
+(** Canonical one-line rendering of the full counter table (hex-float
+    cycles, sorted abort reasons) — the bit-exact equality format used by
+    the determinism golden and the fuzzer's engine axis. *)
+val to_canonical_string : t -> string

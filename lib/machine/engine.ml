@@ -1,0 +1,23 @@
+(** Execution-engine selection.
+
+    Both engines run the same pre-decoded LIR against the same [Machine]
+    substrate and are required to produce bit-identical results, heap
+    contents and [Counters.t] — the fuzzer's engine axis and the
+    engine-equivalence test suite enforce it.
+
+    - [Decoded]: the reference interpreter — one [match] over [Lir.kind]
+      per instruction ([Decoded.exec_func]).
+    - [Threaded]: the closure-threaded compiler — each block body is
+      compiled once into a chain of OCaml closures with superinstruction
+      fusion ([Threaded.exec_func]); the default. *)
+
+type kind = Decoded | Threaded
+
+let all = [ Decoded; Threaded ]
+let default = Threaded
+let name = function Decoded -> "decoded" | Threaded -> "threaded"
+
+let of_string = function
+  | "decoded" -> Some Decoded
+  | "threaded" -> Some Threaded
+  | _ -> None

@@ -1,7 +1,10 @@
-(** The abstract machine that executes LIR — our stand-in for the x86-64
-    core running DFG/FTL-generated code.
+(** The engine-agnostic substrate of the abstract machine that executes
+    LIR — our stand-in for the x86-64 core running DFG/FTL-generated code.
 
-    It interprets LIR against the simulated heap while:
+    Execution itself lives in the engines ([Decoded], the reference
+    interpreter over pre-decoded LIR, and [Threaded], the closure-threaded
+    compiler — see [Engine] for selection).  This module owns everything
+    both engines share, which is exactly the simulated-metric contract:
     - counting dynamic instructions, classified NoFTL / NoTM / TMUnopt /
       TMOpt exactly as the paper's Figures 8/9 do (TMOpt = transaction-aware
       code inside its own transaction; TMUnopt = a callee executing inside
@@ -15,12 +18,12 @@
     - performing OSR exits: a failing Deopt check materializes its stack map
       into a Baseline frame and the rest of the function runs there.
 
-    For wall-clock speed the machine executes the pre-decoded form of each
+    Whatever the engine, the machine executes the pre-decoded form of each
     compiled function ([Nomap_lir.Decode]): per-block instruction arrays
     instead of id lists, phi inputs resolved to per-edge copy tables, call
     arguments as arrays, and per-instruction costs precomputed — none of
     which changes any simulated metric (guarded by the counter-determinism
-    test). *)
+    test, and by the fuzzer's engine axis across decoded × threaded). *)
 
 module Value = Nomap_runtime.Value
 module Heap = Nomap_runtime.Heap
@@ -33,6 +36,7 @@ module D = Nomap_lir.Decode
 module Htm = Nomap_htm.Htm
 module Footprint = Nomap_cache.Footprint
 module Specialize = Nomap_tiers.Specialize
+module Hot = Nomap_util.Hot
 
 type tier = Dfg | Ftl
 
@@ -163,7 +167,7 @@ let as_obj = function Value.Obj o -> Some o | _ -> None
    call).  All take the per-activation state they touch explicitly. *)
 
 let materialize (values : Value.t array) live =
-  List.map (fun (r, v) -> (r, values.(v))) live
+  List.map (fun (r, v) -> (r, Hot.get values v)) live
 
 (* A failing check: Deopt outside any real transaction OSR-exits; inside a
    transaction any failure is an abort (Deopt there is irrevocable).  An
@@ -184,14 +188,16 @@ let tx_tick env =
 let int_result env (overflowed : bool array) id raw =
   if Value.fits_int32 raw then Value.Int raw
   else begin
-    overflowed.(id) <- true;
+    Hot.set overflowed id true;
     (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
     Value.Int (wrap_int32 raw)
   end
 
 (** Build a call's argument list from pre-resolved value ids. *)
 let arg_values (values : Value.t array) (ids : int array) =
-  let rec go i acc = if i < 0 then acc else go (i - 1) (values.(ids.(i)) :: acc) in
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (Hot.get values (Hot.get ids i) :: acc)
+  in
   go (Array.length ids - 1) []
 
 (** Generic runtime calls (the NoFTL slow paths).  Each branch charges its
@@ -202,7 +208,7 @@ let arg_values (values : Value.t array) (ids : int array) =
 let exec_runtime env rt (recv : Value.t) (ids : int array) (values : Value.t array) :
     Value.t =
   let heap = env.instance.Instance.heap in
-  let arg i = values.(ids.(i)) in
+  let arg i = Hot.get values (Hot.get ids i) in
   match rt with
   | L.Rt_binop op ->
     charge_runtime env 30;
@@ -294,360 +300,93 @@ let decoded (c : Specialize.compiled) =
     c.Specialize.decoded <- Some d;
     d
 
-let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
-  let d = decoded c in
-  let lir = c.Specialize.lir in
-  let inst = env.instance in
-  let heap = inst.Instance.heap in
+
+(* ------------------------------------------------------------------ *)
+(* Shared engine protocol.  Per-call bookkeeping, the transaction region
+   markers and the exit handling are part of the simulated-metric contract,
+   so they live here and every engine calls in — an engine only decides
+   *how* to dispatch the instructions in between. *)
+
+let cpi_of = function Dfg -> Timing.cpi_dfg | Ftl -> Timing.cpi_ftl
+
+(** Count the call against its tier and allocate a fresh frame id. *)
+let enter_call env ~tier =
   (match tier with
   | Ftl -> env.counters.Counters.ftl_calls <- env.counters.Counters.ftl_calls + 1
   | Dfg -> env.counters.Counters.dfg_calls <- env.counters.Counters.dfg_calls + 1);
   let frame = env.next_frame in
   env.next_frame <- env.next_frame + 1;
-  let n = max 1 d.D.nvalues in
-  let values = Array.make n Value.Undef in
-  let overflowed = Array.make n false in
-  let argv = Array.of_list args in
-  let nargs = Array.length argv in
-  let run () =
-    let prev_block = ref (-1) in
-    let cur_block = ref d.D.entry in
-    let running = ref true in
-    let result = ref Value.Undef in
-    while !running do
-      let b = d.D.dblocks.(!cur_block) in
-      (* Phis: the pre-resolved copy table for the incoming edge, applied as
-         a parallel assignment (read phase, then write phase). *)
-      let edges = b.D.phi_edges in
-      let n_edges = Array.length edges in
-      if n_edges > 0 then begin
-        let prev = !prev_block in
-        let rec find_edge i =
-          if i >= n_edges then -1
-          else if edges.(i).D.pred = prev then i
-          else find_edge (i + 1)
-        in
-        let ei = find_edge 0 in
-        if ei >= 0 then begin
-          let e = edges.(ei) in
-          let dsts = e.D.dsts and srcs = e.D.srcs in
-          let scratch = d.D.scratch in
-          let np = Array.length dsts in
-          for i = 0 to np - 1 do
-            scratch.(i) <- values.(srcs.(i))
-          done;
-          for i = 0 to np - 1 do
-            values.(dsts.(i)) <- scratch.(i)
-          done
-        end
-      end;
-      let body = b.D.body in
-      for idx = 0 to Array.length body - 1 do
-        let di = body.(idx) in
-        let v = di.D.id in
-        if (di.D.is_tx_marker && env.htm_mode = Htm.Ghost) || di.D.elided then
-          (* Free instructions: region markers under the Base config, and
-             checks the NoMap_BC limit study elided (they keep their guard
-             semantics below but model zero hardware instructions, so no
-             transaction tick and no cycle charge). *)
-          Instance.burn inst 1
-        else begin
-          Instance.burn inst 1;
-          tx_tick env;
-          charge_ftl env ~frame ~tier di.D.cost
-        end;
-        match di.D.kind with
-        | L.Nop | L.Phi _ -> ()
-        | L.Param r ->
-          values.(v) <-
-            (if r = 0 then this
-             else if r - 1 < nargs then argv.(r - 1)
-             else Value.Undef)
-        | L.Const c -> values.(v) <- c
-        | L.Iadd (a, b) ->
-          values.(v) <- int_result env overflowed v (as_int values.(a) + as_int values.(b))
-        | L.Isub (a, b) ->
-          values.(v) <- int_result env overflowed v (as_int values.(a) - as_int values.(b))
-        | L.Iadd_wrap (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) + as_int values.(b)))
-        | L.Isub_wrap (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) - as_int values.(b)))
-        | L.Imul (a, b) ->
-          values.(v) <- int_result env overflowed v (as_int values.(a) * as_int values.(b))
-        | L.Ineg a ->
-          let x = as_int values.(a) in
-          (* -0 and -int32_min are not int32-representable results. *)
-          if x = 0 || x = Value.int32_min then begin
-            overflowed.(v) <- true;
-            (match env.tx with
-            | Some tx when env.sof_enabled -> tx.Htm.sof <- true
-            | _ -> ());
-            values.(v) <- Value.Int (wrap_int32 (-x))
-          end
-          else values.(v) <- Value.Int (-x)
-        | L.Fadd (a, b) -> values.(v) <- Value.number (as_num values.(a) +. as_num values.(b))
-        | L.Fsub (a, b) -> values.(v) <- Value.number (as_num values.(a) -. as_num values.(b))
-        | L.Fmul (a, b) -> values.(v) <- Value.number (as_num values.(a) *. as_num values.(b))
-        | L.Fdiv (a, b) -> values.(v) <- Value.number (as_num values.(a) /. as_num values.(b))
-        | L.Fmod (a, b) ->
-          values.(v) <- Value.number (Float.rem (as_num values.(a)) (as_num values.(b)))
-        | L.Fneg a -> values.(v) <- Value.number (-.as_num values.(a))
-        | L.Band (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) land as_int values.(b)))
-        | L.Bor (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lor as_int values.(b)))
-        | L.Bxor (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lxor as_int values.(b)))
-        | L.Bnot a -> values.(v) <- Value.Int (wrap_int32 (lnot (as_int values.(a))))
-        | L.Shl (a, b) ->
-          values.(v) <- Value.Int (wrap_int32 (as_int values.(a) lsl (as_int values.(b) land 31)))
-        | L.Shr (a, b) -> values.(v) <- Value.Int (as_int values.(a) asr (as_int values.(b) land 31))
-        | L.Ushr (a, b) -> values.(v) <- Ops.js_ushr values.(a) values.(b)
-        | L.Cmp (c, a, b) ->
-          let x = as_num values.(a) and y = as_num values.(b) in
-          let r =
-            match c with
-            | L.Ceq -> x = y
-            | L.Cne -> x <> y (* JS: NaN != anything is true *)
-            | L.Clt -> x < y
-            | L.Cle -> x <= y
-            | L.Cgt -> x > y
-            | L.Cge -> x >= y
-          in
-          values.(v) <- Value.Bool r
-        | L.Not a -> values.(v) <- Value.Bool (not (Value.truthy values.(a)))
-        | L.Load_slot (o, slot) -> (
-          match as_obj values.(o) with
-          | Some obj when slot < Array.length obj.Value.slots ->
-            values.(v) <- Heap.load_slot heap obj slot
-          | _ -> values.(v) <- Value.Undef)
-        | L.Store_slot (o, slot, x) -> (
-          match as_obj values.(o) with
-          | Some obj when slot < Array.length obj.Value.slots ->
-            Heap.store_slot heap obj slot values.(x)
-          | _ -> ())
-        | L.Store_transition (o, name, slot, x) -> (
-          match as_obj values.(o) with
-          | Some obj ->
-            (* The guarding shape check ran just before; resolve the
-               (memoized) transition and install shape + value. *)
-            let new_shape = Shape.transition heap.Heap.shapes obj.Value.shape name in
-            if new_shape.Shape.prop_count - 1 = slot then
-              Heap.transition_store heap obj new_shape slot values.(x)
-            else
-              (* Shape drifted (possible only in a doomed transaction). *)
-              Heap.set_prop heap obj name values.(x)
-          | None -> ())
-        | L.Load_elem (a, i') -> (
-          match as_arr values.(a) with
-          | Some arr -> values.(v) <- Heap.load_elem heap arr (as_int values.(i'))
-          | None -> values.(v) <- Value.Undef)
-        | L.Store_elem (a, i', x) -> (
-          match as_arr values.(a) with
-          | Some arr -> Heap.store_elem heap arr (as_int values.(i')) values.(x)
-          | None -> ())
-        | L.Load_length a -> (
-          match as_arr values.(a) with
-          | Some arr ->
-            heap.Heap.hooks.load arr.Value.aaddr 8;
-            values.(v) <- Value.Int arr.Value.alen
-          | None -> values.(v) <- Value.Int 0)
-        | L.Str_length a -> (
-          match values.(a) with
-          | Value.Str s -> values.(v) <- Value.Int (String.length s.Value.sdata)
-          | _ -> values.(v) <- Value.Int 0)
-        | L.Load_char_code (s, i') -> (
-          match values.(s) with
-          | Value.Str str ->
-            values.(v) <- Value.Int (Ops.string_char_code heap str (as_int values.(i')))
-          | _ -> values.(v) <- Value.Int 0)
-        | L.Load_global g -> values.(v) <- inst.Instance.globals.(g)
-        | L.Store_global (g, x) -> inst.Instance.globals.(g) <- values.(x)
-        (* Elided checks (NoMap_BC) guard exactly as charged ones do, but
-           model zero hardware instructions: no check-category count, no
-           cache-visible load of the metadata they test. *)
-        | L.Check_int (a, e) -> (
-          match values.(a) with
-          | Value.Int _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Type)
-        | L.Check_number (a, e) -> (
-          match values.(a) with
-          | Value.Int _ | Value.Num _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Type)
-        | L.Check_string (a, e) -> (
-          match values.(a) with
-          | Value.Str _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Type)
-        | L.Check_array (a, e) -> (
-          match values.(a) with
-          | Value.Arr _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Type)
-        | L.Check_shape (a, shape_id, e) -> (
-          match values.(a) with
-          | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
-            if not di.D.elided then begin
-              heap.Heap.hooks.load o.Value.oaddr 8;
-              Counters.add_check env.counters L.Property
-            end;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Property)
-        | L.Check_fun_eq (a, fid, e) -> (
-          match values.(a) with
-          | Value.Fun f when f = fid ->
-            if not di.D.elided then Counters.add_check env.counters L.Path;
-            values.(v) <- values.(a)
-          | _ -> check_fail env values e L.Path)
-        | L.Check_bounds (a, i', e) -> (
-          let idx = as_int values.(i') in
-          match as_arr values.(a) with
-          | Some arr when idx >= 0 && idx < arr.Value.alen ->
-            if not di.D.elided then begin
-              heap.Heap.hooks.load arr.Value.aaddr 8;
-              Counters.add_check env.counters L.Bounds
-            end;
-            values.(v) <- Value.Int idx
-          | _ -> check_fail env values e L.Bounds)
-        | L.Check_str_bounds (s, i', e) -> (
-          let idx = as_int values.(i') in
-          match values.(s) with
-          | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-            if not di.D.elided then Counters.add_check env.counters L.Bounds;
-            values.(v) <- Value.Int idx
-          | _ -> check_fail env values e L.Bounds)
-        | L.Check_not_hole (a, i', e) -> (
-          let idx = as_int values.(i') in
-          match as_arr values.(a) with
-          | Some arr
-            when idx >= 0
-                 && idx < Array.length arr.Value.elems
-                 && Heap.load_elem heap arr idx <> Value.Hole ->
-            if not di.D.elided then Counters.add_check env.counters L.Hole;
-            values.(v) <- Value.Int idx
-          | _ -> check_fail env values e L.Hole)
-        | L.Check_overflow (a, e) ->
-          if overflowed.(a) then check_fail env values e L.Overflow
-          else begin
-            if not di.D.elided then Counters.add_check env.counters L.Overflow;
-            values.(v) <- values.(a)
-          end
-        | L.Check_cond (a, expected, e) ->
-          if Value.truthy values.(a) = expected then begin
-            if not di.D.elided then Counters.add_check env.counters L.Path;
-            values.(v) <- values.(a)
-          end
-          else check_fail env values e L.Path
-        | L.Call_func (fid, _) ->
-          values.(v) <- env.call ~fid ~this:Value.Undef ~args:(arg_values values di.D.args)
-        | L.Call_method (fid, thisv, _) ->
-          values.(v) <-
-            env.call ~fid ~this:values.(thisv) ~args:(arg_values values di.D.args)
-        | L.Ctor_call (fid, _) ->
-          let obj = Value.Obj (Heap.alloc_object heap) in
-          let r = env.call ~fid ~this:obj ~args:(arg_values values di.D.args) in
-          values.(v) <- (match r with Value.Undef -> obj | x -> x)
-        | L.Call_runtime (rt, recv, _) ->
-          values.(v) <- exec_runtime env rt values.(recv) di.D.args values
-        | L.Intrinsic (intr, _) ->
-          if not di.D.elided then begin
-            let ftl_c, rt_c = intrinsic_cost intr in
-            charge_ftl env ~frame ~tier ftl_c;
-            charge_runtime env rt_c
-          end;
-          values.(v) <-
-            (try Intrinsics.eval heap intr Value.Undef (arg_values values di.D.args)
-             with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
-        | L.Alloc_object -> values.(v) <- Value.Obj (Heap.alloc_object heap)
-        | L.Alloc_array len ->
-          let n = as_int values.(len) in
-          if n < 0 || n > 1 lsl 24 then begin
-            if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
-            else raise (Nomap_interp.Interp.Runtime_error "bad array length")
-          end;
-          values.(v) <- Value.Arr (Heap.alloc_array heap n)
-        | L.Tx_begin smp -> (
-          match env.htm_mode with
-          | Htm.Ghost ->
-            if env.ghost_depth = 0 then env.ghost_owner <- frame;
-            env.ghost_depth <- env.ghost_depth + 1
-          | (Htm.Rot | Htm.Rtm) as mode -> (
-            match env.tx with
-            | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
-            | None ->
-              let snapshot = materialize values smp.L.live in
-              env.tx <-
-                Some
-                  (Htm.begin_tx ~capacity_scale:env.capacity_scale heap ~mode ~snapshot
-                     ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
-              (* Transaction lengths scale with the workloads; scale the
-                 fixed begin/end costs equally so the overhead-to-work
-                 ratio stays in the paper's regime (DESIGN.md §6). *)
-              Counters.add_cycles env.counters ~in_tx:true
-                (Timing.xbegin_cycles /. float_of_int env.capacity_scale)))
-        | L.Tx_end -> (
-          match env.htm_mode with
-          | Htm.Ghost ->
-            env.ghost_depth <- max 0 (env.ghost_depth - 1);
-            if env.ghost_depth = 0 then env.ghost_owner <- -1
-          | Htm.Rot | Htm.Rtm -> (
-            match env.tx with
-            | None -> ()  (* abort already tore the transaction down *)
-            | Some tx ->
-              tx.Htm.nesting <- tx.Htm.nesting - 1;
-              if tx.Htm.nesting = 0 then begin
-                if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
-                charge_rtm_reads env tx;
-                Counters.add_cycles env.counters ~in_tx:true
-                  ((match tx.Htm.mode with
-                   | Htm.Rtm -> Timing.xend_rtm_cycles
-                   | _ -> Timing.xend_rot_cycles)
-                  /. float_of_int env.capacity_scale);
-                Counters.record_commit env.counters
-                  ~write_kb:(Footprint.kb tx.Htm.write_fp)
-                  ~assoc:(Footprint.max_ways tx.Htm.write_fp);
-                Htm.commit tx;
-                env.tx <- None
-              end))
-      done;
-      charge_ftl env ~frame ~tier 1;
-      (* terminator *)
-      match b.D.dterm with
-      | L.Jump t ->
-        prev_block := !cur_block;
-        cur_block := t
-      | L.Br (cv, bt, bf) ->
-        prev_block := !cur_block;
-        cur_block := (if Value.truthy values.(cv) then bt else bf)
-      | L.Ret r ->
-        result := (match r with Some rv -> values.(rv) | None -> Value.Undef);
-        running := false
-      | L.Unreachable -> raise (Nomap_interp.Interp.Runtime_error "reached unreachable block")
-    done;
-    !result
-  in
-  let handle_abort reason tx =
-    (* Reads performed before the abort still cost RTM read-latency. *)
-    charge_rtm_reads env tx;
-    Htm.rollback tx;
-    env.tx <- None;
-    Counters.record_abort env.counters reason;
-    Counters.add_cycles env.counters ~in_tx:false Timing.abort_cycles;
-    env.on_abort ~fid:lir.L.fid reason;
-    env.deopt_resume ~fid:lir.L.fid ~resume_pc:tx.Htm.resume_pc ~values:tx.Htm.snapshot
-  in
+  frame
+
+(** The [Tx_begin] semantics (cost/tick already charged by the engine). *)
+let exec_tx_begin env (values : Value.t array) ~frame (smp : L.smp) =
+  match env.htm_mode with
+  | Htm.Ghost ->
+    if env.ghost_depth = 0 then env.ghost_owner <- frame;
+    env.ghost_depth <- env.ghost_depth + 1
+  | (Htm.Rot | Htm.Rtm) as mode -> (
+    match env.tx with
+    | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
+    | None ->
+      let snapshot = materialize values smp.L.live in
+      env.tx <-
+        Some
+          (Htm.begin_tx ~capacity_scale:env.capacity_scale
+             env.instance.Instance.heap ~mode ~snapshot
+             ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
+      (* Transaction lengths scale with the workloads; scale the
+         fixed begin/end costs equally so the overhead-to-work
+         ratio stays in the paper's regime (DESIGN.md §6). *)
+      Counters.add_cycles env.counters ~in_tx:true
+        (Timing.xbegin_cycles /. float_of_int env.capacity_scale))
+
+(** The [Tx_end] semantics (cost/tick already charged by the engine). *)
+let exec_tx_end env =
+  match env.htm_mode with
+  | Htm.Ghost ->
+    env.ghost_depth <- max 0 (env.ghost_depth - 1);
+    if env.ghost_depth = 0 then env.ghost_owner <- -1
+  | Htm.Rot | Htm.Rtm -> (
+    match env.tx with
+    | None -> ()  (* abort already tore the transaction down *)
+    | Some tx ->
+      tx.Htm.nesting <- tx.Htm.nesting - 1;
+      if tx.Htm.nesting = 0 then begin
+        if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
+        charge_rtm_reads env tx;
+        Counters.add_cycles env.counters ~in_tx:true
+          ((match tx.Htm.mode with
+           | Htm.Rtm -> Timing.xend_rtm_cycles
+           | _ -> Timing.xend_rot_cycles)
+          /. float_of_int env.capacity_scale);
+        Counters.record_commit env.counters
+          ~write_kb:(Footprint.kb tx.Htm.write_fp)
+          ~assoc:(Footprint.max_ways tx.Htm.write_fp);
+        Htm.commit tx;
+        env.tx <- None
+      end)
+
+let handle_abort env ~fid reason (tx : Htm.tx) =
+  (* Reads performed before the abort still cost RTM read-latency. *)
+  charge_rtm_reads env tx;
+  Htm.rollback tx;
+  env.tx <- None;
+  Counters.record_abort env.counters reason;
+  Counters.add_cycles env.counters ~in_tx:false Timing.abort_cycles;
+  env.on_abort ~fid reason;
+  env.deopt_resume ~fid ~resume_pc:tx.Htm.resume_pc ~values:tx.Htm.snapshot
+
+(** Run an engine's function body under the shared exit protocol: a
+    [Deopt_exit] OSR-exits to Baseline; an [Htm.Abort] owned by this frame
+    rolls the transaction back and resumes at the region entry; anyone
+    else's abort keeps unwinding to its owner. *)
+let run_with_exits env ~fid ~frame run =
   try run () with
   | Deopt_exit (resume_pc, vals) ->
     env.counters.Counters.deopts <- env.counters.Counters.deopts + 1;
     Counters.add_cycles env.counters ~in_tx:(in_region env) Timing.deopt_cycles;
-    env.deopt_resume ~fid:lir.L.fid ~resume_pc ~values:vals
+    env.deopt_resume ~fid ~resume_pc ~values:vals
   | Htm.Abort reason -> (
     match env.tx with
-    | Some tx when tx.Htm.owner_frame = frame -> handle_abort reason tx
+    | Some tx when tx.Htm.owner_frame = frame -> handle_abort env ~fid reason tx
     | _ -> raise (Htm.Abort reason))

@@ -64,6 +64,13 @@ let is_num_ty = function Tint | Tnum -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
 
+(** Engine-compiled executable forms of a [compiled] function.  The type is
+    extensible so an execution engine (a layer above this one) can cache its
+    own artifact on the record without the tiers layer depending on it;
+    adaptation throwing the record away ([version.ftl <- None]) discards the
+    cached engine code with it. *)
+type artifact = ..
+
 type compiled = {
   lir : L.func;
   block_pc : (int, int) Hashtbl.t;  (** LIR block id -> bytecode leader pc *)
@@ -74,6 +81,9 @@ type compiled = {
       (** pre-decoded executable form, built lazily by the machine on first
           execution (i.e. after all transform/optimizer passes have run);
           the LIR must not be mutated once this is set *)
+  mutable engine_code : artifact option;
+      (** engine-specific compiled form (e.g. the threaded engine's closure
+          chains), cached lazily under the same no-mutation contract *)
 }
 
 type builder = {
@@ -635,4 +645,11 @@ let compile ~(bc : Opcode.func) ~(consts : Value.t array) ~(profile : Feedback.f
   let header_blocks =
     List.map (fun pc -> (pc, block_of pc)) bc.Opcode.loop_headers
   in
-  { lir; block_pc; header_blocks; entry_states = b.entry_states; decoded = None }
+  {
+    lir;
+    block_pc;
+    header_blocks;
+    entry_states = b.entry_states;
+    decoded = None;
+    engine_code = None;
+  }

@@ -1,0 +1,9 @@
+(* See hot.mli for the audit contract. *)
+
+let checked =
+  match Sys.getenv_opt "NOMAP_CHECKED_HOT" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let[@inline] get a i = if checked then Array.get a i else Array.unsafe_get a i
+let[@inline] set a i v = if checked then Array.set a i v else Array.unsafe_set a i v

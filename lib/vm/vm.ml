@@ -18,6 +18,9 @@ module Instance = Nomap_interp.Instance
 module Interp = Nomap_interp.Interp
 module Specialize = Nomap_tiers.Specialize
 module Machine = Nomap_machine.Machine
+module Engine = Nomap_machine.Engine
+module Decoded = Nomap_machine.Decoded
+module Threaded = Nomap_machine.Threaded
 module Counters = Nomap_machine.Counters
 module Timing = Nomap_machine.Timing
 module Config = Nomap_nomap.Config
@@ -51,6 +54,7 @@ type t = {
   counters : Counters.t;
   config : Config.t;
   tier_cap : tier_cap;
+  engine : Engine.kind;  (** which execution engine runs DFG/FTL code *)
   thresholds : thresholds;
   versions : version array;
   verify_lir : bool;
@@ -75,8 +79,8 @@ let fresh_version () =
 
 let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
     ?(verify_lir = false) ?(paranoid = false) ?ftl_mutate
-    ?(opt_knobs = Nomap_opt.Pipeline.all_on) ~config ~tier_cap
-    (prog : Opcode.program) =
+    ?(opt_knobs = Nomap_opt.Pipeline.all_on) ?(engine = Engine.default) ~config
+    ~tier_cap (prog : Opcode.program) =
   let instance = Instance.create ~seed ~fuel prog in
   let profile = Feedback.create prog in
   let counters = Counters.create () in
@@ -125,6 +129,7 @@ let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresho
       counters;
       config;
       tier_cap;
+      engine;
       thresholds;
       versions = Array.init (Array.length prog.Opcode.funcs) (fun _ -> fresh_version ());
       verify_lir;
@@ -203,6 +208,11 @@ and ensure_ftl t fid =
     v.dirty <- false;
     c
 
+and exec t c ~tier ~this ~args =
+  match t.engine with
+  | Engine.Decoded -> Decoded.exec_func (machine_env t) c ~tier ~this ~args
+  | Engine.Threaded -> Threaded.exec_func (machine_env t) c ~tier ~this ~args
+
 and dispatch t ~fid ~this ~args =
   let fp = Feedback.func_profile t.profile fid in
   fp.Feedback.call_count <- fp.Feedback.call_count + 1;
@@ -211,10 +221,10 @@ and dispatch t ~fid ~this ~args =
   match t.tier_cap with
   | Cap_ftl when n > th.ftl_at ->
     let c = ensure_ftl t fid in
-    Machine.exec_func (machine_env t) c ~tier:Machine.Ftl ~this ~args
+    exec t c ~tier:Machine.Ftl ~this ~args
   | (Cap_ftl | Cap_dfg) when n > th.dfg_at ->
     let c = ensure_dfg t fid in
-    Machine.exec_func (machine_env t) c ~tier:Machine.Dfg ~this ~args
+    exec t c ~tier:Machine.Dfg ~this ~args
   | (Cap_ftl | Cap_dfg | Cap_baseline) when n > th.baseline_at ->
     let regs = Interp.make_frame t.instance ~fid ~this ~args in
     Interp.run_from t.baseline_env ~fid ~entry_pc:0 ~regs
@@ -222,13 +232,15 @@ and dispatch t ~fid ~this ~args =
     let regs = Interp.make_frame t.instance ~fid ~this ~args in
     Interp.run_from t.interp_env ~fid ~entry_pc:0 ~regs
 
-let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ~config ~tier_cap prog =
-  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ~config ~tier_cap prog
+let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ~config
+    ~tier_cap prog =
+  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ~config
+    ~tier_cap prog
 
 let create_with_ftl_mutator ~ftl_mutate ?seed ?fuel ?thresholds ?verify_lir ?paranoid
-    ?opt_knobs ~config ~tier_cap prog =
-  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ~ftl_mutate ?opt_knobs ~config
-    ~tier_cap prog
+    ?opt_knobs ?engine ~config ~tier_cap prog =
+  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ~ftl_mutate ?opt_knobs ?engine
+    ~config ~tier_cap prog
 
 (** Run the program's top level. *)
 let run_main t =
@@ -252,6 +264,7 @@ let global t name =
 
 let instance t = t.instance
 let counters t = t.counters
+let engine t = t.engine
 let tx_demotions t = t.tx_demotions
 let deopt_invalidations t = t.deopt_invalidations
 let ftl_code t fid = t.versions.(fid).ftl

@@ -29,13 +29,17 @@ val create :
   ?verify_lir:bool ->
   ?paranoid:bool ->
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
+  ?engine:Nomap_machine.Engine.kind ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->
   t
 (** Build a VM over a compiled program.  [fuel] bounds total interpreter
     ops / LIR instructions executed ([Instance.Out_of_fuel] past it) —
-    the daemon's defence against runaway requests. *)
+    the daemon's defence against runaway requests.  [engine] selects which
+    execution engine runs DFG/FTL-compiled code (default
+    [Engine.Threaded]); both engines are metric-identical, so the choice
+    only affects wall-clock speed. *)
 
 val create_with_ftl_mutator :
   ftl_mutate:(Nomap_lir.Lir.func -> unit) ->
@@ -45,6 +49,7 @@ val create_with_ftl_mutator :
   ?verify_lir:bool ->
   ?paranoid:bool ->
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
+  ?engine:Nomap_machine.Engine.kind ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->
@@ -65,6 +70,9 @@ val global : t -> string -> Nomap_runtime.Value.t option
 
 val instance : t -> Nomap_interp.Instance.t
 val counters : t -> Nomap_machine.Counters.t
+
+val engine : t -> Nomap_machine.Engine.kind
+(** The execution engine this VM was created with. *)
 
 val tx_demotions : t -> int
 (** Capacity-abort-driven transaction-placement demotions so far. *)

@@ -40,23 +40,7 @@ let golden_file () =
   List.find_opt Sys.file_exists
     [ "determinism.expected"; Filename.concat "test" "determinism.expected" ]
 
-let canonical (c : Counters.t) =
-  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
-  let reasons =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.Counters.abort_reasons []
-    |> List.sort compare
-    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
-    |> String.concat ","
-  in
-  Printf.sprintf
-    "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
-     commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
-     assoc_max=%d samples=%d"
-    (ints c.Counters.instrs) (ints c.Counters.checks) c.Counters.cycles
-    c.Counters.tx_cycles c.Counters.deopts c.Counters.ftl_calls c.Counters.dfg_calls
-    c.Counters.tx_commits c.Counters.tx_aborts reasons c.Counters.tx_write_kb_sum
-    c.Counters.tx_write_kb_max c.Counters.tx_assoc_sum c.Counters.tx_assoc_max
-    c.Counters.tx_samples
+let canonical = Counters.to_canonical_string
 
 let run_one bench arch =
   let prog = Registry.compile bench in

@@ -1,0 +1,226 @@
+(** Engine equivalence: the closure-threaded engine must be observationally
+    identical to the decoded reference engine — same results, same heap,
+    and a bit-identical counter table — at every tier and architecture.
+
+    Three layers:
+    - the pinned fuzz corpus through both engines across the optimizing
+      tier × architecture matrix (plus the sub-DFG tiers, where the engine
+      choice must be inert);
+    - hand-built edge-case kernels hitting the paths where the threaded
+      engine's deferred accounting must reconcile exactly: phi-heavy loops,
+      mid-segment deopts, SOF overflow aborts, chunked transactions;
+    - a hand-built LIR function whose body is one elided run, proving the
+      fused superinstruction charges exactly zero simulated cost (the
+      terminator's single instruction is all that may appear). *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Engine = Nomap_machine.Engine
+module Counters = Nomap_machine.Counters
+module Machine = Nomap_machine.Machine
+module Timing = Nomap_machine.Timing
+module Specialize = Nomap_tiers.Specialize
+module L = Nomap_lir.Lir
+module Htm = Nomap_htm.Htm
+module Value = Nomap_runtime.Value
+module Instance = Nomap_interp.Instance
+
+(* Low thresholds so every tier engages within the corpus programs' own
+   main loops (same protocol as the determinism sweep). *)
+let thresholds = { Vm.baseline_at = 1; dfg_at = 2; ftl_at = 4 }
+
+type obs = { result : string; heap : string; counters : string }
+
+let observe ~engine ~tier ~arch src =
+  let prog = Nomap_bytecode.Compile.compile_source src in
+  let vm =
+    Vm.create ~fuel:500_000_000 ~thresholds ~verify_lir:true ~engine
+      ~config:(Config.create arch) ~tier_cap:tier prog
+  in
+  ignore (Vm.run_main vm);
+  (match Nomap_bytecode.Opcode.func_by_name prog "benchmark" with
+  | Some _ ->
+    for _ = 1 to 8 do
+      ignore (Vm.call_function vm "benchmark" [])
+    done
+  | None -> ());
+  {
+    result =
+      (match Vm.global vm "result" with
+      | Some v -> Value.to_js_string v
+      | None -> "<no result>");
+    heap = Nomap_vm.Heap_checksum.checksum (Vm.instance vm);
+    counters = Counters.to_canonical_string (Vm.counters vm);
+  }
+
+let check_equiv ~name ~tier ~arch src =
+  let label =
+    Printf.sprintf "%s @ %s/%s" name (Vm.cap_name tier) (Config.name arch)
+  in
+  let d = observe ~engine:Engine.Decoded ~tier ~arch src in
+  let t = observe ~engine:Engine.Threaded ~tier ~arch src in
+  Alcotest.(check string) (label ^ ": result") d.result t.result;
+  Alcotest.(check string) (label ^ ": heap") d.heap t.heap;
+  Alcotest.(check string) (label ^ ": counters") d.counters t.counters
+
+(* The optimizing tiers, where the engine actually executes code, across
+   every architecture; one sub-DFG tier each as an inertness check. *)
+let matrix =
+  (Vm.Cap_interp, [ Config.Base ])
+  :: (Vm.Cap_baseline, [ Config.Base ])
+  :: (Vm.Cap_dfg, Config.all)
+  :: [ (Vm.Cap_ftl, Config.all) ]
+
+let check_matrix ~name src =
+  List.iter
+    (fun (tier, archs) -> List.iter (fun arch -> check_equiv ~name ~tier ~arch src) archs)
+    matrix
+
+(* ------------------------------------------------------------------ *)
+(* Corpus programs *)
+
+let corpus_dir = if Sys.file_exists "fuzz_corpus" then "fuzz_corpus" else "test/fuzz_corpus"
+
+let test_corpus_equivalence () =
+  let files = Sys.readdir corpus_dir in
+  Array.sort compare files;
+  let checked = ref 0 in
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".js" then begin
+        let src =
+          In_channel.with_open_text (Filename.concat corpus_dir file) In_channel.input_all
+        in
+        check_matrix ~name:file src;
+        incr checked
+      end)
+    files;
+  Alcotest.(check bool) "corpus nonempty" true (!checked >= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built edge cases *)
+
+(* Phi-heavy: two accumulators swapped every iteration, so the loop header
+   carries a phi group whose parallel-copy order matters. *)
+let phi_kernel =
+  "function benchmark() { var a = 1; var b = 2; var s = 0; for (var i = 0; i < 50; i++) { \
+   var t = a; a = b + i; b = t; s = (s + a - b) & 0xFFFFF; } return s; } var it; var result \
+   = 0; for (it = 0; it < 20; it++) { result = benchmark(); }"
+
+(* Mid-segment deopt: inner() is int-specialized, then fed a double — the
+   Check_int sits inside a straight-line run, so the threaded engine must
+   reconcile the exact charged prefix when it fires. *)
+let deopt_kernel =
+  "function inner(x) { return x * 3 + 1; } function bench(d) { var s = 0; for (var i = 0; \
+   i < 8; i++) { s += inner(d[i]); } return s; } var data = [1, 2, 3, 4, 5, 6, 7, 8]; var \
+   it; var result = 0; for (it = 0; it < 30; it++) { result = bench(data); } data[3] = \
+   2.5; result = bench(data);"
+
+(* SOF overflow: the overflow is detected at commit, aborting the whole
+   tile after the deferred segment charges were applied. *)
+let sof_kernel =
+  "function bench(start) { var x = start; for (var i = 0; i < 30; i++) { x = x + 7; } \
+   return x; } var it; var result = 0; for (it = 0; it < 40; it++) { result = bench(it); \
+   } result = bench(2147483640);"
+
+(* Chunked transactions: write set above the ROT budget, so tiles commit
+   mid-loop and segments straddle transaction boundaries across calls. *)
+let chunked_kernel =
+  "function benchmark() { var a = new Array(4000); for (var i = 0; i < 4000; i++) { a[i] = \
+   i; } return a[3999]; } var it; var result = 0; for (it = 0; it < 20; it++) { result = \
+   benchmark(); }"
+
+let test_phi_loop () = check_matrix ~name:"phi loop" phi_kernel
+
+let edge_archs = [ Config.Base; Config.NoMap_full; Config.NoMap_BC; Config.NoMap_RTM ]
+
+let check_ftl_archs ~name src =
+  List.iter (fun arch -> check_equiv ~name ~tier:Vm.Cap_ftl ~arch src) edge_archs
+
+let test_deopt_mid_segment () = check_ftl_archs ~name:"deopt mid-segment" deopt_kernel
+let test_sof_abort () = check_ftl_archs ~name:"sof abort" sof_kernel
+let test_chunked_tx () = check_ftl_archs ~name:"chunked tx" chunked_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Fused elided run charges exactly zero *)
+
+(* Hand-build an FTL LIR function whose whole body is an elided Iadd chain:
+   b0: v0 = Const 7; v1 = v0+v0; ... v5 = v4+v4; Ret v5, every body
+   instruction marked elided.  Both engines must execute it for exactly
+   one simulated instruction (the terminator), one terminator's worth of
+   cycles, and zero checks — the threaded engine runs the body as a single
+   fused zero-cost superinstruction. *)
+let build_elided_chain () =
+  let f = L.create_func ~fid:0 in
+  let b = L.new_block f in
+  f.L.entry <- b.L.bid;
+  let add kind =
+    let i = L.new_instr f kind in
+    i.L.block <- b.L.bid;
+    i.L.elided <- true;
+    b.L.instrs <- b.L.instrs @ [ i.L.id ];
+    i.L.id
+  in
+  let v0 = add (L.Const (Value.Int 7)) in
+  let rec chain v k = if k = 0 then v else chain (add (L.Iadd (v, v))) (k - 1) in
+  let last = chain v0 5 in
+  b.L.term <- L.Ret (Some last);
+  {
+    Specialize.lir = f;
+    block_pc = Hashtbl.create 1;
+    header_blocks = [];
+    entry_states = Hashtbl.create 1;
+    decoded = None;
+    engine_code = None;
+  }
+
+let exec_raw ~engine compiled =
+  let prog = Nomap_bytecode.Compile.compile_source "var result = 0;" in
+  let instance = Instance.create ~fuel:1_000_000 prog in
+  let counters = Counters.create () in
+  let env =
+    Machine.create_env ~instance ~counters ~htm_mode:Htm.Ghost ~sof_enabled:false
+      ~call:(fun ~fid:_ ~this:_ ~args:_ -> Value.Undef)
+      ~deopt_resume:(fun ~fid:_ ~resume_pc:_ ~values:_ -> Value.Undef)
+      ()
+  in
+  let result =
+    match engine with
+    | Engine.Decoded ->
+      Nomap_machine.Decoded.exec_func env compiled ~tier:Machine.Ftl ~this:Value.Undef
+        ~args:[]
+    | Engine.Threaded ->
+      Nomap_machine.Threaded.exec_func env compiled ~tier:Machine.Ftl ~this:Value.Undef
+        ~args:[]
+  in
+  (result, counters)
+
+let test_elided_run_is_free () =
+  List.iter
+    (fun engine ->
+      let name s = Engine.name engine ^ ": " ^ s in
+      (* Fresh compiled record per engine so each compiles from scratch. *)
+      let r, c = exec_raw ~engine (build_elided_chain ()) in
+      Alcotest.(check string) (name "result") "224" (Value.to_js_string r);
+      Alcotest.(check int) (name "only the terminator charged") 1 (Counters.total_instrs c);
+      Alcotest.(check (float 0.0))
+        (name "exactly one FTL instruction's cycles")
+        Timing.cpi_ftl c.Counters.cycles;
+      Alcotest.(check int) (name "zero checks") 0 (Counters.total_checks c))
+    Engine.all;
+  (* And the two engines' full canonical tables match bit-for-bit. *)
+  let _, cd = exec_raw ~engine:Engine.Decoded (build_elided_chain ()) in
+  let _, ct = exec_raw ~engine:Engine.Threaded (build_elided_chain ()) in
+  Alcotest.(check string) "canonical tables identical"
+    (Counters.to_canonical_string cd)
+    (Counters.to_canonical_string ct)
+
+let tests =
+  [
+    Alcotest.test_case "corpus equivalence (both engines)" `Quick test_corpus_equivalence;
+    Alcotest.test_case "phi loop equivalence" `Quick test_phi_loop;
+    Alcotest.test_case "deopt mid-segment equivalence" `Quick test_deopt_mid_segment;
+    Alcotest.test_case "sof abort equivalence" `Quick test_sof_abort;
+    Alcotest.test_case "chunked tx equivalence" `Quick test_chunked_tx;
+    Alcotest.test_case "fused elided run is free" `Quick test_elided_run_is_free;
+  ]

@@ -28,6 +28,7 @@ let () =
       ("cache/htm", Test_cache_htm.tests);
       ("workloads", Test_workloads.tests);
       ("machine", Test_machine.tests);
+      ("engine", Test_engine.tests);
       ("determinism", Test_determinism.tests);
       ("scheduler", Test_scheduler.tests);
       ("measurement", Test_measurement.tests);
