@@ -14,9 +14,12 @@
     table *regeneration* (what a user iterating on the data pays), which is
     why the report field is [warm_render_ns_per_run]; schema v2 called this
     [warm_ns_per_run], misleadingly suggesting execution time.  Phase 4
-    measures genuine warm VM *execution* per engine: one steady-state call
-    of every suite benchmark under the decoded and the threaded engine,
-    reported per suite with the threaded-over-decoded speedup.
+    measures genuine warm VM *execution* per engine and per host-helper
+    setting: one steady-state call of every suite benchmark under the
+    decoded and the threaded engine, each with the host fast paths (per-site
+    inline caches, DESIGN.md §14) on and off, reported per suite with the
+    threaded-over-decoded and helpers-on-over-off speedups.  The simulated
+    counters are identical across all four cells — only wall-clock moves.
 
     All wall times use the monotonic clock (same stub Bechamel samples), so
     NTP adjustments can't skew the report.
@@ -24,9 +27,10 @@
     [--engine decoded|threaded] pins the engine used by phases 1-3 (the
     simulated metrics are engine-invariant; only wall-clock moves).
     [--json <path>] additionally writes the measurements to [path] as one
-    machine-readable report (schema [nomap-bench-v3], see DESIGN.md §9), so
+    machine-readable report (schema [nomap-bench-v4], see DESIGN.md §9), so
     wall-clock regressions of the simulator itself can be tracked across
-    commits. *)
+    commits; the report records the host context (OCaml version, word size,
+    recommended domain count) the numbers were taken on. *)
 
 module E = Nomap_harness.Experiments
 module Runner = Nomap_harness.Runner
@@ -98,14 +102,21 @@ type engine_exec_row = {
   ee_name : string;  (** experiment the suite backs (fig8/fig9) *)
   ee_decoded_ns : float;  (** one warm pass over the suite, decoded engine *)
   ee_threaded_ns : float;  (** same pass, threaded engine *)
+  ee_decoded_noic_ns : float;  (** decoded pass with host inline caches off *)
+  ee_threaded_noic_ns : float;  (** threaded pass with host inline caches off *)
 }
 
 let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
     ~(rows : (string * float * float option) list) ~(engine_exec : engine_exec_row list) =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"nomap-bench-v3\",\n";
+  output_string oc "  \"schema\": \"nomap-bench-v4\",\n";
   Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
+  Printf.fprintf oc
+    "  \"host\": {\"ocaml_version\": \"%s\", \"word_size\": %d, \
+     \"recommended_domains\": %d},\n"
+    (json_escape Sys.ocaml_version) Sys.word_size
+    (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"sweep_wall_s_serial\": %.6f,\n" serial_wall_s;
   (match parallel_wall_s with
   | Some w -> Printf.fprintf oc "  \"sweep_wall_s_parallel\": %.6f,\n" w
@@ -126,9 +137,14 @@ let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
     (fun i r ->
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"engines\": [{\"engine\": \"decoded\", \
-         \"warm_ns_per_run\": %.1f}, {\"engine\": \"threaded\", \"warm_ns_per_run\": \
-         %.1f}], \"speedup_threaded_over_decoded\": %.3f}%s\n"
-        (json_escape r.ee_name) r.ee_decoded_ns r.ee_threaded_ns
+         \"warm_ns_per_run\": %.1f, \"warm_ns_per_run_helpers_off\": %.1f, \
+         \"helper_speedup\": %.3f}, {\"engine\": \"threaded\", \"warm_ns_per_run\": \
+         %.1f, \"warm_ns_per_run_helpers_off\": %.1f, \"helper_speedup\": %.3f}], \
+         \"speedup_threaded_over_decoded\": %.3f}%s\n"
+        (json_escape r.ee_name) r.ee_decoded_ns r.ee_decoded_noic_ns
+        (r.ee_decoded_noic_ns /. r.ee_decoded_ns)
+        r.ee_threaded_ns r.ee_threaded_noic_ns
+        (r.ee_threaded_noic_ns /. r.ee_threaded_ns)
         (r.ee_decoded_ns /. r.ee_threaded_ns)
         (if i < List.length engine_exec - 1 then "," else ""))
     engine_exec;
@@ -149,10 +165,10 @@ let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
 
 let exec_measure = 50
 
-let warm_exec_ns ~engine bench =
+let warm_exec_ns ~engine ~host_ic bench =
   let prog = Registry.compile bench in
   let vm =
-    Vm.create ~fuel:4_000_000_000 ~engine ~config:(Config.create Config.Base)
+    Vm.create ~fuel:4_000_000_000 ~engine ~host_ic ~config:(Config.create Config.Base)
       ~tier_cap:Vm.Cap_ftl prog
   in
   ignore (Vm.run_main vm);
@@ -167,16 +183,28 @@ let warm_exec_ns ~engine bench =
 
 let measure_engine_exec name suite =
   let benches = Registry.of_suite suite in
-  let d, t =
+  (* All four cells back-to-back per benchmark so machine drift hits every
+     side equally. *)
+  let d, t, dn, tn =
     List.fold_left
-      (fun (d, t) b ->
-        (d +. warm_exec_ns ~engine:Engine.Decoded b,
-         t +. warm_exec_ns ~engine:Engine.Threaded b))
-      (0.0, 0.0) benches
+      (fun (d, t, dn, tn) b ->
+        ( d +. warm_exec_ns ~engine:Engine.Decoded ~host_ic:true b,
+          t +. warm_exec_ns ~engine:Engine.Threaded ~host_ic:true b,
+          dn +. warm_exec_ns ~engine:Engine.Decoded ~host_ic:false b,
+          tn +. warm_exec_ns ~engine:Engine.Threaded ~host_ic:false b ))
+      (0.0, 0.0, 0.0, 0.0) benches
   in
-  Printf.printf "  %-28s decoded %12.0f ns/pass  threaded %12.0f ns/pass  (%.2fx)\n%!"
-    name d t (d /. t);
-  { ee_name = name; ee_decoded_ns = d; ee_threaded_ns = t }
+  Printf.printf
+    "  %-28s decoded %12.0f ns/pass (ic off %12.0f, %.2fx)\n  %-28s threaded %11.0f \
+     ns/pass (ic off %12.0f, %.2fx)  threaded/decoded %.2fx\n%!"
+    name d dn (dn /. d) "" t tn (tn /. t) (d /. t);
+  {
+    ee_name = name;
+    ee_decoded_ns = d;
+    ee_threaded_ns = t;
+    ee_decoded_noic_ns = dn;
+    ee_threaded_noic_ns = tn;
+  }
 
 let json_path, jobs, engine =
   let json = ref None

@@ -1,0 +1,79 @@
+(** warm_prof.exe: per-benchmark warm execution profiler.
+
+    Prints one warm steady-state ns/pass line per suite benchmark — the
+    per-benchmark breakdown behind bench/main.exe's per-suite phase-4
+    totals, for finding which kernel a host-level regression lives in.
+    Run with [NOMAP_PROF=1] to additionally get the per-helper call/ns
+    profile (printed at exit by the runtime, see EXPERIMENTS.md).
+
+    Usage: warm_prof.exe [--engine decoded|threaded] [--no-ic] [--only SUBSTR] *)
+
+module Runner = Nomap_harness.Runner
+module Registry = Nomap_workloads.Registry
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Engine = Nomap_machine.Engine
+
+let now_s () = Unix.gettimeofday ()
+let exec_measure = 30
+
+let warm_exec_ns ~engine ~host_ic bench =
+  let prog = Registry.compile bench in
+  let vm =
+    Vm.create ~fuel:4_000_000_000 ~engine ~host_ic ~config:(Config.create Config.Base)
+      ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  for _ = 1 to Runner.default_warmup do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  let t0 = now_s () in
+  for _ = 1 to exec_measure do
+    ignore (Vm.call_function vm "benchmark" [])
+  done;
+  (now_s () -. t0) /. float_of_int exec_measure *. 1e9
+
+let () =
+  let engine = ref Engine.Threaded and host_ic = ref true and only = ref "" in
+  let rec scan = function
+    | "--only" :: sub :: rest ->
+      only := sub;
+      scan rest
+    | "--engine" :: name :: rest ->
+      (match Engine.of_string name with
+      | Some e -> engine := e
+      | None ->
+        prerr_endline ("warm_prof: unknown engine " ^ name);
+        exit 2);
+      scan rest
+    | "--no-ic" :: rest ->
+      host_ic := false;
+      scan rest
+    | arg :: _ ->
+      prerr_endline ("warm_prof: unknown argument " ^ arg);
+      exit 2
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  Printf.printf "engine %s, host ICs %s\n%!" (Engine.name !engine)
+    (if !host_ic then "on" else "off");
+  List.iter
+    (fun (name, suite) ->
+      Printf.printf "%s:\n%!" name;
+      List.iter
+        (fun b ->
+          if
+            !only = ""
+            || String.length b.Registry.name >= String.length !only
+               &&
+               let rec has i =
+                 i + String.length !only <= String.length b.Registry.name
+                 && (String.sub b.Registry.name i (String.length !only) = !only || has (i + 1))
+               in
+               has 0
+          then begin
+            let t = warm_exec_ns ~engine:!engine ~host_ic:!host_ic b in
+            Printf.printf "  %-30s %12.0f ns/pass\n%!" b.Registry.name t
+          end)
+        (Registry.of_suite suite))
+    [ ("sunspider", Registry.Sunspider); ("kraken", Registry.Kraken) ]

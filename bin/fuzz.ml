@@ -46,9 +46,16 @@ let parse_engine = function
   | "threaded" -> Ok Engine.Threaded
   | e -> Error ("unknown engine " ^ e ^ " (decoded|threaded)")
 
-(* "ftl:NoMap-RTM" or "dfg:Base,ftl:Base:decoded,ftl:NoMap".  Each token is
-   TIER:ARCH or TIER:ARCH:ENGINE; without an engine the optimizing tiers
-   expand to both engines so the cross-engine counter comparison applies. *)
+let parse_ic = function
+  | "ic" -> Ok true
+  | "noic" -> Ok false
+  | e -> Error ("unknown ic flag " ^ e ^ " (ic|noic)")
+
+(* "ftl:NoMap-RTM" or "dfg:Base,ftl:Base:decoded,ftl:NoMap:threaded:noic".
+   Each token is TIER:ARCH[:ENGINE[:IC]]; without an engine the optimizing
+   tiers expand to both engines so the cross-engine counter comparison
+   applies; a noic config is closed over its ic-on partner so the host-IC
+   comparison applies. *)
 let parse_cfgs s =
   let parse_one tok =
     match String.split_on_char ':' tok with
@@ -57,7 +64,7 @@ let parse_cfgs s =
       | Ok t, Ok a ->
         Ok
           (Oracle.with_engine_partners
-             [ { Oracle.tier = t; arch = a; engine = Engine.Decoded } ])
+             [ { Oracle.tier = t; arch = a; engine = Engine.Decoded; host_ic = true } ])
       | (Error e, _ | _, Error e) -> Error e)
     | [ tier; arch; engine ] -> (
       match
@@ -65,9 +72,23 @@ let parse_cfgs s =
           parse_arch arch,
           parse_engine (String.lowercase_ascii engine) )
       with
-      | Ok t, Ok a, Ok g -> Ok [ { Oracle.tier = t; arch = a; engine = g } ]
+      | Ok t, Ok a, Ok g ->
+        Ok [ { Oracle.tier = t; arch = a; engine = g; host_ic = true } ]
       | (Error e, _, _ | _, Error e, _ | _, _, Error e) -> Error e)
-    | _ -> Error ("bad config " ^ tok ^ " (expected TIER:ARCH or TIER:ARCH:ENGINE)")
+    | [ tier; arch; engine; ic ] -> (
+      match
+        ( parse_tier (String.lowercase_ascii tier),
+          parse_arch arch,
+          parse_engine (String.lowercase_ascii engine),
+          parse_ic (String.lowercase_ascii ic) )
+      with
+      | Ok t, Ok a, Ok g, Ok i ->
+        Ok
+          (Oracle.with_ic_partners
+             [ { Oracle.tier = t; arch = a; engine = g; host_ic = i } ])
+      | (Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e) ->
+        Error e)
+    | _ -> Error ("bad config " ^ tok ^ " (expected TIER:ARCH[:ENGINE[:IC]])")
   in
   let rec go acc = function
     | [] -> Ok acc

@@ -466,6 +466,7 @@ let open_loop ~socket ~rctx ~conns ~poisson ~seed ~duration ~p99_limit ~check ~s
     {|{
   "schema": "nomap-server-v2",
   "mode": "open-loop",
+  "host": { "ocaml_version": "%s", "word_size": %d, "recommended_domains": %d },
   "socket": "%s",
   "workloads": %d,
   "tier": "%s",
@@ -482,6 +483,8 @@ let open_loop ~socket ~rctx ~conns ~poisson ~seed ~duration ~p99_limit ~check ~s
   ]
 }
 |}
+    (json_escape Sys.ocaml_version) Sys.word_size
+    (Domain.recommended_domain_count ())
     (json_escape socket)
     (Array.length rctx.benchmarks)
     (json_escape tier_s) (json_escape arch_s) iters conns duration poisson check p99_limit
@@ -571,6 +574,7 @@ let closed_loop ~socket ~rctx ~requests ~clients ~keepalive ~check ~shutdown ~qu
     {|{
   "schema": "nomap-server-v2",
   "mode": "closed-loop",
+  "host": { "ocaml_version": "%s", "word_size": %d, "recommended_domains": %d },
   "socket": "%s",
   "requests": %d,
   "clients": %d,
@@ -593,6 +597,8 @@ let closed_loop ~socket ~rctx ~requests ~clients ~keepalive ~check ~shutdown ~qu
   "cache_hit_rate": %.4f
 }
 |}
+    (json_escape Sys.ocaml_version) Sys.word_size
+    (Domain.recommended_domain_count ())
     (json_escape socket) requests clients
     (Array.length rctx.benchmarks)
     (json_escape (Vm.cap_name tier))

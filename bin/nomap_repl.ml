@@ -60,7 +60,7 @@ let try_eval s input =
 let print_stats (vm : Vm.t) =
   let c = Vm.counters vm in
   Printf.printf "  [%d instrs, %.0f cycles, %d ftl calls, %d tx commits, %d deopts]\n"
-    (Counters.total_instrs c) c.Counters.cycles c.Counters.ftl_calls c.Counters.tx_commits
+    (Counters.total_instrs c) (Counters.cycles c) c.Counters.ftl_calls c.Counters.tx_commits
     c.Counters.deopts
 
 let read_input () =

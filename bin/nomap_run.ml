@@ -112,7 +112,7 @@ let run file arch_name tier_name engine_name show_stats disasm dump_lir iteratio
         Printf.printf "  %-8s %12d\n" (Counters.category_name cat)
           c.Counters.instrs.(Counters.category_index cat))
       Counters.categories;
-    Printf.printf "cycles: %.0f (in transactions: %.0f)\n" c.Counters.cycles c.Counters.tx_cycles;
+    Printf.printf "cycles: %.0f (in transactions: %.0f)\n" (Counters.cycles c) (Counters.tx_cycles c);
     Printf.printf "checks executed: %d" (Counters.total_checks c);
     List.iter
       (fun k ->
@@ -126,8 +126,8 @@ let run file arch_name tier_name engine_name show_stats disasm dump_lir iteratio
       c.Counters.tx_aborts (Vm.tx_demotions vm);
     if c.Counters.tx_samples > 0 then
       Printf.printf "tx write footprint: avg %.2f KB, max %.2f KB, max set ways %d\n"
-        (c.Counters.tx_write_kb_sum /. float_of_int c.Counters.tx_samples)
-        c.Counters.tx_write_kb_max c.Counters.tx_assoc_max
+        (Counters.tx_write_kb_sum c /. float_of_int c.Counters.tx_samples)
+        (Counters.tx_write_kb_max c) c.Counters.tx_assoc_max
   end
 
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.js")

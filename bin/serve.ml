@@ -24,8 +24,9 @@ let socket =
 let domains =
   Arg.(
     value
-    & opt int 2
-    & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains executing requests.")
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains"; "j" ] ~docv:"N"
+        ~doc:"Worker domains executing requests (default: the host's recommended domain count).")
 
 let queue =
   Arg.(

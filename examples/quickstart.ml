@@ -45,7 +45,7 @@ let () =
     let c = Vm.counters vm in
     Printf.printf
       "%-10s instructions=%9d  cycles=%10.0f  ftl-calls=%4d  deopts=%d  tx-commits=%d\n" label
-      (Counters.total_instrs c) c.Counters.cycles c.Counters.ftl_calls c.Counters.deopts
+      (Counters.total_instrs c) (Counters.cycles c) c.Counters.ftl_calls c.Counters.deopts
       c.Counters.tx_commits
   in
   report "Base" base;

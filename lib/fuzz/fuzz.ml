@@ -49,7 +49,8 @@ let run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks seed =
            engine divergence is invisible without the partner engine's run
            to compare against. *)
         let diverging =
-          Oracle.with_engine_partners (List.map (fun d -> d.Oracle.cfg) divergences)
+          Oracle.with_ic_partners
+            (Oracle.with_engine_partners (List.map (fun d -> d.Oracle.cfg) divergences))
         in
         Some (shrink_failure ?ftl_mutate ~max_checks:shrink_checks ~cfgs:diverging program)
     in

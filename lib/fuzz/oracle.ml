@@ -24,7 +24,17 @@ module Instance = Nomap_interp.Instance
 module Engine = Nomap_machine.Engine
 module Counters = Nomap_machine.Counters
 
-type cfg = { tier : Vm.tier_cap; arch : Config.arch; engine : Engine.kind }
+type cfg = {
+  tier : Vm.tier_cap;
+  arch : Config.arch;
+  engine : Engine.kind;
+  host_ic : bool;
+      (** run with per-site host inline caches (the default).  The ic axis
+          compares an ic-off configuration against its ic-on partner at the
+          same (tier, arch, engine) on the FULL observation, counters
+          included: host ICs are pure memoization and must be invisible to
+          every modeled metric (DESIGN.md §14). *)
+}
 
 (* The engine only runs DFG/FTL-compiled code; below that it is
    meaningless, so names (and the configuration matrix) only carry it for
@@ -32,24 +42,33 @@ type cfg = { tier : Vm.tier_cap; arch : Config.arch; engine : Engine.kind }
 let engine_matters c = match c.tier with Vm.Cap_dfg | Vm.Cap_ftl -> true | _ -> false
 
 let cfg_name c =
-  if engine_matters c then
-    Printf.sprintf "%s/%s/%s" (Vm.cap_name c.tier) (Config.name c.arch)
-      (Engine.name c.engine)
-  else Vm.cap_name c.tier ^ "/" ^ Config.name c.arch
+  let base =
+    if engine_matters c then
+      Printf.sprintf "%s/%s/%s" (Vm.cap_name c.tier) (Config.name c.arch)
+        (Engine.name c.engine)
+    else Vm.cap_name c.tier ^ "/" ^ Config.name c.arch
+  in
+  if c.host_ic then base else base ^ "/ic-off"
 
 (** The reference configuration: the plain bytecode interpreter. *)
-let reference = { tier = Vm.Cap_interp; arch = Config.Base; engine = Engine.Decoded }
+let reference =
+  { tier = Vm.Cap_interp; arch = Config.Base; engine = Engine.Decoded; host_ic = true }
 
 (** Full differential matrix: each tier below DFG once (the engine and
     architecture only change compiled code), then the optimizing tiers
     under both engines — DFG on Base, FTL under every architecture the
     paper evaluates (Base, the NoMap/ROT ladder, RTM). *)
 let default_cfgs =
-  { tier = Vm.Cap_baseline; arch = Config.Base; engine = Engine.Decoded }
+  { tier = Vm.Cap_baseline; arch = Config.Base; engine = Engine.Decoded; host_ic = true }
   :: List.concat_map
        (fun engine ->
-         { tier = Vm.Cap_dfg; arch = Config.Base; engine }
-         :: List.map (fun arch -> { tier = Vm.Cap_ftl; arch; engine }) Config.all)
+         { tier = Vm.Cap_dfg; arch = Config.Base; engine; host_ic = true }
+         :: List.map
+              (fun arch -> { tier = Vm.Cap_ftl; arch; engine; host_ic = true })
+              Config.all
+         @ List.map
+             (fun arch -> { tier = Vm.Cap_ftl; arch; engine; host_ic = false })
+             [ Config.Base; Config.NoMap_full; Config.NoMap_RTM ])
        Engine.all
 
 (** Close a configuration list under the engine axis: every optimizing-tier
@@ -62,6 +81,15 @@ let with_engine_partners cfgs =
        (fun c ->
          if engine_matters c then List.map (fun engine -> { c with engine }) Engine.all
          else [ c ])
+       cfgs)
+
+(** Close a configuration list under the host-IC axis: every ic-off cfg
+    gains its ic-on partner, so the full-observation ic comparison stays
+    possible on a narrowed matrix. *)
+let with_ic_partners cfgs =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun c -> if c.host_ic then [ c ] else [ c; { c with host_ic = true } ])
        cfgs)
 
 (* ------------------------------------------------------------------ *)
@@ -101,10 +129,11 @@ let run_cfg ?ftl_mutate ~src (c : cfg) : observation =
       match ftl_mutate with
       | None ->
         Vm.create ~fuel ~verify_lir:true ~paranoid:true ~engine:c.engine
-          ~config:(Config.create c.arch) ~tier_cap:c.tier prog
+          ~host_ic:c.host_ic ~config:(Config.create c.arch) ~tier_cap:c.tier prog
       | Some ftl_mutate ->
         Vm.create_with_ftl_mutator ~ftl_mutate ~fuel ~verify_lir:true ~paranoid:true
-          ~engine:c.engine ~config:(Config.create c.arch) ~tier_cap:c.tier prog
+          ~engine:c.engine ~host_ic:c.host_ic ~config:(Config.create c.arch)
+          ~tier_cap:c.tier prog
     in
     ignore (Vm.run_main vm);
     let result =
@@ -162,7 +191,8 @@ let check ?(cfgs = default_cfgs) ?ftl_mutate (prog : Ast.program) : verdict =
             match
               List.find_opt
                 (fun (c', _) ->
-                  c'.engine = Engine.Decoded && c'.tier = c.tier && c'.arch = c.arch)
+                  c'.engine = Engine.Decoded && c'.tier = c.tier && c'.arch = c.arch
+                  && c'.host_ic = c.host_ic)
                 obs
             with
             | Some (_, (Outcome _ as expected')) when got <> expected' ->
@@ -170,12 +200,30 @@ let check ?(cfgs = default_cfgs) ?ftl_mutate (prog : Ast.program) : verdict =
             | _ -> None)
         obs
     in
-    let divs =
-      ref_divs
-      @ List.filter
-          (fun d -> not (List.exists (fun r -> r.cfg = d.cfg) ref_divs))
-          engine_divs
+    (* IC axis: an ic-off configuration must match its ic-on partner at the
+       same (tier, arch, engine) on the full observation — host inline
+       caches are invisible to every counter. *)
+    let ic_divs =
+      List.filter_map
+        (fun (c, got) ->
+          if c.host_ic then None
+          else
+            match
+              List.find_opt
+                (fun (c', _) ->
+                  c'.host_ic && c'.tier = c.tier && c'.arch = c.arch
+                  && c'.engine = c.engine)
+                obs
+            with
+            | Some (_, (Outcome _ as expected')) when got <> expected' ->
+              Some { cfg = c; expected = expected'; got }
+            | _ -> None)
+        obs
     in
+    let dedup extra divs =
+      divs @ List.filter (fun d -> not (List.exists (fun r -> r.cfg = d.cfg) divs)) extra
+    in
+    let divs = dedup ic_divs (dedup engine_divs ref_divs) in
     if divs = [] then Agree else Diverge divs
 
 let divergence_to_string d =

@@ -299,7 +299,7 @@ let fig10_11 suite =
     let m = Scheduler.run_arch ~arch b in
     let norm = m.Runner.cycles /. base.Runner.cycles in
     let tm_frac =
-      if m.Runner.cycles > 0.0 then m.Runner.counters.Counters.tx_cycles /. m.Runner.cycles
+      if m.Runner.cycles > 0.0 then Counters.tx_cycles m.Runner.counters /. m.Runner.cycles
       else 0.0
     in
     (norm, norm *. tm_frac, norm *. (1.0 -. tm_frac))
@@ -369,19 +369,19 @@ let table4 () =
         (fun m ->
           let c = m.Runner.counters in
           if c.Counters.tx_samples > 0 then
-            Some (c.Counters.tx_write_kb_sum /. float_of_int c.Counters.tx_samples)
+            Some (Counters.tx_write_kb_sum c /. float_of_int c.Counters.tx_samples)
           else None)
         ms
     in
     let max_kb =
-      List.fold_left (fun acc m -> Float.max acc m.Runner.counters.Counters.tx_write_kb_max) 0.0 ms
+      List.fold_left (fun acc m -> Float.max acc (Counters.tx_write_kb_max m.Runner.counters)) 0.0 ms
     in
     let assoc_avgs =
       List.filter_map
         (fun m ->
           let c = m.Runner.counters in
           if c.Counters.tx_samples > 0 then
-            Some (c.Counters.tx_assoc_sum /. float_of_int c.Counters.tx_samples)
+            Some (Counters.tx_assoc_sum c /. float_of_int c.Counters.tx_samples)
           else None)
         ms
     in

@@ -73,7 +73,7 @@ let steady_vm ~warmup ~measure ~label bench vm =
     bench;
     label;
     counters;
-    cycles = counters.Counters.cycles;
+    cycles = Counters.cycles counters;
     checksum;
     deopts_total = (Vm.counters vm).Counters.deopts;
     ftl_calls_total = (Vm.counters vm).Counters.ftl_calls;

@@ -48,6 +48,7 @@ exception Abort of abort_reason
 type tx = {
   mode : mode;
   heap : Heap.t;
+  saved_active : bool;
   saved_load : int -> int -> unit;
   saved_store : int -> int -> (unit -> unit) -> unit;
   saved_io : unit -> unit;
@@ -71,6 +72,7 @@ let begin_tx ?(capacity_scale = 1) heap ~mode ~snapshot ~resume_pc ~owner_frame 
     {
       mode;
       heap;
+      saved_active = heap.Heap.hooks.active;
       saved_load = heap.Heap.hooks.load;
       saved_store = heap.Heap.hooks.store;
       saved_io = heap.Heap.hooks.io;
@@ -105,10 +107,12 @@ let begin_tx ?(capacity_scale = 1) heap ~mode ~snapshot ~resume_pc ~owner_frame 
         match tx.read_fp with
         | Some fp -> if not (Footprint.touch fp ~addr ~bytes) then raise (Abort Capacity_read)
         | None -> ());
-    heap.Heap.hooks.io <- (fun () -> raise (Abort Irrevocable)));
+    heap.Heap.hooks.io <- (fun () -> raise (Abort Irrevocable));
+    heap.Heap.hooks.active <- true);
   tx
 
 let restore_hooks tx =
+  tx.heap.Heap.hooks.active <- tx.saved_active;
   tx.heap.Heap.hooks.load <- tx.saved_load;
   tx.heap.Heap.hooks.store <- tx.saved_store;
   tx.heap.Heap.hooks.io <- tx.saved_io

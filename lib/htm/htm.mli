@@ -34,6 +34,7 @@ exception Abort of abort_reason
 type tx = {
   mode : mode;
   heap : Nomap_runtime.Heap.t;
+  saved_active : bool;  (** hooks.active before this tx installed its own *)
   saved_load : int -> int -> unit;
   saved_store : int -> int -> (unit -> unit) -> unit;
   saved_io : unit -> unit;

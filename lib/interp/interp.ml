@@ -189,7 +189,7 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       match regs.(o) with
       | Value.Obj obj ->
         let sh = obj.Value.shape in
-        (match Shape.lookup sh name with
+        (match Shape.lookup heap.Heap.shapes sh name with
         | Some slot ->
           charge_op op true;
           (if profiling then
@@ -209,7 +209,7 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       match regs.(o) with
       | Value.Obj obj ->
         let sh = obj.Value.shape in
-        let existed = Shape.lookup sh name in
+        let existed = Shape.lookup heap.Heap.shapes sh name in
         charge_op op (existed <> None);
         Heap.set_prop heap obj name regs.(v);
         (if profiling then
@@ -219,7 +219,9 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
           | None ->
             let new_sh = obj.Value.shape in
             let slot =
-              match Shape.lookup new_sh name with Some sl -> sl | None -> assert false
+              match Shape.lookup heap.Heap.shapes new_sh name with
+              | Some sl -> sl
+              | None -> assert false
             in
             Feedback.record_shape s sh.Shape.id
               (Feedback.Transition (new_sh.Shape.id, slot))))
@@ -325,7 +327,7 @@ let run_from env ~fid ~entry_pc ~(regs : Value.t array) : Value.t =
       | None -> (
         match vrecv with
         | Value.Obj obj -> (
-          match Shape.lookup obj.Value.shape name with
+          match Shape.lookup heap.Heap.shapes obj.Value.shape name with
           | Some slot -> (
             match Heap.load_slot heap obj slot with
             | Value.Fun fid' ->

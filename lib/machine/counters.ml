@@ -27,21 +27,30 @@ let check_kinds =
   [ Nomap_lir.Lir.Bounds; Nomap_lir.Lir.Overflow; Nomap_lir.Lir.Type; Nomap_lir.Lir.Property;
     Nomap_lir.Lir.Hole; Nomap_lir.Lir.Path ]
 
+(* All-float record: OCaml gives it the flat float representation, so the
+   per-instruction accumulation in [add_cycles] is an unboxed store.  Kept
+   in a mixed record these fields would be boxed and every update would
+   allocate — at one update per charged instruction that dominated the
+   engines' minor-heap traffic. *)
+type fstats = {
+  mutable cycles : float;
+  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  (* Committed-transaction write-set characterization (Table IV). *)
+  mutable tx_write_kb_sum : float;
+  mutable tx_write_kb_max : float;
+  mutable tx_assoc_sum : float;
+}
+
 type t = {
   instrs : int array;  (** per category *)
   checks : int array;  (** executed FTL checks per kind *)
-  mutable cycles : float;
-  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  f : fstats;
   mutable deopts : int;
   mutable ftl_calls : int;  (** invocations of FTL-compiled functions *)
   mutable dfg_calls : int;
   mutable tx_commits : int;
   mutable tx_aborts : int;
   abort_reasons : (string, int) Hashtbl.t;
-  (* Committed-transaction write-set characterization (Table IV). *)
-  mutable tx_write_kb_sum : float;
-  mutable tx_write_kb_max : float;
-  mutable tx_assoc_sum : float;
   mutable tx_assoc_max : int;
   mutable tx_samples : int;
 }
@@ -50,31 +59,43 @@ let create () =
   {
     instrs = Array.make 4 0;
     checks = Array.make 6 0;
-    cycles = 0.0;
-    tx_cycles = 0.0;
+    f =
+      {
+        cycles = 0.0;
+        tx_cycles = 0.0;
+        tx_write_kb_sum = 0.0;
+        tx_write_kb_max = 0.0;
+        tx_assoc_sum = 0.0;
+      };
     deopts = 0;
     ftl_calls = 0;
     dfg_calls = 0;
     tx_commits = 0;
     tx_aborts = 0;
     abort_reasons = Hashtbl.create 8;
-    tx_write_kb_sum = 0.0;
-    tx_write_kb_max = 0.0;
-    tx_assoc_sum = 0.0;
     tx_assoc_max = 0;
     tx_samples = 0;
   }
 
+let cycles t = t.f.cycles
+let tx_cycles t = t.f.tx_cycles
+let tx_write_kb_sum t = t.f.tx_write_kb_sum
+let tx_write_kb_max t = t.f.tx_write_kb_max
+let tx_assoc_sum t = t.f.tx_assoc_sum
+
 let total_instrs t = Array.fold_left ( + ) 0 t.instrs
 let total_checks t = Array.fold_left ( + ) 0 t.checks
 
-let add_instrs t cat n = t.instrs.(category_index cat) <- t.instrs.(category_index cat) + n
+let[@inline] add_instrs t cat n =
+  t.instrs.(category_index cat) <- t.instrs.(category_index cat) + n
 
-let add_check t kind = t.checks.(check_index kind) <- t.checks.(check_index kind) + 1
+let[@inline] add_check t kind =
+  t.checks.(check_index kind) <- t.checks.(check_index kind) + 1
 
-let add_cycles t ~in_tx c =
-  t.cycles <- t.cycles +. c;
-  if in_tx then t.tx_cycles <- t.tx_cycles +. c
+let[@inline] add_cycles t ~in_tx c =
+  let f = t.f in
+  f.cycles <- f.cycles +. c;
+  if in_tx then f.tx_cycles <- f.tx_cycles +. c
 
 let record_abort t reason =
   t.tx_aborts <- t.tx_aborts + 1;
@@ -85,9 +106,10 @@ let record_abort t reason =
 let record_commit t ~write_kb ~assoc =
   t.tx_commits <- t.tx_commits + 1;
   t.tx_samples <- t.tx_samples + 1;
-  t.tx_write_kb_sum <- t.tx_write_kb_sum +. write_kb;
-  t.tx_write_kb_max <- Float.max t.tx_write_kb_max write_kb;
-  t.tx_assoc_sum <- t.tx_assoc_sum +. float_of_int assoc;
+  let f = t.f in
+  f.tx_write_kb_sum <- f.tx_write_kb_sum +. write_kb;
+  f.tx_write_kb_max <- Float.max f.tx_write_kb_max write_kb;
+  f.tx_assoc_sum <- f.tx_assoc_sum +. float_of_int assoc;
   t.tx_assoc_max <- max t.tx_assoc_max assoc
 
 (** Instruction-category fractions of the total. *)
@@ -101,8 +123,18 @@ let checks_per_100 t kind =
   if total = 0 then 0.0
   else 100.0 *. float_of_int t.checks.(check_index kind) /. float_of_int total
 
-let copy t = { t with instrs = Array.copy t.instrs; checks = Array.copy t.checks;
-               abort_reasons = Hashtbl.copy t.abort_reasons }
+let copy_f f =
+  {
+    cycles = f.cycles;
+    tx_cycles = f.tx_cycles;
+    tx_write_kb_sum = f.tx_write_kb_sum;
+    tx_write_kb_max = f.tx_write_kb_max;
+    tx_assoc_sum = f.tx_assoc_sum;
+  }
+
+let copy t =
+  { t with instrs = Array.copy t.instrs; checks = Array.copy t.checks; f = copy_f t.f;
+    abort_reasons = Hashtbl.copy t.abort_reasons }
 
 (** Open a measurement window: returns a snapshot for [diff ~before] and
     resets the running maxima, so the maxima reported by a later [diff] come
@@ -110,7 +142,7 @@ let copy t = { t with instrs = Array.copy t.instrs; checks = Array.copy t.checks
     polluted by warmup-only transactions, e.g. pre-demotion placements). *)
 let begin_window t =
   let before = copy t in
-  t.tx_write_kb_max <- 0.0;
+  t.f.tx_write_kb_max <- 0.0;
   t.tx_assoc_max <- 0;
   before
 
@@ -121,8 +153,8 @@ let diff ~now ~before =
   let t = create () in
   Array.iteri (fun i x -> t.instrs.(i) <- x - before.instrs.(i)) now.instrs;
   Array.iteri (fun i x -> t.checks.(i) <- x - before.checks.(i)) now.checks;
-  t.cycles <- now.cycles -. before.cycles;
-  t.tx_cycles <- now.tx_cycles -. before.tx_cycles;
+  t.f.cycles <- now.f.cycles -. before.f.cycles;
+  t.f.tx_cycles <- now.f.tx_cycles -. before.f.tx_cycles;
   t.deopts <- now.deopts - before.deopts;
   t.ftl_calls <- now.ftl_calls - before.ftl_calls;
   t.dfg_calls <- now.dfg_calls - before.dfg_calls;
@@ -133,9 +165,9 @@ let diff ~now ~before =
       let earlier = try Hashtbl.find before.abort_reasons reason with Not_found -> 0 in
       if n - earlier > 0 then Hashtbl.replace t.abort_reasons reason (n - earlier))
     now.abort_reasons;
-  t.tx_write_kb_sum <- now.tx_write_kb_sum -. before.tx_write_kb_sum;
-  t.tx_write_kb_max <- now.tx_write_kb_max;
-  t.tx_assoc_sum <- now.tx_assoc_sum -. before.tx_assoc_sum;
+  t.f.tx_write_kb_sum <- now.f.tx_write_kb_sum -. before.f.tx_write_kb_sum;
+  t.f.tx_write_kb_max <- now.f.tx_write_kb_max;
+  t.f.tx_assoc_sum <- now.f.tx_assoc_sum -. before.f.tx_assoc_sum;
   t.tx_assoc_max <- now.tx_assoc_max;
   t.tx_samples <- now.tx_samples - before.tx_samples;
   t
@@ -156,6 +188,6 @@ let to_canonical_string (c : t) =
     "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
      commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
      assoc_max=%d samples=%d"
-    (ints c.instrs) (ints c.checks) c.cycles c.tx_cycles c.deopts c.ftl_calls
-    c.dfg_calls c.tx_commits c.tx_aborts reasons c.tx_write_kb_sum
-    c.tx_write_kb_max c.tx_assoc_sum c.tx_assoc_max c.tx_samples
+    (ints c.instrs) (ints c.checks) c.f.cycles c.f.tx_cycles c.deopts c.ftl_calls
+    c.dfg_calls c.tx_commits c.tx_aborts reasons c.f.tx_write_kb_sum
+    c.f.tx_write_kb_max c.f.tx_assoc_sum c.tx_assoc_max c.tx_samples

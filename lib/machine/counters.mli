@@ -17,25 +17,40 @@ val categories : category list
 val check_index : Nomap_lir.Lir.check_kind -> int
 val check_kinds : Nomap_lir.Lir.check_kind list
 
+(** The float metrics live in an all-float sub-record so OCaml gives them
+    the flat (unboxed) representation: [add_cycles] runs once per charged
+    instruction and must not allocate. *)
+type fstats = {
+  mutable cycles : float;
+  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  mutable tx_write_kb_sum : float;
+  mutable tx_write_kb_max : float;
+  mutable tx_assoc_sum : float;
+}
+
 type t = {
   instrs : int array;  (** per category *)
   checks : int array;  (** executed FTL checks per kind *)
-  mutable cycles : float;
-  mutable tx_cycles : float;  (** cycles inside transactions (TMTime) *)
+  f : fstats;
   mutable deopts : int;
   mutable ftl_calls : int;
   mutable dfg_calls : int;
   mutable tx_commits : int;
   mutable tx_aborts : int;
   abort_reasons : (string, int) Hashtbl.t;
-  mutable tx_write_kb_sum : float;
-  mutable tx_write_kb_max : float;
-  mutable tx_assoc_sum : float;
   mutable tx_assoc_max : int;
   mutable tx_samples : int;
 }
 
 val create : unit -> t
+
+(** Read accessors for the flat float metrics (see [fstats]). *)
+val cycles : t -> float
+
+val tx_cycles : t -> float
+val tx_write_kb_sum : t -> float
+val tx_write_kb_max : t -> float
+val tx_assoc_sum : t -> float
 val total_instrs : t -> int
 val total_checks : t -> int
 val add_instrs : t -> category -> int -> unit

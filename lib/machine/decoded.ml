@@ -29,11 +29,115 @@ module Specialize = Nomap_tiers.Specialize
 module Hot = Nomap_util.Hot
 open Machine
 
+(* Same-module copies of the float-touching hot helpers.  The dev build
+   profile compiles with -opaque, which disables cross-module inlining —
+   there, a cross-module call taking or returning a float boxes it on
+   every invocation (once per executed comparison / cycle charge).
+   Defining these locally keeps the hot path allocation-free under every
+   build profile.  Semantics must stay identical to [Machine.as_num] /
+   [number] / [Hot.fget]; the fuzzer's engine axis guards the
+   equivalence. *)
+let[@inline] int_ i =
+  if i >= Value.small_int_min && i <= Value.small_int_max then
+    Array.unsafe_get Value.small_ints (i - Value.small_int_min)
+  else Value.Int i
+
+let[@inline] bool_ b = if b then Value.true_ else Value.false_
+
+let[@inline] as_int = function Value.Int i -> i | v -> Value.to_int32 v
+
+let[@inline] as_num = function
+  | Value.Int i -> float_of_int i
+  | Value.Num f -> f
+  | v -> Value.to_number v
+
+let[@inline] number f =
+  if Float.is_integer f && Float.abs f <= 2147483647.0 && not (f = 0.0 && 1.0 /. f < 0.0)
+  then int_ (int_of_float f)
+  else Value.Num f
+
+(* Likewise for the register-file accessors: under -opaque every operand
+   read/write would otherwise be an outlined call (several per executed
+   instruction).  Inlined here, each site specializes to a direct load or
+   store at the concrete array type. *)
+let[@inline] get a i = if Hot.checked then Array.get a i else Array.unsafe_get a i
+let[@inline] set a i v = if Hot.checked then Array.set a i v else Array.unsafe_set a i v
+
+(* And for the check counters: each interpreter arm knows its kind
+   statically, so a hit is one array bump instead of a
+   [Counters.add_check] call per executed check. *)
+let ci_bounds = Counters.check_index L.Bounds
+let ci_overflow = Counters.check_index L.Overflow
+let ci_type = Counters.check_index L.Type
+let ci_property = Counters.check_index L.Property
+let ci_hole = Counters.check_index L.Hole
+let ci_path = Counters.check_index L.Path
+
+let[@inline] bump_check cnt ci =
+  let a = cnt.Counters.checks in
+  a.(ci) <- a.(ci) + 1
+
+(* The rest of the per-instruction protocol, also same-module so it
+   inlines: fuel, the transaction watchdog tick, the region predicate,
+   int32-overflow materialization, and the instruction/cycle charge.
+   [category_ix] fuses [Machine.category] with [Counters.category_index];
+   the index constants come from Counters, so the mapping cannot drift.
+   [charge] is [Machine.charge_ftl] with the CPI resolved once per
+   activation — the multiply is the same IEEE operation on the same
+   values in the same order, so the counter stream is bit-identical. *)
+let[@inline] burn inst n =
+  inst.Instance.fuel <- inst.Instance.fuel - n;
+  if inst.Instance.fuel < 0 then raise Instance.Out_of_fuel
+
+let[@inline] tx_tick env =
+  match env.tx with
+  | Some tx ->
+    tx.Htm.instr_count <- tx.Htm.instr_count + 1;
+    if tx.Htm.instr_count > env.tx_watchdog then raise (Htm.Abort Htm.Watchdog)
+  | None -> ()
+
+let[@inline] in_region env =
+  match env.tx with Some _ -> true | None -> env.ghost_depth > 0
+
+let[@inline] int_result env (overflowed : bool array) id raw =
+  if raw >= Value.int32_min && raw <= Value.int32_max then int_ raw
+  else begin
+    set overflowed id true;
+    (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
+    int_ (wrap_int32 raw)
+  end
+
+let ix_no_tm = Counters.category_index Counters.No_tm
+let ix_tm_opt = Counters.category_index Counters.Tm_opt
+let ix_tm_unopt = Counters.category_index Counters.Tm_unopt
+
+let[@inline] category_ix env frame =
+  match env.tx with
+  | Some tx -> if frame = tx.Htm.owner_frame then ix_tm_opt else ix_tm_unopt
+  | None ->
+    if env.ghost_depth > 0 then
+      if frame = env.ghost_owner then ix_tm_opt else ix_tm_unopt
+    else ix_no_tm
+
+let[@inline] bump_instrs cnt ix n =
+  let a = cnt.Counters.instrs in
+  a.(ix) <- a.(ix) + n
+
+let[@inline] charge env ~frame ~cpi n =
+  if n > 0 then begin
+    bump_instrs env.counters (category_ix env frame) n;
+    let c = float_of_int n *. cpi in
+    let f = env.counters.Counters.f in
+    f.Counters.cycles <- f.Counters.cycles +. c;
+    if in_region env then f.Counters.tx_cycles <- f.Counters.tx_cycles +. c
+  end
+
 let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
   let d = decoded c in
   let lir = c.Specialize.lir in
   let inst = env.instance in
   let heap = inst.Instance.heap in
+  let cpi = cpi_of tier in
   let frame = enter_call env ~tier in
   let n = max 1 d.D.nvalues in
   let values = Array.make n Value.Undef in
@@ -46,7 +150,7 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
     let running = ref true in
     let result = ref Value.Undef in
     while !running do
-      let b = Hot.get d.D.dblocks !cur_block in
+      let b = get d.D.dblocks !cur_block in
       (* Phis: the pre-resolved copy table for the incoming edge, applied as
          a parallel assignment (read phase, then write phase). *)
       let edges = b.D.phi_edges in
@@ -55,103 +159,103 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
         let prev = !prev_block in
         let rec find_edge i =
           if i >= n_edges then -1
-          else if (Hot.get edges i).D.pred = prev then i
+          else if (get edges i).D.pred = prev then i
           else find_edge (i + 1)
         in
         let ei = find_edge 0 in
         if ei >= 0 then begin
-          let e = Hot.get edges ei in
+          let e = get edges ei in
           let dsts = e.D.dsts and srcs = e.D.srcs in
           let scratch = d.D.scratch in
           let np = Array.length dsts in
           for i = 0 to np - 1 do
-            Hot.set scratch i (Hot.get values (Hot.get srcs i))
+            set scratch i (get values (get srcs i))
           done;
           for i = 0 to np - 1 do
-            Hot.set values (Hot.get dsts i) (Hot.get scratch i)
+            set values (get dsts i) (get scratch i)
           done
         end
       end;
       let body = b.D.body in
       for idx = 0 to Array.length body - 1 do
-        let di = Hot.get body idx in
+        let di = get body idx in
         let v = di.D.id in
         if (di.D.is_tx_marker && env.htm_mode = Htm.Ghost) || di.D.elided then
           (* Free instructions: region markers under the Base config, and
              checks the NoMap_BC limit study elided (they keep their guard
              semantics below but model zero hardware instructions, so no
              transaction tick and no cycle charge). *)
-          Instance.burn inst 1
+          burn inst 1
         else begin
-          Instance.burn inst 1;
+          burn inst 1;
           tx_tick env;
-          charge_ftl env ~frame ~tier di.D.cost
+          charge env ~frame ~cpi di.D.cost
         end;
         match di.D.kind with
         | L.Nop | L.Phi _ -> ()
         | L.Param r ->
-          Hot.set values v
+          set values v
             (if r = 0 then this
-             else if r - 1 < nargs then Hot.get argv (r - 1)
+             else if r - 1 < nargs then get argv (r - 1)
              else Value.Undef)
-        | L.Const c -> Hot.set values v c
+        | L.Const c -> set values v c
         | L.Iadd (a, b) ->
-          Hot.set values v
-            (int_result env overflowed v (as_int (Hot.get values a) + as_int (Hot.get values b)))
+          set values v
+            (int_result env overflowed v (as_int (get values a) + as_int (get values b)))
         | L.Isub (a, b) ->
-          Hot.set values v
-            (int_result env overflowed v (as_int (Hot.get values a) - as_int (Hot.get values b)))
+          set values v
+            (int_result env overflowed v (as_int (get values a) - as_int (get values b)))
         | L.Iadd_wrap (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) + as_int (Hot.get values b))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) + as_int (get values b))))
         | L.Isub_wrap (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) - as_int (Hot.get values b))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) - as_int (get values b))))
         | L.Imul (a, b) ->
-          Hot.set values v
-            (int_result env overflowed v (as_int (Hot.get values a) * as_int (Hot.get values b)))
+          set values v
+            (int_result env overflowed v (as_int (get values a) * as_int (get values b)))
         | L.Ineg a ->
-          let x = as_int (Hot.get values a) in
+          let x = as_int (get values a) in
           (* -0 and -int32_min are not int32-representable results. *)
           if x = 0 || x = Value.int32_min then begin
-            Hot.set overflowed v true;
+            set overflowed v true;
             (match env.tx with
             | Some tx when env.sof_enabled -> tx.Htm.sof <- true
             | _ -> ());
-            Hot.set values v (Value.Int (wrap_int32 (-x)))
+            set values v (int_ (wrap_int32 (-x)))
           end
-          else Hot.set values v (Value.Int (-x))
+          else set values v (int_ (-x))
         | L.Fadd (a, b) ->
-          Hot.set values v (Value.number (as_num (Hot.get values a) +. as_num (Hot.get values b)))
+          set values v (number (as_num (get values a) +. as_num (get values b)))
         | L.Fsub (a, b) ->
-          Hot.set values v (Value.number (as_num (Hot.get values a) -. as_num (Hot.get values b)))
+          set values v (number (as_num (get values a) -. as_num (get values b)))
         | L.Fmul (a, b) ->
-          Hot.set values v (Value.number (as_num (Hot.get values a) *. as_num (Hot.get values b)))
+          set values v (number (as_num (get values a) *. as_num (get values b)))
         | L.Fdiv (a, b) ->
-          Hot.set values v (Value.number (as_num (Hot.get values a) /. as_num (Hot.get values b)))
+          set values v (number (as_num (get values a) /. as_num (get values b)))
         | L.Fmod (a, b) ->
-          Hot.set values v
-            (Value.number (Float.rem (as_num (Hot.get values a)) (as_num (Hot.get values b))))
-        | L.Fneg a -> Hot.set values v (Value.number (-.as_num (Hot.get values a)))
+          set values v
+            (number (Float.rem (as_num (get values a)) (as_num (get values b))))
+        | L.Fneg a -> set values v (number (-.as_num (get values a)))
         | L.Band (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) land as_int (Hot.get values b))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) land as_int (get values b))))
         | L.Bor (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) lor as_int (Hot.get values b))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) lor as_int (get values b))))
         | L.Bxor (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) lxor as_int (Hot.get values b))))
-        | L.Bnot a -> Hot.set values v (Value.Int (wrap_int32 (lnot (as_int (Hot.get values a)))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) lxor as_int (get values b))))
+        | L.Bnot a -> set values v (int_ (wrap_int32 (lnot (as_int (get values a)))))
         | L.Shl (a, b) ->
-          Hot.set values v
-            (Value.Int (wrap_int32 (as_int (Hot.get values a) lsl (as_int (Hot.get values b) land 31))))
+          set values v
+            (int_ (wrap_int32 (as_int (get values a) lsl (as_int (get values b) land 31))))
         | L.Shr (a, b) ->
-          Hot.set values v
-            (Value.Int (as_int (Hot.get values a) asr (as_int (Hot.get values b) land 31)))
-        | L.Ushr (a, b) -> Hot.set values v (Ops.js_ushr (Hot.get values a) (Hot.get values b))
+          set values v
+            (int_ (as_int (get values a) asr (as_int (get values b) land 31)))
+        | L.Ushr (a, b) -> set values v (Ops.js_ushr (get values a) (get values b))
         | L.Cmp (c, a, b) ->
-          let x = as_num (Hot.get values a) and y = as_num (Hot.get values b) in
+          let x = as_num (get values a) and y = as_num (get values b) in
           let r =
             match c with
             | L.Ceq -> x = y
@@ -161,169 +265,169 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
             | L.Cgt -> x > y
             | L.Cge -> x >= y
           in
-          Hot.set values v (Value.Bool r)
-        | L.Not a -> Hot.set values v (Value.Bool (not (Value.truthy (Hot.get values a))))
+          set values v (bool_ r)
+        | L.Not a -> set values v (bool_ (not (Value.truthy (get values a))))
         | L.Load_slot (o, slot) -> (
-          match as_obj (Hot.get values o) with
-          | Some obj when slot < Array.length obj.Value.slots ->
-            Hot.set values v (Heap.load_slot heap obj slot)
-          | _ -> Hot.set values v Value.Undef)
+          match get values o with
+          | Value.Obj obj when slot < Array.length obj.Value.slots ->
+            set values v (Heap.load_slot heap obj slot)
+          | _ -> set values v Value.Undef)
         | L.Store_slot (o, slot, x) -> (
-          match as_obj (Hot.get values o) with
-          | Some obj when slot < Array.length obj.Value.slots ->
-            Heap.store_slot heap obj slot (Hot.get values x)
+          match get values o with
+          | Value.Obj obj when slot < Array.length obj.Value.slots ->
+            Heap.store_slot heap obj slot (get values x)
           | _ -> ())
         | L.Store_transition (o, name, slot, x) -> (
-          match as_obj (Hot.get values o) with
-          | Some obj ->
+          match get values o with
+          | Value.Obj obj ->
             (* The guarding shape check ran just before; resolve the
-               (memoized) transition and install shape + value. *)
-            let new_shape = Shape.transition heap.Heap.shapes obj.Value.shape name in
+               (memoized, site-cached) transition and install shape + value. *)
+            let new_shape = ic_transition env heap di.D.ic obj name in
             if new_shape.Shape.prop_count - 1 = slot then
-              Heap.transition_store heap obj new_shape slot (Hot.get values x)
+              Heap.transition_store heap obj new_shape slot (get values x)
             else
               (* Shape drifted (possible only in a doomed transaction). *)
-              Heap.set_prop heap obj name (Hot.get values x)
-          | None -> ())
+              Heap.set_prop heap obj name (get values x)
+          | _ -> ())
         | L.Load_elem (a, i') -> (
-          match as_arr (Hot.get values a) with
-          | Some arr -> Hot.set values v (Heap.load_elem heap arr (as_int (Hot.get values i')))
-          | None -> Hot.set values v Value.Undef)
+          match get values a with
+          | Value.Arr arr -> set values v (Heap.load_elem heap arr (as_int (get values i')))
+          | _ -> set values v Value.Undef)
         | L.Store_elem (a, i', x) -> (
-          match as_arr (Hot.get values a) with
-          | Some arr -> Heap.store_elem heap arr (as_int (Hot.get values i')) (Hot.get values x)
-          | None -> ())
+          match get values a with
+          | Value.Arr arr -> Heap.store_elem heap arr (as_int (get values i')) (get values x)
+          | _ -> ())
         | L.Load_length a -> (
-          match as_arr (Hot.get values a) with
-          | Some arr ->
-            heap.Heap.hooks.load arr.Value.aaddr 8;
-            Hot.set values v (Value.Int arr.Value.alen)
-          | None -> Hot.set values v (Value.Int 0))
+          match get values a with
+          | Value.Arr arr ->
+            Heap.note_load heap arr.Value.aaddr 8;
+            set values v (int_ arr.Value.alen)
+          | _ -> set values v (Value.Int 0))
         | L.Str_length a -> (
-          match Hot.get values a with
-          | Value.Str s -> Hot.set values v (Value.Int (String.length s.Value.sdata))
-          | _ -> Hot.set values v (Value.Int 0))
+          match get values a with
+          | Value.Str s -> set values v (int_ (String.length s.Value.sdata))
+          | _ -> set values v (Value.Int 0))
         | L.Load_char_code (s, i') -> (
-          match Hot.get values s with
+          match get values s with
           | Value.Str str ->
-            Hot.set values v (Value.Int (Ops.string_char_code heap str (as_int (Hot.get values i'))))
-          | _ -> Hot.set values v (Value.Int 0))
-        | L.Load_global g -> Hot.set values v inst.Instance.globals.(g)
-        | L.Store_global (g, x) -> inst.Instance.globals.(g) <- Hot.get values x
+            set values v (int_ (Ops.string_char_code heap str (as_int (get values i'))))
+          | _ -> set values v (Value.Int 0))
+        | L.Load_global g -> set values v inst.Instance.globals.(g)
+        | L.Store_global (g, x) -> inst.Instance.globals.(g) <- get values x
         (* Elided checks (NoMap_BC) guard exactly as charged ones do, but
            model zero hardware instructions: no check-category count, no
            cache-visible load of the metadata they test. *)
         | L.Check_int (a, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Int _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_type;
+            set values v (get values a)
           | _ -> check_fail env values e L.Type)
         | L.Check_number (a, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Int _ | Value.Num _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_type;
+            set values v (get values a)
           | _ -> check_fail env values e L.Type)
         | L.Check_string (a, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Str _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_type;
+            set values v (get values a)
           | _ -> check_fail env values e L.Type)
         | L.Check_array (a, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Arr _ ->
-            if not di.D.elided then Counters.add_check env.counters L.Type;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_type;
+            set values v (get values a)
           | _ -> check_fail env values e L.Type)
         | L.Check_shape (a, shape_id, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
             if not di.D.elided then begin
-              heap.Heap.hooks.load o.Value.oaddr 8;
-              Counters.add_check env.counters L.Property
+              Heap.note_load heap o.Value.oaddr 8;
+              bump_check env.counters ci_property
             end;
-            Hot.set values v (Hot.get values a)
+            set values v (get values a)
           | _ -> check_fail env values e L.Property)
         | L.Check_fun_eq (a, fid, e) -> (
-          match Hot.get values a with
+          match get values a with
           | Value.Fun f when f = fid ->
-            if not di.D.elided then Counters.add_check env.counters L.Path;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_path;
+            set values v (get values a)
           | _ -> check_fail env values e L.Path)
         | L.Check_bounds (a, i', e) -> (
-          let idx = as_int (Hot.get values i') in
-          match as_arr (Hot.get values a) with
-          | Some arr when idx >= 0 && idx < arr.Value.alen ->
+          let idx = as_int (get values i') in
+          match get values a with
+          | Value.Arr arr when idx >= 0 && idx < arr.Value.alen ->
             if not di.D.elided then begin
-              heap.Heap.hooks.load arr.Value.aaddr 8;
-              Counters.add_check env.counters L.Bounds
+              Heap.note_load heap arr.Value.aaddr 8;
+              bump_check env.counters ci_bounds
             end;
-            Hot.set values v (Value.Int idx)
+            set values v (int_ idx)
           | _ -> check_fail env values e L.Bounds)
         | L.Check_str_bounds (s, i', e) -> (
-          let idx = as_int (Hot.get values i') in
-          match Hot.get values s with
+          let idx = as_int (get values i') in
+          match get values s with
           | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-            if not di.D.elided then Counters.add_check env.counters L.Bounds;
-            Hot.set values v (Value.Int idx)
+            if not di.D.elided then bump_check env.counters ci_bounds;
+            set values v (int_ idx)
           | _ -> check_fail env values e L.Bounds)
         | L.Check_not_hole (a, i', e) -> (
-          let idx = as_int (Hot.get values i') in
-          match as_arr (Hot.get values a) with
-          | Some arr
+          let idx = as_int (get values i') in
+          match get values a with
+          | Value.Arr arr
             when idx >= 0
                  && idx < Array.length arr.Value.elems
                  && Heap.load_elem heap arr idx <> Value.Hole ->
-            if not di.D.elided then Counters.add_check env.counters L.Hole;
-            Hot.set values v (Value.Int idx)
+            if not di.D.elided then bump_check env.counters ci_hole;
+            set values v (int_ idx)
           | _ -> check_fail env values e L.Hole)
         | L.Check_overflow (a, e) ->
-          if Hot.get overflowed a then check_fail env values e L.Overflow
+          if get overflowed a then check_fail env values e L.Overflow
           else begin
-            if not di.D.elided then Counters.add_check env.counters L.Overflow;
-            Hot.set values v (Hot.get values a)
+            if not di.D.elided then bump_check env.counters ci_overflow;
+            set values v (get values a)
           end
         | L.Check_cond (a, expected, e) ->
-          if Value.truthy (Hot.get values a) = expected then begin
-            if not di.D.elided then Counters.add_check env.counters L.Path;
-            Hot.set values v (Hot.get values a)
+          if Value.truthy (get values a) = expected then begin
+            if not di.D.elided then bump_check env.counters ci_path;
+            set values v (get values a)
           end
           else check_fail env values e L.Path
         | L.Call_func (fid, _) ->
-          Hot.set values v
+          set values v
             (env.call ~fid ~this:Value.Undef ~args:(arg_values values di.D.args))
         | L.Call_method (fid, thisv, _) ->
-          Hot.set values v
-            (env.call ~fid ~this:(Hot.get values thisv) ~args:(arg_values values di.D.args))
+          set values v
+            (env.call ~fid ~this:(get values thisv) ~args:(arg_values values di.D.args))
         | L.Ctor_call (fid, _) ->
           let obj = Value.Obj (Heap.alloc_object heap) in
           let r = env.call ~fid ~this:obj ~args:(arg_values values di.D.args) in
-          Hot.set values v (match r with Value.Undef -> obj | x -> x)
+          set values v (match r with Value.Undef -> obj | x -> x)
         | L.Call_runtime (rt, recv, _) ->
-          Hot.set values v (exec_runtime env rt (Hot.get values recv) di.D.args values)
+          set values v
+            (exec_runtime env ~ic:di.D.ic rt (get values recv) di.D.args values)
         | L.Intrinsic (intr, _) ->
           if not di.D.elided then begin
             let ftl_c, rt_c = intrinsic_cost intr in
-            charge_ftl env ~frame ~tier ftl_c;
+            charge env ~frame ~cpi ftl_c;
             charge_runtime env rt_c
           end;
-          Hot.set values v
-            (try Intrinsics.eval heap intr Value.Undef (arg_values values di.D.args)
-             with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
-        | L.Alloc_object -> Hot.set values v (Value.Obj (Heap.alloc_object heap))
+          set values v (eval_intrinsic heap intr Value.Undef di.D.args values)
+        | L.Alloc_object -> set values v (Value.Obj (Heap.alloc_object heap))
         | L.Alloc_array len ->
-          let n = as_int (Hot.get values len) in
+          let n = as_int (get values len) in
           if n < 0 || n > 1 lsl 24 then begin
-            if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
-            else raise (Nomap_interp.Interp.Runtime_error "bad array length")
+            match env.tx with
+            | Some _ -> raise (Htm.Abort Htm.Watchdog)
+            | None -> raise (Nomap_interp.Interp.Runtime_error "bad array length")
           end;
-          Hot.set values v (Value.Arr (Heap.alloc_array heap n))
+          set values v (Value.Arr (Heap.alloc_array heap n))
         | L.Tx_begin smp -> exec_tx_begin env values ~frame smp
         | L.Tx_end -> exec_tx_end env
       done;
-      charge_ftl env ~frame ~tier 1;
+      charge env ~frame ~cpi 1;
       (* terminator *)
       match b.D.dterm with
       | L.Jump t ->
@@ -331,9 +435,9 @@ let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
         cur_block := t
       | L.Br (cv, bt, bf) ->
         prev_block := !cur_block;
-        cur_block := (if Value.truthy (Hot.get values cv) then bt else bf)
+        cur_block := (if Value.truthy (get values cv) then bt else bf)
       | L.Ret r ->
-        result := (match r with Some rv -> Hot.get values rv | None -> Value.Undef);
+        result := (match r with Some rv -> get values rv | None -> Value.Undef);
         running := false
       | L.Unreachable -> raise (Nomap_interp.Interp.Runtime_error "reached unreachable block")
     done;

@@ -37,6 +37,7 @@ module Htm = Nomap_htm.Htm
 module Footprint = Nomap_cache.Footprint
 module Specialize = Nomap_tiers.Specialize
 module Hot = Nomap_util.Hot
+module Prof = Nomap_runtime.Prof
 
 type tier = Dfg | Ftl
 
@@ -49,6 +50,9 @@ type env = {
   sof_enabled : bool;  (** Sticky Overflow Flag hardware present *)
   capacity_scale : int;  (** HTM capacity scaling (matches workload scaling) *)
   tx_watchdog : int;  (** max LIR instrs per transaction before forced abort *)
+  host_ic : bool;
+      (** enable per-site host inline caches (host memoization only — no
+          simulated counter depends on this; the fuzzer's ic axis checks) *)
   call : fid:int -> this:Value.t -> args:Value.t list -> Value.t;
   deopt_resume : fid:int -> resume_pc:int -> values:(int * Value.t) list -> Value.t;
   mutable tx : Htm.tx option;
@@ -60,7 +64,7 @@ type env = {
 }
 
 let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
-    ?(tx_watchdog = 30_000_000) ~call ~deopt_resume () =
+    ?(tx_watchdog = 30_000_000) ?(host_ic = true) ~call ~deopt_resume () =
   {
     instance;
     counters;
@@ -68,6 +72,7 @@ let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
     sof_enabled;
     capacity_scale;
     tx_watchdog;
+    host_ic;
     call;
     deopt_resume;
     tx = None;
@@ -77,7 +82,10 @@ let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
     on_abort = (fun ~fid:_ _ -> ());
   }
 
-let in_region env = env.tx <> None || env.ghost_depth > 0
+(* [match] rather than [<> None]: the generic structural compare is a C
+   call, and this runs once per charged instruction. *)
+let[@inline] in_region env =
+  match env.tx with Some _ -> true | None -> env.ghost_depth > 0
 
 let category env frame =
   match env.tx with
@@ -88,18 +96,27 @@ let category env frame =
       if frame = env.ghost_owner then Counters.Tm_opt else Counters.Tm_unopt
     else Counters.No_tm
 
+(* The cycle charges below mutate [Counters.f] directly rather than going
+   through [Counters.add_cycles]: the cross-module call boxes its float
+   argument on every invocation, and these run once per charged
+   instruction.  The accumulation order and values are identical. *)
 let charge_ftl env ~frame ~tier n =
   if n > 0 then begin
     Counters.add_instrs env.counters (category env frame) n;
     let cpi = match tier with Dfg -> Timing.cpi_dfg | Ftl -> Timing.cpi_ftl in
-    Counters.add_cycles env.counters ~in_tx:(in_region env) (float_of_int n *. cpi)
+    let c = float_of_int n *. cpi in
+    let f = env.counters.Counters.f in
+    f.Counters.cycles <- f.Counters.cycles +. c;
+    if in_region env then f.Counters.tx_cycles <- f.Counters.tx_cycles +. c
   end
 
 let charge_runtime env n =
   if n > 0 then begin
     Counters.add_instrs env.counters Counters.No_ftl n;
-    Counters.add_cycles env.counters ~in_tx:(in_region env)
-      (float_of_int n *. Timing.cpi_runtime)
+    let c = float_of_int n *. Timing.cpi_runtime in
+    let f = env.counters.Counters.f in
+    f.Counters.cycles <- f.Counters.cycles +. c;
+    if in_region env then f.Counters.tx_cycles <- f.Counters.tx_cycles +. c
   end
 
 (** RTM transactional reads are ~20% slower (paper §VI-B).  The HTM load
@@ -152,8 +169,15 @@ let intrinsic_cost = function
 
 let wrap_int32 = Ops.wrap_int32
 
-let as_int = function Value.Int i -> i | v -> Value.to_int32 v
-let as_num = Value.to_number
+(* [@inline] matters: both are called with the result feeding a local
+   int/float context, so inlining lets the compiler keep the common Int/Num
+   cases unboxed instead of boxing a float return per call. *)
+let[@inline] as_int = function Value.Int i -> i | v -> Value.to_int32 v
+
+let[@inline] as_num = function
+  | Value.Int i -> float_of_int i
+  | Value.Num f -> f
+  | v -> Value.to_number v
 
 (* Robust coercions: after NoMap removes checks inside a doomed transaction,
    garbage values may flow; hardware would compute garbage and abort later,
@@ -186,11 +210,11 @@ let tx_tick env =
   | None -> ()
 
 let int_result env (overflowed : bool array) id raw =
-  if Value.fits_int32 raw then Value.Int raw
+  if Value.fits_int32 raw then Value.int_ raw
   else begin
     Hot.set overflowed id true;
     (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
-    Value.Int (wrap_int32 raw)
+    Value.int_ (wrap_int32 raw)
   end
 
 (** Build a call's argument list from pre-resolved value ids. *)
@@ -200,13 +224,153 @@ let arg_values (values : Value.t array) (ids : int array) =
   in
   go (Array.length ids - 1) []
 
+(** Known-arity intrinsic evaluation: skips building the argument list for
+    the 0/1/2-arg calls that dominate ([Intrinsics.eval0/1/2] replicate
+    [eval] exactly). *)
+let eval_intrinsic heap intr (recv : Value.t) (ids : int array) (values : Value.t array) =
+  try
+    match Array.length ids with
+    | 0 -> Intrinsics.eval0 heap intr recv
+    | 1 -> Intrinsics.eval1 heap intr recv (Hot.get values (Hot.get ids 0))
+    | 2 ->
+      Intrinsics.eval2 heap intr recv
+        (Hot.get values (Hot.get ids 0))
+        (Hot.get values (Hot.get ids 1))
+    | _ -> Intrinsics.eval heap intr recv (arg_values values ids)
+  with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m)
+
+(* --- host inline-cache probes (see Decode.ic / DESIGN.md §14) ---------- *)
+
+(** The site's interned symbol.  Get-sites must not cache a miss: a name can
+    be interned later (by the first store), at which point -1 would be
+    stale.  [intern_on_miss] distinguishes set-sites (which intern, exactly
+    as the generic path does) from get-sites (which only look up). *)
+let ic_sym heap (c : D.ic) name ~intern_on_miss =
+  if c.D.ic_sym >= 0 then c.D.ic_sym
+  else begin
+    let s =
+      if intern_on_miss then Shape.intern heap.Heap.shapes name
+      else Shape.find_sym heap.Heap.shapes name
+    in
+    if s >= 0 then c.D.ic_sym <- s;
+    s
+  end
+
+(** Resolve a property slot through the cache: hit = one int compare.  On a
+    miss, consult the shape's slot table and refill (monomorphic,
+    last-shape-wins).  Caching a -1 slot is sound: shapes are immutable, so
+    a given shape id lacks the symbol forever. *)
+let ic_slot (c : D.ic) (o : Value.obj) sym =
+  if sym >= 0 && c.D.ic_shape = o.Value.shape.Shape.id then c.D.ic_slot
+  else begin
+    let slot = Shape.slot_of o.Value.shape sym in
+    if sym >= 0 then begin
+      c.D.ic_shape <- o.Value.shape.Shape.id;
+      c.D.ic_slot <- slot
+    end;
+    slot
+  end
+
+(** Cached property read: identical hooks to [Heap.get_prop] (one shape-word
+    load, then the slot load on presence), minus the host-side hashing. *)
+let ic_get_prop env heap (c : D.ic option) (o : Value.obj) name =
+  match c with
+  | Some c when env.host_ic ->
+    Heap.get_prop_slot heap o (ic_slot c o (ic_sym heap c name ~intern_on_miss:false))
+  | _ -> Heap.get_prop heap o name
+
+(** Cached property write.  Three cases, each replicating the generic
+    sequence bit-for-bit:
+    - slot hit: shape-word load + slot store ([Heap.set_prop_sym]'s
+      existing-property path);
+    - transition hit ([ic_target] caches the child shape the source shape
+      transitions to — sound because shape transitions are cached and
+      deterministic): shape-word load + [Heap.transition_store];
+    - miss: the generic path, then refill keyed on the *pre-store* shape. *)
+let ic_set_prop env heap (c : D.ic option) (o : Value.obj) name v =
+  match c with
+  | Some c when env.host_ic -> (
+    let sym = ic_sym heap c name ~intern_on_miss:true in
+    let sid = o.Value.shape.Shape.id in
+    if c.D.ic_shape = sid then begin
+      if c.D.ic_slot >= 0 then begin
+        Heap.note_load heap o.Value.oaddr Heap.word_bytes;
+        Heap.store_slot heap o c.D.ic_slot v
+      end
+      else
+        match c.D.ic_target with
+        | Some tgt ->
+          Heap.note_load heap o.Value.oaddr Heap.word_bytes;
+          Heap.transition_store heap o tgt (tgt.Shape.prop_count - 1) v
+        | None -> Heap.set_prop_sym heap o sym v
+    end
+    else begin
+      let slot = Shape.slot_of o.Value.shape sym in
+      Heap.set_prop_sym heap o sym v;
+      c.D.ic_shape <- sid;
+      if slot >= 0 then begin
+        c.D.ic_slot <- slot;
+        c.D.ic_target <- None
+      end
+      else begin
+        c.D.ic_slot <- -1;
+        c.D.ic_target <- Some o.Value.shape
+      end
+    end)
+  | _ -> Heap.set_prop heap o name v
+
+(** Cached transition resolution for [Store_transition] sites: a hit skips
+    re-interning the name and the transition-table probe.  The cached target
+    is exactly what [Shape.transition] would return for that source shape
+    (transitions are memoized per shape), so the resulting shape tree and id
+    sequence are identical either way. *)
+let ic_transition env heap (c : D.ic option) (obj : Value.obj) name =
+  match c with
+  | Some c when env.host_ic ->
+    if c.D.ic_shape = obj.Value.shape.Shape.id then (
+      match c.D.ic_target with
+      | Some t -> t
+      | None -> Shape.transition heap.Heap.shapes obj.Value.shape name)
+    else begin
+      let t = Shape.transition heap.Heap.shapes obj.Value.shape name in
+      c.D.ic_shape <- obj.Value.shape.Shape.id;
+      c.D.ic_target <- Some t;
+      t
+    end
+  | _ -> Shape.transition heap.Heap.shapes obj.Value.shape name
+
+(* --- NOMAP_PROF slots (one per runtime-helper family) ------------------ *)
+
+let prof_binop = Prof.make "rt_binop"
+let prof_unop = Prof.make "rt_unop"
+let prof_get_prop = Prof.make "rt_get_prop"
+let prof_set_prop = Prof.make "rt_set_prop"
+let prof_get_elem = Prof.make "rt_get_elem"
+let prof_set_elem = Prof.make "rt_set_elem"
+let prof_get_length = Prof.make "rt_get_length"
+let prof_method = Prof.make "rt_method"
+let prof_intrinsic = Prof.make "rt_intrinsic"
+
+let prof_slot_of = function
+  | L.Rt_binop _ -> prof_binop
+  | L.Rt_unop _ -> prof_unop
+  | L.Rt_get_prop _ -> prof_get_prop
+  | L.Rt_set_prop _ -> prof_set_prop
+  | L.Rt_get_elem -> prof_get_elem
+  | L.Rt_set_elem -> prof_set_elem
+  | L.Rt_get_length -> prof_get_length
+  | L.Rt_method _ -> prof_method
+  | L.Rt_intrinsic _ -> prof_intrinsic
+
 (** Generic runtime calls (the NoFTL slow paths).  Each branch charges its
     runtime cost (same table as always: binop 30, unop 16, get_prop 35,
     set_prop 40, get_elem 30, set_elem 34, get_length 16, method 44,
     intrinsic 6 + static + dynamic) before executing, then reads its
-    operands straight out of the value array — no [List.nth]. *)
-let exec_runtime env rt (recv : Value.t) (ids : int array) (values : Value.t array) :
-    Value.t =
+    operands straight out of the value array — no [List.nth].  [ic] is the
+    call site's host inline cache (property/method sites only); it changes
+    no hook sequence and no charge. *)
+let exec_runtime_uninstrumented env ~(ic : D.ic option) rt (recv : Value.t)
+    (ids : int array) (values : Value.t array) : Value.t =
   let heap = env.instance.Instance.heap in
   let arg i = Hot.get values (Hot.get ids i) in
   match rt with
@@ -219,13 +383,13 @@ let exec_runtime env rt (recv : Value.t) (ids : int array) (values : Value.t arr
   | L.Rt_get_prop name -> (
     charge_runtime env 35;
     match as_obj recv with
-    | Some o -> Heap.get_prop heap o name
+    | Some o -> ic_get_prop env heap ic o name
     | None -> Value.Undef)
   | L.Rt_set_prop name -> (
     charge_runtime env 40;
     match as_obj recv with
     | Some o ->
-      Heap.set_prop heap o name (arg 0);
+      ic_set_prop env heap ic o name (arg 0);
       Value.Undef
     | None -> raise (Nomap_interp.Interp.Runtime_error "set property on non-object"))
   | L.Rt_get_elem -> (
@@ -258,37 +422,61 @@ let exec_runtime env rt (recv : Value.t) (ids : int array) (values : Value.t arr
     | Some v -> v
     | None -> (
       match as_obj recv with
-      | Some o -> Heap.get_prop heap o "length"
+      | Some o -> ic_get_prop env heap ic o "length"
       | None ->
         raise (Nomap_interp.Interp.Runtime_error ("no length on " ^ Value.type_name recv))))
   | L.Rt_method name -> (
     charge_runtime env 44;
-    let args = arg_values values ids in
-    match Intrinsics.method_lookup recv name with
-    | Some intr -> (
-      try Intrinsics.eval heap intr recv args
-      with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+    let meth =
+      match (recv, ic) with
+      (* Str/Arr method tables are pure in the name: resolved at decode. *)
+      | Value.Str _, Some c when env.host_ic -> c.D.ic_str_meth
+      | Value.Arr _, Some c when env.host_ic -> c.D.ic_arr_meth
+      | _ -> Intrinsics.method_lookup recv name
+    in
+    match meth with
+    | Some intr -> eval_intrinsic heap intr recv ids values
     | None -> (
       match as_obj recv with
       | Some o -> (
-        match Shape.lookup o.Value.shape name with
-        | Some slot -> (
+        (* NB: like the generic path, no shape-word load here — method
+           dispatch reads only the slot. *)
+        let slot =
+          match ic with
+          | Some c when env.host_ic ->
+            ic_slot c o (ic_sym heap c name ~intern_on_miss:false)
+          | _ -> (
+            match Shape.lookup heap.Heap.shapes o.Value.shape name with
+            | Some s -> s
+            | None -> -1)
+        in
+        if slot >= 0 then
           match Heap.load_slot heap o slot with
-          | Value.Fun fid -> env.call ~fid ~this:recv ~args
+          | Value.Fun fid -> env.call ~fid ~this:recv ~args:(arg_values values ids)
           | v ->
             raise
               (Nomap_interp.Interp.Runtime_error
-                 (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v))))
-        | None -> raise (Nomap_interp.Interp.Runtime_error ("no method " ^ name)))
+                 (Printf.sprintf "%s is not a function (%s)" name (Value.type_name v)))
+        else raise (Nomap_interp.Interp.Runtime_error ("no method " ^ name)))
       | None ->
         raise
           (Nomap_interp.Interp.Runtime_error
              (Printf.sprintf "no method %s on %s" name (Value.type_name recv)))))
-  | L.Rt_intrinsic intr -> (
-    let args = arg_values values ids in
-    charge_runtime env (6 + Intrinsics.cost intr + Intrinsics.dynamic_cost intr recv args);
-    try Intrinsics.eval heap intr recv args
-    with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m))
+  | L.Rt_intrinsic intr ->
+    charge_runtime env
+      (6 + Intrinsics.cost intr
+      + Intrinsics.dynamic_cost_argc intr recv ~argc:(Array.length ids));
+    eval_intrinsic heap intr recv ids values
+
+let exec_runtime env ~ic rt (recv : Value.t) (ids : int array) (values : Value.t array) :
+    Value.t =
+  if Prof.enabled then begin
+    let t0 = Prof.now () in
+    let r = exec_runtime_uninstrumented env ~ic rt recv ids values in
+    Prof.record (prof_slot_of rt) t0;
+    r
+  end
+  else exec_runtime_uninstrumented env ~ic rt recv ids values
 
 (** The pre-decoded form of [c], built on first execution — after every
     transform/optimizer pass has run — and cached on the compiled record. *)

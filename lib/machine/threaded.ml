@@ -77,15 +77,110 @@ module Specialize = Nomap_tiers.Specialize
 module Hot = Nomap_util.Hot
 open Machine
 
+(* Same-module copies of the float-touching hot helpers.  The dev build
+   profile compiles with -opaque, which disables cross-module inlining —
+   there, a cross-module call taking or returning a float boxes it on
+   every invocation (once per executed comparison / cycle charge).
+   Defining these locally keeps the hot path allocation-free under every
+   build profile.  Semantics must stay identical to [Machine.as_num] /
+   [number] / [Hot.fget]; the fuzzer's engine axis guards the
+   equivalence. *)
+let[@inline] int_ i =
+  if i >= Value.small_int_min && i <= Value.small_int_max then
+    Array.unsafe_get Value.small_ints (i - Value.small_int_min)
+  else Value.Int i
+
+let[@inline] bool_ b = if b then Value.true_ else Value.false_
+
+let[@inline] as_int = function Value.Int i -> i | v -> Value.to_int32 v
+
+let[@inline] as_num = function
+  | Value.Int i -> float_of_int i
+  | Value.Num f -> f
+  | v -> Value.to_number v
+
+let[@inline] number f =
+  if Float.is_integer f && Float.abs f <= 2147483647.0 && not (f = 0.0 && 1.0 /. f < 0.0)
+  then int_ (int_of_float f)
+  else Value.Num f
+
+let[@inline] fget (a : float array) i =
+  if Hot.checked then Array.get a i else Array.unsafe_get a i
+
+(* Likewise for the register-file accessors: under -opaque every operand
+   read/write would otherwise be an outlined call (several per executed
+   instruction).  Inlined here, each site specializes to a direct load or
+   store at the concrete array type. *)
+let[@inline] get a i = if Hot.checked then Array.get a i else Array.unsafe_get a i
+let[@inline] set a i v = if Hot.checked then Array.set a i v else Array.unsafe_set a i v
+
+(* And for the check counters: the kind index is fixed at closure-compile
+   time, so a hit is one array bump instead of a [Counters.add_check]
+   call per executed check. *)
+let ci_bounds = Counters.check_index L.Bounds
+let ci_overflow = Counters.check_index L.Overflow
+let ci_type = Counters.check_index L.Type
+let ci_property = Counters.check_index L.Property
+let ci_hole = Counters.check_index L.Hole
+let ci_path = Counters.check_index L.Path
+
+let[@inline] bump_check cnt ci =
+  let a = cnt.Counters.checks in
+  a.(ci) <- a.(ci) + 1
+
+(* The rest of the reference engine's per-instruction protocol, also
+   same-module so it inlines: fuel, the transaction watchdog tick, the
+   region predicate, int32-overflow materialization, and the instruction
+   counter.  [category_ix] fuses [Machine.category] with
+   [Counters.category_index]; the index constants come from Counters, so
+   the mapping cannot drift. *)
+let[@inline] burn inst n =
+  inst.Instance.fuel <- inst.Instance.fuel - n;
+  if inst.Instance.fuel < 0 then raise Instance.Out_of_fuel
+
+let[@inline] tx_tick env =
+  match env.tx with
+  | Some tx ->
+    tx.Htm.instr_count <- tx.Htm.instr_count + 1;
+    if tx.Htm.instr_count > env.tx_watchdog then raise (Htm.Abort Htm.Watchdog)
+  | None -> ()
+
+let[@inline] in_region env =
+  match env.tx with Some _ -> true | None -> env.ghost_depth > 0
+
+let[@inline] int_result env (overflowed : bool array) id raw =
+  if raw >= Value.int32_min && raw <= Value.int32_max then int_ raw
+  else begin
+    set overflowed id true;
+    (match env.tx with Some tx when env.sof_enabled -> tx.Htm.sof <- true | _ -> ());
+    int_ (wrap_int32 raw)
+  end
+
+let ix_no_tm = Counters.category_index Counters.No_tm
+let ix_tm_opt = Counters.category_index Counters.Tm_opt
+let ix_tm_unopt = Counters.category_index Counters.Tm_unopt
+
+let[@inline] category_ix env frame =
+  match env.tx with
+  | Some tx -> if frame = tx.Htm.owner_frame then ix_tm_opt else ix_tm_unopt
+  | None ->
+    if env.ghost_depth > 0 then
+      if frame = env.ghost_owner then ix_tm_opt else ix_tm_unopt
+    else ix_no_tm
+
+let[@inline] bump_instrs cnt ix n =
+  let a = cnt.Counters.instrs in
+  a.(ix) <- a.(ix) + n
+
 (** Per-activation state threaded through every closure.  [next_block] is
     the driver's program counter; -1 means the function returned. *)
 type state = {
   values : Value.t array;
   overflowed : bool array;
-  this : Value.t;
-  argv : Value.t array;
-  nargs : int;
-  frame : int;
+  mutable this : Value.t;
+  mutable argv : Value.t array;
+  mutable nargs : int;
+  mutable frame : int;
   mutable prev_block : int;
   mutable next_block : int;
   mutable result : Value.t;
@@ -102,6 +197,12 @@ type tfunc = {
   t_blocks : code array;  (** per-block entry closure (phis + body + term) *)
   t_nvalues : int;
   t_tier : tier;
+  mutable t_pool : state list;
+      (** activation-frame free list: a normal return scrubs its frame
+          (values/overflowed reset to the fresh-frame state) and parks it
+          here; frames abandoned by a deopt/abort/error are simply dropped.
+          Recursion is safe — a frame in use is never simultaneously in the
+          pool. *)
 }
 
 type Specialize.artifact += Threaded_code of tfunc
@@ -111,6 +212,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
   let inst = env.instance in
   let heap = inst.Instance.heap in
   let cnt = env.counters in
+  let fcnt = cnt.Counters.f in
   (* The semantics of one instruction, exactly as the decoded engine's
      match arms execute them, continuation-passing into [next].  No
      accounting here — the caller bakes the charging protocol around it. *)
@@ -122,336 +224,356 @@ let compile_func env ~tier (d : D.t) : tfunc =
     | L.Param r ->
       if r = 0 then
         fun st ->
-          Hot.set st.values v st.this;
+          set st.values v st.this;
           next st
       else
         fun st ->
-          Hot.set st.values v
-            (if r - 1 < st.nargs then Hot.get st.argv (r - 1) else Value.Undef);
+          set st.values v
+            (if r - 1 < st.nargs then get st.argv (r - 1) else Value.Undef);
           next st
     | L.Const c ->
       fun st ->
-        Hot.set st.values v c;
+        set st.values v c;
         next st
     | L.Iadd (a, b) ->
       fun st ->
-        Hot.set st.values v
+        set st.values v
           (int_result env st.overflowed v
-             (as_int (Hot.get st.values a) + as_int (Hot.get st.values b)));
+             (as_int (get st.values a) + as_int (get st.values b)));
         next st
     | L.Isub (a, b) ->
       fun st ->
-        Hot.set st.values v
+        set st.values v
           (int_result env st.overflowed v
-             (as_int (Hot.get st.values a) - as_int (Hot.get st.values b)));
+             (as_int (get st.values a) - as_int (get st.values b)));
         next st
     | L.Iadd_wrap (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (wrap_int32 (as_int (Hot.get st.values a) + as_int (Hot.get st.values b))));
+        set st.values v
+          (int_ (wrap_int32 (as_int (get st.values a) + as_int (get st.values b))));
         next st
     | L.Isub_wrap (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (wrap_int32 (as_int (Hot.get st.values a) - as_int (Hot.get st.values b))));
+        set st.values v
+          (int_ (wrap_int32 (as_int (get st.values a) - as_int (get st.values b))));
         next st
     | L.Imul (a, b) ->
       fun st ->
-        Hot.set st.values v
+        set st.values v
           (int_result env st.overflowed v
-             (as_int (Hot.get st.values a) * as_int (Hot.get st.values b)));
+             (as_int (get st.values a) * as_int (get st.values b)));
         next st
     | L.Ineg a ->
       fun st ->
-        let x = as_int (Hot.get st.values a) in
+        let x = as_int (get st.values a) in
         (* -0 and -int32_min are not int32-representable results. *)
         if x = 0 || x = Value.int32_min then begin
-          Hot.set st.overflowed v true;
+          set st.overflowed v true;
           (match env.tx with
           | Some tx when env.sof_enabled -> tx.Htm.sof <- true
           | _ -> ());
-          Hot.set st.values v (Value.Int (wrap_int32 (-x)))
+          set st.values v (int_ (wrap_int32 (-x)))
         end
-        else Hot.set st.values v (Value.Int (-x));
+        else set st.values v (int_ (-x));
         next st
     | L.Fadd (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.number (as_num (Hot.get st.values a) +. as_num (Hot.get st.values b)));
+        set st.values v
+          (number (as_num (get st.values a) +. as_num (get st.values b)));
         next st
     | L.Fsub (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.number (as_num (Hot.get st.values a) -. as_num (Hot.get st.values b)));
+        set st.values v
+          (number (as_num (get st.values a) -. as_num (get st.values b)));
         next st
     | L.Fmul (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.number (as_num (Hot.get st.values a) *. as_num (Hot.get st.values b)));
+        set st.values v
+          (number (as_num (get st.values a) *. as_num (get st.values b)));
         next st
     | L.Fdiv (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.number (as_num (Hot.get st.values a) /. as_num (Hot.get st.values b)));
+        set st.values v
+          (number (as_num (get st.values a) /. as_num (get st.values b)));
         next st
     | L.Fmod (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.number (Float.rem (as_num (Hot.get st.values a)) (as_num (Hot.get st.values b))));
+        set st.values v
+          (number (Float.rem (as_num (get st.values a)) (as_num (get st.values b))));
         next st
     | L.Fneg a ->
       fun st ->
-        Hot.set st.values v (Value.number (-.as_num (Hot.get st.values a)));
+        set st.values v (number (-.as_num (get st.values a)));
         next st
     | L.Band (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (wrap_int32 (as_int (Hot.get st.values a) land as_int (Hot.get st.values b))));
+        set st.values v
+          (int_ (wrap_int32 (as_int (get st.values a) land as_int (get st.values b))));
         next st
     | L.Bor (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (wrap_int32 (as_int (Hot.get st.values a) lor as_int (Hot.get st.values b))));
+        set st.values v
+          (int_ (wrap_int32 (as_int (get st.values a) lor as_int (get st.values b))));
         next st
     | L.Bxor (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (wrap_int32 (as_int (Hot.get st.values a) lxor as_int (Hot.get st.values b))));
+        set st.values v
+          (int_ (wrap_int32 (as_int (get st.values a) lxor as_int (get st.values b))));
         next st
     | L.Bnot a ->
       fun st ->
-        Hot.set st.values v (Value.Int (wrap_int32 (lnot (as_int (Hot.get st.values a)))));
+        set st.values v (Value.Int (wrap_int32 (lnot (as_int (get st.values a)))));
         next st
     | L.Shl (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int
-             (wrap_int32 (as_int (Hot.get st.values a) lsl (as_int (Hot.get st.values b) land 31))));
+        set st.values v
+          (int_
+             (wrap_int32 (as_int (get st.values a) lsl (as_int (get st.values b) land 31))));
         next st
     | L.Shr (a, b) ->
       fun st ->
-        Hot.set st.values v
-          (Value.Int (as_int (Hot.get st.values a) asr (as_int (Hot.get st.values b) land 31)));
+        set st.values v
+          (int_ (as_int (get st.values a) asr (as_int (get st.values b) land 31)));
         next st
     | L.Ushr (a, b) ->
       fun st ->
-        Hot.set st.values v (Ops.js_ushr (Hot.get st.values a) (Hot.get st.values b));
+        set st.values v (Ops.js_ushr (get st.values a) (get st.values b));
         next st
-    | L.Cmp (c, a, b) ->
+    (* One closure per comparator: the dispatch on [c] happens at compile
+       time and the float compare stays local (unboxed) in each body. *)
+    | L.Cmp (L.Ceq, a, b) ->
       fun st ->
-        let x = as_num (Hot.get st.values a) and y = as_num (Hot.get st.values b) in
-        let r =
-          match c with
-          | L.Ceq -> x = y
-          | L.Cne -> x <> y (* JS: NaN != anything is true *)
-          | L.Clt -> x < y
-          | L.Cle -> x <= y
-          | L.Cgt -> x > y
-          | L.Cge -> x >= y
-        in
-        Hot.set st.values v (Value.Bool r);
+        set st.values v
+          (bool_ (as_num (get st.values a) = as_num (get st.values b)));
+        next st
+    | L.Cmp (L.Cne, a, b) ->
+      (* JS: NaN != anything is true *)
+      fun st ->
+        set st.values v
+          (bool_ (as_num (get st.values a) <> as_num (get st.values b)));
+        next st
+    | L.Cmp (L.Clt, a, b) ->
+      fun st ->
+        set st.values v
+          (bool_ (as_num (get st.values a) < as_num (get st.values b)));
+        next st
+    | L.Cmp (L.Cle, a, b) ->
+      fun st ->
+        set st.values v
+          (bool_ (as_num (get st.values a) <= as_num (get st.values b)));
+        next st
+    | L.Cmp (L.Cgt, a, b) ->
+      fun st ->
+        set st.values v
+          (bool_ (as_num (get st.values a) > as_num (get st.values b)));
+        next st
+    | L.Cmp (L.Cge, a, b) ->
+      fun st ->
+        set st.values v
+          (bool_ (as_num (get st.values a) >= as_num (get st.values b)));
         next st
     | L.Not a ->
       fun st ->
-        Hot.set st.values v (Value.Bool (not (Value.truthy (Hot.get st.values a))));
+        set st.values v (bool_ (not (Value.truthy (get st.values a))));
         next st
     | L.Load_slot (o, slot) ->
       fun st ->
-        (match as_obj (Hot.get st.values o) with
-        | Some obj when slot < Array.length obj.Value.slots ->
-          Hot.set st.values v (Heap.load_slot heap obj slot)
-        | _ -> Hot.set st.values v Value.Undef);
+        (match get st.values o with
+        | Value.Obj obj when slot < Array.length obj.Value.slots ->
+          set st.values v (Heap.load_slot heap obj slot)
+        | _ -> set st.values v Value.Undef);
         next st
     | L.Store_slot (o, slot, x) ->
       fun st ->
-        (match as_obj (Hot.get st.values o) with
-        | Some obj when slot < Array.length obj.Value.slots ->
-          Heap.store_slot heap obj slot (Hot.get st.values x)
+        (match get st.values o with
+        | Value.Obj obj when slot < Array.length obj.Value.slots ->
+          Heap.store_slot heap obj slot (get st.values x)
         | _ -> ());
         next st
     | L.Store_transition (o, name, slot, x) ->
       fun st ->
-        (match as_obj (Hot.get st.values o) with
-        | Some obj ->
+        (match get st.values o with
+        | Value.Obj obj ->
           (* The guarding shape check ran just before; resolve the
-             (memoized) transition and install shape + value. *)
-          let new_shape = Shape.transition heap.Heap.shapes obj.Value.shape name in
+             (memoized, site-cached) transition and install shape + value. *)
+          let new_shape = ic_transition env heap di.D.ic obj name in
           if new_shape.Shape.prop_count - 1 = slot then
-            Heap.transition_store heap obj new_shape slot (Hot.get st.values x)
+            Heap.transition_store heap obj new_shape slot (get st.values x)
           else
             (* Shape drifted (possible only in a doomed transaction). *)
-            Heap.set_prop heap obj name (Hot.get st.values x)
-        | None -> ());
+            Heap.set_prop heap obj name (get st.values x)
+        | _ -> ());
         next st
     | L.Load_elem (a, i') ->
       fun st ->
-        (match as_arr (Hot.get st.values a) with
-        | Some arr ->
-          Hot.set st.values v (Heap.load_elem heap arr (as_int (Hot.get st.values i')))
-        | None -> Hot.set st.values v Value.Undef);
+        (match get st.values a with
+        | Value.Arr arr ->
+          set st.values v (Heap.load_elem heap arr (as_int (get st.values i')))
+        | _ -> set st.values v Value.Undef);
         next st
     | L.Store_elem (a, i', x) ->
       fun st ->
-        (match as_arr (Hot.get st.values a) with
-        | Some arr ->
-          Heap.store_elem heap arr (as_int (Hot.get st.values i')) (Hot.get st.values x)
-        | None -> ());
+        (match get st.values a with
+        | Value.Arr arr ->
+          Heap.store_elem heap arr (as_int (get st.values i')) (get st.values x)
+        | _ -> ());
         next st
     | L.Load_length a ->
       fun st ->
-        (match as_arr (Hot.get st.values a) with
-        | Some arr ->
-          heap.Heap.hooks.load arr.Value.aaddr 8;
-          Hot.set st.values v (Value.Int arr.Value.alen)
-        | None -> Hot.set st.values v (Value.Int 0));
+        (match get st.values a with
+        | Value.Arr arr ->
+          Heap.note_load heap arr.Value.aaddr 8;
+          set st.values v (int_ arr.Value.alen)
+        | _ -> set st.values v (Value.Int 0));
         next st
     | L.Str_length a ->
       fun st ->
-        (match Hot.get st.values a with
-        | Value.Str s -> Hot.set st.values v (Value.Int (String.length s.Value.sdata))
-        | _ -> Hot.set st.values v (Value.Int 0));
+        (match get st.values a with
+        | Value.Str s -> set st.values v (int_ (String.length s.Value.sdata))
+        | _ -> set st.values v (Value.Int 0));
         next st
     | L.Load_char_code (s, i') ->
       fun st ->
-        (match Hot.get st.values s with
+        (match get st.values s with
         | Value.Str str ->
-          Hot.set st.values v
-            (Value.Int (Ops.string_char_code heap str (as_int (Hot.get st.values i'))))
-        | _ -> Hot.set st.values v (Value.Int 0));
+          set st.values v
+            (int_ (Ops.string_char_code heap str (as_int (get st.values i'))))
+        | _ -> set st.values v (Value.Int 0));
         next st
     | L.Load_global g ->
       fun st ->
-        Hot.set st.values v inst.Instance.globals.(g);
+        set st.values v inst.Instance.globals.(g);
         next st
     | L.Store_global (g, x) ->
       fun st ->
-        inst.Instance.globals.(g) <- Hot.get st.values x;
+        inst.Instance.globals.(g) <- get st.values x;
         next st
     (* Elided checks (NoMap_BC) guard exactly as charged ones do, but
        model zero hardware instructions: no check-category count, no
        cache-visible load of the metadata they test. *)
     | L.Check_int (a, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Int _ ->
-          if not el then Counters.add_check cnt L.Type;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_type;
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Type);
         next st
     | L.Check_number (a, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Int _ | Value.Num _ ->
-          if not el then Counters.add_check cnt L.Type;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_type;
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Type);
         next st
     | L.Check_string (a, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Str _ ->
-          if not el then Counters.add_check cnt L.Type;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_type;
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Type);
         next st
     | L.Check_array (a, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Arr _ ->
-          if not el then Counters.add_check cnt L.Type;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_type;
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Type);
         next st
     | L.Check_shape (a, shape_id, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Obj o when o.Value.shape.Shape.id = shape_id ->
           if not el then begin
-            heap.Heap.hooks.load o.Value.oaddr 8;
-            Counters.add_check cnt L.Property
+            Heap.note_load heap o.Value.oaddr 8;
+            bump_check cnt ci_property
           end;
-          Hot.set st.values v (Hot.get st.values a)
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Property);
         next st
     | L.Check_fun_eq (a, fid, e) ->
       fun st ->
-        (match Hot.get st.values a with
+        (match get st.values a with
         | Value.Fun f when f = fid ->
-          if not el then Counters.add_check cnt L.Path;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_path;
+          set st.values v (get st.values a)
         | _ -> check_fail env st.values e L.Path);
         next st
     | L.Check_bounds (a, i', e) ->
       fun st ->
-        (let idx = as_int (Hot.get st.values i') in
-         match as_arr (Hot.get st.values a) with
-         | Some arr when idx >= 0 && idx < arr.Value.alen ->
+        (let idx = as_int (get st.values i') in
+         match get st.values a with
+         | Value.Arr arr when idx >= 0 && idx < arr.Value.alen ->
            if not el then begin
-             heap.Heap.hooks.load arr.Value.aaddr 8;
-             Counters.add_check cnt L.Bounds
+             Heap.note_load heap arr.Value.aaddr 8;
+             bump_check cnt ci_bounds
            end;
-           Hot.set st.values v (Value.Int idx)
+           set st.values v (int_ idx)
          | _ -> check_fail env st.values e L.Bounds);
         next st
     | L.Check_str_bounds (s, i', e) ->
       fun st ->
-        (let idx = as_int (Hot.get st.values i') in
-         match Hot.get st.values s with
+        (let idx = as_int (get st.values i') in
+         match get st.values s with
          | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-           if not el then Counters.add_check cnt L.Bounds;
-           Hot.set st.values v (Value.Int idx)
+           if not el then bump_check cnt ci_bounds;
+           set st.values v (int_ idx)
          | _ -> check_fail env st.values e L.Bounds);
         next st
     | L.Check_not_hole (a, i', e) ->
       fun st ->
-        (let idx = as_int (Hot.get st.values i') in
-         match as_arr (Hot.get st.values a) with
-         | Some arr
+        (let idx = as_int (get st.values i') in
+         match get st.values a with
+         | Value.Arr arr
            when idx >= 0
                 && idx < Array.length arr.Value.elems
                 && Heap.load_elem heap arr idx <> Value.Hole ->
-           if not el then Counters.add_check cnt L.Hole;
-           Hot.set st.values v (Value.Int idx)
+           if not el then bump_check cnt ci_hole;
+           set st.values v (int_ idx)
          | _ -> check_fail env st.values e L.Hole);
         next st
     | L.Check_overflow (a, e) ->
       fun st ->
-        if Hot.get st.overflowed a then check_fail env st.values e L.Overflow
+        if get st.overflowed a then check_fail env st.values e L.Overflow
         else begin
-          if not el then Counters.add_check cnt L.Overflow;
-          Hot.set st.values v (Hot.get st.values a)
+          if not el then bump_check cnt ci_overflow;
+          set st.values v (get st.values a)
         end;
         next st
     | L.Check_cond (a, expected, e) ->
       fun st ->
-        if Value.truthy (Hot.get st.values a) = expected then begin
-          if not el then Counters.add_check cnt L.Path;
-          Hot.set st.values v (Hot.get st.values a)
+        if Value.truthy (get st.values a) = expected then begin
+          if not el then bump_check cnt ci_path;
+          set st.values v (get st.values a)
         end
         else check_fail env st.values e L.Path;
         next st
     | L.Call_func (fid, _) ->
       let args = di.D.args in
       fun st ->
-        Hot.set st.values v (env.call ~fid ~this:Value.Undef ~args:(arg_values st.values args));
+        set st.values v (env.call ~fid ~this:Value.Undef ~args:(arg_values st.values args));
         next st
     | L.Call_method (fid, thisv, _) ->
       let args = di.D.args in
       fun st ->
-        Hot.set st.values v
-          (env.call ~fid ~this:(Hot.get st.values thisv) ~args:(arg_values st.values args));
+        set st.values v
+          (env.call ~fid ~this:(get st.values thisv) ~args:(arg_values st.values args));
         next st
     | L.Ctor_call (fid, _) ->
       let args = di.D.args in
       fun st ->
         let obj = Value.Obj (Heap.alloc_object heap) in
         let r = env.call ~fid ~this:obj ~args:(arg_values st.values args) in
-        Hot.set st.values v (match r with Value.Undef -> obj | x -> x);
+        set st.values v (match r with Value.Undef -> obj | x -> x);
         next st
     | L.Call_runtime (rt, recv, _) ->
       let args = di.D.args in
+      let ic = di.D.ic in
       fun st ->
-        Hot.set st.values v (exec_runtime env rt (Hot.get st.values recv) args st.values);
+        set st.values v (exec_runtime env ~ic rt (get st.values recv) args st.values);
         next st
     | L.Intrinsic (intr, _) ->
       let args = di.D.args in
@@ -461,22 +583,21 @@ let compile_func env ~tier (d : D.t) : tfunc =
           charge_ftl env ~frame:st.frame ~tier ftl_c;
           charge_runtime env rt_c
         end;
-        Hot.set st.values v
-          (try Intrinsics.eval heap intr Value.Undef (arg_values st.values args)
-           with Intrinsics.Type_error m -> raise (Nomap_interp.Interp.Runtime_error m));
+        set st.values v (eval_intrinsic heap intr Value.Undef args st.values);
         next st
     | L.Alloc_object ->
       fun st ->
-        Hot.set st.values v (Value.Obj (Heap.alloc_object heap));
+        set st.values v (Value.Obj (Heap.alloc_object heap));
         next st
     | L.Alloc_array len ->
       fun st ->
-        let n = as_int (Hot.get st.values len) in
+        let n = as_int (get st.values len) in
         if n < 0 || n > 1 lsl 24 then begin
-          if env.tx <> None then raise (Htm.Abort Htm.Watchdog)
-          else raise (Nomap_interp.Interp.Runtime_error "bad array length")
+          match env.tx with
+          | Some _ -> raise (Htm.Abort Htm.Watchdog)
+          | None -> raise (Nomap_interp.Interp.Runtime_error "bad array length")
         end;
-        Hot.set st.values v (Value.Arr (Heap.alloc_array heap n));
+        set st.values v (Value.Arr (Heap.alloc_array heap n));
         next st
     | L.Tx_begin smp ->
       fun st ->
@@ -497,19 +618,20 @@ let compile_func env ~tier (d : D.t) : tfunc =
     let sem = sem_only di next in
     if free then
       fun st ->
-        Instance.burn inst 1;
+        burn inst 1;
         sem st
     else if cost = 0 then
       fun st ->
-        Instance.burn inst 1;
+        burn inst 1;
         tx_tick env;
         sem st
     else
       fun st ->
-        Instance.burn inst 1;
+        burn inst 1;
         tx_tick env;
-        Counters.add_instrs cnt (category env st.frame) cost;
-        Counters.add_cycles cnt ~in_tx:(in_region env) delta;
+        bump_instrs cnt (category_ix env st.frame) cost;
+        fcnt.Counters.cycles <- fcnt.Counters.cycles +. delta;
+        if in_region env then fcnt.Counters.tx_cycles <- fcnt.Counters.tx_cycles +. delta;
         sem st
   in
   (* Segment membership: everything except the instructions that change
@@ -533,7 +655,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
   let fuse_pair (run : D.dinstr array) k : ((code -> code) option[@warning "-26"]) =
     if k + 1 >= Array.length run then None
     else
-      let c = Hot.get run k and u = Hot.get run (k + 1) in
+      let c = get run k and u = get run (k + 1) in
       if c.D.elided || u.D.elided then None
       else
         let vc = c.D.id and vu = u.D.id in
@@ -543,14 +665,14 @@ let compile_func env ~tier (d : D.t) : tfunc =
           Some
             (fun next_sems st ->
               st.due <- due1;
-              let idx = as_int (Hot.get st.values i') in
-              (match as_arr (Hot.get st.values a) with
-              | Some arr when idx >= 0 && idx < arr.Value.alen ->
-                heap.Heap.hooks.load arr.Value.aaddr 8;
-                Counters.add_check cnt L.Bounds;
-                Hot.set st.values vc (Value.Int idx);
+              let idx = as_int (get st.values i') in
+              (match get st.values a with
+              | Value.Arr arr when idx >= 0 && idx < arr.Value.alen ->
+                Heap.note_load heap arr.Value.aaddr 8;
+                bump_check cnt ci_bounds;
+                set st.values vc (int_ idx);
                 st.due <- due2;
-                Hot.set st.values vu (Heap.load_elem heap arr idx)
+                set st.values vu (Heap.load_elem heap arr idx)
               | _ -> check_fail env st.values e L.Bounds);
               next_sems st)
         | L.Check_bounds (a, i', e), L.Store_elem (a2, i2, x) when a2 = a && i2 = c.D.id
@@ -558,14 +680,14 @@ let compile_func env ~tier (d : D.t) : tfunc =
           Some
             (fun next_sems st ->
               st.due <- due1;
-              let idx = as_int (Hot.get st.values i') in
-              (match as_arr (Hot.get st.values a) with
-              | Some arr when idx >= 0 && idx < arr.Value.alen ->
-                heap.Heap.hooks.load arr.Value.aaddr 8;
-                Counters.add_check cnt L.Bounds;
-                Hot.set st.values vc (Value.Int idx);
+              let idx = as_int (get st.values i') in
+              (match get st.values a with
+              | Value.Arr arr when idx >= 0 && idx < arr.Value.alen ->
+                Heap.note_load heap arr.Value.aaddr 8;
+                bump_check cnt ci_bounds;
+                set st.values vc (int_ idx);
                 st.due <- due2;
-                Heap.store_elem heap arr idx (Hot.get st.values x)
+                Heap.store_elem heap arr idx (get st.values x)
               | _ -> check_fail env st.values e L.Bounds);
               next_sems st)
         | L.Check_str_bounds (s, i', e), L.Load_char_code (s2, i2)
@@ -573,13 +695,13 @@ let compile_func env ~tier (d : D.t) : tfunc =
           Some
             (fun next_sems st ->
               st.due <- due1;
-              let idx = as_int (Hot.get st.values i') in
-              (match Hot.get st.values s with
+              let idx = as_int (get st.values i') in
+              (match get st.values s with
               | Value.Str str when idx >= 0 && idx < String.length str.Value.sdata ->
-                Counters.add_check cnt L.Bounds;
-                Hot.set st.values vc (Value.Int idx);
+                bump_check cnt ci_bounds;
+                set st.values vc (int_ idx);
                 st.due <- due2;
-                Hot.set st.values vu (Value.Int (Ops.string_char_code heap str idx))
+                set st.values vu (int_ (Ops.string_char_code heap str idx))
               | _ -> check_fail env st.values e L.Bounds);
               next_sems st)
         | _ -> None
@@ -603,12 +725,12 @@ let compile_func env ~tier (d : D.t) : tfunc =
   let rec compile_seq (body : D.dinstr array) i ~(term : code) ~(term_free : code) :
       code =
     if i >= Array.length body then term
-    else if not (seg_able (Hot.get body i)) then
-      solo (Hot.get body i) (compile_seq body (i + 1) ~term ~term_free)
+    else if not (seg_able (get body i)) then
+      solo (get body i) (compile_seq body (i + 1) ~term ~term_free)
     else begin
       let n_body = Array.length body in
       let j = ref (i + 1) in
-      while !j < n_body && seg_able (Hot.get body !j) do incr j done;
+      while !j < n_body && seg_able (get body !j) do incr j done;
       let run = Array.sub body i (!j - i) in
       if !j >= n_body && Array.length run > 1 then
         compile_segment run ~next:term_free ~slow_next:term ~fold_term:true
@@ -620,7 +742,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
   and compile_segment (run : D.dinstr array) ~(next : code) ~(slow_next : code)
       ~fold_term : code =
     let n = Array.length run in
-    if n = 1 then solo (Hot.get run 0) slow_next
+    if n = 1 then solo (get run 0) slow_next
     else begin
       let n_tick = ref 0 and total_cost = ref 0 in
       Array.iter
@@ -647,7 +769,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
       let cost_prefix = Array.make (n + 1) 0 in
       let dcount_prefix = Array.make (n + 1) 0 in
       for k = 0 to n - 1 do
-        let di = Hot.get run k in
+        let di = get run k in
         let c = if di.D.elided then 0 else di.D.cost in
         cost_prefix.(k + 1) <- cost_prefix.(k) + c;
         dcount_prefix.(k + 1) <- (dcount_prefix.(k) + if c > 0 then 1 else 0)
@@ -661,7 +783,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
           match fuse_pair run k with
           | Some mk -> mk (build (k + 2))
           | None ->
-            let di = Hot.get run k in
+            let di = get run k in
             let s = sem_only di (build (k + 1)) in
             if di.D.pure then s
             else begin
@@ -675,23 +797,35 @@ let compile_func env ~tier (d : D.t) : tfunc =
       let slow = Array.fold_right solo run slow_next in
       let apply st =
         if total_cost > 0 then begin
-          Counters.add_instrs cnt (category env st.frame) total_cost;
-          let in_tx = in_region env in
-          for x = 0 to n_deltas - 1 do
-            Counters.add_cycles cnt ~in_tx (Hot.get deltas x)
-          done
+          bump_instrs cnt (category_ix env st.frame) total_cost;
+          if in_region env then
+            for x = 0 to n_deltas - 1 do
+              let c = fget deltas x in
+              fcnt.Counters.cycles <- fcnt.Counters.cycles +. c;
+              fcnt.Counters.tx_cycles <- fcnt.Counters.tx_cycles +. c
+            done
+          else
+            for x = 0 to n_deltas - 1 do
+              fcnt.Counters.cycles <- fcnt.Counters.cycles +. fget deltas x
+            done
         end
       in
       let reconcile st =
         let due = st.due in
-        let c = Hot.get cost_prefix due in
+        let c = get cost_prefix due in
         if c > 0 then begin
-          Counters.add_instrs cnt (category env st.frame) c;
-          let dk = Hot.get dcount_prefix due in
-          let in_tx = in_region env in
-          for x = 0 to dk - 1 do
-            Counters.add_cycles cnt ~in_tx (Hot.get deltas x)
-          done
+          bump_instrs cnt (category_ix env st.frame) c;
+          let dk = get dcount_prefix due in
+          if in_region env then
+            for x = 0 to dk - 1 do
+              let cd = fget deltas x in
+              fcnt.Counters.cycles <- fcnt.Counters.cycles +. cd;
+              fcnt.Counters.tx_cycles <- fcnt.Counters.tx_cycles +. cd
+            done
+          else
+            for x = 0 to dk - 1 do
+              fcnt.Counters.cycles <- fcnt.Counters.cycles +. fget deltas x
+            done
         end
       in
       if not any_raiser then
@@ -700,14 +834,14 @@ let compile_func env ~tier (d : D.t) : tfunc =
           | Some tx when n_tick > 0 ->
             if tx.Htm.instr_count + n_tick > env.tx_watchdog then slow st
             else begin
-              Instance.burn inst n;
+              burn inst n;
               tx.Htm.instr_count <- tx.Htm.instr_count + n_tick;
               sems st;
               apply st;
               next st
             end
           | _ ->
-            Instance.burn inst n;
+            burn inst n;
             sems st;
             apply st;
             next st
@@ -717,7 +851,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
           | Some tx when n_tick > 0 ->
             if tx.Htm.instr_count + n_tick > env.tx_watchdog then slow st
             else begin
-              Instance.burn inst n;
+              burn inst n;
               tx.Htm.instr_count <- tx.Htm.instr_count + n_tick;
               st.due <- 0;
               (try sems st
@@ -728,7 +862,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
               next st
             end
           | _ ->
-            Instance.burn inst n;
+            burn inst n;
             st.due <- 0;
             (try sems st
              with e ->
@@ -749,10 +883,10 @@ let compile_func env ~tier (d : D.t) : tfunc =
     | L.Br (cv, bt, bf) ->
       fun st ->
         st.prev_block <- bid;
-        st.next_block <- (if Value.truthy (Hot.get st.values cv) then bt else bf)
+        st.next_block <- (if Value.truthy (get st.values cv) then bt else bf)
     | L.Ret (Some rv) ->
       fun st ->
-        st.result <- Hot.get st.values rv;
+        st.result <- get st.values rv;
         st.next_block <- -1
     | L.Ret None -> fun st -> st.next_block <- -1
     | L.Unreachable ->
@@ -764,23 +898,25 @@ let compile_func env ~tier (d : D.t) : tfunc =
   let with_phis (edges : D.phi_edge array) (body : code) : code =
     let scratch = d.D.scratch in
     let n_edges = Array.length edges in
+    (* The edge scan is a plain loop: a local [let rec] capturing the
+       incoming block would be a fresh closure on every block entry. *)
     fun st ->
       let prev = st.prev_block in
-      let rec find_edge i =
-        if i >= n_edges then -1
-        else if (Hot.get edges i).D.pred = prev then i
-        else find_edge (i + 1)
-      in
-      let ei = find_edge 0 in
+      let ei = ref (-1) in
+      let i = ref 0 in
+      while !ei < 0 && !i < n_edges do
+        if (get edges !i).D.pred = prev then ei := !i else incr i
+      done;
+      let ei = !ei in
       if ei >= 0 then begin
-        let e = Hot.get edges ei in
+        let e = get edges ei in
         let dsts = e.D.dsts and srcs = e.D.srcs in
         let np = Array.length dsts in
         for i = 0 to np - 1 do
-          Hot.set scratch i (Hot.get st.values (Hot.get srcs i))
+          set scratch i (get st.values (get srcs i))
         done;
         for i = 0 to np - 1 do
-          Hot.set st.values (Hot.get dsts i) (Hot.get scratch i)
+          set st.values (get dsts i) (get scratch i)
         done
       end;
       body st
@@ -797,7 +933,7 @@ let compile_func env ~tier (d : D.t) : tfunc =
         if Array.length b.D.phi_edges = 0 then body else with_phis b.D.phi_edges body)
       d.D.dblocks
   in
-  { t_entry = d.D.entry; t_blocks; t_nvalues = d.D.nvalues; t_tier = tier }
+  { t_entry = d.D.entry; t_blocks; t_nvalues = d.D.nvalues; t_tier = tier; t_pool = [] }
 
 (** The threaded code for [c], compiled on first execution and cached on
     the compiled record. *)
@@ -812,27 +948,51 @@ let threaded env (c : Specialize.compiled) ~tier : tfunc =
 let exec_func env (c : Specialize.compiled) ~tier ~this ~args : Value.t =
   let tf = threaded env c ~tier in
   let frame = enter_call env ~tier in
-  let n = max 1 tf.t_nvalues in
   let argv = Array.of_list args in
   let st =
-    {
-      values = Array.make n Value.Undef;
-      overflowed = Array.make n false;
-      this;
-      argv;
-      nargs = Array.length argv;
-      frame;
-      prev_block = -1;
-      next_block = tf.t_entry;
-      result = Value.Undef;
-      due = 0;
-    }
+    match tf.t_pool with
+    | st :: rest ->
+      (* Pooled frames were scrubbed on release, so this is exactly the
+         fresh-frame state (values Undef, overflowed false). *)
+      tf.t_pool <- rest;
+      st.this <- this;
+      st.argv <- argv;
+      st.nargs <- Array.length argv;
+      st.frame <- frame;
+      st.prev_block <- -1;
+      st.next_block <- tf.t_entry;
+      st.result <- Value.Undef;
+      st.due <- 0;
+      st
+    | [] ->
+      let n = max 1 tf.t_nvalues in
+      {
+        values = Array.make n Value.Undef;
+        overflowed = Array.make n false;
+        this;
+        argv;
+        nargs = Array.length argv;
+        frame;
+        prev_block = -1;
+        next_block = tf.t_entry;
+        result = Value.Undef;
+        due = 0;
+      }
   in
   let blocks = tf.t_blocks in
   let run () =
     while st.next_block >= 0 do
-      (Hot.get blocks st.next_block) st
+      (get blocks st.next_block) st
     done;
-    st.result
+    let r = st.result in
+    (* Normal return: scrub and park the frame.  A raise (deopt, abort,
+       runtime error, out-of-fuel) skips this and the frame is dropped. *)
+    Array.fill st.values 0 (Array.length st.values) Value.Undef;
+    Array.fill st.overflowed 0 (Array.length st.overflowed) false;
+    st.this <- Value.Undef;
+    st.argv <- [||];
+    st.result <- Value.Undef;
+    tf.t_pool <- st :: tf.t_pool;
+    r
   in
   run_with_exits env ~fid:c.Specialize.lir.L.fid ~frame run

@@ -4,7 +4,10 @@
     All memory traffic funnels through [note_load]/[note_store] hooks so the
     HTM layer can journal transactional writes (for rollback and write-set
     footprint) and the cache model can observe addresses.  Outside
-    transactions the hooks are no-ops.
+    transactions the hooks are no-ops, and [hooks.active] says so up front:
+    the hot paths test one boolean instead of calling a no-op closure — and,
+    for stores, instead of allocating an undo closure nobody will run.
+    Installing hooks (the HTM layer, tests) must set [active].
 
     Addresses are fictitious but behave like real ones: allocation bumps a
     pointer, property storage and array storage get their own regions, and
@@ -12,6 +15,9 @@
     reallocation in JavaScriptCore terms). *)
 
 type hooks = {
+  mutable active : bool;
+      (** hooks are installed; when false no hook is called (and no undo
+          closure is allocated) *)
   mutable load : int -> int -> unit;  (** addr, bytes *)
   mutable store : int -> int -> (unit -> unit) -> unit;  (** addr, bytes, undo *)
   mutable io : unit -> unit;
@@ -30,7 +36,8 @@ type t = {
   mutable bytes_allocated : int;
 }
 
-let no_hooks () = { load = (fun _ _ -> ()); store = (fun _ _ _ -> ()); io = (fun () -> ()) }
+let no_hooks () =
+  { active = false; load = (fun _ _ -> ()); store = (fun _ _ _ -> ()); io = (fun () -> ()) }
 
 let create ?(seed = 42) () =
   {
@@ -45,6 +52,8 @@ let create ?(seed = 42) () =
   }
 
 let word_bytes = 8
+
+let[@inline] note_load t addr bytes = if t.hooks.active then t.hooks.load addr bytes
 
 let alloc_region t bytes =
   let bytes = (bytes + 15) land lnot 15 in
@@ -86,63 +95,37 @@ let slot_addr (o : Value.obj) slot = o.slots_addr + (slot * word_bytes)
 
 (** Read a property slot directly (the FTL fast path after a shape check). *)
 let load_slot t (o : Value.obj) slot =
-  t.hooks.load (slot_addr o slot) word_bytes;
+  note_load t (slot_addr o slot) word_bytes;
   o.Value.slots.(slot)
 
 (** Write a property slot directly (fast path after a shape check). *)
 let store_slot t (o : Value.obj) slot v =
-  let old = o.Value.slots.(slot) in
-  t.hooks.store (slot_addr o slot) word_bytes (fun () -> o.Value.slots.(slot) <- old);
+  if t.hooks.active then begin
+    let old = o.Value.slots.(slot) in
+    t.hooks.store (slot_addr o slot) word_bytes (fun () -> o.Value.slots.(slot) <- old)
+  end;
   o.Value.slots.(slot) <- v
+
+(** Generic property read by pre-resolved slot (the host-IC hit path): the
+    same shape-word read the inline-cache probe performs, then the slot.
+    [slot] is -1 when the property is absent. *)
+let get_prop_slot t (o : Value.obj) slot =
+  note_load t o.Value.oaddr word_bytes;
+  if slot >= 0 then load_slot t o slot else Value.Undef
+
+(** Generic property read by symbol ([sym] may be -1: never interned). *)
+let get_prop_sym t (o : Value.obj) sym = get_prop_slot t o (Shape.slot_of o.Value.shape sym)
 
 (** Generic property read (the Baseline/runtime path).  Reads the shape word
     too, as the inline-cache probe would. *)
 let get_prop t (o : Value.obj) name =
-  t.hooks.load o.Value.oaddr word_bytes;
-  match Shape.lookup o.Value.shape name with
-  | Some slot -> load_slot t o slot
-  | None -> Value.Undef
-
-(** Generic property write; transitions the shape when [name] is new. *)
-let set_prop t (o : Value.obj) name v =
-  t.hooks.load o.Value.oaddr word_bytes;
-  match Shape.lookup o.Value.shape name with
-  | Some slot -> store_slot t o slot v
-  | None ->
-    let old_shape = o.Value.shape in
-    let old_slots = o.Value.slots in
-    let old_slots_addr = o.Value.slots_addr in
-    let new_shape = Shape.transition t.shapes old_shape name in
-    let slot = new_shape.Shape.prop_count - 1 in
-    let need_grow = slot >= Array.length old_slots in
-    let new_slots =
-      if need_grow then begin
-        let grown = Array.make (max 4 (2 * Array.length old_slots)) Value.Undef in
-        Array.blit old_slots 0 grown 0 (Array.length old_slots);
-        grown
-      end
-      else old_slots
-    in
-    let new_slots_addr =
-      if need_grow then alloc_region t (Array.length new_slots * word_bytes)
-      else old_slots_addr
-    in
-    t.hooks.store o.Value.oaddr word_bytes (fun () ->
-        o.Value.shape <- old_shape;
-        o.Value.slots <- old_slots;
-        o.Value.slots_addr <- old_slots_addr);
-    o.Value.shape <- new_shape;
-    o.Value.slots <- new_slots;
-    o.Value.slots_addr <- new_slots_addr;
-    store_slot t o slot v
+  get_prop_sym t o (Shape.find_sym t.shapes name)
 
 (** Transition fast path: the caller has verified the object's current
     shape; install [new_shape] and store the added property's value (the
     FTL-compiled constructor pattern).  Journals both mutations. *)
 let transition_store t (o : Value.obj) new_shape slot v =
-  let old_shape = o.Value.shape in
   let old_slots = o.Value.slots in
-  let old_slots_addr = o.Value.slots_addr in
   let need_grow = slot >= Array.length old_slots in
   let new_slots =
     if need_grow then begin
@@ -153,16 +136,34 @@ let transition_store t (o : Value.obj) new_shape slot v =
     else old_slots
   in
   let new_slots_addr =
-    if need_grow then alloc_region t (Array.length new_slots * word_bytes) else old_slots_addr
+    if need_grow then alloc_region t (Array.length new_slots * word_bytes)
+    else o.Value.slots_addr
   in
-  t.hooks.store o.Value.oaddr word_bytes (fun () ->
-      o.Value.shape <- old_shape;
-      o.Value.slots <- old_slots;
-      o.Value.slots_addr <- old_slots_addr);
+  if t.hooks.active then begin
+    let old_shape = o.Value.shape in
+    let old_slots_addr = o.Value.slots_addr in
+    t.hooks.store o.Value.oaddr word_bytes (fun () ->
+        o.Value.shape <- old_shape;
+        o.Value.slots <- old_slots;
+        o.Value.slots_addr <- old_slots_addr)
+  end;
   o.Value.shape <- new_shape;
   o.Value.slots <- new_slots;
   o.Value.slots_addr <- new_slots_addr;
   store_slot t o slot v
+
+(** Generic property write by (interned) symbol; transitions the shape when
+    the property is new. *)
+let set_prop_sym t (o : Value.obj) sym v =
+  note_load t o.Value.oaddr word_bytes;
+  match Shape.slot_of o.Value.shape sym with
+  | -1 ->
+    let new_shape = Shape.transition_sym t.shapes o.Value.shape sym in
+    transition_store t o new_shape (new_shape.Shape.prop_count - 1) v
+  | slot -> store_slot t o slot v
+
+(** Generic property write; transitions the shape when [name] is new. *)
+let set_prop t (o : Value.obj) name v = set_prop_sym t o (Shape.intern t.shapes name) v
 
 (* ------------------------------------------------------------------ *)
 (* Arrays *)
@@ -183,7 +184,7 @@ let elem_addr (a : Value.arr) i = a.Value.elems_addr + (i * word_bytes)
     the transaction will abort before the result can matter. *)
 let load_elem t (a : Value.arr) i =
   if i >= 0 && i < Array.length a.Value.elems then begin
-    t.hooks.load (elem_addr a i) word_bytes;
+    note_load t (elem_addr a i) word_bytes;
     a.Value.elems.(i)
   end
   else Value.Int 0
@@ -193,35 +194,40 @@ let load_elem t (a : Value.arr) i =
     at abort. *)
 let store_elem t (a : Value.arr) i v =
   if i >= 0 && i < Array.length a.Value.elems then begin
-    let old = a.Value.elems.(i) in
-    t.hooks.store (elem_addr a i) word_bytes (fun () -> a.Value.elems.(i) <- old);
+    if t.hooks.active then begin
+      let old = a.Value.elems.(i) in
+      t.hooks.store (elem_addr a i) word_bytes (fun () -> a.Value.elems.(i) <- old)
+    end;
     a.Value.elems.(i) <- v
   end
 
 let grow_array t (a : Value.arr) needed =
   let old_elems = a.Value.elems in
-  let old_elems_addr = a.Value.elems_addr in
   let capacity = max needed (max 4 (2 * Array.length old_elems)) in
   let grown = Array.make capacity Value.Hole in
   Array.blit old_elems 0 grown 0 (Array.length old_elems);
   let grown_addr = alloc_region t (capacity * word_bytes) in
-  t.hooks.store a.Value.aaddr word_bytes (fun () ->
-      a.Value.elems <- old_elems;
-      a.Value.elems_addr <- old_elems_addr);
+  if t.hooks.active then begin
+    let old_elems_addr = a.Value.elems_addr in
+    t.hooks.store a.Value.aaddr word_bytes (fun () ->
+        a.Value.elems <- old_elems;
+        a.Value.elems_addr <- old_elems_addr)
+  end;
   a.Value.elems <- grown;
   a.Value.elems_addr <- grown_addr
 
 let set_length t (a : Value.arr) len =
   let old_len = a.Value.alen in
   if len <> old_len then begin
-    t.hooks.store a.Value.aaddr word_bytes (fun () -> a.Value.alen <- old_len);
+    if t.hooks.active then
+      t.hooks.store a.Value.aaddr word_bytes (fun () -> a.Value.alen <- old_len);
     a.Value.alen <- len
   end
 
 (** Generic element read (Baseline/runtime path): bounds and hole handling
     per JS — out of range or hole reads yield [undefined], never crash. *)
 let get_elem t (a : Value.arr) i =
-  t.hooks.load a.Value.aaddr word_bytes;
+  note_load t a.Value.aaddr word_bytes;
   if i < 0 || i >= a.Value.alen then Value.Undef
   else
     match load_elem t a i with
@@ -230,7 +236,7 @@ let get_elem t (a : Value.arr) i =
 
 (** Generic element write: elongates the array as JS does. *)
 let set_elem t (a : Value.arr) i v =
-  t.hooks.load a.Value.aaddr word_bytes;
+  note_load t a.Value.aaddr word_bytes;
   if i < 0 then ()
   else begin
     if i >= Array.length a.Value.elems then grow_array t a (i + 1);
@@ -240,7 +246,7 @@ let set_elem t (a : Value.arr) i v =
 
 let array_push t (a : Value.arr) v =
   set_elem t a a.Value.alen v;
-  Value.Int a.Value.alen
+  Value.int_ a.Value.alen
 
 let array_pop t (a : Value.arr) =
   if a.Value.alen = 0 then Value.Undef
@@ -257,7 +263,9 @@ let array_pop t (a : Value.arr) =
 (* Math.random mutates the PRNG: journal the state like any store so a
    transactional rollback replays the same sequence. *)
 let math_random t =
-  let saved = Nomap_util.Prng.state t.prng in
-  t.hooks.store 8 (* fixed pseudo-address for the PRNG cell *) 8 (fun () ->
-      Nomap_util.Prng.set_state t.prng saved);
+  if t.hooks.active then begin
+    let saved = Nomap_util.Prng.state t.prng in
+    t.hooks.store 8 (* fixed pseudo-address for the PRNG cell *) 8 (fun () ->
+        Nomap_util.Prng.set_state t.prng saved)
+  end;
   Nomap_util.Prng.float t.prng 1.0

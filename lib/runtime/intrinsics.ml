@@ -133,19 +133,30 @@ let static_constant base prop =
   | "Math", "E" -> Some (Value.Num (exp 1.0))
   | _ -> None
 
+(** Method table for string receivers (pure in the name: resolvable once per
+    call site at decode time). *)
+let str_method_lookup = function
+  | "charCodeAt" -> Some Str_char_code_at
+  | "charAt" -> Some Str_char_at
+  | "substring" -> Some Str_substring
+  | "indexOf" -> Some Str_index_of
+  | "toLowerCase" -> Some Str_to_lower
+  | "toUpperCase" -> Some Str_to_upper
+  | "split" -> Some Str_split
+  | _ -> None
+
+(** Method table for array receivers (pure in the name). *)
+let arr_method_lookup = function
+  | "push" -> Some Arr_push
+  | "pop" -> Some Arr_pop
+  | "join" -> Some Arr_join
+  | _ -> None
+
 (** Methods dispatched on receiver type at run time. *)
 let method_lookup (recv : Value.t) meth =
-  match (recv, meth) with
-  | Value.Str _, "charCodeAt" -> Some Str_char_code_at
-  | Value.Str _, "charAt" -> Some Str_char_at
-  | Value.Str _, "substring" -> Some Str_substring
-  | Value.Str _, "indexOf" -> Some Str_index_of
-  | Value.Str _, "toLowerCase" -> Some Str_to_lower
-  | Value.Str _, "toUpperCase" -> Some Str_to_upper
-  | Value.Str _, "split" -> Some Str_split
-  | Value.Arr _, "push" -> Some Arr_push
-  | Value.Arr _, "pop" -> Some Arr_pop
-  | Value.Arr _, "join" -> Some Arr_join
+  match recv with
+  | Value.Str _ -> str_method_lookup meth
+  | Value.Arr _ -> arr_method_lookup meth
   | _ -> None
 
 let global_lookup = function
@@ -169,15 +180,21 @@ let expect_array fn = function
   | Value.Arr a -> a
   | v -> raise (Type_error (Printf.sprintf "%s: expected array, got %s" fn (Value.type_name v)))
 
-(** Per-character extra instruction charge for string-heavy intrinsics. *)
-let dynamic_cost intr (recv : Value.t) (args : Value.t list) =
-  let slen = match recv with Value.Str s -> String.length s.Value.sdata | _ -> 0 in
+(** Per-character extra instruction charge for string-heavy intrinsics;
+    [argc] is the argument count (the only thing the charge needs from the
+    argument list, so callers with unboxed arguments avoid building one). *)
+let dynamic_cost_argc intr (recv : Value.t) ~argc =
   match intr with
-  | Str_substring | Str_to_lower | Str_to_upper | Str_index_of | Str_split -> slen
+  | Str_substring | Str_to_lower | Str_to_upper | Str_index_of | Str_split -> (
+    match recv with Value.Str s -> String.length s.Value.sdata | _ -> 0)
   | Arr_join -> (
     match recv with Value.Arr a -> 8 * a.Value.alen | _ -> 0)
-  | Str_from_char_code | Global_print -> List.length args
+  | Str_from_char_code | Global_print -> argc
   | _ -> 0
+
+(** Per-character extra instruction charge for string-heavy intrinsics. *)
+let dynamic_cost intr (recv : Value.t) (args : Value.t list) =
+  dynamic_cost_argc intr recv ~argc:(List.length args)
 
 let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
   match intr with
@@ -206,7 +223,7 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
   | Str_char_code_at ->
     let s = expect_string "charCodeAt" recv in
     let i = Value.to_int32 (arg 0 args) in
-    if i >= 0 && i < String.length s then Value.Int (Char.code s.[i]) else Value.Num Float.nan
+    if i >= 0 && i < String.length s then Value.int_ (Char.code s.[i]) else Value.Num Float.nan
   | Str_char_at ->
     let s = expect_string "charAt" recv in
     let i = Value.to_int32 (arg 0 args) in
@@ -231,7 +248,7 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
       else if String.sub s i nl = needle then i
       else find (i + 1)
     in
-    Value.Int (find 0)
+    Value.int_ (find 0)
   | Str_to_lower -> Heap.str heap (String.lowercase_ascii (expect_string "toLowerCase" recv))
   | Str_to_upper -> Heap.str heap (String.uppercase_ascii (expect_string "toUpperCase" recv))
   | Str_split ->
@@ -268,7 +285,7 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
   | Arr_push ->
     let a = expect_array "push" recv in
     let rec push_all = function
-      | [] -> Value.Int a.Value.alen
+      | [] -> Value.int_ a.Value.alen
       | v :: rest ->
         ignore (Heap.array_push heap a v);
         push_all rest
@@ -289,7 +306,7 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
     (* I/O is irrevocable inside a hardware transaction: the guard aborts
        before anything escapes, and Baseline re-runs the region (printing
        exactly once). *)
-    heap.Heap.hooks.io ();
+    if heap.Heap.hooks.active then heap.Heap.hooks.io ();
     print_endline (String.concat " " (List.map Value.to_js_string args));
     Value.Undef
   | Global_parse_int ->
@@ -324,4 +341,63 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
     (match float_of_string_opt s with
     | Some f -> Value.number f
     | None -> Value.Num Float.nan)
-  | Global_is_nan -> Value.Bool (Float.is_nan (Value.to_number (arg 0 args)))
+  | Global_is_nan -> Value.bool_ (Float.is_nan (Value.to_number (arg 0 args)))
+
+(* ------------------------------------------------------------------ *)
+(* Arity fast paths.
+
+   The optimizing tiers know the call-site arity, so the common 0/1/2-arg
+   intrinsic calls can skip building the argument list.  Each case below
+   replicates [eval]'s behavior for that arity exactly (including the
+   polymorphic [min]/[max] folds, whose NaN ordering differs from
+   [Float.min]); anything not covered falls back to [eval] with a freshly
+   built list. *)
+
+let eval0 heap intr (recv : Value.t) : Value.t =
+  match intr with
+  | Math_random -> Value.Num (Heap.math_random heap)
+  | Arr_pop -> Heap.array_pop heap (expect_array "pop" recv)
+  | _ -> eval heap intr recv []
+
+let eval1 heap intr (recv : Value.t) (a0 : Value.t) : Value.t =
+  match intr with
+  | Math_floor -> Value.number (Float.floor (Value.to_number a0))
+  | Math_ceil -> Value.number (Float.ceil (Value.to_number a0))
+  | Math_round -> Value.number (Float.floor (Value.to_number a0 +. 0.5))
+  | Math_sqrt -> Value.number (Float.sqrt (Value.to_number a0))
+  | Math_abs -> Value.number (Float.abs (Value.to_number a0))
+  | Math_sin -> Value.number (sin (Value.to_number a0))
+  | Math_cos -> Value.number (cos (Value.to_number a0))
+  | Math_tan -> Value.number (tan (Value.to_number a0))
+  | Math_asin -> Value.number (asin (Value.to_number a0))
+  | Math_acos -> Value.number (acos (Value.to_number a0))
+  | Math_atan -> Value.number (atan (Value.to_number a0))
+  | Math_log -> Value.number (log (Value.to_number a0))
+  | Math_exp -> Value.number (exp (Value.to_number a0))
+  | Math_min -> Value.number (min Float.infinity (Value.to_number a0))
+  | Math_max -> Value.number (max Float.neg_infinity (Value.to_number a0))
+  | Str_char_code_at ->
+    let s = expect_string "charCodeAt" recv in
+    let i = Value.to_int32 a0 in
+    if i >= 0 && i < String.length s then Value.int_ (Char.code s.[i]) else Value.Num Float.nan
+  | Str_char_at ->
+    let s = expect_string "charAt" recv in
+    let i = Value.to_int32 a0 in
+    if i >= 0 && i < String.length s then Heap.str heap (String.make 1 s.[i])
+    else Heap.str heap ""
+  | Arr_push ->
+    let a = expect_array "push" recv in
+    ignore (Heap.array_push heap a a0);
+    Value.int_ a.Value.alen
+  | Global_is_nan -> Value.bool_ (Float.is_nan (Value.to_number a0))
+  | _ -> eval heap intr recv [ a0 ]
+
+let eval2 heap intr (recv : Value.t) (a0 : Value.t) (a1 : Value.t) : Value.t =
+  match intr with
+  | Math_atan2 -> Value.number (atan2 (Value.to_number a0) (Value.to_number a1))
+  | Math_pow -> Value.number (Float.pow (Value.to_number a0) (Value.to_number a1))
+  | Math_min ->
+    Value.number (min (min Float.infinity (Value.to_number a0)) (Value.to_number a1))
+  | Math_max ->
+    Value.number (max (max Float.neg_infinity (Value.to_number a0)) (Value.to_number a1))
+  | _ -> eval heap intr recv [ a0; a1 ]

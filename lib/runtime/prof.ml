@@ -1,0 +1,50 @@
+(** Helper-level wall-clock profiler, enabled by [NOMAP_PROF=1].
+
+    Perf work on the simulator needs to know which *host* helpers burn the
+    time (the modeled counters deliberately say nothing about host cost).
+    Each instrumented helper owns a [slot]; when profiling is enabled the
+    caller brackets the helper with [now]/[record], and an [at_exit] hook
+    prints per-helper call counts and wall nanoseconds to stderr, sorted by
+    total time.
+
+    The [enabled] flag is read once at startup so the disabled path costs a
+    single branch; instrumentation sites should guard with
+    [if Prof.enabled then ...] around the timed call and fall through to the
+    plain call otherwise. *)
+
+let enabled =
+  match Sys.getenv_opt "NOMAP_PROF" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+type slot = { pname : string; mutable calls : int; mutable ns : int }
+
+let slots : slot list ref = ref []
+
+(** Register a named slot (do this once, at module init). *)
+let make pname =
+  let s = { pname; calls = 0; ns = 0 } in
+  slots := s :: !slots;
+  s
+
+let now () : int64 = Monotonic_clock.now ()
+
+let[@inline] record slot (t0 : int64) =
+  slot.calls <- slot.calls + 1;
+  slot.ns <- slot.ns + Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0)
+
+let report () =
+  let used = List.filter (fun s -> s.calls > 0) !slots in
+  if used <> [] then begin
+    let sorted = List.sort (fun a b -> compare b.ns a.ns) used in
+    Printf.eprintf "--- NOMAP_PROF helper profile ---\n";
+    Printf.eprintf "%-28s %12s %14s %10s\n" "helper" "calls" "total-ns" "ns/call";
+    List.iter
+      (fun s ->
+        Printf.eprintf "%-28s %12d %14d %10.1f\n" s.pname s.calls s.ns
+          (float_of_int s.ns /. float_of_int s.calls))
+      sorted;
+    Printf.eprintf "---------------------------------\n%!"
+  end
+
+let () = if enabled then at_exit report

@@ -44,14 +44,39 @@ let int32_max = 0x7FFF_FFFF
 
 let fits_int32 i = i >= int32_min && i <= int32_max
 
+(* Preallocated [Int] values for the indices, lengths, character codes and
+   small arithmetic results that dominate hot loops: reusing the boxed
+   constructor avoids a minor-heap allocation per produced integer.  Values
+   are immutable, so sharing is unobservable (equality on [Int] is
+   structural). *)
+let small_int_min = -256
+let small_int_max = 4096
+let small_ints =
+  Array.init (small_int_max - small_int_min + 1) (fun i -> Int (i + small_int_min))
+
+(** [Int i] without allocating when [i] is small.  The caller guarantees
+    [i] fits int32 (same contract as writing [Int i] directly). *)
+let[@inline] int_ i =
+  if i >= small_int_min && i <= small_int_max then
+    Array.unsafe_get small_ints (i - small_int_min)
+  else Int i
+
 (** Canonical number constructor: integral doubles in int32 range become
     [Int] (except -0.0, which must stay a double to preserve its sign). *)
 let number f =
   if Float.is_integer f && Float.abs f <= 2147483647.0 && not (f = 0.0 && 1.0 /. f < 0.0)
-  then Int (int_of_float f)
+  then int_ (int_of_float f)
   else Num f
 
-let of_int i = if fits_int32 i then Int i else Num (float_of_int i)
+let of_int i = if fits_int32 i then int_ i else Num (float_of_int i)
+
+(* The two [Bool] blocks, preallocated for the same reason as [small_ints]:
+   comparisons produce one per execution on the engines' hot paths. *)
+let true_ = Bool true
+let false_ = Bool false
+
+(** [Bool b] without allocating. *)
+let[@inline] bool_ b = if b then true_ else false_
 
 let type_name = function
   | Int _ | Num _ -> "number"

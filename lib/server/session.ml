@@ -19,7 +19,7 @@ let counters_of_vm vm : Protocol.run_counters =
   {
     Protocol.instrs = Counters.total_instrs c;
     checks = Counters.total_checks c;
-    cycles = c.Counters.cycles;
+    cycles = Counters.cycles c;
     tx_commits = c.Counters.tx_commits;
     tx_aborts = c.Counters.tx_aborts;
     deopts = c.Counters.deopts;

@@ -79,8 +79,8 @@ let fresh_version () =
 
 let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
     ?(verify_lir = false) ?(paranoid = false) ?ftl_mutate
-    ?(opt_knobs = Nomap_opt.Pipeline.all_on) ?(engine = Engine.default) ~config
-    ~tier_cap (prog : Opcode.program) =
+    ?(opt_knobs = Nomap_opt.Pipeline.all_on) ?(engine = Engine.default)
+    ?(host_ic = true) ~config ~tier_cap (prog : Opcode.program) =
   let instance = Instance.create ~seed ~fuel prog in
   let profile = Feedback.create prog in
   let counters = Counters.create () in
@@ -148,8 +148,8 @@ let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresho
   t_ref := Some t;
   let env =
     Machine.create_env ~instance ~counters ~htm_mode:(Config.htm_mode config)
-      ~sof_enabled:(Config.sof_enabled config) ~capacity_scale:Config.capacity_scale ~call
-      ~deopt_resume ()
+      ~sof_enabled:(Config.sof_enabled config) ~capacity_scale:Config.capacity_scale
+      ~host_ic ~call ~deopt_resume ()
   in
   env.Machine.on_abort <-
     (fun ~fid reason ->
@@ -232,15 +232,15 @@ and dispatch t ~fid ~this ~args =
     let regs = Interp.make_frame t.instance ~fid ~this ~args in
     Interp.run_from t.interp_env ~fid ~entry_pc:0 ~regs
 
-let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ~config
-    ~tier_cap prog =
-  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ~config
-    ~tier_cap prog
+let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ?host_ic
+    ~config ~tier_cap prog =
+  create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ?host_ic
+    ~config ~tier_cap prog
 
 let create_with_ftl_mutator ~ftl_mutate ?seed ?fuel ?thresholds ?verify_lir ?paranoid
-    ?opt_knobs ?engine ~config ~tier_cap prog =
+    ?opt_knobs ?engine ?host_ic ~config ~tier_cap prog =
   create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ~ftl_mutate ?opt_knobs ?engine
-    ~config ~tier_cap prog
+    ?host_ic ~config ~tier_cap prog
 
 (** Run the program's top level. *)
 let run_main t =

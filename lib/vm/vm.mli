@@ -30,6 +30,7 @@ val create :
   ?paranoid:bool ->
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
   ?engine:Nomap_machine.Engine.kind ->
+  ?host_ic:bool ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->
@@ -50,6 +51,7 @@ val create_with_ftl_mutator :
   ?paranoid:bool ->
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
   ?engine:Nomap_machine.Engine.kind ->
+  ?host_ic:bool ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->

@@ -5,6 +5,7 @@ module Cache = Nomap_cache.Cache
 module Htm = Nomap_htm.Htm
 module Heap = Nomap_runtime.Heap
 module Value = Nomap_runtime.Value
+module Shape = Nomap_runtime.Shape
 
 let test_footprint_counts_lines () =
   let fp = Footprint.create ~sets:64 ~ways:8 ~line_bytes:64 in
@@ -116,7 +117,8 @@ let test_htm_rtm_read_tracking () =
     ((Htm.begin_tx heap ~mode:Htm.Rot ~snapshot:[] ~resume_pc:0 ~owner_frame:0).Htm.read_fp
     = None);
   Heap.(heap.hooks.load <- (fun _ _ -> ()));
-  Heap.(heap.hooks.store <- (fun _ _ _ -> ()))
+  Heap.(heap.hooks.store <- (fun _ _ _ -> ()));
+  Heap.(heap.hooks.active <- false)
 
 let test_htm_capacity_abort () =
   let heap = Heap.create () in
@@ -160,6 +162,49 @@ let qcheck_rollback_is_identity =
       let after = List.init 10 (fun i -> Value.to_js_string (Heap.get_elem heap arr i)) in
       before = after && arr.Value.alen = 10)
 
+(* Regression: the slot table ("butterfly") reallocating while a
+   transaction journals must roll back completely — shape, slot-table
+   address and every speculative write — and leave pre-tx slot addresses
+   untouched.  An object crosses [initial_slot_capacity] (4) inside the
+   transaction, interleaved with transitions on a second object so the
+   journal mixes both objects' undo closures. *)
+let test_slot_growth_under_tx () =
+  let heap = Heap.create () in
+  let a = Heap.alloc_object heap in
+  let b = Heap.alloc_object heap in
+  Heap.set_prop heap a "p0" (Value.Int 0);
+  Heap.set_prop heap a "p1" (Value.Int 1);
+  let pre_shape = a.Value.shape.Shape.id in
+  let pre_slots_addr = a.Value.slots_addr in
+  let tx = Htm.begin_tx heap ~mode:Htm.Rtm ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+  for i = 2 to 7 do
+    Heap.set_prop heap a (Printf.sprintf "p%d" i) (Value.Int i);
+    Heap.set_prop heap b (Printf.sprintf "q%d" i) (Value.Int (i * 10))
+  done;
+  Alcotest.(check bool) "slot table reallocated in tx" true
+    (a.Value.slots_addr <> pre_slots_addr);
+  Alcotest.(check string) "p7 visible in tx" "7"
+    (Value.to_js_string (Heap.get_prop heap a "p7"));
+  Htm.rollback tx;
+  Alcotest.(check int) "shape restored" pre_shape a.Value.shape.Shape.id;
+  Alcotest.(check int) "slot-table address restored" pre_slots_addr a.Value.slots_addr;
+  Alcotest.(check string) "pre-tx p0 kept" "0" (Value.to_js_string (Heap.get_prop heap a "p0"));
+  Alcotest.(check string) "pre-tx p1 kept" "1" (Value.to_js_string (Heap.get_prop heap a "p1"));
+  Alcotest.(check string) "speculative p5 gone" "undefined"
+    (Value.to_js_string (Heap.get_prop heap a "p5"));
+  Alcotest.(check int) "b rolled back to root" 0 b.Value.shape.Shape.prop_count;
+  (* Same writes again, committed this time: growth must stick. *)
+  let tx2 = Htm.begin_tx heap ~mode:Htm.Rtm ~snapshot:[] ~resume_pc:0 ~owner_frame:0 in
+  for i = 2 to 7 do
+    Heap.set_prop heap a (Printf.sprintf "p%d" i) (Value.Int i)
+  done;
+  let grown_addr = a.Value.slots_addr in
+  Htm.commit tx2;
+  Alcotest.(check int) "grown slot table survives commit" grown_addr a.Value.slots_addr;
+  Alcotest.(check string) "committed p7 kept" "7"
+    (Value.to_js_string (Heap.get_prop heap a "p7"));
+  Alcotest.(check int) "eight props" 8 a.Value.shape.Shape.prop_count
+
 let tests =
   [
     Alcotest.test_case "footprint counts lines" `Quick test_footprint_counts_lines;
@@ -173,6 +218,7 @@ let tests =
     Alcotest.test_case "htm write footprint" `Quick test_htm_write_footprint_tracked;
     Alcotest.test_case "htm rtm read tracking" `Quick test_htm_rtm_read_tracking;
     Alcotest.test_case "htm capacity abort" `Quick test_htm_capacity_abort;
+    Alcotest.test_case "slot growth under tx" `Quick test_slot_growth_under_tx;
     QCheck_alcotest.to_alcotest qcheck_footprint_line_count;
     QCheck_alcotest.to_alcotest qcheck_rollback_is_identity;
   ]

@@ -123,10 +123,12 @@ let test_store_hook_undo () =
   (* Install a journaling hook, mutate, then undo: state must be restored. *)
   let undos = ref [] in
   h.Heap.hooks.store <- (fun _ _ undo -> undos := undo :: !undos);
+  h.Heap.hooks.active <- true;
   Heap.set_elem h a 0 (Value.Int 42);
   Heap.set_elem h a 10 (Value.Int 7);
   let o = Heap.alloc_object h in
   Heap.set_prop h o "x" (Value.Int 5);
+  h.Heap.hooks.active <- false;
   h.Heap.hooks.store <- (fun _ _ _ -> ());
   Alcotest.(check string) "mutated" "42" (Value.to_js_string (Heap.get_elem h a 0));
   List.iter (fun undo -> undo ()) !undos;

@@ -6,6 +6,9 @@ module Vm = Nomap_vm.Vm
 module Config = Nomap_nomap.Config
 module Counters = Nomap_machine.Counters
 module Value = Nomap_runtime.Value
+module Shape = Nomap_runtime.Shape
+module Heap = Nomap_runtime.Heap
+module Instance = Nomap_interp.Instance
 
 let run_vm ?(arch = Config.Base) ?(cap = Vm.Cap_ftl) ?(fuel = 200_000_000) src =
   let prog = Helpers.compile src in
@@ -184,7 +187,7 @@ let test_transactions_commit () =
   let t = run_vm ~arch:Config.NoMap_full sum_kernel in
   Alcotest.(check bool) "transactions committed" true ((Vm.counters t).Counters.tx_commits > 0);
   Alcotest.(check bool) "write footprint recorded" true
-    ((Vm.counters t).Counters.tx_write_kb_sum > 0.0)
+    (Counters.tx_write_kb_sum (Vm.counters t) > 0.0)
 
 let test_checks_counted () =
   let t = run_vm ~arch:Config.Base sum_kernel in
@@ -218,7 +221,7 @@ let test_tier_caps_ordering () =
   in
   let run cap =
     let t = run_vm ~cap src in
-    (Vm.counters t).Counters.cycles
+    Counters.cycles (Vm.counters t)
   in
   let interp = run Vm.Cap_interp in
   let baseline = run Vm.Cap_baseline in
@@ -234,6 +237,51 @@ let test_rare_deopts_in_steady_state () =
   (* Paper §III-A2: in steady state checks practically never fail. *)
   let t = run_vm ~arch:Config.Base sum_kernel in
   Alcotest.(check int) "no deopts in a type-stable kernel" 0 (Vm.counters t).Counters.deopts
+
+(* Satellite: symbol and shape ids are host-side bookkeeping, but they
+   must be deterministic — two VMs over the same program build identical
+   shape universes (same interned-symbol count, same shape count, same
+   heap checksum), or host ICs keyed on shape ids would not be
+   reproducible across runs. *)
+let test_shape_universe_determinism () =
+  let src =
+    hot
+      "function bench() { var o = { a: 1, b: 2 }; o.c = 3; o.d = 4; o.e = 5; var p = { b: 7, \
+       a: 8 }; p.z = o.a + p.b; return o.c + p.z; }"
+  in
+  let t1 = run_vm src in
+  let t2 = run_vm src in
+  let u1 = (Vm.instance t1).Instance.heap.Heap.shapes in
+  let u2 = (Vm.instance t2).Instance.heap.Heap.shapes in
+  Alcotest.(check int) "same shape count" (Shape.universe_size u1) (Shape.universe_size u2);
+  Alcotest.(check int) "same symbol count" (Shape.sym_count u1) (Shape.sym_count u2);
+  Alcotest.(check bool) "universe is populated" true (Shape.universe_size u1 > 1);
+  Alcotest.(check string) "same heap checksum"
+    (Nomap_vm.Heap_checksum.checksum (Vm.instance t1))
+    (Nomap_vm.Heap_checksum.checksum (Vm.instance t2))
+
+(* Tentpole invariant: host inline caches are pure memoization — a VM with
+   ICs disabled charges the bit-identical canonical counter table. *)
+let test_host_ic_counters_identical () =
+  let src =
+    hot
+      "function bench() { var o = { x: 0, y: 1 }; var s = \"abc\"; var a = [1, 2, 3]; for \
+       (var i = 0; i < 50; i++) { o.x = o.x + o.y + a.length + s.charCodeAt(0); if (i % 2 \
+       == 0) { o.k0 = i; } else { o.k1 = i; } a.push(i); } return o.x + o.k0 + o.k1; }"
+  in
+  let prog = Helpers.compile src in
+  let run host_ic =
+    let t =
+      Vm.create ~fuel:200_000_000 ~verify_lir:true ~host_ic ~engine:Nomap_machine.Engine.Threaded
+        ~config:(Config.create Config.NoMap_full) ~tier_cap:Vm.Cap_ftl prog
+    in
+    ignore (Vm.run_main t);
+    (result_of t, Counters.to_canonical_string (Vm.counters t))
+  in
+  let r_on, c_on = run true in
+  let r_off, c_off = run false in
+  Alcotest.(check string) "same result" r_off r_on;
+  Alcotest.(check string) "same counter table" c_off c_on
 
 let tests =
   [
@@ -258,4 +306,6 @@ let tests =
     Alcotest.test_case "NoMap removes overflow checks" `Quick test_nomap_removes_overflow_checks;
     Alcotest.test_case "tier cap ordering" `Quick test_tier_caps_ordering;
     Alcotest.test_case "rare deopts in steady state" `Quick test_rare_deopts_in_steady_state;
+    Alcotest.test_case "shape universe determinism" `Quick test_shape_universe_determinism;
+    Alcotest.test_case "host ICs move no counter" `Quick test_host_ic_counters_identical;
   ]
