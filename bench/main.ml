@@ -27,7 +27,9 @@
     [--engine decoded|threaded] pins the engine used by phases 1-3 (the
     simulated metrics are engine-invariant; only wall-clock moves).
     [--json <path>] additionally writes the measurements to [path] as one
-    machine-readable report (schema [nomap-bench-v4], see DESIGN.md §9), so
+    machine-readable report (schema [nomap-bench-v5] — v5 adds the
+    [hybrid_fallback_cold] experiment and the NoMap_RTM_STM column to the
+    architecture sweeps; see DESIGN.md §9), so
     wall-clock regressions of the simulator itself can be tracked across
     commits; the report records the host context (OCaml version, word size,
     recommended domain count) the numbers were taken on. *)
@@ -63,6 +65,7 @@ let experiments : (string * (unit -> string)) list =
     ("fig11_time_kraken", fun () -> E.fig10_11 Registry.Kraken);
     ("table4_tx_footprints", E.table4);
     ("appendix_htm_validation", E.validate_htm);
+    ("hybrid_fallback_cold", E.hybrid_fallback);
     ("ablation_passes", E.ablation);
     ("headline_reductions", E.headline);
   ]
@@ -110,7 +113,7 @@ let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
     ~(rows : (string * float * float option) list) ~(engine_exec : engine_exec_row list) =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"nomap-bench-v4\",\n";
+  output_string oc "  \"schema\": \"nomap-bench-v5\",\n";
   Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
   Printf.fprintf oc
     "  \"host\": {\"ocaml_version\": \"%s\", \"word_size\": %d, \

@@ -4,7 +4,9 @@
     tier/architecture configuration, requiring the same observable result
     and heap checksum as the reference interpreter.  Divergences are
     shrunk to minimal reproducers and printed; the exit code is the number
-    of diverging cases (capped at 125), so CI can gate on it.
+    of diverging cases (capped at 125), so CI can gate on it.  Fuel-skipped
+    seeds are retried once with boosted fuel and reported in the summary;
+    with --max-skips N, more than N remaining skips exits 123.
 
     Usage:
       fuzz.exe --seed 42 --iters 500                # the acceptance run
@@ -128,7 +130,7 @@ let tier_pair =
         ~doc:
           "Restrict the matrix to these configurations (each checked against the reference \
            interpreter).  Tiers: interp, baseline, dfg, ftl.  Archs: Base, NoMap_S, NoMap_B, \
-           NoMap, NoMap_BC, NoMap_RTM ('-' and '_' interchangeable).  Engines: decoded, \
+           NoMap, NoMap_BC, NoMap_RTM, NoMap_RTM_STM ('-' and '_' interchangeable).  Engines: decoded, \
            threaded; omitting the engine runs dfg/ftl configurations under $(b,both) engines \
            and additionally requires their full counter tables to match bit-for-bit.  Unknown \
            tier, arch or engine names are rejected with the valid alternatives listed.")
@@ -150,7 +152,17 @@ let emit =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the final summary.")
 
-let main seed iters jobs shrink cfgs sabotage emit quiet =
+let max_skips =
+  Arg.(
+    value
+    & opt int max_int
+    & info [ "max-skips" ] ~docv:"N"
+        ~doc:
+          "Fail (exit 123) when more than N seeds remain skipped after the boosted-fuel \
+           retry.  Skips shrink oracle coverage, so CI pins this; the default tolerates \
+           any number.")
+
+let main seed iters jobs shrink cfgs sabotage emit quiet max_skips =
   match emit with
   | Some file ->
     let prog = Gen.program_of_seed ~seed:(Fuzz.case_seed ~seed 0) in
@@ -171,13 +183,21 @@ let main seed iters jobs shrink cfgs sabotage emit quiet =
     in
     let s = Fuzz.run ?cfgs ?ftl_mutate ~jobs ~shrink ~on_case ~seed ~iters () in
     Printf.printf "%s [%.1fs]\n" (Fuzz.summary_to_string s) (Unix.gettimeofday () -. t0);
-    min 125 (List.length s.Fuzz.failures)
+    let failures = List.length s.Fuzz.failures in
+    if failures > 0 then min 125 failures
+    else if s.Fuzz.skipped > max_skips then begin
+      Printf.printf "FAIL: %d seeds still skipped after retry (max-skips %d)\n" s.Fuzz.skipped
+        max_skips;
+      123
+    end
+    else 0
 
 let cmd =
   let doc = "Differential fuzzer: random MiniJS programs through every tier and architecture" in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const main $ seed $ iters $ jobs $ shrink $ tier_pair $ sabotage $ emit $ quiet)
+      const main $ seed $ iters $ jobs $ shrink $ tier_pair $ sabotage $ emit $ quiet
+      $ max_skips)
 
 let () = exit (Cmd.eval' cmd)

@@ -49,9 +49,19 @@ let cache =
     & opt int 128
     & info [ "cache" ] ~docv:"N" ~doc:"Compiled-artifact cache capacity (LRU entries).")
 
+let max_fuel =
+  Arg.(
+    value
+    & opt int Nomap_server.Session.default_fuel
+    & info [ "max-fuel" ] ~docv:"N"
+        ~doc:
+          "Cap on client-requested RUN fuel; requests asking for more are refused with a \
+           $(b,fuel-limit) error instead of pinning a worker.  Non-positive means the \
+           built-in default.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup/shutdown chatter.")
 
-let main socket domains queue cache max_conns quiet =
+let main socket domains queue cache max_conns max_fuel quiet =
   let t =
     Server.start
       {
@@ -60,6 +70,7 @@ let main socket domains queue cache max_conns quiet =
         queue_capacity = queue;
         cache_capacity = cache;
         max_connections = max_conns;
+        max_fuel;
       }
   in
   if not quiet then
@@ -81,6 +92,6 @@ let main socket domains queue cache max_conns quiet =
 let cmd =
   let doc = "Long-running MiniJS execution daemon with a shared compiled-artifact cache" in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const main $ socket $ domains $ queue $ cache $ max_conns $ quiet)
+    Term.(const main $ socket $ domains $ queue $ cache $ max_conns $ max_fuel $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,7 +18,12 @@ type failure = {
 type summary = {
   tested : int;
   agreed : int;
-  skipped : int;  (** reference itself crashed or ran out of fuel *)
+  skipped : int;
+      (** reference itself crashed or ran out of fuel, on BOTH the normal
+          and the boosted-fuel attempt *)
+  retried : int;  (** seeds that skipped once and were retried with boosted fuel *)
+  recovered : int;  (** retried seeds that reached a verdict on the retry *)
+  skip_seeds : (int * string) list;  (** seed × reason for every final skip *)
   failures : failure list;
 }
 
@@ -36,9 +41,9 @@ let shrink_failure ?ftl_mutate ~max_checks ~cfgs program =
   in
   Shrink.shrink ~max_checks ~keep program
 
-let run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks seed =
+let run_case ?cfgs ?(fuel_boost = 1) ?ftl_mutate ~shrink ~shrink_checks seed =
   let program = Gen.program_of_seed ~seed in
-  match Oracle.check ?cfgs ?ftl_mutate program with
+  match Oracle.check ?cfgs ~fuel_boost ?ftl_mutate program with
   | Oracle.Agree -> `Agree
   | Oracle.Skip msg -> `Skip (seed, msg)
   | Oracle.Diverge divergences ->
@@ -58,7 +63,13 @@ let run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks seed =
 
 (** Run a campaign.  [on_case] (if given) is called after each case with
     (index, outcome) for progress reporting; with [jobs > 1] calls arrive
-    in batch order, not real time. *)
+    in batch order, not real time.
+
+    A seed whose reference run skipped (out of fuel / crash) is not
+    dropped: it is retried once with [Oracle.skip_retry_boost]× fuel — a
+    heavy-but-terminating program then reaches a real verdict, and the
+    retry's outcome (including a fresh divergence) replaces the skip.
+    [on_case] sees the retry as a second call at the same index. *)
 let run ?cfgs ?ftl_mutate ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
     ?on_case ~seed ~iters () =
   let outcomes =
@@ -67,14 +78,39 @@ let run ?cfgs ?ftl_mutate ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
       (List.init iters Fun.id)
   in
   (match on_case with Some f -> List.iter (fun (i, o) -> f i o) outcomes | None -> ());
-  let agreed = List.length (List.filter (fun (_, o) -> o = `Agree) outcomes) in
-  let skipped =
-    List.length (List.filter (fun (_, o) -> match o with `Skip _ -> true | _ -> false) outcomes)
+  let first_skips =
+    List.filter_map
+      (fun (i, o) -> match o with `Skip (s, _) -> Some (i, s) | _ -> None)
+      outcomes
+  in
+  let retries =
+    Scheduler.parallel_map ~jobs
+      (fun (index, case) ->
+        ( index,
+          run_case ?cfgs ~fuel_boost:Oracle.skip_retry_boost ?ftl_mutate ~shrink
+            ~shrink_checks case ))
+      first_skips
+  in
+  (match on_case with Some f -> List.iter (fun (i, o) -> f i o) retries | None -> ());
+  let final = List.filter (fun (_, o) -> match o with `Skip _ -> false | _ -> true) outcomes @ retries in
+  let count p l = List.length (List.filter p l) in
+  let agreed = count (fun (_, o) -> o = `Agree) final in
+  let skip_seeds =
+    List.filter_map (fun (_, o) -> match o with `Skip (s, m) -> Some (s, m) | _ -> None) retries
   in
   let failures =
-    List.filter_map (fun (_, o) -> match o with `Diverge f -> Some f | _ -> None) outcomes
+    List.filter_map (fun (_, o) -> match o with `Diverge f -> Some f | _ -> None) final
   in
-  { tested = iters; agreed; skipped; failures }
+  let retried = List.length first_skips in
+  {
+    tested = iters;
+    agreed;
+    skipped = List.length skip_seeds;
+    retried;
+    recovered = retried - List.length skip_seeds;
+    skip_seeds;
+    failures;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting *)
@@ -91,8 +127,21 @@ let failure_to_string f =
   Buffer.contents b
 
 let summary_to_string s =
-  Printf.sprintf "%d tested: %d agreed, %d skipped, %d diverged" s.tested s.agreed s.skipped
-    (List.length s.failures)
+  let retry =
+    if s.retried = 0 then ""
+    else Printf.sprintf " (%d retried with %dx fuel, %d recovered)" s.retried
+        Oracle.skip_retry_boost s.recovered
+  in
+  let skip_detail =
+    if s.skip_seeds = [] then ""
+    else
+      "\nskipped seeds:"
+      ^ String.concat ""
+          (List.map (fun (seed, msg) -> Printf.sprintf "\n  seed %d: %s" seed msg)
+             s.skip_seeds)
+  in
+  Printf.sprintf "%d tested: %d agreed, %d skipped%s, %d diverged%s" s.tested s.agreed
+    s.skipped retry (List.length s.failures) skip_detail
 
 (* ------------------------------------------------------------------ *)
 (* Deliberate miscompile, for self-test (--sabotage and the acceptance

@@ -68,7 +68,8 @@ let default_cfgs =
               Config.all
          @ List.map
              (fun arch -> { tier = Vm.Cap_ftl; arch; engine; host_ic = false })
-             [ Config.Base; Config.NoMap_full; Config.NoMap_RTM ])
+             [ Config.Base; Config.NoMap_full; Config.NoMap_RTM;
+               Config.NoMap_RTM_STM ])
        Engine.all
 
 (** Close a configuration list under the engine axis: every optimizing-tier
@@ -121,10 +122,18 @@ let observation_to_string = function
 let reference_fuel = 2_000_000
 let tiered_fuel = 4 * reference_fuel
 
-let run_cfg ?ftl_mutate ~src (c : cfg) : observation =
+(** Fuel multiplier for retrying a fuel-skipped seed (see [Fuzz.run]): big
+    enough to admit the tail of heavy-but-terminating programs, small
+    enough that a genuinely divergent runaway still skips instead of
+    hanging the batch. *)
+let skip_retry_boost = 8
+
+let run_cfg ?(fuel_boost = 1) ?ftl_mutate ~src (c : cfg) : observation =
   match
     let prog = Nomap_bytecode.Compile.compile_source src in
-    let fuel = if c = reference then reference_fuel else tiered_fuel in
+    let fuel =
+      fuel_boost * (if c = reference then reference_fuel else tiered_fuel)
+    in
     let vm =
       match ftl_mutate with
       | None ->
@@ -167,12 +176,13 @@ let agrees_with_reference ~expected ~got =
   | Crash a, Crash b -> a = b
   | _ -> false
 
-let check ?(cfgs = default_cfgs) ?ftl_mutate (prog : Ast.program) : verdict =
+let check ?(cfgs = default_cfgs) ?(fuel_boost = 1) ?ftl_mutate
+    (prog : Ast.program) : verdict =
   let src = Gen.to_source prog in
-  match run_cfg ~src reference with
+  match run_cfg ~fuel_boost ~src reference with
   | Crash msg -> Skip msg
   | Outcome _ as expected ->
-    let obs = List.map (fun c -> (c, run_cfg ?ftl_mutate ~src c)) cfgs in
+    let obs = List.map (fun c -> (c, run_cfg ~fuel_boost ?ftl_mutate ~src c)) cfgs in
     let ref_divs =
       List.filter_map
         (fun (c, got) ->

@@ -526,6 +526,78 @@ let ablation () =
   s
 
 (* ------------------------------------------------------------------ *)
+(* DESIGN.md §15: what the RTM capacity cliff costs a cold VM, and what the
+   software fallback buys back.  The Runner's warmup/measure windows
+   deliberately hide the one-time abort -> deopt -> Baseline-re-execute ->
+   demote transient this experiment is about, so it runs fresh VMs
+   directly: ten cold calls per kernel, total modeled cycles over the whole
+   run.  The spray kernel writes twelve cache lines at a 4 KB stride — a
+   12-way set conflict the byte-count placement estimator cannot see — so
+   pure RTM burns three calls on capacity aborts and placement demotions
+   while the hybrid upgrades to the redo log and keeps its check-elided
+   code; the fit kernel stays inside one way per set, so the two
+   architectures must agree to the cycle. *)
+
+let hybrid_spray_src =
+  "function benchmark() { var a = new Array(8192); for (var i = 0; i < 12; i++) { a[i * \
+   512] = i; } var s = 0; for (var j = 0; j < 2000; j++) { s = (s + j * 7) & 0xFFFFF; } \
+   return s + a[512]; } var it; var result = 0; for (it = 0; it < 10; it++) { result = \
+   benchmark(); }"
+
+let hybrid_fit_src =
+  "function benchmark() { var a = new Array(64); for (var i = 0; i < 64; i++) { a[i] = i * \
+   3; } return a[63]; } var it; var result = 0; for (it = 0; it < 10; it++) { result = \
+   benchmark(); }"
+
+let hybrid_cold_run ~arch src =
+  let prog = Nomap_bytecode.Compile.compile_source src in
+  let vm =
+    Vm.create ~fuel:500_000_000
+      ~thresholds:{ Vm.baseline_at = 1; dfg_at = 2; ftl_at = 4 }
+      ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  (Vm.counters vm, Vm.tx_demotions vm)
+
+let hybrid_fallback_plan () = []
+
+let hybrid_fallback () =
+  let t =
+    Table.create
+      ~title:
+        "Hybrid RTM+STM fallback (DESIGN.md 15): cold VM, 10 calls/kernel, total modeled \
+         cycles"
+      ~header:
+        [
+          "kernel"; "arch"; "cycles"; "commits"; "aborts"; "stm commits"; "stm cycles";
+          "deopts"; "demotions";
+        ]
+      ()
+  in
+  List.iter
+    (fun (kernel, src) ->
+      List.iter
+        (fun arch ->
+          let c, demotions = hybrid_cold_run ~arch src in
+          Table.add_row t
+            [
+              kernel;
+              Config.name arch;
+              Printf.sprintf "%.0f" (Counters.cycles c);
+              string_of_int c.Counters.tx_commits;
+              string_of_int c.Counters.tx_aborts;
+              string_of_int c.Counters.stm_commits;
+              Printf.sprintf "%.0f" (Counters.stm_cycles c);
+              string_of_int c.Counters.deopts;
+              string_of_int demotions;
+            ])
+        [ Config.NoMap_RTM; Config.NoMap_RTM_STM ])
+    [ ("spray (12-way set conflict)", hybrid_spray_src); ("fit (1 way/set)", hybrid_fit_src) ];
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
 
 let headline_plan () =
   List.concat_map (fun b -> List.map (fun arch -> Key.arch ~arch b) archs) both_suites
@@ -613,6 +685,7 @@ let experiments =
     };
     { name = "table4"; plan = table4_plan; render = table4 };
     { name = "validate_htm"; plan = validate_htm_plan; render = validate_htm };
+    { name = "hybrid_fallback"; plan = hybrid_fallback_plan; render = hybrid_fallback };
     { name = "ablation"; plan = ablation_plan; render = ablation };
     { name = "headline"; plan = headline_plan; render = headline };
   ]

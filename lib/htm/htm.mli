@@ -1,10 +1,14 @@
-(** Hardware transactional memory model (paper §V-A, §VI-A/B).
+(** Transactional memory model (paper §V-A, §VI-A/B; DESIGN.md §15).
 
     - [Rot]: IBM POWER8 Rollback-Only Transaction mode — only the write
       footprint is buffered (L2 geometry); no read-set tracking
       (single-threaded JavaScript needs no conflict detection).
     - [Rtm]: Intel Restricted Transactional Memory — writes must fit L1D,
       reads must fit L2, and there is no Sticky Overflow Flag.
+    - [Stm]: modeled redo-log software transaction — unbounded footprint,
+      no capacity aborts; per-access overhead is charged by the timing
+      model.  Reached by upgrading a hybrid RTM transaction on capacity
+      overflow (see [begin_tx]'s [stm_fallback]).
     - [Ghost]: no transactional semantics; used by the Base configuration
       purely for instruction-category accounting.
 
@@ -14,7 +18,7 @@
 
 module Footprint = Nomap_cache.Footprint
 
-type mode = Rot | Rtm | Ghost
+type mode = Rot | Rtm | Stm | Ghost
 
 type abort_reason =
   | Check_failed of Nomap_lir.Lir.check_kind
@@ -32,7 +36,9 @@ val abort_reason_name : abort_reason -> string
 exception Abort of abort_reason
 
 type tx = {
-  mode : mode;
+  mutable mode : mode;
+      (** mutable for exactly one transition: hybrid RTM upgrading to [Stm]
+          on capacity overflow *)
   heap : Nomap_runtime.Heap.t;
   saved_active : bool;  (** hooks.active before this tx installed its own *)
   saved_load : int -> int -> unit;
@@ -50,12 +56,21 @@ type tx = {
   mutable reads : int;
   mutable writes : int;
   mutable instr_count : int;
+  mutable stm_prefix_reads : int;
+      (** [reads] at the HTM→STM upgrade point (work wasted under
+          hardware); 0 unless the transaction fell back *)
+  mutable stm_prefix_writes : int;  (** [writes] at the upgrade point *)
 }
 
 (** Begin a transaction: installs journaling/footprint hooks on the heap.
-    [capacity_scale] shrinks the modeled cache geometry (DESIGN.md §6). *)
+    [capacity_scale] shrinks the modeled cache geometry (DESIGN.md §6).
+    [stm_fallback], when given, turns a capacity overflow into an in-place
+    upgrade to [Stm] — the function is called once with the averted abort
+    reason (integer bookkeeping only; cycle charges belong to the
+    transaction's finish point) — instead of raising [Abort]. *)
 val begin_tx :
   ?capacity_scale:int ->
+  ?stm_fallback:(abort_reason -> unit) ->
   Nomap_runtime.Heap.t ->
   mode:mode ->
   snapshot:(int * Nomap_runtime.Value.t) list ->

@@ -39,6 +39,9 @@ type fstats = {
   mutable tx_write_kb_sum : float;
   mutable tx_write_kb_max : float;
   mutable tx_assoc_sum : float;
+  mutable stm_cycles : float;
+      (** subset of [tx_cycles]: modeled software-transaction overhead
+          charged to hybrid transactions that fell back (DESIGN.md §15) *)
 }
 
 type t = {
@@ -53,6 +56,14 @@ type t = {
   abort_reasons : (string, int) Hashtbl.t;
   mutable tx_assoc_max : int;
   mutable tx_samples : int;
+  (* Hybrid RTM+STM fallback activity (DESIGN.md §15).  A fallen-back
+     transaction that commits counts in both [tx_commits] and
+     [stm_commits]; [stm_reads]/[stm_writes] are the total accesses of
+     fallen-back transactions (prefix re-execution included). *)
+  mutable stm_commits : int;
+  mutable stm_aborts : int;
+  mutable stm_reads : int;
+  mutable stm_writes : int;
 }
 
 let create () =
@@ -66,6 +77,7 @@ let create () =
         tx_write_kb_sum = 0.0;
         tx_write_kb_max = 0.0;
         tx_assoc_sum = 0.0;
+        stm_cycles = 0.0;
       };
     deopts = 0;
     ftl_calls = 0;
@@ -75,10 +87,15 @@ let create () =
     abort_reasons = Hashtbl.create 8;
     tx_assoc_max = 0;
     tx_samples = 0;
+    stm_commits = 0;
+    stm_aborts = 0;
+    stm_reads = 0;
+    stm_writes = 0;
   }
 
 let cycles t = t.f.cycles
 let tx_cycles t = t.f.tx_cycles
+let stm_cycles t = t.f.stm_cycles
 let tx_write_kb_sum t = t.f.tx_write_kb_sum
 let tx_write_kb_max t = t.f.tx_write_kb_max
 let tx_assoc_sum t = t.f.tx_assoc_sum
@@ -130,6 +147,7 @@ let copy_f f =
     tx_write_kb_sum = f.tx_write_kb_sum;
     tx_write_kb_max = f.tx_write_kb_max;
     tx_assoc_sum = f.tx_assoc_sum;
+    stm_cycles = f.stm_cycles;
   }
 
 let copy t =
@@ -170,6 +188,11 @@ let diff ~now ~before =
   t.f.tx_assoc_sum <- now.f.tx_assoc_sum -. before.f.tx_assoc_sum;
   t.tx_assoc_max <- now.tx_assoc_max;
   t.tx_samples <- now.tx_samples - before.tx_samples;
+  t.f.stm_cycles <- now.f.stm_cycles -. before.f.stm_cycles;
+  t.stm_commits <- now.stm_commits - before.stm_commits;
+  t.stm_aborts <- now.stm_aborts - before.stm_aborts;
+  t.stm_reads <- now.stm_reads - before.stm_reads;
+  t.stm_writes <- now.stm_writes - before.stm_writes;
   t
 
 (** Canonical one-line rendering of the full counter table.  Cycles are
@@ -184,10 +207,22 @@ let to_canonical_string (c : t) =
     |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
     |> String.concat ","
   in
+  (* The stm block is appended only when the hybrid fallback actually fired,
+     so every arch (and every hybrid run that never overflowed) keeps the
+     historical row format — existing golden rows stay byte-identical. *)
+  let stm =
+    if
+      c.stm_commits = 0 && c.stm_aborts = 0 && c.stm_reads = 0
+      && c.stm_writes = 0 && c.f.stm_cycles = 0.0
+    then ""
+    else
+      Printf.sprintf " stm={commits=%d aborts=%d reads=%d writes=%d cycles=%h}"
+        c.stm_commits c.stm_aborts c.stm_reads c.stm_writes c.f.stm_cycles
+  in
   Printf.sprintf
     "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
      commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
-     assoc_max=%d samples=%d"
+     assoc_max=%d samples=%d%s"
     (ints c.instrs) (ints c.checks) c.f.cycles c.f.tx_cycles c.deopts c.ftl_calls
     c.dfg_calls c.tx_commits c.tx_aborts reasons c.f.tx_write_kb_sum
-    c.f.tx_write_kb_max c.f.tx_assoc_sum c.tx_assoc_max c.tx_samples
+    c.f.tx_write_kb_max c.f.tx_assoc_sum c.tx_assoc_max c.tx_samples stm

@@ -26,6 +26,9 @@ type fstats = {
   mutable tx_write_kb_sum : float;
   mutable tx_write_kb_max : float;
   mutable tx_assoc_sum : float;
+  mutable stm_cycles : float;
+      (** subset of [tx_cycles]: modeled software-transaction overhead of
+          hybrid transactions that fell back (DESIGN.md §15) *)
 }
 
 type t = {
@@ -40,6 +43,13 @@ type t = {
   abort_reasons : (string, int) Hashtbl.t;
   mutable tx_assoc_max : int;
   mutable tx_samples : int;
+  (* Hybrid RTM+STM fallback activity (DESIGN.md §15).  A fallen-back
+     transaction that commits counts in both [tx_commits] and
+     [stm_commits]. *)
+  mutable stm_commits : int;
+  mutable stm_aborts : int;
+  mutable stm_reads : int;
+  mutable stm_writes : int;
 }
 
 val create : unit -> t
@@ -48,6 +58,7 @@ val create : unit -> t
 val cycles : t -> float
 
 val tx_cycles : t -> float
+val stm_cycles : t -> float
 val tx_write_kb_sum : t -> float
 val tx_write_kb_max : t -> float
 val tx_assoc_sum : t -> float

@@ -53,6 +53,10 @@ type env = {
   host_ic : bool;
       (** enable per-site host inline caches (host memoization only — no
           simulated counter depends on this; the fuzzer's ic axis checks) *)
+  stm_fallback : bool;
+      (** hybrid RTM+STM: a capacity overflow upgrades the transaction to a
+          modeled software transaction instead of aborting (DESIGN.md §15) *)
+  stm_factor : float;  (** STM per-access slowdown factor (Config.stm_factor) *)
   call : fid:int -> this:Value.t -> args:Value.t list -> Value.t;
   deopt_resume : fid:int -> resume_pc:int -> values:(int * Value.t) list -> Value.t;
   mutable tx : Htm.tx option;
@@ -64,7 +68,8 @@ type env = {
 }
 
 let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
-    ?(tx_watchdog = 30_000_000) ?(host_ic = true) ~call ~deopt_resume () =
+    ?(tx_watchdog = 30_000_000) ?(host_ic = true) ?(stm_fallback = false)
+    ?(stm_factor = 4.0) ~call ~deopt_resume () =
   {
     instance;
     counters;
@@ -73,6 +78,8 @@ let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
     capacity_scale;
     tx_watchdog;
     host_ic;
+    stm_fallback;
+    stm_factor;
     call;
     deopt_resume;
     tx = None;
@@ -128,6 +135,51 @@ let charge_rtm_reads env (tx : Htm.tx) =
   if tx.Htm.mode = Htm.Rtm && tx.Htm.reads > 0 then
     Counters.add_cycles env.counters ~in_tx:true
       (float_of_int tx.Htm.reads *. Timing.rtm_read_penalty)
+
+(** Overhead of a hybrid transaction that fell back to the modeled software
+    transaction (DESIGN.md §15), computed in ONE fixed-order accumulation at
+    the transaction's single finish point (the outermost [Tx_end], or
+    [handle_abort]).  Charging here instead of inside the heap hooks keeps
+    the floating-point accumulation order independent of how an engine
+    interleaves its instruction charges (decoded charges per instruction,
+    threaded batches per segment), which the bit-exact cross-engine counter
+    contract requires.  The terms, in order:
+    - the hardware abort that triggered the fallback, plus the RTM read
+      latency the doomed prefix had already paid;
+    - STM setup (descriptor + log allocation);
+    - the prefix re-executed under STM at full instrumented access cost
+      ([stm_factor] × the base access cost);
+    - the suffix's instrumentation overhead — those accesses already paid
+      the plain access cost via the engine's normal charging, so the STM
+      adds ([stm_factor] − 1) × base on top;
+    - commit write-back/validation (commit only).
+    Fixed per-tx costs scale with [capacity_scale] like XBegin/XEnd do. *)
+let stm_overhead_cycles env (tx : Htm.tx) ~committed =
+  let scale = float_of_int env.capacity_scale in
+  let pr = float_of_int tx.Htm.stm_prefix_reads
+  and pw = float_of_int tx.Htm.stm_prefix_writes in
+  let ar = float_of_int tx.Htm.reads and aw = float_of_int tx.Htm.writes in
+  Timing.abort_cycles
+  +. (pr *. Timing.rtm_read_penalty)
+  +. (Timing.stm_begin_cycles /. scale)
+  +. ((pr +. pw) *. env.stm_factor *. Timing.stm_access_cycles)
+  +. (((ar -. pr) +. (aw -. pw)) *. (env.stm_factor -. 1.0) *. Timing.stm_access_cycles)
+  +. (if committed then Timing.stm_commit_cycles /. scale else 0.0)
+
+(** Commit-time (or abort-time) bookkeeping for a fallen-back transaction:
+    the averted capacity abort was already recorded (reason + [tx_aborts])
+    by the fallback callback at the overflow point. *)
+let charge_stm_finish env (tx : Htm.tx) ~committed =
+  let c = env.counters in
+  if committed then c.Counters.stm_commits <- c.Counters.stm_commits + 1
+  else c.Counters.stm_aborts <- c.Counters.stm_aborts + 1;
+  c.Counters.stm_reads <- c.Counters.stm_reads + tx.Htm.reads;
+  c.Counters.stm_writes <- c.Counters.stm_writes + tx.Htm.writes;
+  let over = stm_overhead_cycles env tx ~committed in
+  (* An aborted software transaction's overhead lands outside tx time, like
+     the hardware abort penalty does. *)
+  Counters.add_cycles c ~in_tx:committed over;
+  c.Counters.f.Counters.stm_cycles <- c.Counters.f.Counters.stm_cycles +. over
 
 (* ------------------------------------------------------------------ *)
 (* Cost tables (simulated machine instructions per LIR instruction). *)
@@ -512,14 +564,22 @@ let exec_tx_begin env (values : Value.t array) ~frame (smp : L.smp) =
   | Htm.Ghost ->
     if env.ghost_depth = 0 then env.ghost_owner <- frame;
     env.ghost_depth <- env.ghost_depth + 1
-  | (Htm.Rot | Htm.Rtm) as mode -> (
+  | (Htm.Rot | Htm.Rtm | Htm.Stm) as mode -> (
     match env.tx with
     | Some tx -> tx.Htm.nesting <- tx.Htm.nesting + 1
     | None ->
       let snapshot = materialize values smp.L.live in
+      let stm_fallback =
+        (* The fallback callback does integer bookkeeping only (the averted
+           abort's reason and count); every cycle charge waits for the
+           transaction's finish point — see [stm_overhead_cycles]. *)
+        if env.stm_fallback then
+          Some (fun reason -> Counters.record_abort env.counters reason)
+        else None
+      in
       env.tx <-
         Some
-          (Htm.begin_tx ~capacity_scale:env.capacity_scale
+          (Htm.begin_tx ~capacity_scale:env.capacity_scale ?stm_fallback
              env.instance.Instance.heap ~mode ~snapshot
              ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
       (* Transaction lengths scale with the workloads; scale the
@@ -534,19 +594,26 @@ let exec_tx_end env =
   | Htm.Ghost ->
     env.ghost_depth <- max 0 (env.ghost_depth - 1);
     if env.ghost_depth = 0 then env.ghost_owner <- -1
-  | Htm.Rot | Htm.Rtm -> (
+  | Htm.Rot | Htm.Rtm | Htm.Stm -> (
     match env.tx with
     | None -> ()  (* abort already tore the transaction down *)
     | Some tx ->
       tx.Htm.nesting <- tx.Htm.nesting - 1;
       if tx.Htm.nesting = 0 then begin
         if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
-        charge_rtm_reads env tx;
-        Counters.add_cycles env.counters ~in_tx:true
-          ((match tx.Htm.mode with
-           | Htm.Rtm -> Timing.xend_rtm_cycles
-           | _ -> Timing.xend_rot_cycles)
-          /. float_of_int env.capacity_scale);
+        (match tx.Htm.mode with
+        | Htm.Stm ->
+          (* Fell back mid-flight: the whole region commits in software.
+             No RTM read penalty and no XEnd drain — the hardware attempt
+             was wasted and is charged (with the STM costs) here. *)
+          charge_stm_finish env tx ~committed:true
+        | _ ->
+          charge_rtm_reads env tx;
+          Counters.add_cycles env.counters ~in_tx:true
+            ((match tx.Htm.mode with
+             | Htm.Rtm -> Timing.xend_rtm_cycles
+             | _ -> Timing.xend_rot_cycles)
+            /. float_of_int env.capacity_scale));
         Counters.record_commit env.counters
           ~write_kb:(Footprint.kb tx.Htm.write_fp)
           ~assoc:(Footprint.max_ways tx.Htm.write_fp);
@@ -557,6 +624,10 @@ let exec_tx_end env =
 let handle_abort env ~fid reason (tx : Htm.tx) =
   (* Reads performed before the abort still cost RTM read-latency. *)
   charge_rtm_reads env tx;
+  (* A fallen-back transaction can still abort (failed in-tx check,
+     watchdog): the work done in software mode is charged before the
+     rollback, minus the commit-validation term. *)
+  if tx.Htm.mode = Htm.Stm then charge_stm_finish env tx ~committed:false;
   Htm.rollback tx;
   env.tx <- None;
   Counters.record_abort env.counters reason;

@@ -29,3 +29,15 @@ let rtm_read_penalty = 0.6  (* extra cycles per transactional read (~20% of a ~3
 
 let deopt_cycles = 400.0
 let abort_cycles = 200.0
+
+(* Hybrid RTM+STM fallback (DESIGN.md §15): a capacity overflow upgrades the
+   transaction to a modeled redo-log software transaction instead of
+   deoptimizing.  The STM charges a setup cost (descriptor + log
+   allocation), a commit cost (write-back; validation is vacuous for a
+   single-owner run but the lock acquire/release is not), and a per-access
+   instrumentation multiplier carried by [Config.stm_factor] on top of
+   [stm_access_cycles] — the baseline cost of one load/store (matching the
+   3-instruction load/store cost in the machine's cost table). *)
+let stm_begin_cycles = 60.0
+let stm_commit_cycles = 40.0
+let stm_access_cycles = 3.0

@@ -1,4 +1,5 @@
-(** The six evaluated architectures (paper Table II). *)
+(** The evaluated architectures: the paper's six (Table II) plus the hybrid
+    RTM+STM capacity-fallback column (DESIGN.md §15). *)
 
 type arch =
   | Base  (** unmodified JavaScriptCore; no transactions *)
@@ -7,8 +8,15 @@ type arch =
   | NoMap_full  (** NoMap_B + SOF overflow-check removal — the proposed design *)
   | NoMap_BC  (** unrealistic best case: all checks within transactions removed *)
   | NoMap_RTM  (** NoMap_B running on Intel RTM (no SOF on x86) *)
+  | NoMap_RTM_STM
+      (** NoMap_RTM whose capacity aborts fall back to a modeled software
+          transaction instead of deoptimizing — the region keeps running
+          its check-elided code and pays a per-access STM overhead
+          ([stm_factor]) instead of a Baseline re-execution *)
 
-let all = [ Base; NoMap_S; NoMap_B; NoMap_full; NoMap_BC; NoMap_RTM ]
+(* Append-only: the list order is the nomapd wire format for arch codes and
+   the row order of test/determinism.expected. *)
+let all = [ Base; NoMap_S; NoMap_B; NoMap_full; NoMap_BC; NoMap_RTM; NoMap_RTM_STM ]
 
 let name = function
   | Base -> "Base"
@@ -17,27 +25,45 @@ let name = function
   | NoMap_full -> "NoMap"
   | NoMap_BC -> "NoMap_BC"
   | NoMap_RTM -> "NoMap_RTM"
+  | NoMap_RTM_STM -> "NoMap_RTM_STM"
 
-type t = { arch : arch }
+type t = {
+  arch : arch;
+  stm_factor : float;
+      (** single-thread slowdown of an STM-instrumented transactional
+          access relative to a plain one (only meaningful for
+          [NoMap_RTM_STM]); clamped to the 3-10x range the STM literature
+          reports for single-thread overhead *)
+}
 
-let create arch = { arch }
+let default_stm_factor = 4.0
+let min_stm_factor = 3.0
+let max_stm_factor = 10.0
+
+let create ?(stm_factor = default_stm_factor) arch =
+  { arch; stm_factor = Float.min max_stm_factor (Float.max min_stm_factor stm_factor) }
 
 let htm_mode t : Nomap_htm.Htm.mode =
   match t.arch with
   | Base -> Nomap_htm.Htm.Ghost
-  | NoMap_RTM -> Nomap_htm.Htm.Rtm
+  | NoMap_RTM | NoMap_RTM_STM -> Nomap_htm.Htm.Rtm
   | NoMap_S | NoMap_B | NoMap_full | NoMap_BC -> Nomap_htm.Htm.Rot
+
+(** Capacity overflow upgrades the transaction to a software transaction
+    instead of aborting (DESIGN.md §15). *)
+let stm_fallback t = t.arch = NoMap_RTM_STM
 
 (** Convert in-transaction SMPs to aborts (everything but Base). *)
 let convert_smps t = t.arch <> Base
 
 let combine_bounds t =
   match t.arch with
-  | NoMap_B | NoMap_full | NoMap_BC | NoMap_RTM -> true
+  | NoMap_B | NoMap_full | NoMap_BC | NoMap_RTM | NoMap_RTM_STM -> true
   | Base | NoMap_S -> false
 
 (** Remove in-transaction overflow checks, relying on the Sticky Overflow
-    Flag.  x86 RTM has no SOF (paper §VI-B), so NoMap_RTM keeps them. *)
+    Flag.  x86 RTM has no SOF (paper §VI-B), so the RTM-based archs keep
+    them. *)
 let remove_overflow t =
   match t.arch with NoMap_full | NoMap_BC -> true | _ -> false
 
@@ -55,7 +81,10 @@ let sof_enabled = remove_overflow
 let capacity_scale = 8
 
 (** Write-footprint budget (bytes) for whole-loop transaction placement:
-    conservative halves of the capacity the mode can buffer. *)
+    conservative halves of the capacity the mode can buffer.  NoMap_RTM_STM
+    uses the same budgets as NoMap_RTM on purpose — the compiler places
+    transactions identically, so any measured difference between the two
+    archs is the runtime fallback policy alone. *)
 let write_budget t =
   (match htm_mode t with
   | Nomap_htm.Htm.Rtm -> 16 * 1024  (* L1D is 32KB *)

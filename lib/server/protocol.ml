@@ -26,7 +26,7 @@
                            [u64 ftl_calls]
       status 1 (STATS_OK): [str text]
       status 2 (PONG), 3 (SHUTTING_DOWN): no fields
-      status 16..19 (MALFORMED/OVERLOADED/TIMEOUT/CRASH): [str message]
+      status 16..20 (MALFORMED/OVERLOADED/TIMEOUT/CRASH/FUEL_LIMIT): [str message]
     v}
 
     where [str] is [u32 len][bytes].  Every decoder is total: malformed
@@ -61,12 +61,17 @@ type err =
   | Eoverloaded  (** admission queue full — retry later *)
   | Etimeout  (** deadline exceeded in queue, or fuel exhausted running *)
   | Ecrash  (** the program failed to compile or raised at runtime *)
+  | Efuel_limit
+      (** the request asked for more fuel than the server's --max-fuel
+          allows; distinct from [Etimeout] so clients can tell "lower your
+          request" from "your program is too slow" *)
 
 let err_name = function
   | Emalformed -> "malformed"
   | Eoverloaded -> "overloaded"
   | Etimeout -> "timeout"
   | Ecrash -> "crash"
+  | Efuel_limit -> "fuel-limit"
 
 (** Per-request machine counters, the serving-side cut of
     [Nomap_machine.Counters] (totals only; the full per-category breakdown
@@ -229,13 +234,19 @@ let decode_request (payload : string) : (request, string) result =
 (* ------------------------------------------------------------------ *)
 (* Responses *)
 
-let err_code = function Emalformed -> 16 | Eoverloaded -> 17 | Etimeout -> 18 | Ecrash -> 19
+let err_code = function
+  | Emalformed -> 16
+  | Eoverloaded -> 17
+  | Etimeout -> 18
+  | Ecrash -> 19
+  | Efuel_limit -> 20
 
 let err_of_code = function
   | 16 -> Emalformed
   | 17 -> Eoverloaded
   | 18 -> Etimeout
   | 19 -> Ecrash
+  | 20 -> Efuel_limit
   | n -> raise (Bad (Printf.sprintf "unknown error status %d" n))
 
 let encode_response (resp : response) : string =

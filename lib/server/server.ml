@@ -4,6 +4,7 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   max_connections : int;
+  max_fuel : int;  (** cap on client-requested RUN fuel (--max-fuel) *)
 }
 
 let default_config ~socket_path =
@@ -13,6 +14,7 @@ let default_config ~socket_path =
     queue_capacity = 64;
     cache_capacity = 128;
     max_connections = 512;
+    max_fuel = Session.default_fuel;
   }
 
 type stats = {
@@ -27,6 +29,7 @@ type stats = {
   mutable err_overloaded : int;
   mutable err_timeout : int;
   mutable err_crash : int;
+  mutable err_fuel_limit : int;
 }
 
 (* One client connection.  Exactly one of three places owns it at any
@@ -79,7 +82,8 @@ let record_response t (resp : Protocol.response) =
         | Protocol.Emalformed -> s.err_malformed <- s.err_malformed + 1
         | Protocol.Eoverloaded -> s.err_overloaded <- s.err_overloaded + 1
         | Protocol.Etimeout -> s.err_timeout <- s.err_timeout + 1
-        | Protocol.Ecrash -> s.err_crash <- s.err_crash + 1))
+        | Protocol.Ecrash -> s.err_crash <- s.err_crash + 1
+        | Protocol.Efuel_limit -> s.err_fuel_limit <- s.err_fuel_limit + 1))
 
 let stats_text t =
   let depth = Mutex.protect t.lock (fun () -> Queue.length t.jobs) in
@@ -95,9 +99,9 @@ let stats_text t =
       Printf.sprintf "cache %s" (Artifact_cache.stats_to_string t.cache);
       Printf.sprintf
         "requests run_ok=%d run_hit=%d run_miss=%d stats=%d ping=%d \
-         errors=[malformed=%d overloaded=%d timeout=%d crash=%d]"
+         errors=[malformed=%d overloaded=%d timeout=%d crash=%d fuel_limit=%d]"
         s.run_ok s.run_hit (s.run_ok - s.run_hit) s.stats_served s.pings s.err_malformed
-        s.err_overloaded s.err_timeout s.err_crash;
+        s.err_overloaded s.err_timeout s.err_crash s.err_fuel_limit;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +121,7 @@ let request_stop t =
 let session_ctx t : Session.ctx =
   {
     Session.cache = t.cache;
+    max_fuel = t.cfg.max_fuel;
     stats_text = (fun () -> stats_text t);
     request_shutdown = (fun () -> request_stop t);
     on_response = record_response t;
@@ -335,6 +340,7 @@ let start cfg =
       domains = max 1 cfg.domains;
       queue_capacity = max 1 cfg.queue_capacity;
       max_connections = max 1 cfg.max_connections;
+      max_fuel = (if cfg.max_fuel <= 0 then Session.default_fuel else cfg.max_fuel);
     }
   in
   (* A client hanging up mid-reply must surface as EPIPE, not kill the
@@ -373,6 +379,7 @@ let start cfg =
           err_overloaded = 0;
           err_timeout = 0;
           err_crash = 0;
+          err_fuel_limit = 0;
         };
       started_wall = Unix.gettimeofday ();
       pool = [];

@@ -40,6 +40,10 @@ type config = {
   queue_capacity : int;  (** admission queue bound (in frames); beyond it, OVERLOADED *)
   cache_capacity : int;  (** artifact-cache entries *)
   max_connections : int;  (** open-connection bound; beyond it, rejected at the door *)
+  max_fuel : int;
+      (** cap on client-requested RUN fuel; over-limit requests get
+          [Efuel_limit], non-positive values fall back to
+          [Session.default_fuel] *)
 }
 
 val default_config : socket_path:string -> config

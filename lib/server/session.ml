@@ -6,7 +6,13 @@ module Instance = Nomap_interp.Instance
 module Counters = Nomap_machine.Counters
 module Fnv = Nomap_util.Fnv
 
-type key = { hash : int64; tier : Vm.tier_cap; arch : Config.arch }
+(* [src] is part of the key, not just its hash: two sources colliding on
+   the 64-bit FNV fingerprint must NOT serve each other's compiled program.
+   The hash still does the heavy lifting — shard selection and cheap
+   inequality — while key equality (structural, so full string compare)
+   verifies the source on every hit.  The collision regression test in
+   test_server.ml forces the issue with a deliberately truncated hash. *)
+type key = { hash : int64; src : string; tier : Vm.tier_cap; arch : Config.arch }
 
 type cache = (key, Nomap_bytecode.Opcode.program) Artifact_cache.t
 
@@ -26,16 +32,34 @@ let counters_of_vm vm : Protocol.run_counters =
     ftl_calls = c.Counters.ftl_calls;
   }
 
-let run ~cache (r : Protocol.run) : Protocol.response =
-  match
-    Artifact_cache.find_or_add cache
-      { hash = Fnv.hash64 r.Protocol.src; tier = r.Protocol.tier; arch = r.Protocol.arch }
-      (fun () -> Nomap_bytecode.Compile.compile_source r.Protocol.src)
-  with
+let run ?(max_fuel = default_fuel) ~cache (r : Protocol.run) : Protocol.response =
+  if r.Protocol.fuel > max_fuel then
+    (* Typed refusal, not a silent clamp: a client that asked for more than
+       the server allows should know its request was not honored. *)
+    Protocol.Error
+      {
+        err = Protocol.Efuel_limit;
+        msg =
+          Printf.sprintf "requested fuel %d exceeds the server limit %d" r.Protocol.fuel
+            max_fuel;
+      }
+  else
+    match
+      Artifact_cache.find_or_add cache
+        {
+          hash = Fnv.hash64 r.Protocol.src;
+          src = r.Protocol.src;
+          tier = r.Protocol.tier;
+          arch = r.Protocol.arch;
+        }
+        (fun () -> Nomap_bytecode.Compile.compile_source r.Protocol.src)
+    with
   | exception e ->
     Protocol.Error { err = Protocol.Ecrash; msg = "compile: " ^ Printexc.to_string e }
   | cache_hit, prog -> (
-    let fuel = if r.Protocol.fuel <= 0 then default_fuel else r.Protocol.fuel in
+    (* An unset fuel means "the server's default", itself capped by the
+       operator's --max-fuel. *)
+    let fuel = if r.Protocol.fuel <= 0 then min default_fuel max_fuel else r.Protocol.fuel in
     match
       let vm =
         Vm.create ~fuel ~config:(Config.create r.Protocol.arch) ~tier_cap:r.Protocol.tier prog
@@ -69,6 +93,7 @@ let run ~cache (r : Protocol.run) : Protocol.response =
 
 type ctx = {
   cache : cache;
+  max_fuel : int;
   stats_text : unit -> string;
   request_shutdown : unit -> unit;
   on_response : Protocol.response -> unit;
@@ -113,7 +138,7 @@ let handle_frame ctx ~queue_wait_s fd payload =
         `Keep
       end
       else begin
-        reply ctx fd (run ~cache:ctx.cache r);
+        reply ctx fd (run ~max_fuel:ctx.max_fuel ~cache:ctx.cache r);
         `Keep
       end
   in

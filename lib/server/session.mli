@@ -9,6 +9,9 @@
 
 type key = {
   hash : int64;  (** FNV-1a of the program source *)
+  src : string;
+      (** the source itself: key equality verifies it on every hit, so a
+          64-bit hash collision is a miss, never a wrong program *)
   tier : Nomap_vm.Vm.tier_cap;
   arch : Nomap_nomap.Config.arch;
 }
@@ -23,18 +26,21 @@ type cache = (key, Nomap_bytecode.Opcode.program) Artifact_cache.t
 val default_fuel : int
 (** Execution budget when the request doesn't set one. *)
 
-val run : cache:cache -> Protocol.run -> Protocol.response
+val run : ?max_fuel:int -> cache:cache -> Protocol.run -> Protocol.response
 (** Execute one RUN request: look up / compile the artifact, run the
     program's top level on a fresh VM (plus [iters] calls of
     [benchmark()]), and report the [result] global, the structural heap
-    checksum, and the request's machine counters.  Fuel exhaustion maps to
-    [Etimeout], compile or runtime failures to [Ecrash]; no exception
-    escapes. *)
+    checksum, and the request's machine counters.  A request whose fuel
+    exceeds [max_fuel] (default [default_fuel]) is refused with
+    [Efuel_limit] before any work; an unset request fuel means
+    [min default_fuel max_fuel].  Fuel exhaustion maps to [Etimeout],
+    compile or runtime failures to [Ecrash]; no exception escapes. *)
 
 (** Callbacks a session uses to reach daemon-level state without depending
     on [Server] (which depends on this module). *)
 type ctx = {
   cache : cache;
+  max_fuel : int;  (** server-side cap on client-requested fuel *)
   stats_text : unit -> string;  (** STATS verb payload *)
   request_shutdown : unit -> unit;  (** SHUTDOWN verb: begin daemon stop *)
   on_response : Protocol.response -> unit;  (** accounting tap, called per reply *)

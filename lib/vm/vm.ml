@@ -149,7 +149,8 @@ let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresho
   let env =
     Machine.create_env ~instance ~counters ~htm_mode:(Config.htm_mode config)
       ~sof_enabled:(Config.sof_enabled config) ~capacity_scale:Config.capacity_scale
-      ~host_ic ~call ~deopt_resume ()
+      ~host_ic ~stm_fallback:(Config.stm_fallback config)
+      ~stm_factor:config.Config.stm_factor ~call ~deopt_resume ()
   in
   env.Machine.on_abort <-
     (fun ~fid reason ->

@@ -137,6 +137,60 @@ let test_htm_capacity_abort () =
   Htm.rollback tx;
   Alcotest.(check bool) "capacity abort raised" true !aborted
 
+(* Hybrid fallback: the same overflowing write sequence that capacity-aborts
+   above must, with [stm_fallback], upgrade the transaction to Stm in place,
+   keep executing, and commit with every write intact.  The fallback
+   callback fires exactly once with the averted reason, and the prefix
+   marks record how much work the doomed hardware attempt had done. *)
+let test_htm_stm_fallback_commits () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 5000 in
+  let averted = ref [] in
+  let tx =
+    Htm.begin_tx ~capacity_scale:64 ~stm_fallback:(fun r -> averted := r :: !averted) heap
+      ~mode:Htm.Rtm ~snapshot:[] ~resume_pc:0 ~owner_frame:0
+  in
+  for i = 0 to 4999 do
+    Heap.set_elem heap arr i (Value.Int i)
+  done;
+  Alcotest.(check bool) "upgraded to Stm" true (tx.Htm.mode = Htm.Stm);
+  (match !averted with
+  | [ Htm.Capacity_write ] -> ()
+  | _ -> Alcotest.failf "expected exactly one averted Capacity_write, got %d" (List.length !averted));
+  Alcotest.(check bool) "prefix marks set" true
+    (tx.Htm.stm_prefix_writes > 0 && tx.Htm.stm_prefix_writes < tx.Htm.writes);
+  Alcotest.(check int) "all writes counted" 5000 tx.Htm.writes;
+  (* The write footprint keeps accumulating past the overflow (Table IV). *)
+  Alcotest.(check bool) "footprint covers the whole write set" true
+    (Footprint.bytes tx.Htm.write_fp >= 5000 * 8);
+  Htm.commit tx;
+  Alcotest.(check string) "first write survives" "0"
+    (Value.to_js_string (Heap.get_elem heap arr 0));
+  Alcotest.(check string) "last write survives" "4999"
+    (Value.to_js_string (Heap.get_elem heap arr 4999))
+
+(* A fallen-back transaction can still abort (a failed in-tx check raises
+   through the machine): the undo log spans the hardware prefix AND the
+   software suffix, so rollback must restore the pre-transaction heap
+   exactly. *)
+let test_htm_stm_rollback_restores () =
+  let heap = Heap.create () in
+  let arr = Heap.alloc_array heap 5000 in
+  Heap.set_elem heap arr 0 (Value.Int 7);
+  let tx =
+    Htm.begin_tx ~capacity_scale:64 ~stm_fallback:(fun _ -> ()) heap ~mode:Htm.Rtm
+      ~snapshot:[] ~resume_pc:0 ~owner_frame:0
+  in
+  for i = 0 to 4999 do
+    Heap.set_elem heap arr i (Value.Int (i + 1))
+  done;
+  Alcotest.(check bool) "fell back" true (tx.Htm.mode = Htm.Stm);
+  Htm.rollback tx;
+  Alcotest.(check string) "pre-tx write restored" "7"
+    (Value.to_js_string (Heap.get_elem heap arr 0));
+  Alcotest.(check string) "speculative suffix write gone" "undefined"
+    (Value.to_js_string (Heap.get_elem heap arr 4999))
+
 let qcheck_footprint_line_count =
   QCheck2.Test.make ~name:"footprint counts distinct lines" ~count:200
     QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 100_000))
@@ -218,6 +272,8 @@ let tests =
     Alcotest.test_case "htm write footprint" `Quick test_htm_write_footprint_tracked;
     Alcotest.test_case "htm rtm read tracking" `Quick test_htm_rtm_read_tracking;
     Alcotest.test_case "htm capacity abort" `Quick test_htm_capacity_abort;
+    Alcotest.test_case "htm stm fallback commits" `Quick test_htm_stm_fallback_commits;
+    Alcotest.test_case "htm stm rollback restores" `Quick test_htm_stm_rollback_restores;
     Alcotest.test_case "slot growth under tx" `Quick test_slot_growth_under_tx;
     QCheck_alcotest.to_alcotest qcheck_footprint_line_count;
     QCheck_alcotest.to_alcotest qcheck_rollback_is_identity;

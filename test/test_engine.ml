@@ -132,7 +132,8 @@ let chunked_kernel =
 
 let test_phi_loop () = check_matrix ~name:"phi loop" phi_kernel
 
-let edge_archs = [ Config.Base; Config.NoMap_full; Config.NoMap_BC; Config.NoMap_RTM ]
+let edge_archs =
+  [ Config.Base; Config.NoMap_full; Config.NoMap_BC; Config.NoMap_RTM; Config.NoMap_RTM_STM ]
 
 let check_ftl_archs ~name src =
   List.iter (fun arch -> check_equiv ~name ~tier:Vm.Cap_ftl ~arch src) edge_archs
@@ -140,6 +141,79 @@ let check_ftl_archs ~name src =
 let test_deopt_mid_segment () = check_ftl_archs ~name:"deopt mid-segment" deopt_kernel
 let test_sof_abort () = check_ftl_archs ~name:"sof abort" sof_kernel
 let test_chunked_tx () = check_ftl_archs ~name:"chunked tx" chunked_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid RTM+STM capacity fallback *)
+
+(* Twelve writes at a 512-element (4 KB) stride all map to the same set of
+   the scaled 8-set L1D, so the write set needs 12 ways where the HTM has 8
+   — an associativity overflow the byte-count estimator cannot see (96
+   bytes, far under budget, so placement wraps the whole loop).  Under
+   NoMap_RTM that means a capacity abort, a deopt, a Baseline re-execution
+   of the rest of the call (including the check-heavy tail loop), and a
+   placement demotion — three cold calls in a row until Max_chunk 4 tiles
+   fit.  Under NoMap_RTM_STM the same overflow upgrades the transaction to
+   the modeled software redo log in place: the check-elided body commits
+   and the tail stays in FTL on every call. *)
+let spray_kernel =
+  "function benchmark() { var a = new Array(8192); for (var i = 0; i < 12; i++) { a[i * \
+   512] = i; } var s = 0; for (var j = 0; j < 2000; j++) { s = (s + j * 7) & 0xFFFFF; } \
+   return s + a[512]; } var it; var result = 0; for (it = 0; it < 10; it++) { result = \
+   benchmark(); }"
+
+(* 64 elements sit comfortably inside the scaled capacity: the fallback is
+   never exercised, so the hybrid architecture must be indistinguishable
+   from pure RTM down to the last counter bit. *)
+let fit_kernel =
+  "function benchmark() { var a = new Array(64); for (var i = 0; i < 64; i++) { a[i] = i * \
+   3; } return a[63]; } var it; var result = 0; for (it = 0; it < 10; it++) { result = \
+   benchmark(); }"
+
+let run_cold ~arch src =
+  let prog = Nomap_bytecode.Compile.compile_source src in
+  let vm =
+    Vm.create ~fuel:500_000_000 ~thresholds ~verify_lir:true ~engine:Engine.Decoded
+      ~config:(Config.create arch) ~tier_cap:Vm.Cap_ftl prog
+  in
+  ignore (Vm.run_main vm);
+  let result =
+    match Vm.global vm "result" with
+    | Some v -> Value.to_js_string v
+    | None -> "<no result>"
+  in
+  (result, Nomap_vm.Heap_checksum.checksum (Vm.instance vm), Vm.counters vm, Vm.tx_demotions vm)
+
+let test_hybrid_overflow () =
+  (* Both engines agree on the overflowing kernel under both RTM archs. *)
+  List.iter
+    (fun arch -> check_equiv ~name:"spray" ~tier:Vm.Cap_ftl ~arch spray_kernel)
+    [ Config.NoMap_RTM; Config.NoMap_RTM_STM ];
+  let base_r, base_h, _, _ = run_cold ~arch:Config.Base spray_kernel in
+  let rtm_r, rtm_h, rtm_c, rtm_dem = run_cold ~arch:Config.NoMap_RTM spray_kernel in
+  let stm_r, stm_h, stm_c, stm_dem = run_cold ~arch:Config.NoMap_RTM_STM spray_kernel in
+  Alcotest.(check string) "rtm result matches Base" base_r rtm_r;
+  Alcotest.(check string) "hybrid result matches Base" base_r stm_r;
+  Alcotest.(check string) "rtm heap matches Base" base_h rtm_h;
+  Alcotest.(check string) "hybrid heap matches Base" base_h stm_h;
+  Alcotest.(check bool) "rtm capacity-aborts" true (rtm_c.Counters.tx_aborts > 0);
+  Alcotest.(check bool) "rtm demotes placement" true (rtm_dem > 0);
+  Alcotest.(check bool) "hybrid commits in software" true (stm_c.Counters.stm_commits > 0);
+  Alcotest.(check int) "hybrid never demotes" 0 stm_dem;
+  Alcotest.(check int) "hybrid suffers no software rollbacks here" 0 stm_c.Counters.stm_aborts;
+  (* The ladder must be monotone on a cold VM: avoiding the
+     abort -> deopt -> recompile -> Baseline-re-execute transient beats
+     paying the per-access software overhead on every call. *)
+  Alcotest.(check bool) "hybrid beats pure RTM cold" true
+    (Counters.cycles stm_c < Counters.cycles rtm_c)
+
+let test_hybrid_fit_identical () =
+  let _, _, rtm_c, _ = run_cold ~arch:Config.NoMap_RTM fit_kernel in
+  let _, _, stm_c, _ = run_cold ~arch:Config.NoMap_RTM_STM fit_kernel in
+  Alcotest.(check int) "no software commits when the footprint fits" 0
+    stm_c.Counters.stm_commits;
+  Alcotest.(check string) "bit-identical counters when no overflow"
+    (Counters.to_canonical_string rtm_c)
+    (Counters.to_canonical_string stm_c)
 
 (* ------------------------------------------------------------------ *)
 (* Fused elided run charges exactly zero *)
@@ -222,5 +296,8 @@ let tests =
     Alcotest.test_case "deopt mid-segment equivalence" `Quick test_deopt_mid_segment;
     Alcotest.test_case "sof abort equivalence" `Quick test_sof_abort;
     Alcotest.test_case "chunked tx equivalence" `Quick test_chunked_tx;
+    Alcotest.test_case "hybrid overflow falls back and wins" `Quick test_hybrid_overflow;
+    Alcotest.test_case "hybrid matches rtm when footprint fits" `Quick
+      test_hybrid_fit_identical;
     Alcotest.test_case "fused elided run is free" `Quick test_elided_run_is_free;
   ]

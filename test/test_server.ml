@@ -70,6 +70,7 @@ let test_response_roundtrip () =
       Protocol.Shutting_down;
       Protocol.Error { err = Protocol.Eoverloaded; msg = "queue full" };
       Protocol.Error { err = Protocol.Etimeout; msg = "" };
+      Protocol.Error { err = Protocol.Efuel_limit; msg = "requested fuel 1 exceeds limit 0" };
     ]
 
 let expect_bad what payload =
@@ -152,6 +153,43 @@ let test_cache_domain_hammer () =
     s.Artifact_cache.evictions;
   Alcotest.(check bool) "bounded" true (s.Artifact_cache.size <= capacity)
 
+(* Regression for the hash-collision bug: the session used to key the
+   artifact cache on hash(src) x tier x arch alone, so two sources
+   colliding on the 64-bit fingerprint served each other's compiled
+   program.  The fix keeps the source in the key; structural key equality
+   then verifies it on every hit.  A real FNV-1a-64 collision is
+   impractical to construct, so we force one the same way the bug would
+   manifest: a deliberately truncated (1-bit) hash makes every source
+   collide, and the cache must still keep the artifacts apart. *)
+let test_cache_truncated_hash_collision () =
+  let truncated src = Int64.logand (Nomap_util.Fnv.hash64 src) 1L in
+  let key src =
+    { Session.hash = truncated src; src; tier = Vm.Cap_ftl; arch = Config.NoMap_full }
+  in
+  let srcs =
+    (* More sources than hash values: the pigeonhole guarantees collisions
+       whichever way the truncated bits fall. *)
+    List.init 4 (fun i -> Printf.sprintf "var result = %d;" i)
+  in
+  let cache : (Session.key, string) Artifact_cache.t = Artifact_cache.create ~capacity:16 () in
+  List.iter
+    (fun src ->
+      let hit, artifact = Artifact_cache.find_or_add cache (key src) (fun () -> src) in
+      Alcotest.(check bool) ("first sight of " ^ src ^ " is a miss") false hit;
+      Alcotest.(check string) "fresh artifact" src artifact)
+    srcs;
+  (* Every re-lookup must hit AND return its own artifact, never a
+     hash-colliding neighbour's. *)
+  List.iter
+    (fun src ->
+      let hit, artifact =
+        Artifact_cache.find_or_add cache (key src) (fun () ->
+            Alcotest.fail "re-lookup recomputed")
+      in
+      Alcotest.(check bool) ("re-lookup of " ^ src ^ " hits") true hit;
+      Alcotest.(check string) "own artifact, not a collision victim's" src artifact)
+    srcs
+
 (* ------------------------------------------------------------------ *)
 (* Live daemon integration *)
 
@@ -175,7 +213,7 @@ let temp_socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "nomapd-test-%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_server ?(domains = 2) ?(queue = 64) cfg_f =
+let with_server ?(domains = 2) ?(queue = 64) ?(max_fuel = Session.default_fuel) cfg_f =
   let path = temp_socket () in
   let t =
     Server.start
@@ -185,6 +223,7 @@ let with_server ?(domains = 2) ?(queue = 64) cfg_f =
         queue_capacity = queue;
         cache_capacity = 32;
         max_connections = 128;
+        max_fuel;
       }
   in
   Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> cfg_f path t)
@@ -329,6 +368,47 @@ let test_cache_hit_flag () =
             (hit_of (Client.rpc conn (run_req src)));
           Alcotest.(check bool) "other tier misses" false
             (hit_of (Client.rpc conn (run_req ~tier:Vm.Cap_interp src)))))
+
+(* Server-side fuel cap (--max-fuel): an over-limit request is refused with
+   the typed FUEL_LIMIT error before any work; an unset request fuel is
+   clamped to the cap instead of getting the unbounded built-in default;
+   in-limit requests are honored untouched. *)
+let test_fuel_cap () =
+  let heavy =
+    "var s = 0; for (var i = 0; i < 1000000; i++) { s = s + i; } var result = s;"
+  in
+  with_server ~max_fuel:50_000 (fun path _t ->
+      let conn = Client.connect ~retry_for_s:5.0 path in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* Over the cap: typed error, nothing executed. *)
+          (match Client.rpc conn (run_req ~fuel:1_000_000 "var result = 1;") with
+          | Protocol.Error { err = Protocol.Efuel_limit; msg } ->
+            Alcotest.(check bool) "refusal names the limit" true
+              (let contains hay needle =
+                 let nh = String.length hay and nn = String.length needle in
+                 let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+                 go 0
+               in
+               contains msg "50000")
+          | resp ->
+            Alcotest.failf "over-limit fuel should be refused, got %s"
+              (Protocol.err_name
+                 (match resp with Protocol.Error { err; _ } -> err | _ -> Protocol.Ecrash)))
+          ;
+          (* Unset fuel: clamped to the 50k cap, so the heavy loop times out
+             instead of running on the ~100M built-in default. *)
+          (match Client.rpc conn (run_req heavy) with
+          | Protocol.Error { err = Protocol.Etimeout; _ } -> ()
+          | Protocol.Run_ok _ ->
+            Alcotest.fail "unset fuel escaped the server cap (ran to completion)"
+          | _ -> Alcotest.fail "unset-fuel probe: unexpected response");
+          (* In-limit explicit fuel still runs, and the connection survived
+             both refusals. *)
+          match Client.rpc conn (run_req ~fuel:40_000 "var result = 6 * 7;") with
+          | Protocol.Run_ok { result; _ } -> Alcotest.(check string) "in-limit runs" "42" result
+          | _ -> Alcotest.fail "in-limit request should run"))
 
 let slow_src =
   "var s = 0; for (var i = 0; i < 5000000; i++) { s = (s + i) & 1048575; } var result = s;"
@@ -522,6 +602,8 @@ let tests =
     Alcotest.test_case "cache: failed compute not inserted" `Quick
       test_cache_compute_failure_not_inserted;
     Alcotest.test_case "cache: concurrent domain hammer" `Quick test_cache_domain_hammer;
+    Alcotest.test_case "cache: truncated-hash collision serves the right artifact" `Quick
+      test_cache_truncated_hash_collision;
     Alcotest.test_case "cache: in-flight compute doesn't block other keys" `Quick
       test_cache_contention_compute_doesnt_block;
     Alcotest.test_case "daemon: corpus x concurrent clients == direct Vm" `Slow
@@ -531,6 +613,7 @@ let tests =
       test_error_paths;
     Alcotest.test_case "daemon: cache-hit flag keyed by source x tier" `Quick
       test_cache_hit_flag;
+    Alcotest.test_case "daemon: --max-fuel refuses, clamps, and honors" `Quick test_fuel_cap;
     Alcotest.test_case "daemon: backpressure rejects, queue deadline times out" `Slow
       test_overload_and_deadline;
     Alcotest.test_case "daemon: pipelined request gets its own queue wait" `Slow
