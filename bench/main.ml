@@ -27,9 +27,11 @@
     [--engine decoded|threaded] pins the engine used by phases 1-3 (the
     simulated metrics are engine-invariant; only wall-clock moves).
     [--json <path>] additionally writes the measurements to [path] as one
-    machine-readable report (schema [nomap-bench-v5] — v5 adds the
-    [hybrid_fallback_cold] experiment and the NoMap_RTM_STM column to the
-    architecture sweeps; see DESIGN.md §9), so
+    machine-readable report (schema [nomap-bench-v6] — v6 adds the
+    [contention_shared_agents] experiment and its [shared_agents] section:
+    multi-agent conflict-abort rates per kernel and agent count, DESIGN.md
+    §16; v5 added the [hybrid_fallback_cold] experiment and the
+    NoMap_RTM_STM column to the architecture sweeps; see DESIGN.md §9), so
     wall-clock regressions of the simulator itself can be tracked across
     commits; the report records the host context (OCaml version, word size,
     recommended domain count) the numbers were taken on. *)
@@ -66,6 +68,7 @@ let experiments : (string * (unit -> string)) list =
     ("table4_tx_footprints", E.table4);
     ("appendix_htm_validation", E.validate_htm);
     ("hybrid_fallback_cold", E.hybrid_fallback);
+    ("contention_shared_agents", E.contention);
     ("ablation_passes", E.ablation);
     ("headline_reductions", E.headline);
   ]
@@ -113,7 +116,7 @@ let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
     ~(rows : (string * float * float option) list) ~(engine_exec : engine_exec_row list) =
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"nomap-bench-v5\",\n";
+  output_string oc "  \"schema\": \"nomap-bench-v6\",\n";
   Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
   Printf.fprintf oc
     "  \"host\": {\"ocaml_version\": \"%s\", \"word_size\": %d, \
@@ -151,6 +154,21 @@ let write_json path ~serial_wall_s ~parallel_wall_s ~jobs ~engine
         (r.ee_decoded_ns /. r.ee_threaded_ns)
         (if i < List.length engine_exec - 1 then "," else ""))
     engine_exec;
+  output_string oc "  ],\n";
+  (* Multi-agent shared-segment contention (DESIGN.md §16) — simulated
+     metrics, so they are wall-clock-free and comparable across hosts.
+     The memoized rows were computed during the phase-1 sweep. *)
+  output_string oc "  \"shared_agents\": [\n";
+  let contention = E.contention_rows () in
+  List.iteri
+    (fun i (r : E.contention_row) ->
+      Printf.fprintf oc
+        "    {\"kernel\": \"%s\", \"agents\": %d, \"tx_commits\": %d, \
+         \"conflict_aborts\": %d, \"abort_pct\": %.2f, \"adds_applied\": %d}%s\n"
+        (json_escape r.E.ct_kernel) r.E.ct_agents r.E.ct_commits r.E.ct_conflicts
+        r.E.ct_abort_pct r.E.ct_adds
+        (if i < List.length contention - 1 then "," else ""))
+    contention;
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s (%d experiments)\n" path (List.length rows)

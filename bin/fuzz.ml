@@ -8,11 +8,18 @@
     seeds are retried once with boosted fuel and reported in the summary;
     with --max-skips N, more than N remaining skips exits 123.
 
+    Besides the tier matrix, each case (unless --agents 0/1) replays the
+    program on N agents over one shared segment twice under the same
+    seeded schedule: the two runs must be bit-identical (results, heap
+    checksums, segment image, conflict count) — the multi-agent
+    determinism axis.
+
     Usage:
       fuzz.exe --seed 42 --iters 500                # the acceptance run
       fuzz.exe --seed 42 --iters 200 --sabotage     # self-test: must fail
       fuzz.exe --tier-pair ftl:NoMap-RTM --iters 50 # narrow the matrix
       fuzz.exe --tier-pair ftl:Base:threaded --iters 50  # one engine only
+      fuzz.exe --agents 4 --iters 100               # wider agents axis
       fuzz.exe --emit seed.js --seed 7 --iters 1    # dump a program *)
 
 module Fuzz = Nomap_fuzz.Fuzz
@@ -150,6 +157,16 @@ let emit =
     & info [ "emit" ] ~docv:"FILE"
         ~doc:"Write the first generated program's source to FILE and exit (corpus pinning).")
 
+let agents =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "agents" ] ~docv:"N"
+        ~doc:
+          "Multi-agent determinism axis: run each program on N agents over a shared segment \
+           twice under the same seeded schedule and require bit-identical observations.  0 \
+           or 1 disables the axis.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the final summary.")
 
 let max_skips =
@@ -162,7 +179,7 @@ let max_skips =
            retry.  Skips shrink oracle coverage, so CI pins this; the default tolerates \
            any number.")
 
-let main seed iters jobs shrink cfgs sabotage emit quiet max_skips =
+let main seed iters jobs shrink cfgs sabotage emit quiet max_skips agents =
   match emit with
   | Some file ->
     let prog = Gen.program_of_seed ~seed:(Fuzz.case_seed ~seed 0) in
@@ -181,7 +198,7 @@ let main seed iters jobs shrink cfgs sabotage emit quiet max_skips =
         | `Skip (seed, msg) -> Printf.printf "case %d (seed %d): skipped: %s\n%!" i seed msg
         | `Diverge f -> Printf.printf "case %d: %s\n%!" i (Fuzz.failure_to_string f)
     in
-    let s = Fuzz.run ?cfgs ?ftl_mutate ~jobs ~shrink ~on_case ~seed ~iters () in
+    let s = Fuzz.run ?cfgs ?ftl_mutate ~agents ~jobs ~shrink ~on_case ~seed ~iters () in
     Printf.printf "%s [%.1fs]\n" (Fuzz.summary_to_string s) (Unix.gettimeofday () -. t0);
     let failures = List.length s.Fuzz.failures in
     if failures > 0 then min 125 failures
@@ -198,6 +215,6 @@ let cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const main $ seed $ iters $ jobs $ shrink $ tier_pair $ sabotage $ emit $ quiet
-      $ max_skips)
+      $ max_skips $ agents)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,8 +4,8 @@
     Identifier resolution: function-local [var]s and parameters become
     registers; everything else becomes a program global (created on demand,
     initialized to [undefined]); a bare reference to a declared function name
-    yields a function constant. [Math] and [String] are reserved namespace
-    identifiers resolved at compile time. *)
+    yields a function constant. [Math], [String], [Atomics], and [Shared]
+    are reserved namespace identifiers resolved at compile time. *)
 
 open Nomap_jsir
 
@@ -94,7 +94,7 @@ and collect_vars_stmt acc (s : Ast.stmt) =
   | Ast.Block b -> collect_vars_block b acc
   | Ast.Expr _ | Ast.Return _ | Ast.Break | Ast.Continue -> acc
 
-let reserved = [ "Math"; "String" ]
+let reserved = [ "Math"; "String"; "Atomics"; "Shared" ]
 
 let rec compile_expr f (e : Ast.expr) : Opcode.reg =
   match e with

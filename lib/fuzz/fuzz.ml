@@ -12,6 +12,10 @@ type failure = {
   seed : int;  (** per-case seed: replay with [--seed N --iters 1] *)
   program : Ast.program;
   divergences : Oracle.divergence list;
+  agents : (string * string) option;
+      (** multi-agent replay mismatch: the two observations that should
+          have been bit-identical (empty [divergences] is possible — a
+          determinism leak needn't miscompute anything solo) *)
   shrunk : Ast.program option;
 }
 
@@ -41,14 +45,25 @@ let shrink_failure ?ftl_mutate ~max_checks ~cfgs program =
   in
   Shrink.shrink ~max_checks ~keep program
 
-let run_case ?cfgs ?(fuel_boost = 1) ?ftl_mutate ~shrink ~shrink_checks seed =
+let run_case ?cfgs ?(fuel_boost = 1) ?ftl_mutate ?(agents = 0) ~shrink ~shrink_checks seed
+    =
   let program = Gen.program_of_seed ~seed in
-  match Oracle.check ?cfgs ~fuel_boost ?ftl_mutate program with
-  | Oracle.Agree -> `Agree
-  | Oracle.Skip msg -> `Skip (seed, msg)
-  | Oracle.Diverge divergences ->
+  (* The agents axis uses the case seed as the schedule seed, so replaying
+     a failure by seed replays its schedule too.  Sabotaged runs are
+     excluded: injected miscompiles are deterministic, so they would pass
+     replay while wasting four FTL runs per case. *)
+  let agents_div =
+    if agents >= 2 && ftl_mutate = None then
+      Oracle.check_agents ~agents ~schedule_seed:seed program
+    else None
+  in
+  match (Oracle.check ?cfgs ~fuel_boost ?ftl_mutate program, agents_div) with
+  | Oracle.Agree, None -> `Agree
+  | Oracle.Skip msg, None -> `Skip (seed, msg)
+  | verdict, agents_div ->
+    let divergences = match verdict with Oracle.Diverge ds -> ds | _ -> [] in
     let shrunk =
-      if not shrink then None
+      if (not shrink) || divergences = [] then None
       else
         (* Close the narrowed matrix under the engine axis: a counters-only
            engine divergence is invisible without the partner engine's run
@@ -59,7 +74,7 @@ let run_case ?cfgs ?(fuel_boost = 1) ?ftl_mutate ~shrink ~shrink_checks seed =
         in
         Some (shrink_failure ?ftl_mutate ~max_checks:shrink_checks ~cfgs:diverging program)
     in
-    `Diverge { seed; program; divergences; shrunk }
+    `Diverge { seed; program; divergences; agents = agents_div; shrunk }
 
 (** Run a campaign.  [on_case] (if given) is called after each case with
     (index, outcome) for progress reporting; with [jobs > 1] calls arrive
@@ -70,11 +85,12 @@ let run_case ?cfgs ?(fuel_boost = 1) ?ftl_mutate ~shrink ~shrink_checks seed =
     heavy-but-terminating program then reaches a real verdict, and the
     retry's outcome (including a fresh divergence) replaces the skip.
     [on_case] sees the retry as a second call at the same index. *)
-let run ?cfgs ?ftl_mutate ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
+let run ?cfgs ?ftl_mutate ?agents ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
     ?on_case ~seed ~iters () =
   let outcomes =
     Scheduler.parallel_map ~jobs
-      (fun index -> (index, run_case ?cfgs ?ftl_mutate ~shrink ~shrink_checks (case_seed ~seed index)))
+      (fun index ->
+        (index, run_case ?cfgs ?ftl_mutate ?agents ~shrink ~shrink_checks (case_seed ~seed index)))
       (List.init iters Fun.id)
   in
   (match on_case with Some f -> List.iter (fun (i, o) -> f i o) outcomes | None -> ());
@@ -87,7 +103,7 @@ let run ?cfgs ?ftl_mutate ?(jobs = 1) ?(shrink = true) ?(shrink_checks = 300)
     Scheduler.parallel_map ~jobs
       (fun (index, case) ->
         ( index,
-          run_case ?cfgs ~fuel_boost:Oracle.skip_retry_boost ?ftl_mutate ~shrink
+          run_case ?cfgs ~fuel_boost:Oracle.skip_retry_boost ?ftl_mutate ?agents ~shrink
             ~shrink_checks case ))
       first_skips
   in
@@ -119,6 +135,11 @@ let failure_to_string f =
   let b = Buffer.create 256 in
   Printf.bprintf b "seed %d diverged:\n" f.seed;
   List.iter (fun d -> Printf.bprintf b "%s\n" (Oracle.divergence_to_string d)) f.divergences;
+  (match f.agents with
+  | Some (first, second) ->
+    Printf.bprintf b
+      "  multi-agent replay not deterministic:\n  first    %s\n  second   %s\n" first second
+  | None -> ());
   (match f.shrunk with
   | Some p ->
     Printf.bprintf b "shrunk reproducer (%d nodes, kernel %d):\n%s" (Shrink.size p)

@@ -16,7 +16,12 @@
     - helper functions called from inside hot loops, some with their own
       loops, so callees tier up mid-caller and deopt/OSR paths fire;
     - persistent global arrays/objects mutated across benchmark calls, so
-      the heap checksum observes state the return value cannot. *)
+      the heap checksum observes state the return value cannot;
+    - [Shared]/[Atomics] segment operations on a handful of low indices
+      (so multi-agent runs actually collide on cache lines): tier-invariant
+      solo, and the raw material for the multi-agent determinism axis.
+      The segment checksum observes state neither the return value nor the
+      heap checksum can. *)
 
 module Ast = Nomap_jsir.Ast
 module Prng = Nomap_util.Prng
@@ -68,6 +73,28 @@ let array_index ctx (_name, len) =
       (1, fun () -> int_lit (Prng.int ctx.p len));
     ]
 
+(** Write index: [array_index] with the raw-scalar variant masked.  A raw
+    write elongates the array to the scalar's value, and an accumulator
+    that doubled every trip ([t += t]) reaches ~2^19 — a later loop
+    bounded by [a.length] then needs more ops than any fuel budget
+    (same hazard class as the guarded [push] below).  Masking to 8x the
+    literal length keeps elongation and holes while bounding every
+    length-driven loop. *)
+let array_write_index ctx ((_, len) as a) =
+  match array_index ctx a with
+  | Ast.Var _ as i -> Ast.Binop (Ast.Mod, i, int_lit (8 * len))
+  | e -> e
+
+(** Segment index: a low literal, or a scalar folded into the same range —
+    a handful of hot slots (two cache lines), so concurrent agents running
+    the same generated program genuinely conflict.  Negative scalars are
+    fine: segment indices wrap, JS-typed-array style. *)
+let shared_index ctx =
+  match ctx.scalars with
+  | vars when vars <> [] && Prng.bool ctx.p ->
+    Ast.Binop (Ast.Mod, Ast.Var (pick ctx.p vars), int_lit 12)
+  | _ -> int_lit (Prng.int ctx.p 12)
+
 let leaf ctx =
   let scalar = match ctx.scalars with [] -> None | vs -> Some (fun () -> Ast.Var (pick ctx.p vs)) in
   let array =
@@ -97,6 +124,14 @@ let leaf ctx =
         (1, fun () -> num (pick ctx.p [ 1.5; 0.25; 3.75; -2.5 ]));
       ]
   in
+  let shared () =
+    pick_w ctx.p
+      [
+        (3, fun () -> Ast.Method_call (Ast.Var "Atomics", "load", [ shared_index ctx ]));
+        (2, fun () -> Ast.Method_call (Ast.Var "Shared", "read", [ shared_index ctx ]));
+        (1, fun () -> Ast.Method_call (Ast.Var "Shared", "size", []));
+      ]
+  in
   let choices =
     List.filter_map Fun.id
       [
@@ -104,6 +139,7 @@ let leaf ctx =
         Option.map (fun f -> (3, f)) array;
         Option.map (fun f -> (2, f)) obj;
         Some (3, consts);
+        Some (1, shared);
       ]
   in
   pick_w ctx.p choices
@@ -200,7 +236,7 @@ let rec stmt ctx ~depth : Ast.stmt =
       ( (if ctx.arrays = [] then 0 else 3),
         fun () ->
           let a = pick ctx.p ctx.arrays in
-          Ast.Expr (Ast.Assign (Ast.Lindex (Ast.Var (fst a), array_index ctx a), e 3)) );
+          Ast.Expr (Ast.Assign (Ast.Lindex (Ast.Var (fst a), array_write_index ctx a), e 3)) );
       ( (if ctx.objects = [] then 0 else 3),
         fun () ->
           let o = pick ctx.p ctx.objects in
@@ -246,6 +282,48 @@ let rec stmt ctx ~depth : Ast.stmt =
             ( Ast.Binop (Ast.Lt, Ast.Prop (Ast.Var (fst a), "length"), int_lit 64),
               [ Ast.Expr (Ast.Method_call (Ast.Var (fst a), "push", [ e 2 ])) ],
               [] ) );
+      (* Segment mutations: RMWs dominate (the interesting transactional
+         shape), with plain stores, fences and a CAS in the tail. *)
+      ( 2,
+        fun () ->
+          let call m args = Ast.Expr (Ast.Method_call (Ast.Var "Atomics", m, args)) in
+          pick_w ctx.p
+            [
+              (3, fun () -> call "add" [ shared_index ctx; e 2 ]);
+              (2, fun () -> call "store" [ shared_index ctx; e 3 ]);
+              (1, fun () -> call "sub" [ shared_index ctx; e 2 ]);
+              ( 1,
+                fun () ->
+                  Ast.Expr
+                    (Ast.Method_call (Ast.Var "Shared", "write", [ shared_index ctx; e 2 ]))
+              );
+              (1, fun () -> call "fence" []);
+            ] );
+      ( (if ctx.assignable = [] then 0 else 1),
+        fun () ->
+          (* RMW results feed back into private state, so a stale old-value
+             is visible to the result global, not just the segment. *)
+          let s = pick ctx.p ctx.assignable in
+          pick_w ctx.p
+            [
+              ( 2,
+                fun () ->
+                  Ast.Expr
+                    (Ast.Op_assign
+                       ( Ast.Add,
+                         Ast.Lvar s,
+                         Ast.Method_call
+                           (Ast.Var "Atomics", "exchange", [ shared_index ctx; e 2 ]) )) );
+              ( 1,
+                fun () ->
+                  Ast.Expr
+                    (Ast.Assign
+                       ( Ast.Lvar s,
+                         Ast.Method_call
+                           ( Ast.Var "Atomics",
+                             "compareExchange",
+                             [ shared_index ctx; e 2; e 2 ] ) )) );
+            ] );
     ]
   in
   pick_w ctx.p choices

@@ -103,13 +103,18 @@ let heap_checksum = Nomap_vm.Heap_checksum.checksum
 (* Execution *)
 
 type observation =
-  | Outcome of { result : string; heap : string; counters : string }
-      (** [counters] is the canonical full counter table — compared only
-          across engine pairs at the same (tier, arch) *)
+  | Outcome of { result : string; heap : string; shared : string; counters : string }
+      (** [shared] is the segment checksum: the VM's solo shared segment is
+          outside the heap, so segment mutations are invisible to [heap] —
+          this is the only witness for Shared/Atomics miscompiles that
+          never read their own writes back.  [counters] is the canonical
+          full counter table — compared only across engine pairs at the
+          same (tier, arch) *)
   | Crash of string  (** exception escaping the VM, including Ill_formed *)
 
 let observation_to_string = function
-  | Outcome { result; heap; counters = _ } -> Printf.sprintf "result=%s heap=%s" result heap
+  | Outcome { result; heap; shared; counters = _ } ->
+    Printf.sprintf "result=%s heap=%s shared=%s" result heap shared
   | Crash msg -> "crash: " ^ msg
 
 (* The reference interpreter charges one fuel per bytecode op; optimized
@@ -152,6 +157,7 @@ let run_cfg ?(fuel_boost = 1) ?ftl_mutate ~src (c : cfg) : observation =
       {
         result;
         heap = heap_checksum (Vm.instance vm);
+        shared = Nomap_util.Fnv.to_hex (Vm.shared_checksum vm);
         counters = Counters.to_canonical_string (Vm.counters vm);
       }
   with
@@ -168,11 +174,12 @@ type verdict =
   | Skip of string  (** the reference itself failed (e.g. out of fuel) *)
   | Diverge of divergence list
 
-(* Against the reference only result + heap matter: counters legitimately
-   differ across tiers and architectures. *)
+(* Against the reference only result + heap + segment matter: counters
+   legitimately differ across tiers and architectures. *)
 let agrees_with_reference ~expected ~got =
   match (expected, got) with
-  | Outcome e, Outcome g -> e.result = g.result && e.heap = g.heap
+  | Outcome e, Outcome g ->
+    e.result = g.result && e.heap = g.heap && e.shared = g.shared
   | Crash a, Crash b -> a = b
   | _ -> false
 
@@ -235,6 +242,61 @@ let check ?(cfgs = default_cfgs) ?(fuel_boost = 1) ?ftl_mutate
     in
     let divs = dedup ic_divs (dedup engine_divs ref_divs) in
     if divs = [] then Agree else Diverge divs
+
+(* ------------------------------------------------------------------ *)
+(* The multi-agent axis: determinism, not tier equivalence.
+
+   Scheduler turns are consumed by shared ops at every tier but also by
+   transaction commits in FTL, so the interleaving — and therefore the
+   legitimate outcome — differs across tiers: cross-tier comparison is
+   meaningless for multi-agent runs.  What must hold instead is the replay
+   guarantee (DESIGN.md §16): the same (program, agent count, schedule
+   seed) is bit-identical, per-agent results, per-agent heap checksums,
+   segment image and conflict count included.  Any wall-clock leak into
+   the schedule (a shared mutation outside a scheduler turn, a
+   termination race) shows up here as a run that doesn't replay. *)
+
+let agents_observation ?(agents = 2) ?(tier = Vm.Cap_ftl) ?(arch = Config.NoMap_RTM)
+    ~schedule_seed (src : string) : string =
+  match
+    let prog = Nomap_bytecode.Compile.compile_source src in
+    Nomap_agents.Agents.run
+      ~policy:(Nomap_shared.Interleave.Seeded schedule_seed)
+      ~fuel:tiered_fuel ~config:(Config.create arch) ~tier_cap:tier
+      (Array.make agents prog)
+  with
+  | r ->
+    let per_agent =
+      Array.to_list
+        (Array.map
+           (fun (o : Nomap_agents.Agents.outcome) ->
+             let result =
+               match o.Nomap_agents.Agents.result with
+               | Ok v -> Value.to_js_string v
+               | Error e -> "error:" ^ e
+             in
+             let heap =
+               match o.Nomap_agents.Agents.vm with
+               | Some vm -> heap_checksum (Vm.instance vm)
+               | None -> "<no vm>"
+             in
+             Printf.sprintf "result=%s heap=%s" result heap)
+           r.Nomap_agents.Agents.outcomes)
+    in
+    Printf.sprintf "%s | segment=%s conflicts=%d"
+      (String.concat " ; " per_agent)
+      (Nomap_util.Fnv.to_hex r.Nomap_agents.Agents.segment_checksum)
+      r.Nomap_agents.Agents.conflicts
+  | exception e -> "crash: " ^ Printexc.to_string e
+
+(** Run the program twice on [agents] agents under the same seeded
+    schedule; [Some (first, second)] if the replays disagree. *)
+let check_agents ?agents ?tier ?arch ~schedule_seed (prog : Ast.program) :
+    (string * string) option =
+  let src = Gen.to_source prog in
+  let a = agents_observation ?agents ?tier ?arch ~schedule_seed src in
+  let b = agents_observation ?agents ?tier ?arch ~schedule_seed src in
+  if a = b then None else Some (a, b)
 
 let divergence_to_string d =
   let base =

@@ -598,6 +598,137 @@ let hybrid_fallback () =
   s
 
 (* ------------------------------------------------------------------ *)
+(* DESIGN.md §16: multi-agent shared-segment contention.  Three kernels —
+   every agent hammering one word (true sharing), each agent on its own
+   word inside one 64-byte line (false sharing: distinct data, same
+   conflict-detection granule), and each agent on its own line (sharded) —
+   swept over agent counts under NoMap_RTM at the full tier, so the
+   increments run inside real hardware transactions and cross-agent
+   conflicts surface as [Htm.Conflict] aborts.  The headline claims: abort
+   rate climbs with agent count on the contended kernels, stays ~zero
+   sharded, and the applied-increment total is exact everywhere (aborted
+   transactions drop their redo buffer; the retry re-applies exactly
+   once).  Direct-run like [hybrid_fallback] — the multi-agent registry is
+   its own execution world, not a scheduler key — and memoized, so the
+   bench harness's warm re-renders don't respawn domains. *)
+
+module Agents = Nomap_agents.Agents
+module Interleave = Nomap_shared.Interleave
+
+let contention_agent_counts = [ 1; 2; 4; 8 ]
+
+(* Eight words per 64-byte line (Segment.word_bytes = 8): stride 1 keeps
+   every agent in line 0; stride 8 gives each agent its own line. *)
+let contention_kernels =
+  [
+    ("shared-counter", fun _ -> 0);
+    ("false-sharing", fun i -> i);
+    ("sharded", fun i -> i * 8);
+  ]
+
+(* Two adds per call keeps the transaction window short — a handful of
+   scheduler turns — so the commit-vs-doomed odds genuinely depend on how
+   many peers can interleave, and the abort rate climbs with agent count
+   instead of saturating at 100% immediately.  120 calls leaves ~100 per
+   agent above the FTL threshold: enough attempts for a stable rate. *)
+let contention_src idx =
+  Printf.sprintf
+    "function bench() { var i; for (i = 0; i < 2; i++) { Atomics.add(%d, 1); } return \
+     Atomics.load(%d); } var it; var result = 0; for (it = 0; it < 120; it++) { result = \
+     bench(); }"
+    idx idx
+
+type contention_row = {
+  ct_kernel : string;
+  ct_agents : int;
+  ct_commits : int;  (** tx commits summed over the agents' VMs *)
+  ct_conflicts : int;  (** registry-wide [Htm.Conflict] aborts *)
+  ct_abort_pct : float;  (** conflicts / (commits + conflicts) *)
+  ct_adds : int;  (** increments applied (segment sum) — must be exact *)
+}
+
+let contention_rows_uncached () =
+  List.concat_map
+    (fun (kernel, idx_of) ->
+      List.map
+        (fun n ->
+          let progs =
+            Array.init n (fun i ->
+                Nomap_bytecode.Compile.compile_source (contention_src (idx_of i)))
+          in
+          let r =
+            Agents.run
+              ~policy:(Interleave.Seeded 7)
+              ~config:(Config.create Config.NoMap_RTM) ~tier_cap:Vm.Cap_ftl progs
+          in
+          Array.iter
+            (fun (o : Agents.outcome) ->
+              match o.Agents.result with
+              | Ok _ -> ()
+              | Error e -> failwith (Printf.sprintf "contention %s/%d: %s" kernel n e))
+            r.Agents.outcomes;
+          let commits =
+            Array.fold_left
+              (fun acc (o : Agents.outcome) ->
+                match o.Agents.vm with
+                | Some vm -> acc + (Vm.counters vm).Counters.tx_commits
+                | None -> acc)
+              0 r.Agents.outcomes
+          in
+          let conflicts = r.Agents.conflicts in
+          let attempts = commits + conflicts in
+          {
+            ct_kernel = kernel;
+            ct_agents = n;
+            ct_commits = commits;
+            ct_conflicts = conflicts;
+            ct_abort_pct =
+              (if attempts = 0 then 0.0
+               else 100.0 *. float_of_int conflicts /. float_of_int attempts);
+            ct_adds = Array.fold_left ( + ) 0 r.Agents.segment_data;
+          })
+        contention_agent_counts)
+    contention_kernels
+
+let contention_rows : unit -> contention_row list =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some rows -> rows
+    | None ->
+      let rows = contention_rows_uncached () in
+      cache := Some rows;
+      rows
+
+let contention_plan () = []
+
+let contention () =
+  let t =
+    Table.create
+      ~title:
+        "Contention (DESIGN.md 16): agents x kernel under NoMap_RTM/FTL, conflict abort \
+         rate and exact applied increments"
+      ~header:
+        [ "kernel"; "agents"; "tx commits"; "conflict aborts"; "abort %"; "adds applied" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.ct_kernel;
+          string_of_int r.ct_agents;
+          string_of_int r.ct_commits;
+          string_of_int r.ct_conflicts;
+          f1 r.ct_abort_pct;
+          string_of_int r.ct_adds;
+        ])
+    (contention_rows ());
+  let s = Table.render t in
+  print_string s;
+  s
+
+(* ------------------------------------------------------------------ *)
 
 let headline_plan () =
   List.concat_map (fun b -> List.map (fun arch -> Key.arch ~arch b) archs) both_suites
@@ -686,6 +817,7 @@ let experiments =
     { name = "table4"; plan = table4_plan; render = table4 };
     { name = "validate_htm"; plan = validate_htm_plan; render = validate_htm };
     { name = "hybrid_fallback"; plan = hybrid_fallback_plan; render = hybrid_fallback };
+    { name = "contention"; plan = contention_plan; render = contention };
     { name = "ablation"; plan = ablation_plan; render = ablation };
     { name = "headline"; plan = headline_plan; render = headline };
   ]

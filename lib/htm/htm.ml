@@ -43,6 +43,10 @@ type abort_reason =
   | Sof_overflow
   | Irrevocable  (** I/O attempted inside a transaction (paper V-A) *)
   | Watchdog  (** runaway transaction cut off by the simulator *)
+  | Conflict
+      (** cross-agent conflict: another agent touched this transaction's
+          read/write footprint on a shared segment (or, for a fallen-back
+          software transaction, NOrec value validation failed at commit) *)
 
 let abort_reason_name = function
   | Check_failed k -> "check:" ^ Nomap_lir.Lir.check_kind_name k
@@ -52,6 +56,7 @@ let abort_reason_name = function
   | Sof_overflow -> "sof-overflow"
   | Irrevocable -> "irrevocable-io"
   | Watchdog -> "watchdog"
+  | Conflict -> "conflict"
 
 exception Abort of abort_reason
 

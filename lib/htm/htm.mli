@@ -28,6 +28,9 @@ type abort_reason =
   | Sof_overflow
   | Irrevocable  (** I/O attempted inside a transaction (paper V-A) *)
   | Watchdog  (** runaway transaction cut off by the simulator *)
+  | Conflict
+      (** cross-agent conflict on a shared segment (hardware footprint
+          overlap, or failed NOrec value validation in the STM fallback) *)
 
 val abort_reason_name : abort_reason -> string
 

@@ -325,10 +325,16 @@ let memory_effect = function
       | Global_parse_int | Global_parse_float -> Eff_alloc
       | Arr_push | Arr_pop -> Eff_clobber
       | Arr_join -> Eff_alloc
-      | Global_print -> Eff_clobber))
+      | Global_print -> Eff_clobber
+      (* Shared-segment memory is visible to other agents: nothing may be
+         reordered, hoisted, or CSE'd across these. *)
+      | Shared_read | Shared_write | Shared_size | Atomics_load | Atomics_store
+      | Atomics_add | Atomics_sub | Atomics_exchange | Atomics_compare_exchange
+      | Atomics_fence -> Eff_clobber))
   | Intrinsic (i, _) -> (
     match i with
     | Math_random -> Eff_clobber
+    | i when Nomap_runtime.Intrinsics.is_shared i -> Eff_clobber
     | _ -> Eff_none)
   | Alloc_object | Alloc_array _ -> Eff_alloc
   | Tx_begin _ | Tx_end -> Eff_clobber  (* fences *)

@@ -64,6 +64,13 @@ type t = {
   mutable stm_aborts : int;
   mutable stm_reads : int;
   mutable stm_writes : int;
+  (* Shared-segment traffic (DESIGN.md §16): every [Shared]/[Atomics]
+     operation this VM's agent completed, uniform across tiers and engines
+     (the agent's note callback fires once per operation). *)
+  mutable shared_loads : int;
+  mutable shared_stores : int;
+  mutable shared_rmws : int;
+  mutable shared_fences : int;
 }
 
 let create () =
@@ -91,6 +98,10 @@ let create () =
     stm_aborts = 0;
     stm_reads = 0;
     stm_writes = 0;
+    shared_loads = 0;
+    shared_stores = 0;
+    shared_rmws = 0;
+    shared_fences = 0;
   }
 
 let cycles t = t.f.cycles
@@ -193,6 +204,10 @@ let diff ~now ~before =
   t.stm_aborts <- now.stm_aborts - before.stm_aborts;
   t.stm_reads <- now.stm_reads - before.stm_reads;
   t.stm_writes <- now.stm_writes - before.stm_writes;
+  t.shared_loads <- now.shared_loads - before.shared_loads;
+  t.shared_stores <- now.shared_stores - before.shared_stores;
+  t.shared_rmws <- now.shared_rmws - before.shared_rmws;
+  t.shared_fences <- now.shared_fences - before.shared_fences;
   t
 
 (** Canonical one-line rendering of the full counter table.  Cycles are
@@ -219,10 +234,21 @@ let to_canonical_string (c : t) =
       Printf.sprintf " stm={commits=%d aborts=%d reads=%d writes=%d cycles=%h}"
         c.stm_commits c.stm_aborts c.stm_reads c.stm_writes c.f.stm_cycles
   in
+  (* Same trick for shared-segment traffic: workloads that never touch a
+     segment — every pre-existing golden row — print unchanged. *)
+  let shared =
+    if
+      c.shared_loads = 0 && c.shared_stores = 0 && c.shared_rmws = 0
+      && c.shared_fences = 0
+    then ""
+    else
+      Printf.sprintf " shared={loads=%d stores=%d rmws=%d fences=%d}"
+        c.shared_loads c.shared_stores c.shared_rmws c.shared_fences
+  in
   Printf.sprintf
     "instrs=[%s] checks=[%s] cycles=%h tx_cycles=%h deopts=%d ftl=%d dfg=%d \
      commits=%d aborts=%d reasons={%s} wkb_sum=%h wkb_max=%h assoc_sum=%h \
-     assoc_max=%d samples=%d%s"
+     assoc_max=%d samples=%d%s%s"
     (ints c.instrs) (ints c.checks) c.f.cycles c.f.tx_cycles c.deopts c.ftl_calls
     c.dfg_calls c.tx_commits c.tx_aborts reasons c.f.tx_write_kb_sum
-    c.f.tx_write_kb_max c.f.tx_assoc_sum c.tx_assoc_max c.tx_samples stm
+    c.f.tx_write_kb_max c.f.tx_assoc_sum c.tx_assoc_max c.tx_samples stm shared

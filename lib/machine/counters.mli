@@ -50,6 +50,12 @@ type t = {
   mutable stm_aborts : int;
   mutable stm_reads : int;
   mutable stm_writes : int;
+  (* Shared-segment traffic (DESIGN.md §16): completed [Shared]/[Atomics]
+     operations, uniform across tiers and engines. *)
+  mutable shared_loads : int;
+  mutable shared_stores : int;
+  mutable shared_rmws : int;
+  mutable shared_fences : int;
 }
 
 val create : unit -> t

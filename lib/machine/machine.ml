@@ -34,6 +34,7 @@ module Instance = Nomap_interp.Instance
 module L = Nomap_lir.Lir
 module D = Nomap_lir.Decode
 module Htm = Nomap_htm.Htm
+module Agent = Nomap_shared.Agent
 module Footprint = Nomap_cache.Footprint
 module Specialize = Nomap_tiers.Specialize
 module Hot = Nomap_util.Hot
@@ -60,6 +61,10 @@ type env = {
   call : fid:int -> this:Value.t -> args:Value.t list -> Value.t;
   deopt_resume : fid:int -> resume_pc:int -> values:(int * Value.t) list -> Value.t;
   mutable tx : Htm.tx option;
+  mutable shared_agent : Agent.t option;
+      (** this VM's agent on a shared segment; transactions publish their
+          segment footprints through it so remote agents can conflict
+          (DESIGN.md §16).  Set by the VM right after [create_env]. *)
   mutable ghost_depth : int;  (** Base config: zero-cost region markers *)
   mutable ghost_owner : int;
   mutable next_frame : int;
@@ -83,6 +88,7 @@ let create_env ~instance ~counters ~htm_mode ~sof_enabled ?(capacity_scale = 1)
     call;
     deopt_resume;
     tx = None;
+    shared_agent = None;
     ghost_depth = 0;
     ghost_owner = -1;
     next_frame = 0;
@@ -572,9 +578,16 @@ let exec_tx_begin env (values : Value.t array) ~frame (smp : L.smp) =
       let stm_fallback =
         (* The fallback callback does integer bookkeeping only (the averted
            abort's reason and count); every cycle charge waits for the
-           transaction's finish point — see [stm_overhead_cycles]. *)
+           transaction's finish point — see [stm_overhead_cycles].  The
+           agent also flips to software mode: hardware conflict detection is
+           gone, so NOrec value validation must take over at commit. *)
         if env.stm_fallback then
-          Some (fun reason -> Counters.record_abort env.counters reason)
+          Some
+            (fun reason ->
+              Counters.record_abort env.counters reason;
+              match env.shared_agent with
+              | Some ag -> Agent.to_stm ag
+              | None -> ())
         else None
       in
       env.tx <-
@@ -582,6 +595,9 @@ let exec_tx_begin env (values : Value.t array) ~frame (smp : L.smp) =
           (Htm.begin_tx ~capacity_scale:env.capacity_scale ?stm_fallback
              env.instance.Instance.heap ~mode ~snapshot
              ~resume_pc:smp.L.resume_pc ~owner_frame:frame);
+      (match env.shared_agent with
+      | Some ag -> Agent.tx_begin ag ~mode
+      | None -> ());
       (* Transaction lengths scale with the workloads; scale the
          fixed begin/end costs equally so the overhead-to-work
          ratio stays in the paper's regime (DESIGN.md §6). *)
@@ -601,6 +617,13 @@ let exec_tx_end env =
       tx.Htm.nesting <- tx.Htm.nesting - 1;
       if tx.Htm.nesting = 0 then begin
         if env.sof_enabled && tx.Htm.sof then raise (Htm.Abort Htm.Sof_overflow);
+        (* Cross-agent commit point: flush the segment redo buffer, or
+           raise [Conflict] (doomed hardware footprint / failed NOrec
+           validation) before any commit accounting runs — the abort
+           ladder then charges this as an abort, not a commit. *)
+        (match env.shared_agent with
+        | Some ag -> Agent.tx_commit ag
+        | None -> ());
         (match tx.Htm.mode with
         | Htm.Stm ->
           (* Fell back mid-flight: the whole region commits in software.
@@ -629,6 +652,7 @@ let handle_abort env ~fid reason (tx : Htm.tx) =
      rollback, minus the commit-validation term. *)
   if tx.Htm.mode = Htm.Stm then charge_stm_finish env tx ~committed:false;
   Htm.rollback tx;
+  (match env.shared_agent with Some ag -> Agent.tx_abort ag | None -> ());
   env.tx <- None;
   Counters.record_abort env.counters reason;
   Counters.add_cycles env.counters ~in_tx:false Timing.abort_cycles;

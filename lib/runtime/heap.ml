@@ -25,6 +25,22 @@ type hooks = {
           irrevocability guard here (paper V-A) *)
 }
 
+(** Operations on the VM's attached shared segment (SharedArrayBuffer-style;
+    DESIGN.md §16).  The runtime layer only names them; the implementation
+    lives in [lib/shared] and is installed as the [shared] closure below, so
+    [Intrinsics.eval] can dispatch without a dependency cycle. *)
+type shared_op =
+  | Sh_read  (** Shared.read(i) — plain (non-atomic) element read *)
+  | Sh_write  (** Shared.write(i, v) — plain element write; returns v *)
+  | Sh_size  (** Shared.size() — element count *)
+  | Sh_load  (** Atomics.load(i) *)
+  | Sh_store  (** Atomics.store(i, v) — returns v *)
+  | Sh_add  (** Atomics.add(i, v) — returns the old value *)
+  | Sh_sub  (** Atomics.sub(i, v) — returns the old value *)
+  | Sh_exchange  (** Atomics.exchange(i, v) — returns the old value *)
+  | Sh_cas  (** Atomics.compareExchange(i, expected, v) — returns the old value *)
+  | Sh_fence  (** Atomics.fence() — SC fence; returns 0 *)
+
 type t = {
   mutable next_addr : int;
   mutable next_oid : int;
@@ -34,6 +50,9 @@ type t = {
   hooks : hooks;
   prng : Nomap_util.Prng.t;  (** backs Math.random deterministically *)
   mutable bytes_allocated : int;
+  mutable shared : (shared_op -> Value.t list -> Value.t) option;
+      (** agent-runtime dispatch for [shared_op]; [None] until an agent
+          attaches a segment (Agent.install) *)
 }
 
 let no_hooks () =
@@ -49,6 +68,7 @@ let create ?(seed = 42) () =
     hooks = no_hooks ();
     prng = Nomap_util.Prng.create ~seed;
     bytes_allocated = 0;
+    shared = None;
   }
 
 let word_bytes = 8

@@ -49,6 +49,19 @@ type t =
   | Global_parse_int
   | Global_parse_float
   | Global_is_nan
+  (* Shared segment (SharedArrayBuffer-style; lib/shared).  Plain accessors
+     plus the wait-free Atomics subset.  All dispatch through the heap's
+     [shared] closure installed by the agent runtime. *)
+  | Shared_read
+  | Shared_write
+  | Shared_size
+  | Atomics_load
+  | Atomics_store
+  | Atomics_add
+  | Atomics_sub
+  | Atomics_exchange
+  | Atomics_compare_exchange
+  | Atomics_fence
 
 exception Type_error of string
 
@@ -86,6 +99,26 @@ let name = function
   | Global_parse_int -> "parseInt"
   | Global_parse_float -> "parseFloat"
   | Global_is_nan -> "isNaN"
+  | Shared_read -> "Shared.read"
+  | Shared_write -> "Shared.write"
+  | Shared_size -> "Shared.size"
+  | Atomics_load -> "Atomics.load"
+  | Atomics_store -> "Atomics.store"
+  | Atomics_add -> "Atomics.add"
+  | Atomics_sub -> "Atomics.sub"
+  | Atomics_exchange -> "Atomics.exchange"
+  | Atomics_compare_exchange -> "Atomics.compareExchange"
+  | Atomics_fence -> "Atomics.fence"
+
+(** Shared-segment intrinsics touch memory visible to other agents: the
+    optimizer must treat them as clobbering everything (no CSE/LICM), and
+    the scheduler treats them as yield points. *)
+let is_shared = function
+  | Shared_read | Shared_write | Shared_size | Atomics_load | Atomics_store
+  | Atomics_add | Atomics_sub | Atomics_exchange | Atomics_compare_exchange
+  | Atomics_fence ->
+    true
+  | _ -> false
 
 (** Simulated instruction cost of calling the intrinsic (call overhead plus a
     rough body cost; string ops also charge per character at eval time). *)
@@ -103,6 +136,12 @@ let cost = function
   | Global_print -> 50
   | Global_parse_int | Global_parse_float -> 25
   | Global_is_nan -> 6
+  (* Plain shared accesses cost a bounds-checked load/store; atomics add the
+     lock-prefix / LL-SC latency; a full SC fence drains the store buffer. *)
+  | Shared_read | Shared_write | Shared_size -> 10
+  | Atomics_load | Atomics_store -> 18
+  | Atomics_add | Atomics_sub | Atomics_exchange | Atomics_compare_exchange -> 30
+  | Atomics_fence -> 24
 
 let static_lookup base meth =
   match (base, meth) with
@@ -125,6 +164,16 @@ let static_lookup base meth =
   | "Math", "max" -> Some Math_max
   | "Math", "random" -> Some Math_random
   | "String", "fromCharCode" -> Some Str_from_char_code
+  | "Shared", "read" -> Some Shared_read
+  | "Shared", "write" -> Some Shared_write
+  | "Shared", "size" -> Some Shared_size
+  | "Atomics", "load" -> Some Atomics_load
+  | "Atomics", "store" -> Some Atomics_store
+  | "Atomics", "add" -> Some Atomics_add
+  | "Atomics", "sub" -> Some Atomics_sub
+  | "Atomics", "exchange" -> Some Atomics_exchange
+  | "Atomics", "compareExchange" -> Some Atomics_compare_exchange
+  | "Atomics", "fence" -> Some Atomics_fence
   | _ -> None
 
 let static_constant base prop =
@@ -342,6 +391,25 @@ let eval heap intr (recv : Value.t) (args : Value.t list) : Value.t =
     | Some f -> Value.number f
     | None -> Value.Num Float.nan)
   | Global_is_nan -> Value.bool_ (Float.is_nan (Value.to_number (arg 0 args)))
+  | Shared_read | Shared_write | Shared_size | Atomics_load | Atomics_store
+  | Atomics_add | Atomics_sub | Atomics_exchange | Atomics_compare_exchange
+  | Atomics_fence -> (
+    let op =
+      match intr with
+      | Shared_read -> Heap.Sh_read
+      | Shared_write -> Heap.Sh_write
+      | Shared_size -> Heap.Sh_size
+      | Atomics_load -> Heap.Sh_load
+      | Atomics_store -> Heap.Sh_store
+      | Atomics_add -> Heap.Sh_add
+      | Atomics_sub -> Heap.Sh_sub
+      | Atomics_exchange -> Heap.Sh_exchange
+      | Atomics_compare_exchange -> Heap.Sh_cas
+      | _ -> Heap.Sh_fence
+    in
+    match heap.Heap.shared with
+    | Some dispatch -> dispatch op args
+    | None -> raise (Type_error (name intr ^ ": no shared segment attached")))
 
 (* ------------------------------------------------------------------ *)
 (* Arity fast paths.

@@ -10,16 +10,19 @@
     Request payload:
 
     {v
-      [u8 version = 1][u8 verb]
+      [u8 version = 2][u8 verb]
       verb 1 (RUN):  [u8 tier][u8 arch][u32 iters][u64 fuel]
                      [u32 deadline_ms][u32 src_len][src bytes]
       verb 2 (STATS) / 3 (PING) / 4 (SHUTDOWN): no fields
+      verb 5 (RUN_SHARED): the RUN fields, then [str session] — execute
+                     bound to an agent of the named shared-segment session
+                     (version 2)
     v}
 
     Response payload:
 
     {v
-      [u8 version = 1][u8 status]
+      [u8 version = 2][u8 status]
       status 0 (RUN_OK):   [u8 cache_hit][str result][str heap]
                            [u64 instrs][u64 checks][u64 cycles_bits]
                            [u64 tx_commits][u64 tx_aborts][u64 deopts]
@@ -38,7 +41,8 @@
 module Vm = Nomap_vm.Vm
 module Config = Nomap_nomap.Config
 
-let version = 1
+(* v2: RUN_SHARED (verb 5) — multi-agent shared-segment sessions. *)
+let version = 2
 
 (** Upper bound on a single frame; a larger announced length is rejected
     before any allocation, so a hostile client cannot make the daemon
@@ -54,7 +58,16 @@ type run = {
   src : string;  (** MiniJS program text *)
 }
 
-type request = Run of run | Stats | Ping | Shutdown
+type request =
+  | Run of run
+  | Run_shared of { run : run; session : string }
+      (** like [Run], but the VM is bound to an agent of the named shared
+          session: concurrent RUN_SHAREDs naming the same session execute
+          against one communal segment (Shared/Atomics intrinsics), while
+          different sessions are fully isolated *)
+  | Stats
+  | Ping
+  | Shutdown
 
 type err =
   | Emalformed  (** protocol violation: bad version/verb/framing *)
@@ -195,18 +208,25 @@ let arch_of_code n =
 let encode_request (req : request) : string =
   let b = Buffer.create 256 in
   u8 b version;
-  (match req with
-  | Run r ->
-    u8 b 1;
+  let run_fields r =
     u8 b (tier_code r.tier);
     u8 b (arch_code r.arch);
     u32 b r.iters;
     u64 b (Int64.of_int (max 0 r.fuel));
     u32 b r.deadline_ms;
     str b r.src
+  in
+  (match req with
+  | Run r ->
+    u8 b 1;
+    run_fields r
   | Stats -> u8 b 2
   | Ping -> u8 b 3
-  | Shutdown -> u8 b 4);
+  | Shutdown -> u8 b 4
+  | Run_shared { run; session } ->
+    u8 b 5;
+    run_fields run;
+    str b session);
   Buffer.contents b
 
 let decode_request (payload : string) : (request, string) result =
@@ -214,18 +234,24 @@ let decode_request (payload : string) : (request, string) result =
     let c = { data = payload; pos = 0 } in
     let v = r8 c in
     if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
-    match r8 c with
-    | 1 ->
+    let run_fields () =
       let tier = tier_of_code (r8 c) in
       let arch = arch_of_code (r8 c) in
       let iters = r32 c in
       let fuel = Int64.to_int (r64 c) in
       let deadline_ms = r32 c in
       let src = rstr c in
-      finish c (Run { tier; arch; iters; fuel; deadline_ms; src })
+      { tier; arch; iters; fuel; deadline_ms; src }
+    in
+    match r8 c with
+    | 1 -> finish c (Run (run_fields ()))
     | 2 -> finish c Stats
     | 3 -> finish c Ping
     | 4 -> finish c Shutdown
+    | 5 ->
+      let run = run_fields () in
+      let session = rstr c in
+      finish c (Run_shared { run; session })
     | verb -> raise (Bad (Printf.sprintf "unknown request verb %d" verb))
   with
   | req -> Ok req

@@ -50,6 +50,7 @@ type t = {
   wake_r : Unix.file_descr;  (** self-pipe: workers nudge a select-blocked poller *)
   wake_w : Unix.file_descr;
   cache : Session.cache;
+  shared : Session.shared;  (** named shared-segment sessions (RUN_SHARED) *)
   jobs : job Queue.t;  (** admission queue of frames, bound [queue_capacity] *)
   returned : (conn * [ `Keep | `Close ]) Queue.t;  (** conns workers are done with *)
   lock : Mutex.t;  (** guards [jobs], [returned], [stopping] *)
@@ -97,6 +98,7 @@ let stats_text t =
         "queue depth=%d capacity=%d conns=%d/%d accepted=%d overloaded_rejections=%d" depth
         t.cfg.queue_capacity s.open_conns t.cfg.max_connections s.accepted s.rejected_overloaded;
       Printf.sprintf "cache %s" (Artifact_cache.stats_to_string t.cache);
+      Session.shared_stats t.shared;
       Printf.sprintf
         "requests run_ok=%d run_hit=%d run_miss=%d stats=%d ping=%d \
          errors=[malformed=%d overloaded=%d timeout=%d crash=%d fuel_limit=%d]"
@@ -121,6 +123,7 @@ let request_stop t =
 let session_ctx t : Session.ctx =
   {
     Session.cache = t.cache;
+    shared = t.shared;
     max_fuel = t.cfg.max_fuel;
     stats_text = (fun () -> stats_text t);
     request_shutdown = (fun () -> request_stop t);
@@ -360,6 +363,7 @@ let start cfg =
       wake_r;
       wake_w;
       cache = Artifact_cache.create ~capacity:cfg.cache_capacity ();
+      shared = Session.shared_create ();
       jobs = Queue.create ();
       returned = Queue.create ();
       lock = Mutex.create ();

@@ -5,6 +5,9 @@ module Value = Nomap_runtime.Value
 module Instance = Nomap_interp.Instance
 module Counters = Nomap_machine.Counters
 module Fnv = Nomap_util.Fnv
+module Agent = Nomap_shared.Agent
+module Segment = Nomap_shared.Segment
+module Interleave = Nomap_shared.Interleave
 
 (* [src] is part of the key, not just its hash: two sources colliding on
    the 64-bit FNV fingerprint must NOT serve each other's compiled program.
@@ -32,7 +35,86 @@ let counters_of_vm vm : Protocol.run_counters =
     ftl_calls = c.Counters.ftl_calls;
   }
 
-let run ?(max_fuel = default_fuel) ~cache (r : Protocol.run) : Protocol.response =
+(* ------------------------------------------------------------------ *)
+(* Shared sessions (DESIGN.md §16): named communal segments.
+
+   A RUN_SHARED names a session; all requests naming the same session run
+   their VMs as agents of one registry over one segment, so concurrent
+   clients genuinely communicate through Shared/Atomics (and genuinely
+   conflict-abort each other's transactions).  The registry uses the
+   [Free] scheduler policy: the daemon serves real concurrent clients, so
+   there is no deterministic schedule to honor — serialization happens at
+   the registry lock, per shared operation, exactly like real hardware.
+
+   Sessions are created on first use and live for the daemon's lifetime
+   (like the artifact cache, they are bounded: a fixed agent pool and a
+   fixed segment size per session).  Each request borrows an agent slot
+   for its duration; a session with every slot busy answers OVERLOADED
+   rather than queueing. *)
+
+let shared_session_agents = 64
+let shared_session_words = 256
+
+type shared_session = {
+  sreg : Agent.registry;
+  mutable free_slots : int list;
+  mutable served : int;  (** RUN_SHARED requests completed against this session *)
+}
+
+type shared = { slock : Mutex.t; sessions : (string, shared_session) Hashtbl.t }
+
+let shared_create () = { slock = Mutex.create (); sessions = Hashtbl.create 8 }
+
+let acquire_agent shared ~session =
+  Mutex.protect shared.slock (fun () ->
+      let s =
+        match Hashtbl.find_opt shared.sessions session with
+        | Some s -> s
+        | None ->
+          let segment = Segment.create ~size:shared_session_words () in
+          let sreg =
+            Agent.create_registry ~policy:Interleave.Free ~segment
+              ~n:shared_session_agents ()
+          in
+          let s = { sreg; free_slots = List.init shared_session_agents Fun.id; served = 0 } in
+          Hashtbl.replace shared.sessions session s;
+          s
+      in
+      match s.free_slots with
+      | [] -> None
+      | i :: rest ->
+        s.free_slots <- rest;
+        Some (s, Agent.agent s.sreg i))
+
+let release_agent shared s ag =
+  (* The VM may have died mid-transaction; drop any published footprint
+     before the slot is handed to the next request. *)
+  Agent.tx_abort ag;
+  Mutex.protect shared.slock (fun () ->
+      s.served <- s.served + 1;
+      s.free_slots <- Agent.id ag :: s.free_slots)
+
+(** One STATS line: session count, borrowed agents, communal segment
+    bytes, cross-agent conflict aborts served, RUN_SHARED requests done. *)
+let shared_stats shared =
+  Mutex.protect shared.slock (fun () ->
+      let sessions = Hashtbl.length shared.sessions in
+      let bytes, conflicts, in_use, served =
+        Hashtbl.fold
+          (fun _ s (b, c, u, v) ->
+            ( b + Segment.size_bytes (Agent.segment s.sreg),
+              c + Agent.conflicts s.sreg,
+              u + (shared_session_agents - List.length s.free_slots),
+              v + s.served ))
+          shared.sessions (0, 0, 0, 0)
+      in
+      Printf.sprintf
+        "shared sessions=%d agents_in_use=%d segment_bytes=%d conflict_aborts=%d \
+         run_shared=%d"
+        sessions in_use bytes conflicts served)
+
+let run ?(max_fuel = default_fuel) ?shared_agent ~cache (r : Protocol.run) :
+    Protocol.response =
   if r.Protocol.fuel > max_fuel then
     (* Typed refusal, not a silent clamp: a client that asked for more than
        the server allows should know its request was not honored. *)
@@ -62,7 +144,8 @@ let run ?(max_fuel = default_fuel) ~cache (r : Protocol.run) : Protocol.response
     let fuel = if r.Protocol.fuel <= 0 then min default_fuel max_fuel else r.Protocol.fuel in
     match
       let vm =
-        Vm.create ~fuel ~config:(Config.create r.Protocol.arch) ~tier_cap:r.Protocol.tier prog
+        Vm.create ~fuel ?shared:shared_agent ~config:(Config.create r.Protocol.arch)
+          ~tier_cap:r.Protocol.tier prog
       in
       ignore (Vm.run_main vm);
       let last = ref None in
@@ -93,11 +176,27 @@ let run ?(max_fuel = default_fuel) ~cache (r : Protocol.run) : Protocol.response
 
 type ctx = {
   cache : cache;
+  shared : shared;
   max_fuel : int;
   stats_text : unit -> string;
   request_shutdown : unit -> unit;
   on_response : Protocol.response -> unit;
 }
+
+let run_shared ctx (r : Protocol.run) ~session : Protocol.response =
+  match acquire_agent ctx.shared ~session with
+  | None ->
+    Protocol.Error
+      {
+        err = Protocol.Eoverloaded;
+        msg =
+          Printf.sprintf "session %S: all %d agent slots busy" session
+            shared_session_agents;
+      }
+  | Some (s, ag) ->
+    Fun.protect
+      ~finally:(fun () -> release_agent ctx.shared s ag)
+      (fun () -> run ~max_fuel:ctx.max_fuel ~shared_agent:ag ~cache:ctx.cache r)
 
 let reply ctx fd resp =
   ctx.on_response resp;
@@ -120,7 +219,13 @@ let handle_frame ctx ~queue_wait_s fd payload =
       reply ctx fd Protocol.Shutting_down;
       ctx.request_shutdown ();
       `Close
-    | Ok (Protocol.Run r) ->
+    | Ok (Protocol.Run _ | Protocol.Run_shared _) as req ->
+      let r, session =
+        match req with
+        | Ok (Protocol.Run r) -> (r, None)
+        | Ok (Protocol.Run_shared { run; session }) -> (run, Some session)
+        | _ -> assert false
+      in
       (* [queue_wait_s] is *this frame's* wait — stamped when the frame
          completed at the poller, measured on the monotonic clock — so a
          deadline verdict is about this request, not about when its
@@ -138,7 +243,9 @@ let handle_frame ctx ~queue_wait_s fd payload =
         `Keep
       end
       else begin
-        reply ctx fd (run ~max_fuel:ctx.max_fuel ~cache:ctx.cache r);
+        (match session with
+        | None -> reply ctx fd (run ~max_fuel:ctx.max_fuel ~cache:ctx.cache r)
+        | Some session -> reply ctx fd (run_shared ctx r ~session));
         `Keep
       end
   in

@@ -26,20 +26,50 @@ type cache = (key, Nomap_bytecode.Opcode.program) Artifact_cache.t
 val default_fuel : int
 (** Execution budget when the request doesn't set one. *)
 
-val run : ?max_fuel:int -> cache:cache -> Protocol.run -> Protocol.response
+type shared
+(** The daemon's shared-session table (DESIGN.md §16): named communal
+    segments, created on first RUN_SHARED use.  Requests naming the same
+    session run as agents over one segment (so concurrent clients
+    communicate through Shared/Atomics and conflict-abort each other);
+    different sessions are fully isolated.  Each session has a fixed agent
+    pool ([shared_session_agents]) and segment size; a request borrows a
+    slot for its duration and a fully-busy session answers OVERLOADED. *)
+
+val shared_session_agents : int
+(** Agent slots per session; concurrent RUN_SHAREDs past this are refused. *)
+
+val shared_session_words : int
+(** Segment elements per session. *)
+
+val shared_create : unit -> shared
+
+val shared_stats : shared -> string
+(** The STATS line for shared sessions: count, borrowed agents, communal
+    segment bytes, cross-agent conflict aborts, RUN_SHARED requests
+    served. *)
+
+val run :
+  ?max_fuel:int ->
+  ?shared_agent:Nomap_shared.Agent.t ->
+  cache:cache ->
+  Protocol.run ->
+  Protocol.response
 (** Execute one RUN request: look up / compile the artifact, run the
     program's top level on a fresh VM (plus [iters] calls of
     [benchmark()]), and report the [result] global, the structural heap
-    checksum, and the request's machine counters.  A request whose fuel
-    exceeds [max_fuel] (default [default_fuel]) is refused with
-    [Efuel_limit] before any work; an unset request fuel means
-    [min default_fuel max_fuel].  Fuel exhaustion maps to [Etimeout],
-    compile or runtime failures to [Ecrash]; no exception escapes. *)
+    checksum, and the request's machine counters.  [shared_agent] binds
+    the VM to a communal shared segment (RUN_SHARED); without it the VM
+    gets its own private solo segment.  A request whose fuel exceeds
+    [max_fuel] (default [default_fuel]) is refused with [Efuel_limit]
+    before any work; an unset request fuel means [min default_fuel
+    max_fuel].  Fuel exhaustion maps to [Etimeout], compile or runtime
+    failures to [Ecrash]; no exception escapes. *)
 
 (** Callbacks a session uses to reach daemon-level state without depending
     on [Server] (which depends on this module). *)
 type ctx = {
   cache : cache;
+  shared : shared;  (** shared-session table, owned by the daemon *)
   max_fuel : int;  (** server-side cap on client-requested fuel *)
   stats_text : unit -> string;  (** STATS verb payload *)
   request_shutdown : unit -> unit;  (** SHUTDOWN verb: begin daemon stop *)

@@ -1,0 +1,164 @@
+(** Deterministic interleaving scheduler for multi-agent runs
+    (DESIGN.md §16).
+
+    Agents (one OCaml Domain each) run their private computation in true
+    parallel, but every *shared-segment operation* — and each agent's
+    termination — consumes exactly one scheduler turn, and turns are
+    granted one at a time by a deterministic policy.  Since private state
+    evolves deterministically per agent and shared state is only touched
+    inside a turn, the whole multi-agent execution is a pure function of
+    (programs, seeds, policy): replays are bit-identical, which is what
+    keeps multi-agent counters golden-testable and the fuzz oracle's
+    multi-agent axis meaningful.
+
+    Turn protocol (coordinator-free; one mutex + condition):
+    - [begin_op] blocks until the policy has granted this agent the
+      current turn;
+    - the agent performs its operation (taking whatever locks it needs);
+    - [end_op] advances to the next turn.  [begin_op]/[end_op] pairing is
+      the caller's job ([Agent] wraps them with [Fun.protect] so an
+      aborting operation still releases its turn).
+    - [finish] is the termination event: it waits for a turn like an
+      operation, marks the agent done, and advances.  Making termination
+      consume a turn is what keeps the [Seeded] policy deterministic — the
+      set of schedulable agents changes only at turn boundaries, never at
+      an arbitrary wall-clock moment.
+
+    Policies:
+    - [Free]: no serialization at all ([begin_op]/[end_op]/[finish] are
+      no-ops).  Used by solo-agent VMs (the default: zero coordination
+      cost) and by nomapd shared sessions, where requests are serialized
+      by the session itself.
+    - [Fixed schedule]: turn [k] goes to [schedule.(k)] (entries naming
+      finished agents are skipped); when the schedule is exhausted,
+      remaining turns drain round-robin from agent 0.  The litmus suite
+      enumerates these exhaustively.
+    - [Seeded seed]: each turn is granted to a uniformly drawn unfinished
+      agent via the repo's splitmix64 PRNG — a reproducible "random"
+      interleaving for contention experiments and fuzzing. *)
+
+type policy = Free | Fixed of int array | Seeded of int
+
+type t = {
+  policy : policy;
+  n : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  finished : bool array;
+  mutable remaining : int;
+  mutable current : int;  (** agent holding the turn; -1 = all done / free *)
+  mutable pos : int;  (** next unread [Fixed] schedule slot *)
+  mutable rr : int;  (** round-robin drain cursor *)
+  prng : Nomap_util.Prng.t;
+}
+
+let rec pick t =
+  if t.remaining = 0 then -1
+  else
+    match t.policy with
+    | Free -> -1
+    | Fixed schedule ->
+      if t.pos < Array.length schedule then begin
+        let a = schedule.(t.pos) in
+        t.pos <- t.pos + 1;
+        if a >= 0 && a < t.n && not t.finished.(a) then a else pick t
+      end
+      else begin
+        (* Deterministic drain: next unfinished agent from the cursor. *)
+        let rec find k =
+          let a = (t.rr + k) mod t.n in
+          if t.finished.(a) then find (k + 1) else a
+        in
+        let a = find 0 in
+        t.rr <- a + 1;
+        a
+      end
+    | Seeded _ ->
+      let rec nth_unfinished a k =
+        if t.finished.(a) then nth_unfinished (a + 1) k
+        else if k = 0 then a
+        else nth_unfinished (a + 1) (k - 1)
+      in
+      nth_unfinished 0 (Nomap_util.Prng.int t.prng t.remaining)
+
+let create ~n ~policy =
+  if n <= 0 then invalid_arg "Interleave.create: n <= 0";
+  let t =
+    {
+      policy;
+      n;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      finished = Array.make n false;
+      remaining = n;
+      current = -1;
+      pos = 0;
+      rr = 0;
+      prng =
+        Nomap_util.Prng.create ~seed:(match policy with Seeded s -> s | _ -> 0);
+    }
+  in
+  t.current <- pick t;
+  t
+
+let is_free t = t.policy = Free
+
+let begin_op t ~agent =
+  if not (is_free t) then begin
+    Mutex.lock t.mutex;
+    while t.current <> agent do
+      Condition.wait t.cond t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+
+let end_op t ~agent =
+  if not (is_free t) then begin
+    Mutex.lock t.mutex;
+    if t.current = agent then begin
+      t.current <- pick t;
+      Condition.broadcast t.cond
+    end;
+    Mutex.unlock t.mutex
+  end
+
+(** The agent will perform no further operations: consume one turn as the
+    termination event and advance.  Idempotent. *)
+let finish t ~agent =
+  if not (is_free t) then begin
+    Mutex.lock t.mutex;
+    if not t.finished.(agent) then begin
+      while t.current <> agent do
+        Condition.wait t.cond t.mutex
+      done;
+      t.finished.(agent) <- true;
+      t.remaining <- t.remaining - 1;
+      t.current <- pick t;
+      Condition.broadcast t.cond
+    end;
+    Mutex.unlock t.mutex
+  end
+
+(** All multiset permutations of [counts.(i)] turns for each agent [i] —
+    the litmus suite's exhaustive schedule enumeration.  Small inputs only
+    (the suites use ≤ 3 ops per agent). *)
+let enumerate_schedules counts =
+  let n = Array.length counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let acc = ref [] in
+  let left = Array.copy counts in
+  let cur = Array.make total 0 in
+  let rec go k =
+    if k = total then acc := Array.copy cur :: !acc
+    else
+      for a = 0 to n - 1 do
+        if left.(a) > 0 then begin
+          left.(a) <- left.(a) - 1;
+          cur.(k) <- a;
+          go (k + 1);
+          left.(a) <- left.(a) + 1
+        end
+      done
+  in
+  go 0;
+  List.rev !acc

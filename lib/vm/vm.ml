@@ -27,6 +27,8 @@ module Config = Nomap_nomap.Config
 module Transform = Nomap_nomap.Transform
 module Txplace = Nomap_nomap.Txplace
 module Htm = Nomap_htm.Htm
+module Agent = Nomap_shared.Agent
+module Segment = Nomap_shared.Segment
 
 type tier_cap = Cap_interp | Cap_baseline | Cap_dfg | Cap_ftl
 
@@ -68,6 +70,7 @@ type t = {
   mutable env : Machine.env option;
   interp_env : Interp.env;
   baseline_env : Interp.env;
+  agent : Agent.t;  (** this VM's view of its shared segment (solo default) *)
   mutable deopt_invalidations : int;
   mutable tx_demotions : int;
 }
@@ -80,10 +83,26 @@ let fresh_version () =
 let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresholds)
     ?(verify_lir = false) ?(paranoid = false) ?ftl_mutate
     ?(opt_knobs = Nomap_opt.Pipeline.all_on) ?(engine = Engine.default)
-    ?(host_ic = true) ~config ~tier_cap (prog : Opcode.program) =
+    ?(host_ic = true) ?shared ~config ~tier_cap (prog : Opcode.program) =
   let instance = Instance.create ~seed ~fuel prog in
   let profile = Feedback.create prog in
   let counters = Counters.create () in
+  (* Every VM has an agent: a private solo one by default, so the
+     [Shared]/[Atomics] surface works — tier-invariantly — in single-agent
+     runs with zero coordination; a multi-agent runtime passes in an agent
+     bound to a communal registry instead. *)
+  let agent = match shared with Some ag -> ag | None -> Agent.solo () in
+  Agent.install agent instance.Instance.heap;
+  Agent.set_note agent (fun k ->
+      match k with
+      | Agent.Op_load ->
+        counters.Counters.shared_loads <- counters.Counters.shared_loads + 1
+      | Agent.Op_store ->
+        counters.Counters.shared_stores <- counters.Counters.shared_stores + 1
+      | Agent.Op_rmw ->
+        counters.Counters.shared_rmws <- counters.Counters.shared_rmws + 1
+      | Agent.Op_fence ->
+        counters.Counters.shared_fences <- counters.Counters.shared_fences + 1);
   let t_ref = ref None in
   let get_t () = Option.get !t_ref in
   let charge_runtime n =
@@ -141,6 +160,7 @@ let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresho
       env = None;
       interp_env;
       baseline_env;
+      agent;
       deopt_invalidations = 0;
       tx_demotions = 0;
     }
@@ -165,7 +185,13 @@ let rec create_gen ?(seed = 42) ?(fuel = max_int) ?(thresholds = default_thresho
         v.ftl <- None;
         v.dirty <- true;
         t.tx_demotions <- t.tx_demotions + 1
-      | Htm.Check_failed _ | Htm.Deopt_in_tx | Htm.Sof_overflow | Htm.Irrevocable -> ());
+      | Htm.Check_failed _ | Htm.Deopt_in_tx | Htm.Sof_overflow | Htm.Irrevocable
+      | Htm.Conflict ->
+        (* A cross-agent conflict says nothing about this function's
+           footprint: retry at the same placement (the paper's conflict
+           aborts are transient, not capacity-driven). *)
+        ());
+  env.Machine.shared_agent <- Some agent;
   t.env <- Some env;
   t
 
@@ -234,14 +260,14 @@ and dispatch t ~fid ~this ~args =
     Interp.run_from t.interp_env ~fid ~entry_pc:0 ~regs
 
 let create ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ?host_ic
-    ~config ~tier_cap prog =
+    ?shared ~config ~tier_cap prog =
   create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ?opt_knobs ?engine ?host_ic
-    ~config ~tier_cap prog
+    ?shared ~config ~tier_cap prog
 
 let create_with_ftl_mutator ~ftl_mutate ?seed ?fuel ?thresholds ?verify_lir ?paranoid
-    ?opt_knobs ?engine ?host_ic ~config ~tier_cap prog =
+    ?opt_knobs ?engine ?host_ic ?shared ~config ~tier_cap prog =
   create_gen ?seed ?fuel ?thresholds ?verify_lir ?paranoid ~ftl_mutate ?opt_knobs ?engine
-    ?host_ic ~config ~tier_cap prog
+    ?host_ic ?shared ~config ~tier_cap prog
 
 (** Run the program's top level. *)
 let run_main t =
@@ -266,6 +292,11 @@ let global t name =
 let instance t = t.instance
 let counters t = t.counters
 let engine t = t.engine
+let agent t = t.agent
+
+(** Checksum of the VM's shared segment (the fuzz oracle's third
+    observation alongside result and heap checksum). *)
+let shared_checksum t = Segment.checksum (Agent.segment (Agent.registry t.agent))
 let tx_demotions t = t.tx_demotions
 let deopt_invalidations t = t.deopt_invalidations
 let ftl_code t fid = t.versions.(fid).ftl

@@ -31,6 +31,7 @@ val create :
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
   ?engine:Nomap_machine.Engine.kind ->
   ?host_ic:bool ->
+  ?shared:Nomap_shared.Agent.t ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->
@@ -40,7 +41,10 @@ val create :
     the daemon's defence against runaway requests.  [engine] selects which
     execution engine runs DFG/FTL-compiled code (default
     [Engine.Threaded]); both engines are metric-identical, so the choice
-    only affects wall-clock speed. *)
+    only affects wall-clock speed.  [shared] binds the VM to an agent on a
+    communal shared segment (multi-agent runtime, DESIGN.md §16); by
+    default the VM gets a private solo agent so [Shared]/[Atomics] still
+    work, tier-invariantly, in single-agent runs. *)
 
 val create_with_ftl_mutator :
   ftl_mutate:(Nomap_lir.Lir.func -> unit) ->
@@ -52,6 +56,7 @@ val create_with_ftl_mutator :
   ?opt_knobs:Nomap_opt.Pipeline.knobs ->
   ?engine:Nomap_machine.Engine.kind ->
   ?host_ic:bool ->
+  ?shared:Nomap_shared.Agent.t ->
   config:Nomap_nomap.Config.t ->
   tier_cap:tier_cap ->
   Nomap_bytecode.Opcode.program ->
@@ -75,6 +80,13 @@ val counters : t -> Nomap_machine.Counters.t
 
 val engine : t -> Nomap_machine.Engine.kind
 (** The execution engine this VM was created with. *)
+
+val agent : t -> Nomap_shared.Agent.t
+(** The VM's shared-segment agent (solo unless [create ~shared] bound it
+    to a communal registry). *)
+
+val shared_checksum : t -> int64
+(** Checksum of the VM's shared segment (fuzz-oracle observation). *)
 
 val tx_demotions : t -> int
 (** Capacity-abort-driven transaction-placement demotions so far. *)

@@ -185,8 +185,11 @@ let test_sabotage_caught_and_shrunk () =
   (* The acceptance criterion: inject a miscompile (swapped subtraction
      operands in FTL code), prove the oracle catches it and the shrinker
      reduces it to a tiny kernel. *)
+  (* 500 checks: the generator's shared/Atomics shapes made seed-42
+     programs bigger, and 200 ran out mid-shrink (35 nodes); 400 reaches
+     the 14-node fixpoint, 500 is the library default with headroom. *)
   let s =
-    Fuzz.run ~ftl_mutate:Fuzz.sabotage_swap_sub ~shrink:true ~shrink_checks:200 ~seed:42
+    Fuzz.run ~ftl_mutate:Fuzz.sabotage_swap_sub ~shrink:true ~shrink_checks:500 ~seed:42
       ~iters:2 ()
   in
   match s.Fuzz.failures with

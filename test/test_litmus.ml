@@ -1,0 +1,163 @@
+(** Litmus tests for the multi-agent shared-memory model (DESIGN.md §16).
+
+    The interleaving scheduler serializes shared-segment operations one
+    turn at a time, so the model is sequentially consistent by
+    construction.  These tests *prove* that for the classic litmus shapes:
+    [Interleave.enumerate_schedules] enumerates every schedule the [Fixed]
+    policy can produce for the given per-agent operation counts, each
+    schedule is executed for real (N VMs on N domains over one segment),
+    and the set of observed outcomes must equal the SC-allowed set exactly
+    — weak-memory outcomes (SB's (0,0), LB's (1,1), MP's stale-data, CoRR
+    reordering) must never appear, and every SC outcome must actually be
+    producible, or the scheduler isn't really interleaving. *)
+
+module Vm = Nomap_vm.Vm
+module Config = Nomap_nomap.Config
+module Value = Nomap_runtime.Value
+module Agents = Nomap_agents.Agents
+module Interleave = Nomap_shared.Interleave
+
+let config = Config.create Config.Base
+
+let int_global vm name =
+  match Vm.global vm name with
+  | Some v -> Value.to_int32 v
+  | None -> Alcotest.failf "litmus: no global %s" name
+
+(** Run [srcs.(i)] on agent [i] under every schedule with [counts.(i)]
+    shared-op turns for agent [i]; return the deduplicated, sorted list of
+    [extract]ed outcomes.  Interp tier: one shared op = one turn, no
+    transactions, so the enumeration is exhaustive. *)
+let observe ~counts ~extract srcs =
+  let progs = Array.map Helpers.compile srcs in
+  let outcomes =
+    List.map
+      (fun sched ->
+        let r =
+          Agents.run
+            ~policy:(Interleave.Fixed sched)
+            ~segment_size:16 ~config ~tier_cap:Vm.Cap_interp progs
+        in
+        Array.iter
+          (fun (o : Agents.outcome) ->
+            match o.Agents.result with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.failf "litmus agent failed: %s" msg)
+          r.Agents.outcomes;
+        extract r)
+      (Interleave.enumerate_schedules counts)
+  in
+  List.sort_uniq compare outcomes
+
+let vm_of (r : Agents.run_result) i =
+  match r.Agents.outcomes.(i).Agents.vm with
+  | Some vm -> vm
+  | None -> Alcotest.fail "litmus: agent VM missing"
+
+let check_set name expected observed =
+  Alcotest.(check (list (list int))) name (List.sort_uniq compare expected) observed
+
+(* r0/r1 observation: one register per agent. *)
+let regs r = [ int_global (vm_of r 0) "r0"; int_global (vm_of r 1) "r1" ]
+
+(** SB (store buffering / Dekker): each agent stores its flag then reads
+    the other's.  TSO/weak memory allows (0,0); SC forbids it. *)
+let test_store_buffering () =
+  let observed =
+    observe ~counts:[| 2; 2 |] ~extract:regs
+      [|
+        "Atomics.store(0, 1); var r0 = Atomics.load(1);";
+        "Atomics.store(1, 1); var r1 = Atomics.load(0);";
+      |]
+  in
+  check_set "SB: exactly the SC outcomes" [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ] observed
+
+(** MP (message passing): writer publishes data then a flag; reader reads
+    flag then data.  Seeing the flag without the data is forbidden. *)
+let test_message_passing () =
+  let observed =
+    observe ~counts:[| 2; 2 |]
+      ~extract:(fun r ->
+        [ int_global (vm_of r 1) "r0"; int_global (vm_of r 1) "r1" ])
+      [|
+        "Atomics.store(0, 42); Atomics.store(1, 1);";
+        "var r0 = Atomics.load(1); var r1 = Atomics.load(0);";
+      |]
+  in
+  check_set "MP: flag implies data" [ [ 0; 0 ]; [ 0; 42 ]; [ 1; 42 ] ] observed
+
+(** LB (load buffering): each agent loads the other's slot then stores its
+    own.  (1,1) requires loads to see future stores — forbidden. *)
+let test_load_buffering () =
+  let observed =
+    observe ~counts:[| 2; 2 |] ~extract:regs
+      [|
+        "var r0 = Atomics.load(1); Atomics.store(0, 1);";
+        "var r1 = Atomics.load(0); Atomics.store(1, 1);";
+      |]
+  in
+  check_set "LB: no out-of-thin-air" [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ] ] observed
+
+(** CoRR (coherence, read-read): two reads of one location may not observe
+    a store and then un-observe it. *)
+let test_corr () =
+  let observed =
+    observe ~counts:[| 1; 2 |]
+      ~extract:(fun r ->
+        [ int_global (vm_of r 1) "r0"; int_global (vm_of r 1) "r1" ])
+      [|
+        "Atomics.store(0, 1);";
+        "var r0 = Atomics.load(0); var r1 = Atomics.load(0);";
+      |]
+  in
+  check_set "CoRR: reads never go backwards" [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ] observed
+
+(** Atomic RMW atomicity: two agents each add 1 twice; lost updates would
+    leave the counter below 4.  Every schedule must total exactly 4. *)
+let test_rmw_atomicity () =
+  let observed =
+    observe ~counts:[| 2; 2 |]
+      ~extract:(fun r -> [ r.Agents.segment_data.(0) ])
+      [| "Atomics.add(0, 1); Atomics.add(0, 1);"; "Atomics.add(0, 1); Atomics.add(0, 1);" |]
+  in
+  check_set "RMW: no lost updates" [ [ 4 ] ] observed
+
+(** SC fences: SB with an [Atomics.fence] between the store and the load.
+    The fence consumes a scheduler turn like any shared op (counts are 3)
+    and the forbidden (0,0) outcome must stay forbidden. *)
+let test_fence_sb () =
+  let observed =
+    observe ~counts:[| 3; 3 |] ~extract:regs
+      [|
+        "Atomics.store(0, 1); Atomics.fence(); var r0 = Atomics.load(1);";
+        "Atomics.store(1, 1); Atomics.fence(); var r1 = Atomics.load(0);";
+      |]
+  in
+  check_set "fenced SB: exactly the SC outcomes" [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ] observed
+
+(** Exchange linearization: both agents exchange into slot 0; exactly one
+    of them must observe the initial 0, and the final value must be the
+    other agent's — the two serialization orders and nothing else. *)
+let test_exchange_order () =
+  let observed =
+    observe ~counts:[| 1; 1 |]
+      ~extract:(fun r ->
+        [
+          int_global (vm_of r 0) "r0";
+          int_global (vm_of r 1) "r1";
+          r.Agents.segment_data.(0);
+        ])
+      [| "var r0 = Atomics.exchange(0, 1);"; "var r1 = Atomics.exchange(0, 2);" |]
+  in
+  check_set "exchange: linearized" [ [ 0; 1; 2 ]; [ 2; 0; 1 ] ] observed
+
+let tests =
+  [
+    Alcotest.test_case "litmus: store buffering (SB)" `Quick test_store_buffering;
+    Alcotest.test_case "litmus: message passing (MP)" `Quick test_message_passing;
+    Alcotest.test_case "litmus: load buffering (LB)" `Quick test_load_buffering;
+    Alcotest.test_case "litmus: coherence read-read (CoRR)" `Quick test_corr;
+    Alcotest.test_case "litmus: RMW atomicity" `Quick test_rmw_atomicity;
+    Alcotest.test_case "litmus: SC fence ordering" `Quick test_fence_sb;
+    Alcotest.test_case "litmus: exchange linearization" `Quick test_exchange_order;
+  ]

@@ -33,5 +33,7 @@ let () =
       ("scheduler", Test_scheduler.tests);
       ("measurement", Test_measurement.tests);
       ("server", Test_server.tests);
+      ("shared", Test_shared.tests);
+      ("litmus", Test_litmus.tests);
       ("fuzz", Test_fuzz.tests);
     ]

@@ -43,6 +43,8 @@ let test_request_roundtrip () =
     [
       Protocol.Run sample_run;
       Protocol.Run { sample_run with tier = Vm.Cap_interp; arch = Config.Base; src = "" };
+      Protocol.Run_shared { run = sample_run; session = "room-1" };
+      Protocol.Run_shared { run = sample_run; session = "" };
       Protocol.Stats;
       Protocol.Ping;
       Protocol.Shutdown;
@@ -593,6 +595,61 @@ let test_idle_keepalive_no_starvation () =
       Unix.close fd;
       List.iter Client.close idle)
 
+(* Shared sessions: two clients naming one session observe each other's
+   atomic increments through the communal segment; a third client in a
+   different session starts from a fresh segment; STATS reports the shared
+   section. *)
+let test_shared_sessions () =
+  let probe = "Atomics.add(0, 1); var result = Atomics.load(0);" in
+  let shared_req ~session src =
+    Protocol.Run_shared
+      {
+        run =
+          { Protocol.tier = Vm.Cap_interp; arch = Config.Base; iters = 0; fuel = 0;
+            deadline_ms = 0; src };
+        session;
+      }
+  in
+  let expect_result name conn req expected =
+    match Client.rpc conn req with
+    | Protocol.Run_ok { result; _ } -> Alcotest.(check string) name expected result
+    | resp -> Alcotest.failf "%s: unexpected response %s" name (Protocol.encode_response resp)
+  in
+  with_server (fun path _t ->
+      let a = Client.connect ~retry_for_s:5.0 path in
+      let b = Client.connect ~retry_for_s:5.0 path in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close a;
+          Client.close b)
+        (fun () ->
+          (* Same session: B sees A's increment, A sees B's in turn. *)
+          expect_result "A increments fresh segment" a (shared_req ~session:"room" probe) "1";
+          expect_result "B observes A's increment" b (shared_req ~session:"room" probe) "2";
+          expect_result "A observes B's increment" a (shared_req ~session:"room" probe) "3";
+          (* A different session starts from its own zeroed segment. *)
+          expect_result "other session isolated" b (shared_req ~session:"annex" probe) "1";
+          (* Plain RUN stays fully private: a solo segment per request. *)
+          expect_result "plain RUN never shares" a
+            (run_req ~tier:Vm.Cap_interp ~arch:Config.Base probe)
+            "1";
+          (* STATS carries the shared-session section. *)
+          match Client.rpc a Protocol.Stats with
+          | Protocol.Stats_ok text ->
+            let has sub =
+              let n = String.length text and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "stats: session count" true (has "shared sessions=2");
+            Alcotest.(check bool) "stats: served count" true (has "run_shared=4");
+            Alcotest.(check bool) "stats: conflict aborts" true (has "conflict_aborts=0");
+            Alcotest.(check bool) "stats: segment bytes" true
+              (has
+                 (Printf.sprintf "segment_bytes=%d"
+                    (2 * 8 * Session.shared_session_words)))
+          | _ -> Alcotest.fail "no stats"))
+
 let tests =
   [
     Alcotest.test_case "protocol: request roundtrip" `Quick test_request_roundtrip;
@@ -609,6 +666,8 @@ let tests =
     Alcotest.test_case "daemon: corpus x concurrent clients == direct Vm" `Slow
       test_corpus_concurrent_clients;
     Alcotest.test_case "daemon: sessions are isolated" `Quick test_session_isolation;
+    Alcotest.test_case "daemon: shared sessions communicate, others isolated" `Quick
+      test_shared_sessions;
     Alcotest.test_case "daemon: error paths (crash/timeout/malformed/stats)" `Quick
       test_error_paths;
     Alcotest.test_case "daemon: cache-hit flag keyed by source x tier" `Quick
